@@ -1,0 +1,165 @@
+//! AODV protocol constants.
+
+use manet_des::SimDuration;
+
+/// Tunables of the routing machine. Defaults follow RFC 3561's suggested
+/// values where they exist, adapted to pedestrian mobility (longer route
+/// lifetimes: topology changes at ~1 m/s, not vehicular speeds).
+#[derive(Clone, Copy, Debug)]
+pub struct AodvCfg {
+    /// Lifetime granted to a route on creation or refresh.
+    pub active_route_lifetime: SimDuration,
+    /// First expanding-ring TTL of a route discovery.
+    pub ttl_start: u8,
+    /// Ring growth per retry.
+    pub ttl_increment: u8,
+    /// Above this TTL the search jumps straight to `net_diameter`.
+    pub ttl_threshold: u8,
+    /// Network-wide TTL for the final attempts.
+    pub net_diameter: u8,
+    /// Full-TTL retries after the ring search before giving up.
+    pub rreq_retries: u8,
+    /// One-hop traversal estimate; the per-attempt RREQ timeout is
+    /// `2 * ttl * hop_traversal_time` (RFC 3561 §6.4).
+    pub hop_traversal_time: SimDuration,
+    /// How long `(origin, rreq_id)` entries stay in the dedup cache
+    /// (PATH_DISCOVERY_TIME).
+    pub rreq_seen_lifetime: SimDuration,
+    /// How long `(origin, flood_id)` entries stay in the controlled-broadcast
+    /// dedup cache (needs only to outlive one flood's propagation).
+    pub flood_cache_lifetime: SimDuration,
+    /// Learn reverse routes from overheard floods. The paper's overlay
+    /// replies to discovery floods with routed unicasts; harvesting the
+    /// flood's reverse path (hop count and previous hop are in the header)
+    /// avoids a full RREQ for every reply, like ns-2's AODV does for RREQs.
+    pub learn_routes_from_flood: bool,
+    /// Maximum payloads buffered per destination while discovering.
+    pub max_buffered_per_dest: usize,
+    /// Hop budget for routed data. Stale or passively learned routes can
+    /// form transient loops (they carry no destination sequence number);
+    /// packets exceeding this are dropped, like an IP TTL.
+    pub max_data_hops: u8,
+    /// Beacon HELLOs at this period (RFC 3561 §6.9). `None` (the default)
+    /// relies on link-layer feedback alone, like ns-2's AODV with
+    /// link-layer detection — the mode the paper's evaluation used.
+    pub hello_interval: Option<SimDuration>,
+    /// A neighbor is declared lost after this many silent hello periods.
+    pub allowed_hello_loss: u32,
+}
+
+impl Default for AodvCfg {
+    fn default() -> Self {
+        AodvCfg {
+            active_route_lifetime: SimDuration::from_secs(10),
+            ttl_start: 3,
+            ttl_increment: 2,
+            ttl_threshold: 7,
+            net_diameter: 20,
+            rreq_retries: 2,
+            hop_traversal_time: SimDuration::from_millis(40),
+            rreq_seen_lifetime: SimDuration::from_secs(30),
+            flood_cache_lifetime: SimDuration::from_secs(30),
+            learn_routes_from_flood: true,
+            max_buffered_per_dest: 16,
+            max_data_hops: 32,
+            hello_interval: None,
+            allowed_hello_loss: 2,
+        }
+    }
+}
+
+impl AodvCfg {
+    /// Timeout for one discovery attempt at ring TTL `ttl`.
+    pub fn ring_timeout(&self, ttl: u8) -> SimDuration {
+        self.hop_traversal_time * (2 * ttl as u64)
+    }
+
+    /// The TTL to use for attempt number `attempt` (0-based): expanding ring
+    /// until `ttl_threshold`, then `net_diameter`.
+    pub fn ring_ttl(&self, attempt: u8) -> u8 {
+        let ttl = self.ttl_start as u32 + self.ttl_increment as u32 * attempt as u32;
+        if ttl > self.ttl_threshold as u32 {
+            self.net_diameter
+        } else {
+            ttl as u8
+        }
+    }
+
+    /// Total discovery attempts before a destination is declared unreachable:
+    /// the expanding-ring phase plus `rreq_retries` full-diameter tries.
+    pub fn max_attempts(&self) -> u8 {
+        // Ring attempts until the TTL would exceed the threshold...
+        let mut rings = 0u8;
+        while self.ring_ttl(rings) != self.net_diameter {
+            rings += 1;
+            if rings > 32 {
+                break; // degenerate configs (increment = 0) stop growing
+            }
+        }
+        rings + self.rreq_retries + 1
+    }
+
+    /// Panics if the configuration is internally inconsistent.
+    pub fn validate(&self) {
+        assert!(self.ttl_start >= 1, "ttl_start must be at least 1");
+        assert!(
+            self.net_diameter >= self.ttl_threshold,
+            "net_diameter must cover the ring threshold"
+        );
+        assert!(!self.active_route_lifetime.is_zero());
+        assert!(!self.hop_traversal_time.is_zero());
+        assert!(self.max_buffered_per_dest > 0);
+        assert!(
+            self.max_data_hops > self.net_diameter,
+            "data hop budget must exceed the network diameter"
+        );
+        if let Some(h) = self.hello_interval {
+            assert!(!h.is_zero(), "hello interval must be positive");
+            assert!(self.allowed_hello_loss >= 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        AodvCfg::default().validate();
+    }
+
+    #[test]
+    fn ring_ttl_grows_then_jumps_to_diameter() {
+        let c = AodvCfg::default();
+        assert_eq!(c.ring_ttl(0), 3);
+        assert_eq!(c.ring_ttl(1), 5);
+        assert_eq!(c.ring_ttl(2), 7);
+        assert_eq!(c.ring_ttl(3), 20); // 9 > threshold 7 -> diameter
+        assert_eq!(c.ring_ttl(10), 20);
+    }
+
+    #[test]
+    fn ring_timeout_scales_with_ttl() {
+        let c = AodvCfg::default();
+        assert_eq!(c.ring_timeout(1), SimDuration::from_millis(80));
+        assert_eq!(c.ring_timeout(5), SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn max_attempts_counts_rings_and_retries() {
+        let c = AodvCfg::default();
+        // rings: ttl 3,5,7 (attempts 0..=2), then diameter for 1 + retries(2)
+        assert_eq!(c.max_attempts(), 3 + 2 + 1);
+    }
+
+    #[test]
+    fn degenerate_increment_terminates() {
+        let c = AodvCfg {
+            ttl_increment: 0,
+            ..AodvCfg::default()
+        };
+        // Must not loop forever.
+        assert!(c.max_attempts() >= c.rreq_retries);
+    }
+}

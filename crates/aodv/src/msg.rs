@@ -1,0 +1,208 @@
+//! AODV wire messages, generic over the upper-layer payload `P`.
+//!
+//! Sizes follow the RFC 3561 packet formats (RREQ 24 B, RREP 20 B, RERR
+//! 4 + 8 B per unreachable destination) plus a small link header, so the
+//! radio's serialization-delay and energy models see realistic byte counts.
+
+use manet_des::NodeId;
+
+/// Upper-layer payloads must report their encoded size for the radio model.
+pub trait Payload: Clone + std::fmt::Debug {
+    /// Encoded size in bytes.
+    fn wire_size(&self) -> u32;
+}
+
+/// Bytes of link-layer framing added to every message.
+pub const LINK_HEADER: u32 = 12;
+
+/// Route request (flooded with an expanding-ring TTL).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rreq {
+    /// Node searching for a route.
+    pub origin: NodeId,
+    /// Originator's sequence number at request time.
+    pub origin_seq: u32,
+    /// Per-originator request id; `(origin, rreq_id)` dedups the flood.
+    pub rreq_id: u32,
+    /// The wanted destination.
+    pub dest: NodeId,
+    /// Last known destination sequence number, if any.
+    pub dest_seq: Option<u32>,
+    /// Hops travelled so far (incremented at each rebroadcast).
+    pub hop_count: u8,
+    /// Remaining time-to-live in hops (expanding-ring search).
+    pub ttl: u8,
+}
+
+/// Route reply (unicast back along the reverse path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rrep {
+    /// The discovered destination.
+    pub dest: NodeId,
+    /// Destination's sequence number.
+    pub dest_seq: u32,
+    /// The node that requested the route (where this reply is heading).
+    pub origin: NodeId,
+    /// Hops from the replying point to `dest`, incremented en route.
+    pub hop_count: u8,
+}
+
+/// Route error: destinations that became unreachable, with the sequence
+/// numbers they were invalidated at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rerr {
+    /// `(destination, its invalidated sequence number)` pairs.
+    pub unreachable: Vec<(NodeId, u32)>,
+}
+
+/// Routed application data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Data<P> {
+    /// Original source.
+    pub src: NodeId,
+    /// Final destination.
+    pub dst: NodeId,
+    /// Ad-hoc hops travelled so far.
+    pub hops: u8,
+    /// The overlay payload.
+    pub payload: P,
+}
+
+/// Controlled hop-limited broadcast — the paper's ns-2 patch. Every node
+/// keeps a cache of `(origin, flood_id)` pairs so each flood is forwarded at
+/// most once per node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Flood<P> {
+    /// The flooding node.
+    pub origin: NodeId,
+    /// Per-origin flood sequence; dedup key together with `origin`.
+    pub flood_id: u32,
+    /// Remaining hops the flood may still travel.
+    pub ttl: u8,
+    /// Hops travelled so far (receivers learn their distance to `origin`).
+    pub hops: u8,
+    /// The overlay payload.
+    pub payload: P,
+}
+
+/// Link-liveness beacon (RFC 3561 §6.9), enabled by
+/// [`AodvCfg::hello_interval`](crate::cfg::AodvCfg::hello_interval).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// The beaconing node's current sequence number.
+    pub seq: u32,
+}
+
+/// Any frame the routing layer puts on the air.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg<P> {
+    Rreq(Rreq),
+    Rrep(Rrep),
+    Rerr(Rerr),
+    Data(Data<P>),
+    Flood(Flood<P>),
+    Hello(Hello),
+}
+
+impl<P: Payload> Msg<P> {
+    /// Encoded size in bytes, including the link header.
+    pub fn wire_size(&self) -> u32 {
+        LINK_HEADER
+            + match self {
+                Msg::Rreq(_) => 24,
+                Msg::Rrep(_) => 20,
+                Msg::Rerr(e) => 4 + 8 * e.unreachable.len() as u32,
+                Msg::Data(d) => 16 + d.payload.wire_size(),
+                Msg::Flood(f) => 16 + f.payload.wire_size(),
+                Msg::Hello(_) => 8,
+            }
+    }
+
+    /// Short tag for logging and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Rreq(_) => "rreq",
+            Msg::Rrep(_) => "rrep",
+            Msg::Rerr(_) => "rerr",
+            Msg::Data(_) => "data",
+            Msg::Flood(_) => "flood",
+            Msg::Hello(_) => "hello",
+        }
+    }
+}
+
+/// Sequence-number comparison with rollover, per RFC 3561 §6.1: numbers are
+/// compared as signed 32-bit differences.
+#[inline]
+pub fn seq_newer(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) > 0
+}
+
+/// `a` is at least as fresh as `b` under rollover arithmetic.
+#[inline]
+pub fn seq_at_least(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) >= 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Blob(u32);
+    impl Payload for Blob {
+        fn wire_size(&self) -> u32 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn wire_sizes() {
+        let rreq: Msg<Blob> = Msg::Rreq(Rreq {
+            origin: NodeId(1),
+            origin_seq: 0,
+            rreq_id: 0,
+            dest: NodeId(2),
+            dest_seq: None,
+            hop_count: 0,
+            ttl: 3,
+        });
+        assert_eq!(rreq.wire_size(), LINK_HEADER + 24);
+
+        let rerr: Msg<Blob> = Msg::Rerr(Rerr {
+            unreachable: vec![(NodeId(1), 5), (NodeId(2), 9)],
+        });
+        assert_eq!(rerr.wire_size(), LINK_HEADER + 4 + 16);
+
+        let data = Msg::Data(Data {
+            src: NodeId(1),
+            dst: NodeId(2),
+            hops: 0,
+            payload: Blob(100),
+        });
+        assert_eq!(data.wire_size(), LINK_HEADER + 16 + 100);
+    }
+
+    #[test]
+    fn kinds() {
+        let f: Msg<Blob> = Msg::Flood(Flood {
+            origin: NodeId(0),
+            flood_id: 1,
+            ttl: 2,
+            hops: 0,
+            payload: Blob(1),
+        });
+        assert_eq!(f.kind(), "flood");
+    }
+
+    #[test]
+    fn seq_comparison_with_rollover() {
+        assert!(seq_newer(2, 1));
+        assert!(!seq_newer(1, 2));
+        assert!(!seq_newer(5, 5));
+        assert!(seq_at_least(5, 5));
+        // Rollover: u32::MAX + 1 wraps to 0, and 0 is "newer".
+        assert!(seq_newer(0, u32::MAX));
+        assert!(!seq_newer(u32::MAX, 0));
+    }
+}

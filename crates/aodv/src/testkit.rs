@@ -1,0 +1,175 @@
+//! A virtual network harness for protocol testing.
+//!
+//! [`TestNet`] wires several [`Aodv`] machines over an explicit adjacency
+//! matrix and executes their actions with zero-latency FIFO delivery. No
+//! radio, no mobility, no event queue: perfect for asserting protocol
+//! behaviour (who replied, which routes exist, what got delivered) on
+//! hand-built topologies. Used by this crate's unit tests and reused by the
+//! overlay crate's tests; it is *not* part of the simulation stack.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use manet_des::{NodeId, SimDuration, SimTime};
+
+use crate::cfg::AodvCfg;
+use crate::machine::{Action, Aodv};
+use crate::msg::{Msg, Payload};
+
+/// A delivered routed payload: `(at, src, hops, payload)`.
+pub type Delivered<P> = (NodeId, NodeId, u8, P);
+
+/// A delivered flood payload: `(at, origin, hops, payload)`.
+pub type FloodDelivered<P> = (NodeId, NodeId, u8, P);
+
+/// A failed discovery: `(at, dst, dropped payloads)`.
+pub type Failed<P> = (NodeId, NodeId, Vec<P>);
+
+/// The harness.
+pub struct TestNet<P: Payload> {
+    /// The protocol machines, indexed by node id.
+    pub nodes: Vec<Aodv<P>>,
+    adj: Vec<BTreeSet<u32>>,
+    now: SimTime,
+    queue: VecDeque<(NodeId, NodeId, Msg<P>)>,
+    /// Routed deliveries observed so far.
+    pub delivered: Vec<Delivered<P>>,
+    /// Flood deliveries observed so far.
+    pub flood_delivered: Vec<FloodDelivered<P>>,
+    /// Discovery failures observed so far.
+    pub unreachable: Vec<Failed<P>>,
+    /// Total frames transmitted (both unicast attempts and broadcast copies
+    /// count once per transmission, not per receiver).
+    pub frames_sent: u64,
+}
+
+impl<P: Payload> TestNet<P> {
+    /// `n` nodes, no links.
+    pub fn new(n: usize, cfg: AodvCfg) -> Self {
+        TestNet {
+            nodes: (0..n).map(|i| Aodv::new(NodeId(i as u32), cfg)).collect(),
+            adj: vec![BTreeSet::new(); n],
+            now: SimTime::ZERO,
+            queue: VecDeque::new(),
+            delivered: Vec::new(),
+            flood_delivered: Vec::new(),
+            unreachable: Vec::new(),
+            frames_sent: 0,
+        }
+    }
+
+    /// A line topology `0 - 1 - 2 - ... - (n-1)`.
+    pub fn line(n: usize, cfg: AodvCfg) -> Self {
+        let mut net = Self::new(n, cfg);
+        for i in 0..n.saturating_sub(1) {
+            net.link(i as u32, i as u32 + 1);
+        }
+        net
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Create the symmetric link `a — b`.
+    pub fn link(&mut self, a: u32, b: u32) {
+        assert_ne!(a, b);
+        self.adj[a as usize].insert(b);
+        self.adj[b as usize].insert(a);
+    }
+
+    /// Remove the symmetric link `a — b`.
+    pub fn unlink(&mut self, a: u32, b: u32) {
+        self.adj[a as usize].remove(&b);
+        self.adj[b as usize].remove(&a);
+    }
+
+    /// Upper-layer send from `src` to `dst`; then run the network to quiescence.
+    pub fn send(&mut self, src: u32, dst: u32, payload: P) {
+        let actions = self.nodes[src as usize].send(self.now, NodeId(dst), payload);
+        self.execute(NodeId(src), actions);
+        self.run();
+    }
+
+    /// Originate a controlled broadcast from `src`; run to quiescence.
+    pub fn flood(&mut self, src: u32, ttl: u8, payload: P) {
+        let actions = self.nodes[src as usize].flood(self.now, ttl, payload);
+        self.execute(NodeId(src), actions);
+        self.run();
+    }
+
+    /// Advance virtual time by `dt`, ticking every node, then run to
+    /// quiescence. Call repeatedly to trigger ring retries and expiry.
+    pub fn step(&mut self, dt: SimDuration) {
+        self.now += dt;
+        for i in 0..self.nodes.len() {
+            let actions = self.nodes[i].tick(self.now);
+            self.execute(NodeId(i as u32), actions);
+        }
+        self.run();
+    }
+
+    /// Advance time in `dt` steps until `t_final`.
+    pub fn step_until(&mut self, t_final: SimTime, dt: SimDuration) {
+        while self.now < t_final {
+            self.step(dt);
+        }
+    }
+
+    /// Drain the frame queue, executing resulting actions, until quiescent.
+    pub fn run(&mut self) {
+        let mut safety = 1_000_000u64;
+        while let Some((from, to, msg)) = self.queue.pop_front() {
+            let actions = self.nodes[to.index()].on_frame(self.now, from, msg);
+            self.execute(to, actions);
+            safety -= 1;
+            assert!(safety > 0, "TestNet failed to quiesce (protocol loop?)");
+        }
+    }
+
+    fn execute(&mut self, at: NodeId, actions: Vec<Action<P>>) {
+        for action in actions {
+            match action {
+                Action::Broadcast(msg) => {
+                    self.frames_sent += 1;
+                    for &nb in &self.adj[at.index()] {
+                        self.queue.push_back((at, NodeId(nb), msg.clone()));
+                    }
+                }
+                Action::Unicast { to, msg } => {
+                    self.frames_sent += 1;
+                    if self.adj[at.index()].contains(&to.0) {
+                        self.queue.push_back((at, to, msg));
+                    } else {
+                        let fail =
+                            self.nodes[at.index()].on_unicast_failed(self.now, to, msg);
+                        self.execute(at, fail);
+                    }
+                }
+                Action::Deliver { src, hops, payload } => {
+                    self.delivered.push((at, src, hops, payload));
+                }
+                Action::DeliverFlood {
+                    origin,
+                    hops,
+                    payload,
+                } => {
+                    self.flood_delivered.push((at, origin, hops, payload));
+                }
+                Action::Unreachable { dst, dropped } => {
+                    self.unreachable.push((at, dst, dropped));
+                }
+            }
+        }
+    }
+}
+
+/// A trivially sized test payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestPayload(pub u64);
+
+impl Payload for TestPayload {
+    fn wire_size(&self) -> u32 {
+        8
+    }
+}

@@ -1,0 +1,35 @@
+//! One bench per paper figure.
+//!
+//! Each figure's data comes from simulating the four algorithms under
+//! Table 2's scenario at 50 or 150 nodes; these benches time exactly that
+//! pipeline at reduced clock (120 s simulated, single replication) so the
+//! relative cost of the algorithms — the paper's whole point — is visible
+//! in the timings. Figure *content* is produced by the `manet-sim`
+//! binaries (`reproduce`, `fig_*`); see EXPERIMENTS.md.
+
+use bench::{bench_scenario, run_once};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use p2p_core::AlgoKind;
+
+/// Figs 5 & 6 (and their sibling figures share the same runs): the full
+/// simulation pipeline per algorithm at the paper's two node counts.
+fn fig_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for (figs, n_nodes, secs) in [("fig5_7_9_11_n50", 50usize, 120u64), ("fig6_8_10_12_n150", 150, 60)] {
+        for algo in AlgoKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(figs, algo.name()),
+                &algo,
+                |b, &algo| {
+                    b.iter(|| run_once(black_box(bench_scenario(n_nodes, algo, secs)), 7))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Component microbenches: the substrate hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use manet_aodv::testkit::{TestNet, TestPayload};
+use manet_aodv::AodvCfg;
+use manet_des::{EventQueue, Rng, SimTime};
+use manet_geom::{Point, Rect, SpatialGrid};
+use manet_graph::Graph;
+use p2p_content::Catalog;
+
+/// The event queue: schedule + pop churn at simulation-like sizes.
+fn event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000u64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = Rng::new(1);
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.schedule(SimTime::from_ticks(rng.below(1_000_000_000)), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The spatial grid: the radio's neighborhood query.
+fn spatial_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spatial_grid");
+    for n in [50u32, 150, 1000] {
+        let mut rng = Rng::new(2);
+        let mut grid = SpatialGrid::new(Rect::sized(100.0, 100.0), 10.0);
+        for k in 0..n {
+            grid.upsert(
+                k,
+                Point::new(rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("query_range_10m", n), &n, |b, _| {
+            let mut out = Vec::new();
+            let mut qr = Rng::new(3);
+            b.iter(|| {
+                let p = Point::new(qr.range_f64(0.0, 100.0), qr.range_f64(0.0, 100.0));
+                grid.query_range(p, 10.0, u32::MAX, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// AODV: a full route discovery over a line topology.
+fn aodv_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aodv");
+    for hops in [3usize, 8, 15] {
+        group.bench_with_input(
+            BenchmarkId::new("route_discovery_line", hops),
+            &hops,
+            |b, &hops| {
+                b.iter(|| {
+                    let mut net = TestNet::line(hops + 1, AodvCfg::default());
+                    net.send(0, hops as u32, TestPayload(1));
+                    net.step_until(
+                        SimTime::from_secs(10),
+                        manet_des::SimDuration::from_millis(100),
+                    );
+                    black_box(net.delivered.len())
+                })
+            },
+        );
+    }
+    // The controlled broadcast the paper patched into ns-2.
+    group.bench_function("controlled_flood_mesh20_ttl6", |b| {
+        b.iter(|| {
+            let mut net = TestNet::new(20, AodvCfg::default());
+            for a in 0..20u32 {
+                for bb in (a + 1)..20 {
+                    if (a + bb) % 3 != 0 {
+                        net.link(a, bb);
+                    }
+                }
+            }
+            net.flood(0, 6, TestPayload(9));
+            black_box(net.flood_delivered.len())
+        })
+    });
+    group.finish();
+}
+
+/// Zipf catalogue assignment and sampling.
+fn catalog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catalog");
+    group.bench_function("assign_113_members", |b| {
+        b.iter(|| {
+            let mut rng = Rng::new(4);
+            black_box(Catalog::default().assign(113, &mut rng))
+        })
+    });
+    group.bench_function("zipf_sample", |b| {
+        let cat = Catalog::default();
+        let owned = std::collections::BTreeSet::new();
+        let mut rng = Rng::new(5);
+        b.iter(|| black_box(cat.sample_target(&owned, &mut rng)))
+    });
+    group.finish();
+}
+
+/// Graph analysis: BFS and clustering at overlay scale.
+fn graph_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    let mut rng = Rng::new(6);
+    let n = 113u32;
+    let mut g = Graph::new(n as usize);
+    for _ in 0..(n * 3) {
+        let a = rng.below(n as u64) as u32;
+        let mut b = rng.below(n as u64) as u32;
+        if a == b {
+            b = (b + 1) % n;
+        }
+        g.add_edge(a, b);
+    }
+    group.bench_function("bfs_113", |b| {
+        b.iter(|| black_box(g.bfs_distances(0)))
+    });
+    group.bench_function("clustering_113", |b| {
+        b.iter(|| black_box(g.avg_clustering()))
+    });
+    group.bench_function("path_length_113", |b| {
+        b.iter(|| black_box(g.characteristic_path_length()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    event_queue,
+    spatial_grid,
+    aodv_discovery,
+    catalog,
+    graph_analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! The figure benches run scaled-down versions of the paper's scenarios
+//! (same shape, shorter clock) so `cargo bench` completes in minutes; the
+//! binaries in `manet-sim` regenerate the figures at full scale.
+
+use manet_des::SimDuration;
+use manet_sim::{Scenario, World};
+use p2p_core::AlgoKind;
+
+/// A bench-sized paper scenario: full Table 2 shape, short clock.
+pub fn bench_scenario(n_nodes: usize, algo: AlgoKind, secs: u64) -> Scenario {
+    let mut s = Scenario::quick(n_nodes, algo, secs);
+    s.join_window = SimDuration::from_secs(5);
+    s
+}
+
+/// Run one replication and return a value the optimizer cannot discard.
+pub fn run_once(scenario: Scenario, seed: u64) -> u64 {
+    let r = World::new(scenario, seed).run();
+    r.events + r.answers_received + r.phy_total.frames_sent
+}

@@ -1,0 +1,233 @@
+//! The Zipf file catalogue.
+//!
+//! "Different files are distributed in the network following a Zipf law with
+//! maximum frequency MAXFREQ of 40%": the most popular file is present on
+//! 40 % of the p2p members, the second on 40/2 = 20 %, the third on 40/3 %,
+//! and so on — the classic `1/rank` profile with 20 distinct files.
+
+use std::collections::BTreeSet;
+
+use manet_des::Rng;
+
+/// A file identity: rank 1 is the most popular.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FileId(pub u16);
+
+impl FileId {
+    /// 1-based popularity rank.
+    pub fn rank(self) -> u16 {
+        self.0 + 1
+    }
+}
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "file{}", self.rank())
+    }
+}
+
+/// The catalogue: how many files exist and how popular each is.
+#[derive(Clone, Copy, Debug)]
+pub struct Catalog {
+    /// Number of distinct searchable files (paper: 20).
+    pub n_files: u16,
+    /// Frequency of the most popular file (paper: 0.40).
+    pub max_freq: f64,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog {
+            n_files: 20,
+            max_freq: 0.40,
+        }
+    }
+}
+
+impl Catalog {
+    /// Panics on out-of-domain parameters.
+    pub fn validate(&self) {
+        assert!(self.n_files >= 1, "need at least one file");
+        assert!(
+            self.max_freq > 0.0 && self.max_freq <= 1.0,
+            "max_freq must be a fraction of the population"
+        );
+    }
+
+    /// Presence frequency of `file`: `max_freq / rank`.
+    pub fn frequency(&self, file: FileId) -> f64 {
+        assert!(file.0 < self.n_files, "file out of catalogue");
+        self.max_freq / file.rank() as f64
+    }
+
+    /// All files, most popular first.
+    pub fn files(&self) -> impl Iterator<Item = FileId> {
+        (0..self.n_files).map(FileId)
+    }
+
+    /// Distribute files over `n_members` members: file of rank `r` lands on
+    /// `round(n_members * max_freq / r)` distinct members, at least one,
+    /// chosen uniformly. Returns the per-member file sets (indexed by
+    /// member slot, not NodeId — the scenario maps slots to nodes).
+    pub fn assign(&self, n_members: usize, rng: &mut Rng) -> Vec<BTreeSet<FileId>> {
+        self.validate();
+        let mut holdings = vec![BTreeSet::new(); n_members];
+        if n_members == 0 {
+            return holdings;
+        }
+        for file in self.files() {
+            let count = ((n_members as f64 * self.frequency(file)).round() as usize)
+                .clamp(1, n_members);
+            for member in rng.sample_indices(n_members, count) {
+                holdings[member].insert(file);
+            }
+        }
+        holdings
+    }
+
+    /// Sample a query target with popularity-proportional (Zipf) weights,
+    /// excluding files in `owned` (nobody searches for what they already
+    /// have). Returns `None` if the node owns the entire catalogue.
+    pub fn sample_target(&self, owned: &BTreeSet<FileId>, rng: &mut Rng) -> Option<FileId> {
+        let candidates: Vec<FileId> =
+            self.files().filter(|f| !owned.contains(f)).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|f| 1.0 / f.rank() as f64)
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut x = rng.f64() * total;
+        for (f, w) in candidates.iter().zip(&weights) {
+            x -= w;
+            if x <= 0.0 {
+                return Some(*f);
+            }
+        }
+        candidates.last().copied()
+    }
+
+    /// Sample a query target uniformly (ablation mode).
+    pub fn sample_target_uniform(
+        &self,
+        owned: &BTreeSet<FileId>,
+        rng: &mut Rng,
+    ) -> Option<FileId> {
+        let candidates: Vec<FileId> =
+            self.files().filter(|f| !owned.contains(f)).collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(*rng.choose(&candidates))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_follow_zipf() {
+        let c = Catalog::default();
+        assert_eq!(c.frequency(FileId(0)), 0.40);
+        assert_eq!(c.frequency(FileId(1)), 0.20);
+        assert!((c.frequency(FileId(2)) - 0.40 / 3.0).abs() < 1e-12);
+        assert!((c.frequency(FileId(19)) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assignment_counts_match_frequencies() {
+        let c = Catalog::default();
+        let mut rng = Rng::new(1);
+        let n = 100;
+        let holdings = c.assign(n, &mut rng);
+        let count_of = |f: FileId| holdings.iter().filter(|h| h.contains(&f)).count();
+        assert_eq!(count_of(FileId(0)), 40);
+        assert_eq!(count_of(FileId(1)), 20);
+        assert_eq!(count_of(FileId(3)), 10);
+        // Rarest file still exists somewhere.
+        assert!(count_of(FileId(19)) >= 1);
+    }
+
+    #[test]
+    fn every_file_present_even_in_small_networks() {
+        let c = Catalog::default();
+        let mut rng = Rng::new(2);
+        let holdings = c.assign(10, &mut rng);
+        for f in c.files() {
+            assert!(
+                holdings.iter().any(|h| h.contains(&f)),
+                "{f} missing from a 10-member network"
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic_per_seed() {
+        let c = Catalog::default();
+        let a = c.assign(50, &mut Rng::new(9));
+        let b = c.assign(50, &mut Rng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_sampling_prefers_popular_files() {
+        let c = Catalog::default();
+        let mut rng = Rng::new(3);
+        let owned = BTreeSet::new();
+        let mut counts = vec![0u32; c.n_files as usize];
+        for _ in 0..20_000 {
+            let f = c.sample_target(&owned, &mut rng).unwrap();
+            counts[f.0 as usize] += 1;
+        }
+        assert!(counts[0] > counts[4] && counts[4] > counts[19]);
+        // Rough 1/rank proportionality between ranks 1 and 2.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((ratio - 2.0).abs() < 0.3, "rank1/rank2 ratio {ratio}");
+    }
+
+    #[test]
+    fn sampling_respects_exclusions() {
+        let c = Catalog::default();
+        let mut rng = Rng::new(4);
+        let owned: BTreeSet<FileId> = c.files().take(19).collect();
+        for _ in 0..100 {
+            assert_eq!(c.sample_target(&owned, &mut rng), Some(FileId(19)));
+        }
+        let all: BTreeSet<FileId> = c.files().collect();
+        assert_eq!(c.sample_target(&all, &mut rng), None);
+        assert_eq!(c.sample_target_uniform(&all, &mut rng), None);
+    }
+
+    #[test]
+    fn uniform_sampling_is_flat() {
+        let c = Catalog::default();
+        let mut rng = Rng::new(5);
+        let owned = BTreeSet::new();
+        let mut counts = vec![0u32; c.n_files as usize];
+        for _ in 0..20_000 {
+            let f = c.sample_target_uniform(&owned, &mut rng).unwrap();
+            counts[f.0 as usize] += 1;
+        }
+        let expect = 20_000.0 / 20.0;
+        for (i, &n) in counts.iter().enumerate() {
+            assert!(
+                (n as f64 - expect).abs() < expect * 0.2,
+                "file {i} count {n} too far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_max_freq_rejected() {
+        Catalog {
+            n_files: 20,
+            max_freq: 1.5,
+        }
+        .validate();
+    }
+}

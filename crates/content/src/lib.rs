@@ -1,0 +1,20 @@
+//! # p2p-content — the search substrate
+//!
+//! The Gnutella-like data-search model the paper evaluates its overlays
+//! with: a 20-file catalogue distributed by a Zipf law with 40 % maximum
+//! frequency ([`Catalog`]), and the query protocol with TTL = 6 p2p hops,
+//! once-only forwarding, and direct QueryHit responses ([`QueryEngine`]).
+//!
+//! The engine is deliberately overlay-agnostic: it takes the node's current
+//! neighbor list as an argument on every call, so it works identically over
+//! the Basic, Regular, Random and Hybrid overlays (in the Hybrid case a
+//! slave's only neighbor is its master, which concentrates query traffic on
+//! masters — Figs 11–12).
+
+pub mod catalog;
+pub mod query;
+
+pub use catalog::{Catalog, FileId};
+pub use query::{
+    Answer, CSend, CompletedQuery, ContentMsg, QueryCfg, QueryEngine, QueryId, QueryStats,
+};

@@ -1,0 +1,65 @@
+//! The interface every (re)configuration algorithm implements.
+
+use manet_des::{NodeId, SimTime};
+
+use crate::conn::ConnStats;
+use crate::msg::{OvAction, OverlayMsg};
+
+/// The role a node currently plays in the overlay.
+///
+/// Decentralized algorithms have a single role ([`Role::Servent`]); the
+/// Hybrid algorithm distinguishes the paper's four states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Homogeneous peer (Basic/Regular/Random).
+    Servent,
+    /// Hybrid: still looking for a master or slaves.
+    Initial,
+    /// Hybrid: slave handshake in flight.
+    Reserved,
+    /// Hybrid: cluster head.
+    Master,
+    /// Hybrid: attached to a master.
+    Slave,
+}
+
+/// A (re)configuration algorithm: an event-driven state machine building
+/// and maintaining one node's overlay references.
+///
+/// The node's network stack calls these entry points and executes the
+/// returned [`OvAction`]s (hop-limited floods and routed unicasts). All
+/// methods take `now` explicitly — implementations own no clock.
+pub trait Reconfigurator {
+    /// The node joined the p2p network; emit the first discovery traffic.
+    fn start(&mut self, now: SimTime) -> Vec<OvAction>;
+
+    /// Timer tick. Call at (or after) [`next_wake`](Self::next_wake).
+    fn tick(&mut self, now: SimTime) -> Vec<OvAction>;
+
+    /// A flooded overlay message arrived (discovery probes, captures).
+    /// `hops` is the ad-hoc distance it travelled from `origin`.
+    fn on_flood(&mut self, now: SimTime, origin: NodeId, hops: u8, msg: &OverlayMsg)
+        -> Vec<OvAction>;
+
+    /// A routed overlay message arrived from `src`, `hops` ad-hoc hops away.
+    fn on_msg(&mut self, now: SimTime, src: NodeId, hops: u8, msg: &OverlayMsg)
+        -> Vec<OvAction>;
+
+    /// The routing layer gave up reaching `dst`.
+    fn on_unreachable(&mut self, now: SimTime, dst: NodeId) -> Vec<OvAction>;
+
+    /// Established overlay neighbors — the reference list the query layer
+    /// fans out to. Sorted by node id.
+    fn neighbors(&self) -> Vec<NodeId>;
+
+    /// Earliest instant [`tick`](Self::tick) needs to run again.
+    fn next_wake(&self) -> SimTime;
+
+    /// Connection lifecycle counters.
+    fn conn_stats(&self) -> &ConnStats;
+
+    /// The node's current role.
+    fn role(&self) -> Role {
+        Role::Servent
+    }
+}

@@ -1,0 +1,307 @@
+//! The Basic algorithm (Fig 1) — the paper's comparison baseline.
+//!
+//! "Its main characteristic — simplicity — implies easy implementation but
+//! partially ignores the dynamic nature of the network":
+//!
+//! * discovery floods always travel the full `NHOPS` radius (no progressive
+//!   widening);
+//! * the retry wait `TIMER` is fixed (no backoff);
+//! * every node that hears a probe answers it, statelessly;
+//! * connections are **asymmetric** references: the seeker adopts whoever
+//!   answered first, and each reference owner pings independently (so a
+//!   mutually-connected pair exchanges twice the keep-alive traffic of the
+//!   symmetric algorithms);
+//! * no distance rule — references survive until pings fail.
+
+use manet_des::{NodeId, SimTime};
+
+use crate::api::{Reconfigurator, Role};
+use crate::conn::{stranger_pong, ConnStats, ConnTable};
+use crate::msg::{OvAction, OverlayMsg, ProbeKind};
+use crate::params::OverlayParams;
+
+/// Basic-algorithm state for one node.
+#[derive(Clone, Debug)]
+pub struct BasicAlgo {
+    id: NodeId,
+    params: OverlayParams,
+    table: ConnTable,
+    next_attempt: SimTime,
+    started: bool,
+}
+
+impl BasicAlgo {
+    /// A node running the Basic algorithm.
+    pub fn new(id: NodeId, params: OverlayParams) -> Self {
+        params.validate();
+        BasicAlgo {
+            id,
+            params,
+            table: ConnTable::new(),
+            next_attempt: SimTime::MAX,
+            started: false,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Read access to the connection table (tests, diagnostics).
+    pub fn table(&self) -> &ConnTable {
+        &self.table
+    }
+
+    fn wants_connections(&self) -> bool {
+        self.table.len() < self.params.max_conn
+    }
+
+    fn probe_if_due(&mut self, now: SimTime, out: &mut Vec<OvAction>) {
+        if self.started && self.wants_connections() && now >= self.next_attempt {
+            out.push(OvAction::Flood {
+                ttl: self.params.nhops_basic,
+                msg: OverlayMsg::Probe {
+                    kind: ProbeKind::Basic,
+                },
+            });
+            self.next_attempt = now + self.params.basic_timer;
+        }
+    }
+}
+
+impl Reconfigurator for BasicAlgo {
+    fn start(&mut self, now: SimTime) -> Vec<OvAction> {
+        self.started = true;
+        self.next_attempt = now;
+        let mut out = Vec::new();
+        self.probe_if_due(now, &mut out);
+        out
+    }
+
+    fn tick(&mut self, now: SimTime) -> Vec<OvAction> {
+        let mut outcome = self.table.tick(now, &self.params);
+        let mut out = std::mem::take(&mut outcome.actions);
+        // Lost references simply free capacity; the fixed-cadence probe
+        // will replace them.
+        self.probe_if_due(now, &mut out);
+        out
+    }
+
+    fn on_flood(
+        &mut self,
+        _now: SimTime,
+        origin: NodeId,
+        _hops: u8,
+        msg: &OverlayMsg,
+    ) -> Vec<OvAction> {
+        match msg {
+            // "Every node that listens to this message answers it."
+            OverlayMsg::Probe {
+                kind: ProbeKind::Basic,
+            } if self.started && origin != self.id => vec![OvAction::Send {
+                to: origin,
+                msg: OverlayMsg::Offer {
+                    kind: ProbeKind::Basic,
+                },
+            }],
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_msg(&mut self, now: SimTime, src: NodeId, hops: u8, msg: &OverlayMsg) -> Vec<OvAction> {
+        match msg {
+            OverlayMsg::Offer {
+                kind: ProbeKind::Basic,
+            } => {
+                // Adopt the responder as a one-way reference, up to capacity.
+                if self.started && self.wants_connections() {
+                    self.table.adopt_basic(src, now, &self.params);
+                }
+                Vec::new()
+            }
+            OverlayMsg::Ping { token } => {
+                // Answer every ping: the pinger's reference to us is
+                // one-sided by design.
+                vec![self
+                    .table
+                    .on_ping(src, *token, now)
+                    .unwrap_or_else(|| stranger_pong(src, *token))]
+            }
+            OverlayMsg::Pong { token } => {
+                self.table.on_pong(src, *token, hops, now, &self.params);
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_unreachable(&mut self, _now: SimTime, dst: NodeId) -> Vec<OvAction> {
+        self.table.on_unreachable(dst);
+        Vec::new()
+    }
+
+    fn neighbors(&self) -> Vec<NodeId> {
+        self.table.neighbors()
+    }
+
+    fn next_wake(&self) -> SimTime {
+        let probe = if self.started && self.wants_connections() {
+            self.next_attempt
+        } else {
+            SimTime::MAX
+        };
+        probe.min(self.table.next_wake(&self.params))
+    }
+
+    fn conn_stats(&self) -> &ConnStats {
+        self.table.stats()
+    }
+
+    fn role(&self) -> Role {
+        Role::Servent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> OverlayParams {
+        OverlayParams::default()
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn start_floods_full_radius() {
+        let mut a = BasicAlgo::new(NodeId(0), params());
+        let out = a.start(t(0));
+        assert_eq!(
+            out,
+            vec![OvAction::Flood {
+                ttl: params().nhops_basic,
+                msg: OverlayMsg::Probe { kind: ProbeKind::Basic }
+            }]
+        );
+    }
+
+    #[test]
+    fn fixed_timer_cadence() {
+        let p = params();
+        let mut a = BasicAlgo::new(NodeId(0), p);
+        a.start(t(0));
+        assert!(a.tick(t(1)).is_empty(), "not due yet");
+        let out = a.tick(t(0) + p.basic_timer);
+        assert_eq!(out.len(), 1, "probe repeats after TIMER");
+        assert_eq!(a.next_wake(), t(0) + p.basic_timer * 2);
+    }
+
+    #[test]
+    fn answers_any_probe_even_at_capacity() {
+        let p = params();
+        let mut a = BasicAlgo::new(NodeId(0), p);
+        a.start(t(0));
+        for k in 1..=p.max_conn as u32 {
+            a.on_msg(t(0), NodeId(k), 2, &OverlayMsg::Offer { kind: ProbeKind::Basic });
+        }
+        assert_eq!(a.neighbors().len(), p.max_conn);
+        let out = a.on_flood(
+            t(1),
+            NodeId(99),
+            3,
+            &OverlayMsg::Probe { kind: ProbeKind::Basic },
+        );
+        assert_eq!(out.len(), 1, "responders are stateless and always answer");
+    }
+
+    #[test]
+    fn adopts_responders_up_to_capacity() {
+        let p = params();
+        let mut a = BasicAlgo::new(NodeId(0), p);
+        a.start(t(0));
+        for k in 1..=5u32 {
+            a.on_msg(t(0), NodeId(k), 2, &OverlayMsg::Offer { kind: ProbeKind::Basic });
+        }
+        assert_eq!(a.neighbors().len(), p.max_conn, "capped at MAXNCONN");
+        assert_eq!(
+            a.neighbors(),
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            "first answers win"
+        );
+    }
+
+    #[test]
+    fn no_probe_when_full() {
+        let p = params();
+        let mut a = BasicAlgo::new(NodeId(0), p);
+        a.start(t(0));
+        for k in 1..=p.max_conn as u32 {
+            a.on_msg(t(0), NodeId(k), 2, &OverlayMsg::Offer { kind: ProbeKind::Basic });
+        }
+        let out = a.tick(t(0) + p.basic_timer);
+        assert!(
+            out.iter().all(|x| !matches!(x, OvAction::Flood { .. })),
+            "no discovery while at MAXNCONN"
+        );
+    }
+
+    #[test]
+    fn pings_strangers_get_pongs() {
+        let mut a = BasicAlgo::new(NodeId(0), params());
+        a.start(t(0));
+        let out = a.on_msg(t(1), NodeId(9), 2, &OverlayMsg::Ping { token: 5 });
+        assert_eq!(
+            out,
+            vec![OvAction::Send { to: NodeId(9), msg: OverlayMsg::Pong { token: 5 } }]
+        );
+    }
+
+    #[test]
+    fn lost_reference_is_replaced_by_next_probe() {
+        let p = params();
+        let mut a = BasicAlgo::new(NodeId(0), p);
+        a.start(t(0));
+        a.on_msg(t(0), NodeId(1), 2, &OverlayMsg::Offer { kind: ProbeKind::Basic });
+        // Ping goes out, no pong arrives -> reference dies.
+        let out = a.tick(t(0) + p.ping_interval);
+        assert!(out
+            .iter()
+            .any(|x| matches!(x, OvAction::Send { msg: OverlayMsg::Ping { .. }, .. })));
+        let out2 = a.tick(t(0) + p.ping_interval + p.pong_timeout);
+        assert!(a.neighbors().is_empty());
+        // The same tick (or the next due one) keeps probing.
+        let probing = out2
+            .iter()
+            .chain(a.tick(t(60)).iter())
+            .any(|x| matches!(x, OvAction::Flood { .. }));
+        assert!(probing);
+    }
+
+    #[test]
+    fn ignores_messages_before_start() {
+        let mut a = BasicAlgo::new(NodeId(0), params());
+        let out = a.on_flood(
+            t(0),
+            NodeId(2),
+            1,
+            &OverlayMsg::Probe { kind: ProbeKind::Basic },
+        );
+        assert!(out.is_empty(), "not in the p2p network yet");
+    }
+
+    #[test]
+    fn own_probe_echo_is_ignored() {
+        let mut a = BasicAlgo::new(NodeId(0), params());
+        a.start(t(0));
+        let out = a.on_flood(
+            t(0),
+            NodeId(0),
+            0,
+            &OverlayMsg::Probe { kind: ProbeKind::Basic },
+        );
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Overlay wire messages.
+//!
+//! These are the payloads the overlay hands to the routing layer — either as
+//! a hop-limited flood (discovery probes, capture messages) or as routed
+//! unicasts (handshakes, pings). The simulation wraps them, together with
+//! the content layer's queries, into one payload enum implementing the
+//! routing crate's `Payload`.
+
+use manet_des::NodeId;
+
+/// Which algorithm family a discovery probe belongs to, and therefore who
+/// answers it and with what handshake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// Basic algorithm: any member answers; connection is asymmetric.
+    Basic,
+    /// Regular algorithm (also the Random algorithm's first
+    /// `MAXNCONN - 1` connections): symmetric, three-way handshake.
+    Regular,
+    /// The Random algorithm's long-range connection: responders answer,
+    /// the seeker picks the *farthest* one.
+    Random,
+    /// Hybrid masters seeking other masters: only masters answer.
+    Master,
+}
+
+/// A message of the (re)configuration protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OverlayMsg {
+    /// Flooded: "I am looking for connections within this radius."
+    Probe {
+        /// Which algorithm is asking.
+        kind: ProbeKind,
+    },
+    /// Routed, responder → seeker: first leg of the three-way handshake
+    /// ("I heard your probe and am willing to connect"). For
+    /// [`ProbeKind::Basic`] this is a plain answer with no handshake state.
+    Offer {
+        /// Echo of the probe kind.
+        kind: ProbeKind,
+    },
+    /// Routed, seeker → responder: second leg — the seeker accepts.
+    Accept {
+        /// Echo of the probe kind.
+        kind: ProbeKind,
+    },
+    /// Routed, responder → seeker: third leg — the responder confirms the
+    /// connection is live.
+    Confirm,
+    /// Routed: the counterpart declines (capacity reached, wrong state...).
+    Reject,
+    /// Routed keep-alive on an established connection.
+    Ping {
+        /// Matches the answering pong to the ping.
+        token: u32,
+    },
+    /// Routed answer to a ping.
+    Pong {
+        /// Token copied from the ping.
+        token: u32,
+    },
+    /// Hybrid, flooded by peers in the *initial* state: "here I am, with
+    /// this qualifier".
+    Capture {
+        /// The sender's capability qualifier.
+        qualifier: u32,
+    },
+    /// Hybrid, routed: a higher-qualified peer answers a capture message
+    /// with its own qualifier (the paper: "it responds with a capture
+    /// message").
+    CaptureReply {
+        /// The responder's qualifier.
+        qualifier: u32,
+    },
+    /// Hybrid, routed: first leg of the slave handshake.
+    SlaveRequest,
+    /// Hybrid, routed: master accepts (or refuses) the would-be slave.
+    SlaveAccept {
+        /// False when the master is full or no longer a master.
+        ok: bool,
+    },
+    /// Hybrid, routed: the slave confirms its enrollment.
+    SlaveConfirm,
+}
+
+/// Coarse classification used by the paper's figures: Figs 7–8 count
+/// *connect* messages, Figs 9–10 count *pings*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MsgCategory {
+    /// Everything that establishes or negotiates connections (probes,
+    /// offers, handshake legs, capture and slave messages).
+    Connect,
+    /// Keep-alive pings.
+    Ping,
+    /// Keep-alive pongs.
+    Pong,
+}
+
+impl OverlayMsg {
+    /// The figure category of this message.
+    pub fn category(&self) -> MsgCategory {
+        match self {
+            OverlayMsg::Ping { .. } => MsgCategory::Ping,
+            OverlayMsg::Pong { .. } => MsgCategory::Pong,
+            _ => MsgCategory::Connect,
+        }
+    }
+
+    /// Encoded size in bytes (message tag + fields), for the radio model.
+    pub fn wire_size(&self) -> u32 {
+        match self {
+            OverlayMsg::Probe { .. } => 2,
+            OverlayMsg::Offer { .. } => 2,
+            OverlayMsg::Accept { .. } => 2,
+            OverlayMsg::Confirm => 1,
+            OverlayMsg::Reject => 1,
+            OverlayMsg::Ping { .. } => 5,
+            OverlayMsg::Pong { .. } => 5,
+            OverlayMsg::Capture { .. } => 5,
+            OverlayMsg::CaptureReply { .. } => 5,
+            OverlayMsg::SlaveRequest => 1,
+            OverlayMsg::SlaveAccept { .. } => 2,
+            OverlayMsg::SlaveConfirm => 1,
+        }
+    }
+}
+
+/// What an algorithm asks the node's network stack to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OvAction {
+    /// Flood `msg` with the given hop limit (the controlled broadcast).
+    Flood {
+        /// Ad-hoc hop radius.
+        ttl: u8,
+        /// The message to flood.
+        msg: OverlayMsg,
+    },
+    /// Send `msg` to `to` over the routed unicast service.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message to deliver.
+        msg: OverlayMsg,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories() {
+        assert_eq!(
+            OverlayMsg::Probe { kind: ProbeKind::Basic }.category(),
+            MsgCategory::Connect
+        );
+        assert_eq!(OverlayMsg::Ping { token: 1 }.category(), MsgCategory::Ping);
+        assert_eq!(OverlayMsg::Pong { token: 1 }.category(), MsgCategory::Pong);
+        assert_eq!(
+            OverlayMsg::Capture { qualifier: 3 }.category(),
+            MsgCategory::Connect
+        );
+        assert_eq!(OverlayMsg::SlaveConfirm.category(), MsgCategory::Connect);
+    }
+
+    #[test]
+    fn wire_sizes_are_small_and_nonzero() {
+        let msgs = [
+            OverlayMsg::Probe { kind: ProbeKind::Regular },
+            OverlayMsg::Offer { kind: ProbeKind::Regular },
+            OverlayMsg::Accept { kind: ProbeKind::Random },
+            OverlayMsg::Confirm,
+            OverlayMsg::Reject,
+            OverlayMsg::Ping { token: 9 },
+            OverlayMsg::Pong { token: 9 },
+            OverlayMsg::Capture { qualifier: 1 },
+            OverlayMsg::CaptureReply { qualifier: 1 },
+            OverlayMsg::SlaveRequest,
+            OverlayMsg::SlaveAccept { ok: true },
+            OverlayMsg::SlaveConfirm,
+        ];
+        for m in msgs {
+            let s = m.wire_size();
+            assert!(s >= 1 && s <= 8, "{m:?} has odd size {s}");
+        }
+    }
+}

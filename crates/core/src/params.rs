@@ -1,0 +1,150 @@
+//! Overlay parameters — the constants of the paper's four algorithms.
+//!
+//! Names follow the paper: `MAXNCONN`, `NHOPS_INITIAL`, `MAXNHOPS`, `NHOPS`
+//! (Basic), `MAXDIST`, `TIMER`/`MAXTIMER`, `MAXNSLAVES`. Table 2 pins the
+//! hop-count values; the paper does not publish its timer magnitudes, so
+//! those defaults are our calibration (documented in DESIGN.md) — chosen so
+//! that several (re)configuration cycles fit into the 3600 s scenarios.
+
+use manet_des::SimDuration;
+
+/// Tunables shared by the Basic, Regular, Random and Hybrid algorithms.
+#[derive(Clone, Copy, Debug)]
+pub struct OverlayParams {
+    /// `MAXNCONN`: maximum overlay connections per node (paper: 3).
+    pub max_conn: usize,
+    /// `NHOPS_INITIAL`: first discovery radius in ad-hoc hops (paper: 2).
+    pub nhops_initial: u8,
+    /// `MAXNHOPS`: largest discovery radius (paper: 6).
+    pub max_nhops: u8,
+    /// `NHOPS`: the Basic algorithm's fixed discovery radius (paper: 6).
+    pub nhops_basic: u8,
+    /// `MAXDIST`: maximum distance in ad-hoc hops between connected
+    /// neighbors (paper: 6). Random connections tolerate `2 * MAXDIST`.
+    pub max_dist: u8,
+    /// `TIMER_INITIAL`: first wait between connection attempts in the
+    /// Regular/Random/Hybrid algorithms.
+    pub timer_initial: SimDuration,
+    /// `MAXTIMER`: cap of the doubling timer.
+    pub max_timer: SimDuration,
+    /// `TIMER`: the Basic algorithm's fixed wait between attempts.
+    pub basic_timer: SimDuration,
+    /// Interval between pings on an established connection.
+    pub ping_interval: SimDuration,
+    /// How long the pinger waits for a pong before closing.
+    pub pong_timeout: SimDuration,
+    /// How long a half-open handshake may stay pending.
+    pub handshake_timeout: SimDuration,
+    /// How long the Random algorithm collects probe responses before
+    /// picking the farthest responder.
+    pub random_response_wait: SimDuration,
+    /// `MAXNSLAVES`: slaves per master in the Hybrid algorithm (paper: 3).
+    pub max_slaves: usize,
+    /// `MAXTIMERMASTER`: a master holding no slaves for this long reverts
+    /// to the initial state.
+    pub master_idle_timeout: SimDuration,
+}
+
+impl Default for OverlayParams {
+    /// The paper's Table 2 values; timers per DESIGN.md calibration.
+    fn default() -> Self {
+        OverlayParams {
+            max_conn: 3,
+            nhops_initial: 2,
+            max_nhops: 6,
+            nhops_basic: 6,
+            max_dist: 6,
+            timer_initial: SimDuration::from_secs(5),
+            max_timer: SimDuration::from_secs(80),
+            basic_timer: SimDuration::from_secs(10),
+            ping_interval: SimDuration::from_secs(10),
+            pong_timeout: SimDuration::from_secs(5),
+            handshake_timeout: SimDuration::from_secs(6),
+            random_response_wait: SimDuration::from_secs(2),
+            max_slaves: 3,
+            master_idle_timeout: SimDuration::from_secs(60),
+        }
+    }
+}
+
+impl OverlayParams {
+    /// Panics if the parameters are internally inconsistent.
+    pub fn validate(&self) {
+        assert!(self.max_conn >= 1, "MAXNCONN must be at least 1");
+        assert!(
+            self.nhops_initial >= 1 && self.nhops_initial <= self.max_nhops,
+            "NHOPS_INITIAL must lie in [1, MAXNHOPS]"
+        );
+        assert!(self.nhops_initial.is_multiple_of(2), "the paper's nhops cycle steps by 2");
+        assert!(self.max_nhops.is_multiple_of(2), "MAXNHOPS must be even for the cycle");
+        assert!(self.nhops_basic >= 1);
+        assert!(self.max_dist >= 1);
+        assert!(!self.timer_initial.is_zero() && self.timer_initial <= self.max_timer);
+        assert!(!self.basic_timer.is_zero());
+        assert!(!self.ping_interval.is_zero());
+        assert!(!self.pong_timeout.is_zero());
+        assert!(!self.handshake_timeout.is_zero());
+        assert!(self.max_slaves >= 1);
+        assert!(!self.master_idle_timeout.is_zero());
+    }
+
+    /// The distance limit a connection of the given kind must respect, in
+    /// ad-hoc hops (`None` = unlimited, the Basic algorithm).
+    pub fn dist_limit(&self, kind: crate::conn::ConnKind) -> Option<u8> {
+        use crate::conn::ConnKind::*;
+        match kind {
+            Basic => None,
+            Regular | Master => Some(self.max_dist),
+            Random => Some(self.max_dist.saturating_mul(2)),
+            Slave => Some(self.max_dist),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::ConnKind;
+
+    #[test]
+    fn defaults_match_table_2() {
+        let p = OverlayParams::default();
+        p.validate();
+        assert_eq!(p.max_conn, 3);
+        assert_eq!(p.nhops_initial, 2);
+        assert_eq!(p.max_nhops, 6);
+        assert_eq!(p.nhops_basic, 6);
+        assert_eq!(p.max_dist, 6);
+        assert_eq!(p.max_slaves, 3);
+    }
+
+    #[test]
+    fn distance_limits_by_kind() {
+        let p = OverlayParams::default();
+        assert_eq!(p.dist_limit(ConnKind::Basic), None);
+        assert_eq!(p.dist_limit(ConnKind::Regular), Some(6));
+        assert_eq!(p.dist_limit(ConnKind::Random), Some(12));
+        assert_eq!(p.dist_limit(ConnKind::Master), Some(6));
+        assert_eq!(p.dist_limit(ConnKind::Slave), Some(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "MAXNCONN")]
+    fn zero_connections_rejected() {
+        let p = OverlayParams {
+            max_conn: 0,
+            ..OverlayParams::default()
+        };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn odd_nhops_rejected() {
+        let p = OverlayParams {
+            nhops_initial: 3,
+            ..OverlayParams::default()
+        };
+        p.validate();
+    }
+}

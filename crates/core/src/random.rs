@@ -1,0 +1,564 @@
+//! The Random algorithm (Fig 3) — Regular plus one small-world rewiring.
+//!
+//! The first `MAXNCONN - 1` connections are established exactly as in the
+//! Regular algorithm ("regular connections"). The last slot is a **random
+//! connection**: the node floods a probe with a TTL drawn uniformly from
+//! `[nhops, 2 * MAXNHOPS]`, waits for responses, and completes the
+//! handshake only with the *most distant* responder. These long links are
+//! the bridges of the Watts–Strogatz construction: a few of them should
+//! shorten the overlay's characteristic path length while leaving its
+//! clustering coefficient high. A random connection that goes down must be
+//! replaced by another random connection.
+
+use manet_des::{NodeId, Rng, SimTime};
+
+use crate::api::{Reconfigurator, Role};
+use crate::conn::{CloseReason, ConnKind, ConnStats, ConnTable};
+use crate::cycle::ProbeCycle;
+use crate::msg::{OvAction, OverlayMsg, ProbeKind};
+use crate::params::OverlayParams;
+
+/// An open response-gathering window for a random probe.
+#[derive(Clone, Debug)]
+struct Gather {
+    deadline: SimTime,
+    /// Best responder so far: `(hops, peer)` — maximizing hops, then the
+    /// smallest id for determinism.
+    best: Option<(u8, NodeId)>,
+    /// Responders that were not chosen (get a Reject at resolution).
+    others: Vec<NodeId>,
+}
+
+/// Random-algorithm state for one node.
+#[derive(Clone, Debug)]
+pub struct RandomAlgo {
+    id: NodeId,
+    params: OverlayParams,
+    table: ConnTable,
+    cycle: ProbeCycle,
+    rng: Rng,
+    gather: Option<Gather>,
+    started: bool,
+}
+
+impl RandomAlgo {
+    /// A node running the Random algorithm. `rng` drives the random TTL.
+    pub fn new(id: NodeId, params: OverlayParams, rng: Rng) -> Self {
+        params.validate();
+        assert!(
+            params.max_conn >= 2,
+            "the Random algorithm needs at least one regular and one random slot"
+        );
+        RandomAlgo {
+            id,
+            params,
+            table: ConnTable::new(),
+            cycle: ProbeCycle::new(&params, SimTime::ZERO),
+            rng,
+            gather: None,
+            started: false,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Read access to the connection table.
+    pub fn table(&self) -> &ConnTable {
+        &self.table
+    }
+
+    fn regular_demand(&self) -> bool {
+        self.table.count_kind(ConnKind::Regular) < self.params.max_conn - 1
+            && self.table.len() < self.params.max_conn
+    }
+
+    fn random_demand(&self) -> bool {
+        self.table.count_kind(ConnKind::Random) == 0
+            && self.gather.is_none()
+            && self.table.len() < self.params.max_conn
+    }
+
+    fn probe_if_due(&mut self, now: SimTime, out: &mut Vec<OvAction>) {
+        if !self.started || !(self.regular_demand() || self.random_demand()) {
+            return;
+        }
+        if let Some(nhops) = self.cycle.poll(now) {
+            if self.regular_demand() {
+                out.push(OvAction::Flood {
+                    ttl: nhops,
+                    msg: OverlayMsg::Probe {
+                        kind: ProbeKind::Regular,
+                    },
+                });
+            }
+            if self.random_demand() {
+                // "set randhops to a randomly chosen value between nhops
+                // and 2 * MAXNHOPS"
+                let randhops = self
+                    .rng
+                    .range_u64(nhops as u64, 2 * self.params.max_nhops as u64)
+                    as u8;
+                out.push(OvAction::Flood {
+                    ttl: randhops.max(1),
+                    msg: OverlayMsg::Probe {
+                        kind: ProbeKind::Random,
+                    },
+                });
+                self.gather = Some(Gather {
+                    deadline: now + self.params.random_response_wait,
+                    best: None,
+                    others: Vec::new(),
+                });
+            }
+        }
+    }
+
+    /// Resolve the gather window: accept the farthest responder, reject the
+    /// rest ("only continues the three-way handshake with the most distant
+    /// neighbor").
+    fn resolve_gather(&mut self, now: SimTime, out: &mut Vec<OvAction>) {
+        let Some(g) = self.gather.take() else { return };
+        if let Some((_, chosen)) = g.best {
+            if self.table.len() < self.params.max_conn
+                && self.table.open_in(chosen, ConnKind::Random, now)
+            {
+                out.push(OvAction::Send {
+                    to: chosen,
+                    msg: OverlayMsg::Accept {
+                        kind: ProbeKind::Random,
+                    },
+                });
+            } else {
+                out.push(OvAction::Send {
+                    to: chosen,
+                    msg: OverlayMsg::Reject,
+                });
+            }
+        }
+        for peer in g.others {
+            out.push(OvAction::Send {
+                to: peer,
+                msg: OverlayMsg::Reject,
+            });
+        }
+    }
+}
+
+impl Reconfigurator for RandomAlgo {
+    fn start(&mut self, now: SimTime) -> Vec<OvAction> {
+        self.started = true;
+        self.cycle.reset(now);
+        let mut out = Vec::new();
+        self.probe_if_due(now, &mut out);
+        out
+    }
+
+    fn tick(&mut self, now: SimTime) -> Vec<OvAction> {
+        let mut outcome = self.table.tick(now, &self.params);
+        let mut out = std::mem::take(&mut outcome.actions);
+        if self.gather.as_ref().is_some_and(|g| now >= g.deadline) {
+            self.resolve_gather(now, &mut out);
+        }
+        self.probe_if_due(now, &mut out);
+        out
+    }
+
+    fn on_flood(
+        &mut self,
+        now: SimTime,
+        origin: NodeId,
+        _hops: u8,
+        msg: &OverlayMsg,
+    ) -> Vec<OvAction> {
+        if !self.started || origin == self.id {
+            return Vec::new();
+        }
+        match msg {
+            OverlayMsg::Probe {
+                kind: ProbeKind::Regular,
+            } => {
+                // Responder side of a regular handshake, as in Regular.
+                if self.table.len() < self.params.max_conn
+                    && self.table.open_out(origin, ConnKind::Regular, now)
+                {
+                    vec![OvAction::Send {
+                        to: origin,
+                        msg: OverlayMsg::Offer {
+                            kind: ProbeKind::Regular,
+                        },
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+            OverlayMsg::Probe {
+                kind: ProbeKind::Random,
+            } => {
+                // Answer a random probe; the seeker will pick the farthest.
+                if self.table.len() < self.params.max_conn
+                    && self.table.open_out(origin, ConnKind::Random, now)
+                {
+                    vec![OvAction::Send {
+                        to: origin,
+                        msg: OverlayMsg::Offer {
+                            kind: ProbeKind::Random,
+                        },
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_msg(&mut self, now: SimTime, src: NodeId, hops: u8, msg: &OverlayMsg) -> Vec<OvAction> {
+        match msg {
+            OverlayMsg::Offer {
+                kind: ProbeKind::Regular,
+            } => {
+                if self.started
+                    && self.regular_demand()
+                    && self.table.open_in(src, ConnKind::Regular, now)
+                {
+                    vec![OvAction::Send {
+                        to: src,
+                        msg: OverlayMsg::Accept {
+                            kind: ProbeKind::Regular,
+                        },
+                    }]
+                } else {
+                    self.table.note_rejected();
+                    vec![OvAction::Send {
+                        to: src,
+                        msg: OverlayMsg::Reject,
+                    }]
+                }
+            }
+            OverlayMsg::Offer {
+                kind: ProbeKind::Random,
+            } => {
+                // Collect into the gather window; distance = routed hops.
+                match &mut self.gather {
+                    Some(g) => {
+                        match g.best {
+                            None => g.best = Some((hops, src)),
+                            Some((bh, bid)) => {
+                                if hops > bh || (hops == bh && src < bid) {
+                                    g.others.push(bid);
+                                    g.best = Some((hops, src));
+                                } else {
+                                    g.others.push(src);
+                                }
+                            }
+                        }
+                        Vec::new()
+                    }
+                    None => {
+                        self.table.note_rejected();
+                        vec![OvAction::Send {
+                            to: src,
+                            msg: OverlayMsg::Reject,
+                        }]
+                    }
+                }
+            }
+            OverlayMsg::Accept { kind } => {
+                // Our Offer (regular or random) was accepted.
+                let expected = match kind {
+                    ProbeKind::Regular => ConnKind::Regular,
+                    ProbeKind::Random => ConnKind::Random,
+                    _ => return Vec::new(),
+                };
+                let matches_kind = self
+                    .table
+                    .get(src)
+                    .is_some_and(|c| c.kind == expected);
+                if matches_kind && self.table.on_accepted(src, now, &self.params) {
+                    self.cycle.on_connected();
+                    vec![OvAction::Send {
+                        to: src,
+                        msg: OverlayMsg::Confirm,
+                    }]
+                } else {
+                    vec![OvAction::Send {
+                        to: src,
+                        msg: OverlayMsg::Reject,
+                    }]
+                }
+            }
+            OverlayMsg::Confirm => {
+                if self.table.on_confirmed(src, now) {
+                    self.cycle.on_connected();
+                }
+                Vec::new()
+            }
+            OverlayMsg::Reject => {
+                self.table.close(src, CloseReason::Rejected);
+                Vec::new()
+            }
+            OverlayMsg::Ping { token } => {
+                self.table.on_ping(src, *token, now).into_iter().collect()
+            }
+            OverlayMsg::Pong { token } => {
+                self.table.on_pong(src, *token, hops, now, &self.params);
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_unreachable(&mut self, _now: SimTime, dst: NodeId) -> Vec<OvAction> {
+        self.table.on_unreachable(dst);
+        Vec::new()
+    }
+
+    fn neighbors(&self) -> Vec<NodeId> {
+        self.table.neighbors()
+    }
+
+    fn next_wake(&self) -> SimTime {
+        let mut wake = self.table.next_wake(&self.params);
+        if let Some(g) = &self.gather {
+            wake = wake.min(g.deadline);
+        }
+        if self.started && (self.regular_demand() || self.random_demand()) {
+            wake = wake.min(self.cycle.next_attempt());
+        }
+        wake
+    }
+
+    fn conn_stats(&self) -> &ConnStats {
+        self.table.stats()
+    }
+
+    fn role(&self) -> Role {
+        Role::Servent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> OverlayParams {
+        OverlayParams::default()
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn algo() -> RandomAlgo {
+        RandomAlgo::new(NodeId(0), params(), Rng::new(42))
+    }
+
+    fn offer_random() -> OverlayMsg {
+        OverlayMsg::Offer {
+            kind: ProbeKind::Random,
+        }
+    }
+
+    #[test]
+    fn start_emits_regular_and_random_probes() {
+        let p = params();
+        let mut a = algo();
+        let out = a.start(t(0));
+        let regs: Vec<u8> = out
+            .iter()
+            .filter_map(|x| match x {
+                OvAction::Flood {
+                    ttl,
+                    msg: OverlayMsg::Probe { kind: ProbeKind::Regular },
+                } => Some(*ttl),
+                _ => None,
+            })
+            .collect();
+        let rands: Vec<u8> = out
+            .iter()
+            .filter_map(|x| match x {
+                OvAction::Flood {
+                    ttl,
+                    msg: OverlayMsg::Probe { kind: ProbeKind::Random },
+                } => Some(*ttl),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(regs, vec![p.nhops_initial]);
+        assert_eq!(rands.len(), 1);
+        let r = rands[0];
+        assert!(
+            (p.nhops_initial..=2 * p.max_nhops).contains(&r),
+            "randhops {r} outside [nhops, 2*MAXNHOPS]"
+        );
+    }
+
+    #[test]
+    fn random_ttl_spans_the_advertised_interval() {
+        let p = params();
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..40 {
+            let mut a = RandomAlgo::new(NodeId(0), p, Rng::new(seed));
+            for act in a.start(t(0)) {
+                if let OvAction::Flood {
+                    ttl,
+                    msg: OverlayMsg::Probe { kind: ProbeKind::Random },
+                } = act
+                {
+                    seen.insert(ttl);
+                }
+            }
+        }
+        assert!(seen.len() >= 5, "ttl should vary across seeds: {seen:?}");
+        assert!(*seen.iter().max().unwrap() > p.max_nhops, "long probes exist");
+    }
+
+    #[test]
+    fn gather_picks_farthest_responder() {
+        let p = params();
+        let mut a = algo();
+        a.start(t(0));
+        a.on_msg(t(0), NodeId(5), 3, &offer_random());
+        a.on_msg(t(0), NodeId(6), 9, &offer_random());
+        a.on_msg(t(0), NodeId(7), 4, &offer_random());
+        let out = a.tick(t(0) + p.random_response_wait);
+        let accepts: Vec<NodeId> = out
+            .iter()
+            .filter_map(|x| match x {
+                OvAction::Send {
+                    to,
+                    msg: OverlayMsg::Accept { kind: ProbeKind::Random },
+                } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        let rejects: Vec<NodeId> = out
+            .iter()
+            .filter_map(|x| match x {
+                OvAction::Send { to, msg: OverlayMsg::Reject } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(accepts, vec![NodeId(6)], "farthest wins");
+        assert_eq!(rejects.len(), 2);
+        assert!(rejects.contains(&NodeId(5)) && rejects.contains(&NodeId(7)));
+    }
+
+    #[test]
+    fn gather_tie_breaks_on_lowest_id() {
+        let p = params();
+        let mut a = algo();
+        a.start(t(0));
+        a.on_msg(t(0), NodeId(9), 5, &offer_random());
+        a.on_msg(t(0), NodeId(4), 5, &offer_random());
+        let out = a.tick(t(0) + p.random_response_wait);
+        let accept_to = out.iter().find_map(|x| match x {
+            OvAction::Send { to, msg: OverlayMsg::Accept { .. } } => Some(*to),
+            _ => None,
+        });
+        assert_eq!(accept_to, Some(NodeId(4)));
+    }
+
+    #[test]
+    fn late_random_offer_is_rejected() {
+        let p = params();
+        let mut a = algo();
+        a.start(t(0));
+        let _ = a.tick(t(0) + p.random_response_wait); // empty gather resolves
+        let out = a.on_msg(t(60), NodeId(5), 3, &offer_random());
+        // Depending on cadence a new gather may exist at t=60; force none:
+        // the reply is either collected (no action) or rejected. Both are
+        // valid; what must never happen is an immediate Accept.
+        assert!(out.iter().all(|x| !matches!(
+            x,
+            OvAction::Send { msg: OverlayMsg::Accept { .. }, .. }
+        )));
+    }
+
+    #[test]
+    fn completed_random_handshake_establishes_long_link() {
+        let p = params();
+        let mut a = algo();
+        a.start(t(0));
+        a.on_msg(t(0), NodeId(6), 9, &offer_random());
+        let _ = a.tick(t(0) + p.random_response_wait);
+        // The chosen responder confirms.
+        a.on_msg(t(3), NodeId(6), 9, &OverlayMsg::Confirm);
+        assert_eq!(a.neighbors(), vec![NodeId(6)]);
+        assert_eq!(a.table().count_kind(ConnKind::Random), 1);
+        assert!(!a.random_demand(), "slot filled");
+    }
+
+    #[test]
+    fn lost_random_connection_is_replaced() {
+        let p = params();
+        let mut a = algo();
+        a.start(t(0));
+        a.on_msg(t(0), NodeId(6), 9, &offer_random());
+        let _ = a.tick(t(0) + p.random_response_wait);
+        a.on_msg(t(3), NodeId(6), 9, &OverlayMsg::Confirm);
+        assert!(!a.random_demand());
+        a.on_unreachable(t(10), NodeId(6));
+        assert!(a.random_demand(), "random slot must be refilled");
+        // Next cycle attempt emits a random probe again.
+        let mut now = t(10);
+        let mut saw_random_probe = false;
+        for _ in 0..10 {
+            now = a.next_wake().max(now);
+            for act in a.tick(now) {
+                if matches!(
+                    act,
+                    OvAction::Flood { msg: OverlayMsg::Probe { kind: ProbeKind::Random }, .. }
+                ) {
+                    saw_random_probe = true;
+                }
+            }
+            if saw_random_probe {
+                break;
+            }
+        }
+        assert!(saw_random_probe);
+    }
+
+    #[test]
+    fn responder_side_answers_random_probe() {
+        let mut b = RandomAlgo::new(NodeId(1), params(), Rng::new(7));
+        b.start(t(0));
+        let out = b.on_flood(t(1), NodeId(0), 5, &OverlayMsg::Probe { kind: ProbeKind::Random });
+        assert_eq!(
+            out,
+            vec![OvAction::Send { to: NodeId(0), msg: offer_random() }]
+        );
+        // And completes when accepted.
+        let out2 = b.on_msg(t(2), NodeId(0), 5, &OverlayMsg::Accept { kind: ProbeKind::Random });
+        assert_eq!(out2, vec![OvAction::Send { to: NodeId(0), msg: OverlayMsg::Confirm }]);
+        assert_eq!(b.table().count_kind(ConnKind::Random), 1);
+    }
+
+    #[test]
+    fn regular_connections_capped_at_max_minus_one() {
+        let p = params();
+        let mut a = algo();
+        a.start(t(0));
+        for k in 1..=5u32 {
+            a.on_msg(t(0), NodeId(k), 2, &OverlayMsg::Offer { kind: ProbeKind::Regular });
+        }
+        assert_eq!(
+            a.table().count_kind(ConnKind::Regular),
+            p.max_conn - 1,
+            "one slot is reserved for the random connection"
+        );
+    }
+
+    #[test]
+    fn accept_with_mismatched_kind_is_rejected() {
+        let mut b = RandomAlgo::new(NodeId(1), params(), Rng::new(7));
+        b.start(t(0));
+        b.on_flood(t(1), NodeId(0), 5, &OverlayMsg::Probe { kind: ProbeKind::Random });
+        let out = b.on_msg(t(2), NodeId(0), 5, &OverlayMsg::Accept { kind: ProbeKind::Regular });
+        assert_eq!(out, vec![OvAction::Send { to: NodeId(0), msg: OverlayMsg::Reject }]);
+    }
+}

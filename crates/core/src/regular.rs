@@ -1,0 +1,411 @@
+//! The Regular algorithm (Fig 2).
+//!
+//! Four improvements over Basic, quoting the paper:
+//!
+//! 1. the discovery radius grows *progressively* (`nhops` cycles
+//!    `NHOPS_INITIAL .. MAXNHOPS` in steps of 2) — less flood traffic;
+//! 2. connected neighbors must stay within `MAXDIST` ad-hoc hops, keeping
+//!    keep-alive traffic local;
+//! 3. connections are **symmetric** (three-way handshake) and only one side
+//!    pings — half the keep-alive messages;
+//! 4. the retry timer doubles after every fruitless sweep (up to
+//!    `MAXTIMER`) and resets when a connection is established.
+
+use manet_des::{NodeId, SimTime};
+
+use crate::api::{Reconfigurator, Role};
+use crate::conn::{ConnKind, ConnStats, ConnTable};
+use crate::cycle::ProbeCycle;
+use crate::msg::{OvAction, OverlayMsg, ProbeKind};
+use crate::params::OverlayParams;
+
+/// Regular-algorithm state for one node.
+#[derive(Clone, Debug)]
+pub struct RegularAlgo {
+    id: NodeId,
+    params: OverlayParams,
+    table: ConnTable,
+    cycle: ProbeCycle,
+    started: bool,
+}
+
+impl RegularAlgo {
+    /// A node running the Regular algorithm.
+    pub fn new(id: NodeId, params: OverlayParams) -> Self {
+        params.validate();
+        RegularAlgo {
+            id,
+            params,
+            table: ConnTable::new(),
+            cycle: ProbeCycle::new(&params, SimTime::ZERO),
+            started: false,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Read access to the connection table.
+    pub fn table(&self) -> &ConnTable {
+        &self.table
+    }
+
+    /// Current backoff (tests/diagnostics).
+    pub fn cycle(&self) -> &ProbeCycle {
+        &self.cycle
+    }
+
+    fn wants_connections(&self) -> bool {
+        self.table.len() < self.params.max_conn
+    }
+
+    fn probe_if_due(&mut self, now: SimTime, out: &mut Vec<OvAction>) {
+        if !self.started || !self.wants_connections() {
+            return;
+        }
+        if let Some(nhops) = self.cycle.poll(now) {
+            out.push(OvAction::Flood {
+                ttl: nhops,
+                msg: OverlayMsg::Probe {
+                    kind: ProbeKind::Regular,
+                },
+            });
+        }
+    }
+}
+
+impl Reconfigurator for RegularAlgo {
+    fn start(&mut self, now: SimTime) -> Vec<OvAction> {
+        self.started = true;
+        self.cycle.reset(now);
+        let mut out = Vec::new();
+        self.probe_if_due(now, &mut out);
+        out
+    }
+
+    fn tick(&mut self, now: SimTime) -> Vec<OvAction> {
+        let mut outcome = self.table.tick(now, &self.params);
+        let mut out = std::mem::take(&mut outcome.actions);
+        self.probe_if_due(now, &mut out);
+        out
+    }
+
+    fn on_flood(
+        &mut self,
+        now: SimTime,
+        origin: NodeId,
+        _hops: u8,
+        msg: &OverlayMsg,
+    ) -> Vec<OvAction> {
+        match msg {
+            OverlayMsg::Probe {
+                kind: ProbeKind::Regular,
+            } if self.started && origin != self.id => {
+                // "A node willing to connect starts a three-way handshake
+                // with the sender."
+                if self.wants_connections() && self.table.open_out(origin, ConnKind::Regular, now)
+                {
+                    vec![OvAction::Send {
+                        to: origin,
+                        msg: OverlayMsg::Offer {
+                            kind: ProbeKind::Regular,
+                        },
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_msg(&mut self, now: SimTime, src: NodeId, hops: u8, msg: &OverlayMsg) -> Vec<OvAction> {
+        match msg {
+            OverlayMsg::Offer {
+                kind: ProbeKind::Regular,
+            } => {
+                if self.started
+                    && self.wants_connections()
+                    && self.table.open_in(src, ConnKind::Regular, now)
+                {
+                    vec![OvAction::Send {
+                        to: src,
+                        msg: OverlayMsg::Accept {
+                            kind: ProbeKind::Regular,
+                        },
+                    }]
+                } else {
+                    self.table.note_rejected();
+                    vec![OvAction::Send {
+                        to: src,
+                        msg: OverlayMsg::Reject,
+                    }]
+                }
+            }
+            OverlayMsg::Accept {
+                kind: ProbeKind::Regular,
+            } => {
+                if self.table.on_accepted(src, now, &self.params) {
+                    self.cycle.on_connected();
+                    vec![OvAction::Send {
+                        to: src,
+                        msg: OverlayMsg::Confirm,
+                    }]
+                } else {
+                    // Our pending side is gone (timed out, replaced): tell
+                    // the peer so it cleans up immediately.
+                    vec![OvAction::Send {
+                        to: src,
+                        msg: OverlayMsg::Reject,
+                    }]
+                }
+            }
+            OverlayMsg::Confirm => {
+                if self.table.on_confirmed(src, now) {
+                    self.cycle.on_connected();
+                }
+                Vec::new()
+            }
+            OverlayMsg::Reject => {
+                self.table.close(src, crate::conn::CloseReason::Rejected);
+                Vec::new()
+            }
+            OverlayMsg::Ping { token } => {
+                self.table.on_ping(src, *token, now).into_iter().collect()
+            }
+            OverlayMsg::Pong { token } => {
+                self.table.on_pong(src, *token, hops, now, &self.params);
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_unreachable(&mut self, _now: SimTime, dst: NodeId) -> Vec<OvAction> {
+        self.table.on_unreachable(dst);
+        Vec::new()
+    }
+
+    fn neighbors(&self) -> Vec<NodeId> {
+        self.table.neighbors()
+    }
+
+    fn next_wake(&self) -> SimTime {
+        let probe = if self.started && self.wants_connections() {
+            self.cycle.next_attempt()
+        } else {
+            SimTime::MAX
+        };
+        probe.min(self.table.next_wake(&self.params))
+    }
+
+    fn conn_stats(&self) -> &ConnStats {
+        self.table.stats()
+    }
+
+    fn role(&self) -> Role {
+        Role::Servent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::ConnState;
+
+    fn params() -> OverlayParams {
+        OverlayParams::default()
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn probe() -> OverlayMsg {
+        OverlayMsg::Probe {
+            kind: ProbeKind::Regular,
+        }
+    }
+
+    fn offer() -> OverlayMsg {
+        OverlayMsg::Offer {
+            kind: ProbeKind::Regular,
+        }
+    }
+
+    fn accept() -> OverlayMsg {
+        OverlayMsg::Accept {
+            kind: ProbeKind::Regular,
+        }
+    }
+
+    #[test]
+    fn start_probes_with_initial_radius() {
+        let mut a = RegularAlgo::new(NodeId(0), params());
+        let out = a.start(t(0));
+        assert_eq!(
+            out,
+            vec![OvAction::Flood { ttl: 2, msg: probe() }]
+        );
+    }
+
+    #[test]
+    fn radius_grows_across_attempts() {
+        let p = params();
+        let mut a = RegularAlgo::new(NodeId(0), p);
+        a.start(t(0));
+        let mut radii = vec![2u8];
+        for _ in 0..2 {
+            let now = a.next_wake();
+            for act in a.tick(now) {
+                if let OvAction::Flood { ttl, .. } = act {
+                    radii.push(ttl);
+                }
+            }
+        }
+        assert_eq!(radii, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn full_three_way_handshake_responder_side() {
+        // We are B: a probe arrives from A; we offer, A accepts, we confirm.
+        let p = params();
+        let mut b = RegularAlgo::new(NodeId(1), p);
+        b.start(t(0));
+        let out = b.on_flood(t(1), NodeId(0), 2, &probe());
+        assert_eq!(out, vec![OvAction::Send { to: NodeId(0), msg: offer() }]);
+        assert_eq!(b.table().get(NodeId(0)).unwrap().state, ConnState::PendingOut);
+        let out2 = b.on_msg(t(2), NodeId(0), 2, &accept());
+        assert_eq!(
+            out2,
+            vec![OvAction::Send { to: NodeId(0), msg: OverlayMsg::Confirm }]
+        );
+        assert_eq!(b.neighbors(), vec![NodeId(0)]);
+        assert!(b.table().get(NodeId(0)).unwrap().pinger, "responder pings");
+    }
+
+    #[test]
+    fn full_three_way_handshake_seeker_side() {
+        // We are A: we probed; an offer arrives from B; we accept; B confirms.
+        let mut a = RegularAlgo::new(NodeId(0), params());
+        a.start(t(0));
+        let out = a.on_msg(t(1), NodeId(1), 2, &offer());
+        assert_eq!(out, vec![OvAction::Send { to: NodeId(1), msg: accept() }]);
+        assert!(a.neighbors().is_empty(), "not yet confirmed");
+        a.on_msg(t(2), NodeId(1), 2, &OverlayMsg::Confirm);
+        assert_eq!(a.neighbors(), vec![NodeId(1)]);
+        assert!(!a.table().get(NodeId(1)).unwrap().pinger, "seeker is passive");
+    }
+
+    #[test]
+    fn seeker_rejects_offers_beyond_capacity() {
+        let p = params();
+        let mut a = RegularAlgo::new(NodeId(0), p);
+        a.start(t(0));
+        for k in 1..=p.max_conn as u32 {
+            a.on_msg(t(1), NodeId(k), 2, &offer());
+        }
+        let out = a.on_msg(t(1), NodeId(99), 2, &offer());
+        assert_eq!(
+            out,
+            vec![OvAction::Send { to: NodeId(99), msg: OverlayMsg::Reject }]
+        );
+        assert_eq!(a.conn_stats().rejected, 1);
+    }
+
+    #[test]
+    fn responder_ignores_probe_when_full() {
+        let p = params();
+        let mut b = RegularAlgo::new(NodeId(1), p);
+        b.start(t(0));
+        for k in 2..=(p.max_conn as u32 + 1) {
+            b.on_flood(t(1), NodeId(k), 2, &probe());
+        }
+        let out = b.on_flood(t(1), NodeId(99), 2, &probe());
+        assert!(out.is_empty(), "no offer when at capacity");
+    }
+
+    #[test]
+    fn reject_clears_pending_state() {
+        let mut b = RegularAlgo::new(NodeId(1), params());
+        b.start(t(0));
+        b.on_flood(t(1), NodeId(0), 2, &probe());
+        assert_eq!(b.table().len(), 1);
+        b.on_msg(t(2), NodeId(0), 2, &OverlayMsg::Reject);
+        assert_eq!(b.table().len(), 0);
+    }
+
+    #[test]
+    fn stale_accept_earns_reject() {
+        let p = params();
+        let mut b = RegularAlgo::new(NodeId(1), p);
+        b.start(t(0));
+        b.on_flood(t(1), NodeId(0), 2, &probe());
+        // Let the pending handshake expire.
+        let _ = b.tick(t(1) + p.handshake_timeout);
+        let out = b.on_msg(t(30), NodeId(0), 2, &accept());
+        assert_eq!(
+            out,
+            vec![OvAction::Send { to: NodeId(0), msg: OverlayMsg::Reject }]
+        );
+    }
+
+    #[test]
+    fn connection_resets_backoff_timer() {
+        let p = params();
+        let mut a = RegularAlgo::new(NodeId(0), p);
+        a.start(t(0));
+        // Burn through a couple of sweeps to inflate the timer.
+        let mut now = t(0);
+        for _ in 0..8 {
+            now = a.next_wake().max(now);
+            let _ = a.tick(now);
+        }
+        assert!(a.cycle().timer() > p.timer_initial);
+        // Handshake completes: timer resets.
+        a.on_msg(now, NodeId(7), 2, &offer());
+        a.on_msg(now, NodeId(7), 2, &OverlayMsg::Confirm);
+        assert_eq!(a.cycle().timer(), p.timer_initial);
+    }
+
+    #[test]
+    fn no_probe_when_capacity_reached_by_pendings() {
+        let p = params();
+        let mut a = RegularAlgo::new(NodeId(0), p);
+        a.start(t(0));
+        for k in 1..=p.max_conn as u32 {
+            a.on_flood(t(0), NodeId(k), 2, &probe()); // we offered: PendingOut x3
+        }
+        // The cycle would be due at t(5), but the pendings hold all slots
+        // until the handshake timeout (6 s) frees them.
+        let out = a.tick(t(5));
+        assert!(
+            out.iter().all(|x| !matches!(x, OvAction::Flood { .. })),
+            "pending handshakes reserve capacity"
+        );
+        // Once the handshakes expire, probing resumes.
+        let out2 = a.tick(t(0) + p.handshake_timeout + p.timer_initial);
+        assert!(out2.iter().any(|x| matches!(x, OvAction::Flood { .. })));
+    }
+
+    #[test]
+    fn unreachable_peer_is_dropped() {
+        let mut a = RegularAlgo::new(NodeId(0), params());
+        a.start(t(0));
+        a.on_msg(t(1), NodeId(1), 2, &offer());
+        a.on_msg(t(2), NodeId(1), 2, &OverlayMsg::Confirm);
+        assert_eq!(a.neighbors(), vec![NodeId(1)]);
+        a.on_unreachable(t(3), NodeId(1));
+        assert!(a.neighbors().is_empty());
+    }
+
+    #[test]
+    fn pings_from_strangers_are_not_answered() {
+        let mut a = RegularAlgo::new(NodeId(0), params());
+        a.start(t(0));
+        let out = a.on_msg(t(1), NodeId(9), 2, &OverlayMsg::Ping { token: 4 });
+        assert!(out.is_empty(), "symmetric algorithms stay silent to strangers");
+    }
+}

@@ -1,0 +1,130 @@
+//! Table 1 of the paper: the qualitative taxonomy of p2p topologies.
+//!
+//! The paper derives (from Minar's survey) a table of properties per
+//! distributed-topology family and uses it to justify studying only the
+//! decentralized and hybrid configurations. This module encodes that table
+//! so the `reproduce` binary can print it verbatim.
+
+/// A p2p topology family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// A central server coordinates peers (Napster's search index).
+    Centralized,
+    /// All peers have equal roles (Gnutella, Freenet).
+    Decentralized,
+    /// Super-peers form a decentralized core; leaves attach to them
+    /// (KaZaA, Morpheus).
+    Hybrid,
+}
+
+/// Tri-state answer used by Table 1 (the paper's "depend", "maybe",
+/// "apparently" qualifiers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Plain yes.
+    Yes,
+    /// Plain no.
+    No,
+    /// The paper's hedge, with its wording.
+    Qualified(&'static str),
+}
+
+impl Verdict {
+    /// The cell text as printed in Table 1.
+    pub fn text(&self) -> &'static str {
+        match self {
+            Verdict::Yes => "yes",
+            Verdict::No => "no",
+            Verdict::Qualified(s) => s,
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct Property {
+    /// Row label.
+    pub name: &'static str,
+    /// Centralized / Decentralized / Hybrid cells.
+    pub cells: [Verdict; 3],
+}
+
+/// Table 1, row by row, exactly as the paper prints it.
+pub const TABLE_1: &[Property] = &[
+    Property {
+        name: "Manageable",
+        cells: [Verdict::Yes, Verdict::No, Verdict::No],
+    },
+    Property {
+        name: "Extensible",
+        cells: [Verdict::No, Verdict::Yes, Verdict::Yes],
+    },
+    Property {
+        name: "Fault-Tolerant",
+        cells: [Verdict::No, Verdict::Yes, Verdict::Yes],
+    },
+    Property {
+        name: "Secure",
+        cells: [Verdict::Yes, Verdict::No, Verdict::No],
+    },
+    Property {
+        name: "Lawsuit-proof",
+        cells: [Verdict::No, Verdict::Yes, Verdict::Yes],
+    },
+    Property {
+        name: "Scalable",
+        cells: [
+            Verdict::Qualified("depend"),
+            Verdict::Qualified("maybe"),
+            Verdict::Qualified("apparently"),
+        ],
+    },
+];
+
+/// Render Table 1 as aligned plain text.
+pub fn render_table_1() -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<16}{:<14}{:<16}{:<12}\n",
+        "", "Centralized", "Decentralized", "Hybrid"
+    ));
+    for row in TABLE_1 {
+        s.push_str(&format!(
+            "{:<16}{:<14}{:<16}{:<12}\n",
+            row.name,
+            row.cells[0].text(),
+            row.cells[1].text(),
+            row.cells[2].text()
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_six_rows() {
+        assert_eq!(TABLE_1.len(), 6);
+    }
+
+    #[test]
+    fn decentralized_and_hybrid_are_extensible() {
+        let ext = &TABLE_1[1];
+        assert_eq!(ext.name, "Extensible");
+        assert_eq!(ext.cells[1], Verdict::Yes);
+        assert_eq!(ext.cells[2], Verdict::Yes);
+        assert_eq!(ext.cells[0], Verdict::No);
+    }
+
+    #[test]
+    fn render_contains_all_rows_and_columns() {
+        let text = render_table_1();
+        for row in TABLE_1 {
+            assert!(text.contains(row.name));
+        }
+        assert!(text.contains("apparently"));
+        assert!(text.contains("Centralized"));
+    }
+}

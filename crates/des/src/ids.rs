@@ -1,0 +1,58 @@
+//! Shared identifier types.
+//!
+//! Every layer of the stack (radio, routing, overlay, content) names nodes
+//! the same way, so the id type lives in the base crate.
+
+use std::fmt;
+
+/// A node identity: dense indices `0..n` assigned by the scenario builder.
+///
+/// Dense ids double as vector indices in the hot paths (spatial grid keys,
+/// per-node metric rows), avoiding hash maps where a `Vec` will do.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a vector index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let id = NodeId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(NodeId::from(42u32), id);
+        assert_eq!(format!("{id}"), "n42");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(7), NodeId(7));
+    }
+}

@@ -1,0 +1,310 @@
+//! The event queue at the heart of the discrete-event engine.
+//!
+//! Events are ordered by timestamp; ties are broken by insertion sequence
+//! number so that simultaneous events fire in the order they were scheduled.
+//! That rule makes the whole simulation deterministic: there is exactly one
+//! legal execution for a given seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+///
+/// Internally carries the entry slot so cancellation is O(1); slot reuse is
+/// guarded by the sequence number, so stale ids are harmless.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId {
+    seq: u64,
+    slot: usize,
+}
+
+struct Entry<E> {
+    seq: u64,
+    cancelled: bool,
+    payload: Option<E>,
+}
+
+/// Heap wrapper ordering entries min-first by `(time, seq)`.
+struct HeapItem {
+    at: SimTime,
+    seq: u64,
+    slot: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// `E` is the simulation's event payload type. Supports O(log n) schedule and
+/// pop, and O(1) cancellation (lazy removal). Popping never returns an event
+/// earlier than the last popped time, so causality is monotone.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapItem>,
+    entries: Vec<Entry<E>>,
+    free: Vec<usize>,
+    next_seq: u64,
+    now: SimTime,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            entries: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            live: 0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    ///
+    /// Panics if `at` is earlier than the current time (scheduling into the
+    /// past would break causality).
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={:?} now={:?}",
+            at,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Entry {
+            seq,
+            cancelled: false,
+            payload: Some(payload),
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot] = entry;
+                slot
+            }
+            None => {
+                self.entries.push(entry);
+                self.entries.len() - 1
+            }
+        };
+        self.heap.push(HeapItem { at, seq, slot });
+        self.live += 1;
+        EventId { seq, slot }
+    }
+
+    /// Cancel a previously scheduled event.
+    ///
+    /// Returns `true` if the event was pending and is now cancelled, `false`
+    /// if it had already fired or been cancelled. O(1): the heap item is
+    /// removed lazily when it reaches the top.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        match self.entries.get_mut(id.slot) {
+            Some(entry) if entry.seq == id.seq && !entry.cancelled && entry.payload.is_some() => {
+                entry.cancelled = true;
+                entry.payload = None;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Remove and return the earliest pending event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(item) = self.heap.pop() {
+            let entry = &mut self.entries[item.slot];
+            // Stale heap items (recycled slot or cancelled event) are skipped.
+            if entry.seq != item.seq || entry.cancelled {
+                if entry.seq == item.seq {
+                    self.free.push(item.slot);
+                }
+                continue;
+            }
+            let payload = entry.payload.take().expect("live entry has payload");
+            self.free.push(item.slot);
+            self.live -= 1;
+            debug_assert!(item.at >= self.now, "event queue time went backwards");
+            self.now = item.at;
+            return Some((item.at, payload));
+        }
+        None
+    }
+
+    /// Timestamp of the earliest pending event, if any, without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // The heap top may be stale; scan lazily without mutating.
+        self.heap
+            .iter()
+            .filter(|item| {
+                let e = &self.entries[item.slot];
+                e.seq == item.seq && !e.cancelled && e.payload.is_some()
+            })
+            .map(|item| item.at)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3), "c");
+        q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert_eq!(q.pop(), Some((t(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), 1);
+        q.schedule(t(5), 2);
+        q.schedule(t(5), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(t(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), ());
+        q.pop();
+        q.schedule(t(4), ());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.pop();
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn slot_recycling_does_not_confuse_ids() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), 1);
+        q.pop(); // frees slot 0
+        let b = q.schedule(t(2), 2); // reuses slot 0
+        assert!(!q.cancel(a), "stale id must not cancel the new event");
+        assert!(q.cancel(b));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 1u32);
+        let (now, v) = q.pop().unwrap();
+        assert_eq!(v, 1);
+        q.schedule(now + SimDuration::from_secs(1), 2);
+        q.schedule(now + SimDuration::from_secs(3), 4);
+        q.schedule(now + SimDuration::from_secs(2), 3);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn large_volume_stays_sorted() {
+        let mut rng = crate::rng::Rng::new(99);
+        let mut q = EventQueue::new();
+        for _ in 0..10_000 {
+            let at = SimTime::from_ticks(rng.below(1_000_000));
+            q.schedule(at, at);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, payload)) = q.pop() {
+            assert_eq!(at, payload);
+            assert!(at >= last);
+            last = at;
+        }
+    }
+}

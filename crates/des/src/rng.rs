@@ -1,0 +1,343 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator carries its own PRNG (xoshiro256++ seeded through SplitMix64)
+//! instead of depending on an external crate so that a given master seed
+//! produces bit-identical runs on every platform and toolchain, forever.
+//!
+//! Streams are *forked* hierarchically: one master seed yields independent
+//! per-replication streams, each of which yields independent per-node and
+//! per-layer streams. Forking mixes a label into the state through SplitMix64,
+//! so sibling streams are statistically independent and insensitive to the
+//! order in which they are created.
+
+/// SplitMix64 step: advances `state` and returns the next output.
+///
+/// Used both as the seeding function recommended by the xoshiro authors and
+/// as a cheap hash for deriving child seeds from (seed, label) pairs.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256++ generator: fast, 256-bit state, passes BigCrush.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed, expanding it with SplitMix64.
+    ///
+    /// Any seed is acceptable, including zero.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // xoshiro256++ requires a non-zero state; SplitMix64 outputs are zero
+        // with probability 2^-256 for the full array, but be explicit anyway.
+        if s == [0, 0, 0, 0] {
+            Rng { s: [1, 2, 3, 4] }
+        } else {
+            Rng { s }
+        }
+    }
+
+    /// Fork an independent child stream labelled by `label`.
+    ///
+    /// Children with distinct labels are independent of each other and of the
+    /// parent's future output. The parent is *not* advanced, so forking is
+    /// insensitive to call order.
+    pub fn fork(&self, label: u64) -> Rng {
+        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ label.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut seed = splitmix64(&mut sm);
+        seed ^= splitmix64(&mut sm).rotate_left(32);
+        Rng::new(seed)
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output (upper half of a 64-bit draw).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in the half-open interval `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // 53 top bits -> uniform dyadic rationals in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, bound)` using Lemire's unbiased method.
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Rng::below bound must be positive");
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`. Panics if `bound == 0`.
+    #[inline]
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`. Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "Rng::range_u64 requires lo <= hi");
+        let span = hi - lo;
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            lo + self.below(span + 1)
+        }
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. Panics if the range is not finite or inverted.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi && lo.is_finite() && hi.is_finite());
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Exponentially distributed draw with the given mean (`mean > 0`).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // Avoid ln(0): f64() is in [0,1), so 1 - f64() is in (0,1].
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Standard normal draw (Box-Muller; one value per call, no caching, to
+    /// keep the stream position deterministic and simple to reason about).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "normal std_dev must be non-negative");
+        let u1 = 1.0 - self.f64(); // (0, 1]
+        let u2 = self.f64();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        mean + std_dev * mag * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Fisher-Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Choose a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "Rng::choose on empty slice");
+        &slice[self.index(slice.len())]
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (reservoir sampling).
+    ///
+    /// Returns fewer than `k` indices when `n < k`. Output order is not
+    /// specified but is deterministic for a given stream position.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut reservoir: Vec<usize> = (0..n.min(k)).collect();
+        for i in k..n {
+            let j = self.index(i + 1);
+            if j < k {
+                reservoir[j] = i;
+            }
+        }
+        reservoir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams with different seeds should diverge");
+    }
+
+    #[test]
+    fn fork_is_order_insensitive_and_independent() {
+        let parent = Rng::new(7);
+        let mut c1a = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let mut c1b = parent.fork(1);
+        assert_eq!(c1a.next_u64(), c1b.next_u64());
+        assert_ne!(c1a.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_works() {
+        let mut r = Rng::new(0);
+        let x = r.next_u64();
+        let y = r.next_u64();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = Rng::new(3);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers_all_values() {
+        let mut r = Rng::new(11);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = r.below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn range_u64_inclusive_bounds() {
+        let mut r = Rng::new(5);
+        let mut hit_lo = false;
+        let mut hit_hi = false;
+        for _ in 0..2000 {
+            let v = r.range_u64(10, 13);
+            assert!((10..=13).contains(&v));
+            hit_lo |= v == 10;
+            hit_hi |= v == 13;
+        }
+        assert!(hit_lo && hit_hi);
+    }
+
+    #[test]
+    fn range_u64_full_domain_does_not_panic() {
+        let mut r = Rng::new(5);
+        let _ = r.range_u64(0, u64::MAX);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(9);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = Rng::new(21);
+        let n = 50_000;
+        let mean = 30.0;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let observed = sum / n as f64;
+        assert!(
+            (observed - mean).abs() < mean * 0.05,
+            "observed mean {observed}"
+        );
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = Rng::new(22);
+        let n = 50_000;
+        let (mu, sigma) = (5.0, 2.0);
+        let draws: Vec<f64> = (0..n).map(|_| r.normal(mu, sigma)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - mu).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - sigma).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(33);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut r = Rng::new(44);
+        let sample = r.sample_indices(50, 10);
+        assert_eq!(sample.len(), 10);
+        let mut s = sample.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 10, "indices must be distinct");
+        assert!(sample.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn sample_indices_when_population_small() {
+        let mut r = Rng::new(45);
+        let sample = r.sample_indices(3, 10);
+        assert_eq!(sample, vec![0, 1, 2]);
+    }
+}

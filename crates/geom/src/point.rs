@@ -1,0 +1,240 @@
+//! Points and displacement vectors in the plane.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A position in the 2-D simulation area, in metres.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+/// A displacement between two [`Point`]s, in metres.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Vector {
+    pub dx: f64,
+    pub dy: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Construct a point from coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed — the radio hot path).
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// True if `other` lies within `range` metres (inclusive).
+    #[inline]
+    pub fn within(self, other: Point, range: f64) -> bool {
+        self.distance_sq(other) <= range * range
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `target` at `t = 1`.
+    ///
+    /// `t` outside `[0, 1]` extrapolates, which callers avoid.
+    #[inline]
+    pub fn lerp(self, target: Point, t: f64) -> Point {
+        Point {
+            x: self.x + (target.x - self.x) * t,
+            y: self.y + (target.y - self.y) * t,
+        }
+    }
+}
+
+impl Vector {
+    /// The zero displacement.
+    pub const ZERO: Vector = Vector { dx: 0.0, dy: 0.0 };
+
+    /// Construct a vector from components.
+    #[inline]
+    pub const fn new(dx: f64, dy: f64) -> Self {
+        Vector { dx, dy }
+    }
+
+    /// A unit vector pointing at `angle` radians from the positive x-axis.
+    #[inline]
+    pub fn from_angle(angle: f64) -> Self {
+        Vector {
+            dx: angle.cos(),
+            dy: angle.sin(),
+        }
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f64 {
+        (self.dx * self.dx + self.dy * self.dy).sqrt()
+    }
+
+    /// The same direction scaled to unit length; `None` for the zero vector.
+    pub fn normalized(self) -> Option<Vector> {
+        let len = self.length();
+        if len <= f64::EPSILON {
+            None
+        } else {
+            Some(Vector {
+                dx: self.dx / len,
+                dy: self.dy / len,
+            })
+        }
+    }
+
+    /// Angle in radians from the positive x-axis, in `(-pi, pi]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.dy.atan2(self.dx)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, rhs: Point) -> Vector {
+        Vector {
+            dx: self.x - rhs.x,
+            dy: self.y - rhs.y,
+        }
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Vector) -> Point {
+        Point {
+            x: self.x + rhs.dx,
+            y: self.y + rhs.dy,
+        }
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vector) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    #[inline]
+    fn add(self, rhs: Vector) -> Vector {
+        Vector {
+            dx: self.dx + rhs.dx,
+            dy: self.dy + rhs.dy,
+        }
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vector {
+        Vector {
+            dx: self.dx * rhs,
+            dy: self.dy * rhs,
+        }
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    #[inline]
+    fn neg(self) -> Vector {
+        Vector {
+            dx: -self.dx,
+            dy: -self.dy,
+        }
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.2}, {:.2}>", self.dx, self.dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn within_is_inclusive() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        assert!(a.within(b, 10.0));
+        assert!(!a.within(b, 9.999));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        let v = b - a;
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(a + v, b);
+        assert_eq!(a + v + (-v), a);
+        assert_eq!(v * 2.0, Vector::new(6.0, 8.0));
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Vector::new(3.0, 4.0).normalized().unwrap();
+        assert!((v.length() - 1.0).abs() < 1e-12);
+        assert!(Vector::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn from_angle_round_trip() {
+        for deg in [0.0_f64, 45.0, 90.0, 135.0, 180.0, -90.0] {
+            let rad = deg.to_radians();
+            let v = Vector::from_angle(rad);
+            assert!((v.length() - 1.0).abs() < 1e-12);
+            let back = v.angle();
+            let diff = (back - rad).rem_euclid(std::f64::consts::TAU);
+            assert!(diff < 1e-9 || (std::f64::consts::TAU - diff) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The rectangular simulation area.
+
+use crate::point::{Point, Vector};
+
+/// An axis-aligned rectangle anchored at the origin's corner `(x0, y0)`.
+///
+/// The paper's scenarios use a `100 m x 100 m` area anchored at the origin.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Rect {
+    pub x0: f64,
+    pub y0: f64,
+    pub x1: f64,
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Construct from two corners; panics if the rectangle is inverted or empty.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(x1 > x0 && y1 > y0, "Rect must have positive area");
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// A `width x height` rectangle anchored at the origin.
+    pub fn sized(width: f64, height: f64) -> Self {
+        Rect::new(0.0, 0.0, width, height)
+    }
+
+    /// Width in metres.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height in metres.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area in square metres.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// The centre point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// True if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x0 && p.x <= self.x1 && p.y >= self.y0 && p.y <= self.y1
+    }
+
+    /// Clamp `p` to the closest point inside the rectangle.
+    #[inline]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.x0, self.x1), p.y.clamp(self.y0, self.y1))
+    }
+
+    /// Reflect a proposed displacement off the walls ("billiard" boundary),
+    /// used by the random-walk and Gauss-Markov mobility models.
+    ///
+    /// Returns the reflected end position and the direction multipliers
+    /// `(sx, sy)` in `{-1, 1}` describing how the heading flipped.
+    pub fn reflect(&self, from: Point, v: Vector) -> (Point, f64, f64) {
+        let mut x = from.x + v.dx;
+        let mut y = from.y + v.dy;
+        let mut sx = 1.0;
+        let mut sy = 1.0;
+        // A long step may bounce several times; iterate until inside.
+        for _ in 0..64 {
+            let mut bounced = false;
+            if x < self.x0 {
+                x = 2.0 * self.x0 - x;
+                sx = -sx;
+                bounced = true;
+            } else if x > self.x1 {
+                x = 2.0 * self.x1 - x;
+                sx = -sx;
+                bounced = true;
+            }
+            if y < self.y0 {
+                y = 2.0 * self.y0 - y;
+                sy = -sy;
+                bounced = true;
+            } else if y > self.y1 {
+                y = 2.0 * self.y1 - y;
+                sy = -sy;
+                bounced = true;
+            }
+            if !bounced {
+                break;
+            }
+        }
+        // Pathological velocities (many widths long) end clamped; in practice
+        // steps are far smaller than the area.
+        let p = self.clamp(Point::new(x, y));
+        (p, sx, sy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions() {
+        let r = Rect::sized(100.0, 50.0);
+        assert_eq!(r.width(), 100.0);
+        assert_eq!(r.height(), 50.0);
+        assert_eq!(r.area(), 5000.0);
+        assert_eq!(r.center(), Point::new(50.0, 25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive area")]
+    fn empty_rect_panics() {
+        Rect::new(0.0, 0.0, 0.0, 10.0);
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let r = Rect::sized(10.0, 10.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(10.0, 10.0)));
+        assert!(!r.contains(Point::new(10.01, 5.0)));
+    }
+
+    #[test]
+    fn clamp_pulls_points_inside() {
+        let r = Rect::sized(10.0, 10.0);
+        assert_eq!(r.clamp(Point::new(-5.0, 3.0)), Point::new(0.0, 3.0));
+        assert_eq!(r.clamp(Point::new(12.0, 15.0)), Point::new(10.0, 10.0));
+        let inside = Point::new(4.0, 4.0);
+        assert_eq!(r.clamp(inside), inside);
+    }
+
+    #[test]
+    fn reflect_single_bounce() {
+        let r = Rect::sized(10.0, 10.0);
+        let (p, sx, sy) = r.reflect(Point::new(9.0, 5.0), Vector::new(3.0, 0.0));
+        assert_eq!(p, Point::new(8.0, 5.0));
+        assert_eq!(sx, -1.0);
+        assert_eq!(sy, 1.0);
+    }
+
+    #[test]
+    fn reflect_corner_bounce() {
+        let r = Rect::sized(10.0, 10.0);
+        let (p, sx, sy) = r.reflect(Point::new(9.5, 9.5), Vector::new(1.0, 1.0));
+        assert_eq!(p, Point::new(9.5, 9.5));
+        assert_eq!(sx, -1.0);
+        assert_eq!(sy, -1.0);
+    }
+
+    #[test]
+    fn reflect_no_bounce_keeps_heading() {
+        let r = Rect::sized(10.0, 10.0);
+        let (p, sx, sy) = r.reflect(Point::new(5.0, 5.0), Vector::new(1.0, -2.0));
+        assert_eq!(p, Point::new(6.0, 3.0));
+        assert_eq!((sx, sy), (1.0, 1.0));
+    }
+
+    #[test]
+    fn reflect_result_always_inside() {
+        let r = Rect::sized(10.0, 10.0);
+        let (p, _, _) = r.reflect(Point::new(5.0, 5.0), Vector::new(137.0, -93.0));
+        assert!(r.contains(p));
+    }
+}

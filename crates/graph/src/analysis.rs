@@ -1,0 +1,208 @@
+//! Small-world analysis (paper §6.1.2).
+//!
+//! A graph is "small-world" (Watts–Strogatz) when its clustering
+//! coefficient stays near a regular lattice's while its characteristic path
+//! length drops near a random graph's. The paper quotes the standard
+//! asymptotics: regular lattices have `L ≈ n / 2k`, random graphs
+//! `L ≈ ln n / ln k`, with `k` the mean degree.
+//!
+//! [`small_world`] computes the observed `C` and `L` plus those baselines
+//! and the usual sigma index `(C/C_rand) / (L/L_rand)`; `sigma >> 1` is the
+//! small-world signature. The Random algorithm's long links should push
+//! sigma above the Regular algorithm's — the effect the authors looked for
+//! (and, in their small scenarios, could not yet observe).
+
+use crate::graph::Graph;
+
+/// Observed metrics plus analytic baselines.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SmallWorld {
+    /// Vertices considered (the largest component).
+    pub n: usize,
+    /// Mean degree of the largest component.
+    pub k: f64,
+    /// Observed average clustering coefficient.
+    pub clustering: f64,
+    /// Observed characteristic path length.
+    pub path_length: f64,
+    /// Random-graph clustering baseline `k / n`.
+    pub c_random: f64,
+    /// Random-graph path-length baseline `ln n / ln k`.
+    pub l_random: f64,
+    /// Regular-lattice path-length baseline `n / 2k`.
+    pub l_regular: f64,
+    /// `(C / C_rand) / (L / L_rand)`; `NaN` when undefined.
+    pub sigma: f64,
+}
+
+/// Analyze the largest connected component of `g`. Returns `None` when the
+/// component is too small for the metrics to mean anything (< 4 vertices or
+/// mean degree <= 1).
+pub fn small_world(g: &Graph) -> Option<SmallWorld> {
+    let comps = g.components();
+    let comp = comps.first()?;
+    if comp.len() < 4 {
+        return None;
+    }
+    // Re-index the component into its own graph.
+    let index_of = |v: u32| comp.binary_search(&v).expect("component vertex") as u32;
+    let mut sub = Graph::new(comp.len());
+    for &v in comp {
+        for &w in g.neighbors(v) {
+            if v < w && comp.binary_search(&w).is_ok() {
+                sub.add_edge(index_of(v), index_of(w));
+            }
+        }
+    }
+    let n = sub.len();
+    let k = sub.avg_degree();
+    if k <= 1.0 {
+        return None;
+    }
+    let clustering = sub.avg_clustering();
+    let path_length = sub.characteristic_path_length()?;
+    let c_random = k / n as f64;
+    let l_random = (n as f64).ln() / k.ln();
+    let l_regular = n as f64 / (2.0 * k);
+    let sigma = if c_random > 0.0 && l_random > 0.0 && path_length > 0.0 {
+        (clustering / c_random) / (path_length / l_random)
+    } else {
+        f64::NAN
+    };
+    Some(SmallWorld {
+        n,
+        k,
+        clustering,
+        path_length,
+        c_random,
+        l_random,
+        l_regular,
+        sigma,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_des::Rng;
+
+    /// A ring lattice: n vertices each linked to the k/2 nearest on both
+    /// sides — the Watts–Strogatz starting point.
+    fn ring_lattice(n: u32, k: u32) -> Graph {
+        let mut g = Graph::new(n as usize);
+        for v in 0..n {
+            for j in 1..=(k / 2) {
+                g.add_edge(v, (v + j) % n);
+            }
+        }
+        g
+    }
+
+    /// Rewire a fraction of the lattice's edges randomly (Watts–Strogatz).
+    fn rewire(g: Graph, p: f64, rng: &mut Rng) -> Graph {
+        let n = g.len() as u32;
+        let edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|v| {
+                g.neighbors(v)
+                    .iter()
+                    .filter(move |&&w| w > v)
+                    .map(move |&w| (v, w))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut out = Graph::new(n as usize);
+        for (a, b) in edges {
+            if rng.chance(p) {
+                // Redirect b to a random non-a vertex (collisions are fine,
+                // add_edge dedups).
+                let mut c = rng.below(n as u64) as u32;
+                if c == a {
+                    c = (c + 1) % n;
+                }
+                out.add_edge(a, c);
+            } else {
+                out.add_edge(a, b);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lattice_metrics_match_theory() {
+        let g = ring_lattice(100, 6);
+        let sw = small_world(&g).unwrap();
+        assert_eq!(sw.n, 100);
+        assert!((sw.k - 6.0).abs() < 1e-9);
+        // Ring lattice clustering: 3(k-2) / 4(k-1) = 0.6 for k = 6.
+        assert!((sw.clustering - 0.6).abs() < 0.01, "C = {}", sw.clustering);
+        // Path length near n/2k = 8.33.
+        assert!(
+            (sw.path_length - sw.l_regular).abs() < sw.l_regular * 0.1,
+            "L = {}, expected ≈ {}",
+            sw.path_length,
+            sw.l_regular
+        );
+    }
+
+    #[test]
+    fn small_rewiring_gives_small_world_signature() {
+        let mut rng = Rng::new(77);
+        let lattice = ring_lattice(200, 8);
+        let sw_lattice = small_world(&lattice).unwrap();
+        let rewired = rewire(lattice.clone(), 0.05, &mut rng);
+        let sw_rw = small_world(&rewired).unwrap();
+        // Path length collapses...
+        assert!(
+            sw_rw.path_length < sw_lattice.path_length * 0.7,
+            "L {} vs lattice {}",
+            sw_rw.path_length,
+            sw_lattice.path_length
+        );
+        // ...while clustering stays comparatively high.
+        assert!(
+            sw_rw.clustering > sw_lattice.clustering * 0.5,
+            "C {} vs lattice {}",
+            sw_rw.clustering,
+            sw_lattice.clustering
+        );
+        // And sigma grows markedly.
+        assert!(
+            sw_rw.sigma > sw_lattice.sigma * 1.5,
+            "sigma {} vs {}",
+            sw_rw.sigma,
+            sw_lattice.sigma
+        );
+    }
+
+    #[test]
+    fn analysis_uses_largest_component() {
+        let mut g = ring_lattice(50, 4);
+        // A far-away tiny component must not skew the metrics.
+        let mut big = Graph::new(53);
+        for v in 0..50u32 {
+            for &w in g.neighbors(v) {
+                if w > v {
+                    big.add_edge(v, w);
+                }
+            }
+        }
+        big.add_edge(50, 51);
+        big.add_edge(51, 52);
+        let sw_iso = small_world(&big).unwrap();
+        let sw_ref = small_world(&g).unwrap();
+        assert_eq!(sw_iso.n, 50);
+        assert!((sw_iso.path_length - sw_ref.path_length).abs() < 1e-9);
+        let _ = g.add_edge(0, 1);
+    }
+
+    #[test]
+    fn degenerate_graphs_yield_none() {
+        assert!(small_world(&Graph::new(0)).is_none());
+        assert!(small_world(&Graph::new(10)).is_none(), "edgeless");
+        let tiny = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        assert!(small_world(&tiny).is_none(), "below 4 vertices");
+        // A long path has mean degree just under 2: allowed.
+        let path = Graph::from_edges(10, (0..9).map(|i| (i, i + 1)));
+        assert!(small_world(&path).is_some());
+    }
+}

@@ -1,0 +1,16 @@
+//! # manet-graph — graph analysis for overlays and radio topologies
+//!
+//! Two consumers:
+//!
+//! * the Fig 5–6 metric "minimum number of hops from the source to the peer
+//!   holding the information" — BFS over the instantaneous radio
+//!   connectivity graph ([`Graph::bfs_distances`]);
+//! * the small-world discussion (§6.1.2): clustering coefficient,
+//!   characteristic path length and the Watts–Strogatz comparison against
+//!   random-graph baselines ([`SmallWorld`]).
+
+pub mod analysis;
+pub mod graph;
+
+pub use analysis::{small_world, SmallWorld};
+pub use graph::Graph;

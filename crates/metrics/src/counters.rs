@@ -1,0 +1,192 @@
+//! Per-node received-message counters (Figs 7–12).
+
+use manet_des::NodeId;
+
+/// The message families the paper's figures count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// Connect messages: probes, captures and every handshake leg (Figs 7–8).
+    Connect,
+    /// Keep-alive pings (Figs 9–10).
+    Ping,
+    /// Keep-alive pongs (tracked separately; the paper counts pings).
+    Pong,
+    /// Search queries (Figs 11–12).
+    Query,
+    /// Search answers.
+    QueryHit,
+    /// File download requests (transfer-phase extension).
+    Fetch,
+    /// Bulk file payloads (transfer-phase extension).
+    Transfer,
+}
+
+impl MsgKind {
+    /// All kinds, for iteration.
+    pub const ALL: [MsgKind; 7] = [
+        MsgKind::Connect,
+        MsgKind::Ping,
+        MsgKind::Pong,
+        MsgKind::Query,
+        MsgKind::QueryHit,
+        MsgKind::Fetch,
+        MsgKind::Transfer,
+    ];
+
+    /// Dense index.
+    pub fn index(self) -> usize {
+        match self {
+            MsgKind::Connect => 0,
+            MsgKind::Ping => 1,
+            MsgKind::Pong => 2,
+            MsgKind::Query => 3,
+            MsgKind::QueryHit => 4,
+            MsgKind::Fetch => 5,
+            MsgKind::Transfer => 6,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::Connect => "connect",
+            MsgKind::Ping => "ping",
+            MsgKind::Pong => "pong",
+            MsgKind::Query => "query",
+            MsgKind::QueryHit => "queryhit",
+            MsgKind::Fetch => "fetch",
+            MsgKind::Transfer => "transfer",
+        }
+    }
+}
+
+/// A `node x message-kind` matrix of received counts.
+#[derive(Clone, Debug)]
+pub struct NodeCounters {
+    counts: Vec<[u64; 7]>,
+}
+
+impl NodeCounters {
+    /// Counters for `n` nodes, all zero.
+    pub fn new(n: usize) -> Self {
+        NodeCounters {
+            counts: vec![[0; 7]; n],
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if no nodes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Record one received message of `kind` at `node`.
+    pub fn record(&mut self, node: NodeId, kind: MsgKind) {
+        self.counts[node.index()][kind.index()] += 1;
+    }
+
+    /// The count for one node and kind.
+    pub fn get(&self, node: NodeId, kind: MsgKind) -> u64 {
+        self.counts[node.index()][kind.index()]
+    }
+
+    /// Raw per-node column for `kind`, indexed by node id.
+    pub fn column(&self, kind: MsgKind) -> Vec<u64> {
+        self.counts.iter().map(|row| row[kind.index()]).collect()
+    }
+
+    /// Per-node column for `kind` restricted to `members`, *decreasingly
+    /// ordered* — exactly the x-axis of Figs 7–12 ("nodes decreasingly
+    /// ordered by # of received ...").
+    pub fn sorted_desc(&self, kind: MsgKind, members: &[NodeId]) -> Vec<u64> {
+        let mut v: Vec<u64> = members
+            .iter()
+            .map(|n| self.counts[n.index()][kind.index()])
+            .collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// Total of `kind` across all nodes.
+    pub fn total(&self, kind: MsgKind) -> u64 {
+        self.counts.iter().map(|row| row[kind.index()]).sum()
+    }
+
+    /// Mean per member of `kind` over the given member set.
+    pub fn mean_over(&self, kind: MsgKind, members: &[NodeId]) -> f64 {
+        if members.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = members
+            .iter()
+            .map(|n| self.counts[n.index()][kind.index()])
+            .sum();
+        sum as f64 / members.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut c = NodeCounters::new(3);
+        c.record(NodeId(0), MsgKind::Ping);
+        c.record(NodeId(0), MsgKind::Ping);
+        c.record(NodeId(2), MsgKind::Query);
+        assert_eq!(c.get(NodeId(0), MsgKind::Ping), 2);
+        assert_eq!(c.get(NodeId(1), MsgKind::Ping), 0);
+        assert_eq!(c.get(NodeId(2), MsgKind::Query), 1);
+        assert_eq!(c.total(MsgKind::Ping), 2);
+    }
+
+    #[test]
+    fn sorted_desc_matches_figure_convention() {
+        let mut c = NodeCounters::new(4);
+        for _ in 0..5 {
+            c.record(NodeId(1), MsgKind::Connect);
+        }
+        for _ in 0..9 {
+            c.record(NodeId(3), MsgKind::Connect);
+        }
+        c.record(NodeId(0), MsgKind::Connect);
+        let members = [NodeId(0), NodeId(1), NodeId(3)];
+        assert_eq!(c.sorted_desc(MsgKind::Connect, &members), vec![9, 5, 1]);
+    }
+
+    #[test]
+    fn sorted_desc_ignores_non_members() {
+        let mut c = NodeCounters::new(4);
+        for _ in 0..100 {
+            c.record(NodeId(2), MsgKind::Ping); // a non-member relay
+        }
+        c.record(NodeId(0), MsgKind::Ping);
+        let members = [NodeId(0), NodeId(1)];
+        assert_eq!(c.sorted_desc(MsgKind::Ping, &members), vec![1, 0]);
+    }
+
+    #[test]
+    fn mean_over_members() {
+        let mut c = NodeCounters::new(3);
+        for _ in 0..6 {
+            c.record(NodeId(0), MsgKind::Query);
+        }
+        let members = [NodeId(0), NodeId(1), NodeId(2)];
+        assert_eq!(c.mean_over(MsgKind::Query, &members), 2.0);
+        assert_eq!(c.mean_over(MsgKind::Query, &[]), 0.0);
+    }
+
+    #[test]
+    fn kinds_have_distinct_indices() {
+        let mut seen = std::collections::BTreeSet::new();
+        for k in MsgKind::ALL {
+            assert!(seen.insert(k.index()));
+            assert!(!k.name().is_empty());
+        }
+    }
+}

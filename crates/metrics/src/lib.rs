@@ -1,0 +1,21 @@
+//! # manet-metrics — measurement substrate for the paper's figures
+//!
+//! The evaluation (§7.3) uses two metric families:
+//!
+//! * **number of exchanged messages** — per-node received counts of each
+//!   message type; Figs 7–12 plot them with nodes *decreasingly ordered* by
+//!   count ([`NodeCounters`], [`sorted_desc`](NodeCounters::sorted_desc));
+//! * **number of hops / answers** — per-file average minimum distance to a
+//!   holder and answers per request, Figs 5–6 ([`FileMetrics`]).
+//!
+//! Replications are aggregated element-wise ([`average_series`]) and
+//! summarized with mean / standard deviation / 95 % confidence intervals
+//! ([`Summary`]).
+
+pub mod counters;
+pub mod distance;
+pub mod summary;
+
+pub use counters::{MsgKind, NodeCounters};
+pub use distance::{FileAccum, FileMetrics};
+pub use summary::{average_series, Summary};

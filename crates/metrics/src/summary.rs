@@ -1,0 +1,157 @@
+//! Summary statistics over replications.
+//!
+//! The paper repeats every simulation 33 times; these helpers turn the 33
+//! per-run values into mean, standard deviation and a 95 % confidence
+//! interval (Student t, with a small-sample table).
+
+/// Mean / spread / confidence summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator).
+    pub std_dev: f64,
+    /// Half-width of the 95 % confidence interval.
+    pub ci95: f64,
+}
+
+/// Two-sided 95 % Student-t critical values for df = 1..=30; beyond that
+/// the normal approximation (1.96) is used.
+const T_TABLE: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+fn t_crit(df: usize) -> f64 {
+    if df == 0 {
+        f64::NAN
+    } else if df <= 30 {
+        T_TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+impl Summary {
+    /// Summarize a sample. Panics on an empty slice.
+    pub fn from_slice(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Summary {
+                n,
+                mean,
+                std_dev: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let std_dev = var.sqrt();
+        let ci95 = t_crit(n - 1) * std_dev / (n as f64).sqrt();
+        Summary {
+            n,
+            mean,
+            std_dev,
+            ci95,
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.ci95)
+    }
+}
+
+/// Average several equally-shaped series element-wise — the aggregation of
+/// the sorted per-node curves across replications. Shorter series are
+/// zero-padded to the longest (a run where fewer members joined still
+/// contributes zeros at the tail, matching the figures' fixed x-axis).
+pub fn average_series(runs: &[Vec<u64>]) -> Vec<f64> {
+    let width = runs.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut avg = vec![0.0; width];
+    if runs.is_empty() {
+        return avg;
+    }
+    for run in runs {
+        for (i, &v) in run.iter().enumerate() {
+            avg[i] += v as f64;
+        }
+    }
+    for v in &mut avg {
+        *v /= runs.len() as f64;
+    }
+    avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138).abs() < 0.001);
+        // df = 7 -> t = 2.365
+        assert!((s.ci95 - 2.365 * s.std_dev / 8f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_value_has_zero_spread() {
+        let s = Summary::from_slice(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn constant_sample_has_zero_ci() {
+        let s = Summary::from_slice(&[2.0; 33]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn paper_sample_size_uses_t_table() {
+        // 33 runs -> df 32 -> normal approximation.
+        let vals: Vec<f64> = (0..33).map(|i| i as f64).collect();
+        let s = Summary::from_slice(&vals);
+        assert_eq!(s.n, 33);
+        let expect = 1.96 * s.std_dev / 33f64.sqrt();
+        assert!((s.ci95 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        Summary::from_slice(&[]);
+    }
+
+    #[test]
+    fn average_series_element_wise() {
+        let runs = vec![vec![4, 2, 0], vec![2, 2, 2]];
+        assert_eq!(average_series(&runs), vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn average_series_pads_short_runs() {
+        let runs = vec![vec![4, 4], vec![2]];
+        assert_eq!(average_series(&runs), vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn average_series_empty() {
+        assert!(average_series(&[]).is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(format!("{s}"), "2.000 ± 2.484");
+    }
+}

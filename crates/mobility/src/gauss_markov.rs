@@ -1,0 +1,261 @@
+//! Gauss-Markov mobility: temporally correlated speed and heading.
+//!
+//! At fixed intervals the node redraws speed and heading from an AR(1)
+//! process:
+//!
+//! ```text
+//! s[n+1] = a*s[n] + (1-a)*mean_s + sqrt(1-a^2) * N(0, sigma_s)
+//! h[n+1] = a*h[n] + (1-a)*mean_h + sqrt(1-a^2) * N(0, sigma_h)
+//! ```
+//!
+//! with `a` the memory parameter (`a = 0` → random walk, `a = 1` → linear
+//! motion). Near a wall the mean heading is biased toward the area centre,
+//! the standard boundary treatment (Camp et al., the mobility survey the
+//! paper cites).
+
+use manet_des::{Rng, SimDuration, SimTime};
+use manet_geom::{Point, Rect, Vector};
+
+use crate::model::Mobility;
+
+/// Parameters for [`GaussMarkov`].
+#[derive(Clone, Copy, Debug)]
+pub struct GaussMarkovCfg {
+    /// Simulation area.
+    pub bounds: Rect,
+    /// Memory parameter in `[0, 1]`.
+    pub alpha: f64,
+    /// Long-run mean speed (m/s), also the initial speed.
+    pub mean_speed: f64,
+    /// Speed innovation standard deviation.
+    pub speed_std: f64,
+    /// Heading innovation standard deviation (radians).
+    pub heading_std: f64,
+    /// Seconds between redraws (one epoch).
+    pub interval: f64,
+    /// Maximum speed clamp (keeps the AR process physical).
+    pub max_speed: f64,
+}
+
+impl GaussMarkovCfg {
+    /// Pedestrian defaults comparable to the paper's waypoint parameters.
+    pub fn walking(bounds: Rect) -> Self {
+        GaussMarkovCfg {
+            bounds,
+            alpha: 0.85,
+            mean_speed: 0.5,
+            speed_std: 0.25,
+            heading_std: 0.6,
+            interval: 5.0,
+            max_speed: 1.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.alpha), "alpha in [0,1]");
+        assert!(self.mean_speed >= 0.0 && self.max_speed > 0.0);
+        assert!(self.interval > 0.0);
+    }
+}
+
+/// Gauss-Markov state for a single node.
+#[derive(Clone, Debug)]
+pub struct GaussMarkov {
+    cfg: GaussMarkovCfg,
+    from: Point,
+    speed: f64,
+    heading: f64,
+    start: SimTime,
+    end: SimTime,
+}
+
+impl GaussMarkov {
+    /// Start at `start_pos` with a random initial heading.
+    pub fn new(cfg: GaussMarkovCfg, start_pos: Point, rng: &mut Rng) -> Self {
+        cfg.validate();
+        let mut m = GaussMarkov {
+            from: cfg.bounds.clamp(start_pos),
+            speed: cfg.mean_speed,
+            heading: rng.range_f64(0.0, std::f64::consts::TAU),
+            start: SimTime::ZERO,
+            end: SimTime::ZERO + SimDuration::from_secs_f64(cfg.interval),
+            cfg,
+        };
+        m.clip_epoch_to_wall();
+        m
+    }
+
+    /// Uniformly random starting position inside `bounds`.
+    pub fn random_start(cfg: GaussMarkovCfg, rng: &mut Rng) -> Self {
+        let p = Point::new(
+            rng.range_f64(cfg.bounds.x0, cfg.bounds.x1),
+            rng.range_f64(cfg.bounds.y0, cfg.bounds.y1),
+        );
+        Self::new(cfg, p, rng)
+    }
+
+    fn velocity(&self) -> Vector {
+        Vector::from_angle(self.heading) * self.speed
+    }
+
+    /// Shorten the epoch so the straight segment never leaves the area.
+    fn clip_epoch_to_wall(&mut self) {
+        let v = self.velocity();
+        if v.length() <= f64::EPSILON {
+            return;
+        }
+        if let Some(hit) = crate::walk::time_to_wall(self.cfg.bounds, self.from, v) {
+            let dur = (self.end - self.start).as_secs_f64();
+            if hit < dur {
+                self.end = self.start + SimDuration::from_secs_f64(hit.max(1e-3));
+            }
+        }
+    }
+}
+
+impl Mobility for GaussMarkov {
+    fn position(&self, t: SimTime) -> Point {
+        let t = t.clamp(self.start, self.end);
+        let dt = (t - self.start).as_secs_f64();
+        self.cfg.bounds.clamp(self.from + self.velocity() * dt)
+    }
+
+    fn epoch_end(&self) -> SimTime {
+        self.end
+    }
+
+    fn advance(&mut self, now: SimTime, rng: &mut Rng) {
+        self.from = self.position(now);
+        let a = self.cfg.alpha;
+        let noise = (1.0 - a * a).sqrt();
+
+        // Bias the mean heading toward the centre when close to a wall so
+        // nodes steer away instead of hugging the boundary.
+        let b = self.cfg.bounds;
+        let margin = 0.1 * b.width().min(b.height());
+        let near_wall = self.from.x < b.x0 + margin
+            || self.from.x > b.x1 - margin
+            || self.from.y < b.y0 + margin
+            || self.from.y > b.y1 - margin;
+        let mean_heading = if near_wall {
+            (b.center() - self.from).angle()
+        } else {
+            self.heading
+        };
+
+        self.speed = (a * self.speed
+            + (1.0 - a) * self.cfg.mean_speed
+            + noise * rng.normal(0.0, self.cfg.speed_std))
+        .clamp(0.0, self.cfg.max_speed);
+        self.heading = a * self.heading
+            + (1.0 - a) * mean_heading
+            + noise * rng.normal(0.0, self.cfg.heading_std);
+
+        self.start = now;
+        self.end = now + SimDuration::from_secs_f64(self.cfg.interval);
+        self.clip_epoch_to_wall();
+        if self.end <= self.start {
+            self.end = self.start + SimDuration::from_millis(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Mobility;
+    use manet_des::Rng;
+
+    fn cfg() -> GaussMarkovCfg {
+        GaussMarkovCfg::walking(Rect::sized(100.0, 100.0))
+    }
+
+    #[test]
+    fn stays_in_bounds() {
+        let mut rng = Rng::new(1);
+        let bounds = Rect::sized(100.0, 100.0);
+        let mut m = GaussMarkov::random_start(cfg(), &mut rng);
+        for _ in 0..2000 {
+            let end = m.epoch_end();
+            assert!(bounds.contains(m.position(end)));
+            m.advance(end, &mut rng);
+        }
+    }
+
+    #[test]
+    fn speed_stays_clamped() {
+        let mut rng = Rng::new(2);
+        let c = cfg();
+        let mut m = GaussMarkov::random_start(c, &mut rng);
+        for _ in 0..1000 {
+            let end = m.epoch_end();
+            m.advance(end, &mut rng);
+            assert!((0.0..=c.max_speed).contains(&m.speed));
+        }
+    }
+
+    #[test]
+    fn continuous_across_epochs() {
+        let mut rng = Rng::new(3);
+        let mut m = GaussMarkov::random_start(cfg(), &mut rng);
+        for _ in 0..500 {
+            let end = m.epoch_end();
+            let before = m.position(end);
+            m.advance(end, &mut rng);
+            assert!(before.distance(m.position(end)) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn high_alpha_preserves_heading_more() {
+        // With alpha = 1 the process is deterministic linear motion.
+        let mut rng = Rng::new(4);
+        let c = GaussMarkovCfg {
+            alpha: 1.0,
+            ..cfg()
+        };
+        let mut m = GaussMarkov::new(c, Point::new(50.0, 50.0), &mut rng);
+        let h0 = m.heading;
+        let s0 = m.speed;
+        let end = m.epoch_end();
+        m.advance(end, &mut rng);
+        assert!((m.heading - h0).abs() < 1e-9);
+        assert!((m.speed - s0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_speed_roughly_recovered() {
+        let mut rng = Rng::new(5);
+        let c = cfg();
+        let mut m = GaussMarkov::random_start(c, &mut rng);
+        let mut sum = 0.0;
+        let n = 5000;
+        for _ in 0..n {
+            let end = m.epoch_end();
+            m.advance(end, &mut rng);
+            sum += m.speed;
+        }
+        let mean = sum / n as f64;
+        // Clamping skews the mean a little; accept a generous band.
+        assert!(
+            (mean - c.mean_speed).abs() < 0.15,
+            "long-run mean speed {mean} far from {}",
+            c.mean_speed
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut rng = Rng::new(seed);
+            let mut m = GaussMarkov::random_start(cfg(), &mut rng);
+            for _ in 0..100 {
+                let e = m.epoch_end();
+                m.advance(e, &mut rng);
+            }
+            let p = m.position(m.epoch_end());
+            (p.x, p.y)
+        };
+        assert_eq!(run(6), run(6));
+    }
+}

@@ -1,0 +1,32 @@
+//! # manet-mobility — analytic mobility models
+//!
+//! Node movement for the MANET substrate. Every model exposes the same
+//! contract ([`Mobility`]): a *piecewise-linear trajectory* made of epochs.
+//! Within an epoch the position is a closed-form function of time, so the
+//! simulator never schedules per-tick position updates — it only wakes a node
+//! when its epoch ends ([`Mobility::epoch_end`]) to draw the next one.
+//!
+//! Models:
+//! * [`RandomWaypoint`] — the paper's model: pick a uniform destination,
+//!   travel at a uniform speed, pause, repeat (Camp et al.'s survey, cited by
+//!   the paper as "Random Way").
+//! * [`RandomWalk`] — uniform heading + speed for a bounded leg, reflecting
+//!   off walls; used in the future-work mobility sweeps.
+//! * [`GaussMarkov`] — temporally correlated speed/heading (AR(1)).
+//! * [`Rpgm`] — Reference Point Group Mobility: teams wandering around a
+//!   shared (replicated, lock-free) group leader.
+//! * [`Stationary`] — fixed nodes (sanity scenarios and unit tests).
+
+pub mod gauss_markov;
+pub mod model;
+pub mod rpgm;
+pub mod stationary;
+pub mod walk;
+pub mod waypoint;
+
+pub use gauss_markov::{GaussMarkov, GaussMarkovCfg};
+pub use model::{AnyMobility, Mobility};
+pub use rpgm::{Rpgm, RpgmCfg};
+pub use stationary::Stationary;
+pub use walk::{RandomWalk, RandomWalkCfg};
+pub use waypoint::{RandomWaypoint, RandomWaypointCfg};

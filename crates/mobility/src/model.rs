@@ -1,0 +1,100 @@
+//! The mobility contract shared by all models.
+
+use manet_des::{Rng, SimTime};
+use manet_geom::Point;
+
+use crate::gauss_markov::GaussMarkov;
+use crate::rpgm::Rpgm;
+use crate::stationary::Stationary;
+use crate::walk::RandomWalk;
+use crate::waypoint::RandomWaypoint;
+
+/// A piecewise-linear trajectory.
+///
+/// Invariants every implementation upholds:
+/// * `position(t)` is defined for any `t` in `[epoch_start, epoch_end]` and
+///   stays inside the model's bounds;
+/// * `advance(rng)` moves to the next epoch, continuous with the previous
+///   one (no teleporting);
+/// * `epoch_end()` is strictly after `epoch_start()` unless the model is
+///   stationary (where it is `SimTime::MAX`).
+pub trait Mobility {
+    /// Position at time `t`. `t` is clamped to the current epoch, so querying
+    /// slightly outside it (e.g. an event that raced an epoch change) is safe.
+    fn position(&self, t: SimTime) -> Point;
+
+    /// When the current epoch ends and [`advance`](Self::advance) must be called.
+    fn epoch_end(&self) -> SimTime;
+
+    /// Draw the next epoch. `now` must be the current `epoch_end()`.
+    fn advance(&mut self, now: SimTime, rng: &mut Rng);
+}
+
+/// Closed enum over the provided models, so node state stays `Clone` and
+/// allocation-free (no `Box<dyn>`, and the world can store nodes in a `Vec`).
+#[derive(Clone, Debug)]
+pub enum AnyMobility {
+    Waypoint(RandomWaypoint),
+    Walk(RandomWalk),
+    GaussMarkov(GaussMarkov),
+    Rpgm(Rpgm),
+    Stationary(Stationary),
+}
+
+impl Mobility for AnyMobility {
+    fn position(&self, t: SimTime) -> Point {
+        match self {
+            AnyMobility::Waypoint(m) => m.position(t),
+            AnyMobility::Walk(m) => m.position(t),
+            AnyMobility::GaussMarkov(m) => m.position(t),
+            AnyMobility::Rpgm(m) => m.position(t),
+            AnyMobility::Stationary(m) => m.position(t),
+        }
+    }
+
+    fn epoch_end(&self) -> SimTime {
+        match self {
+            AnyMobility::Waypoint(m) => m.epoch_end(),
+            AnyMobility::Walk(m) => m.epoch_end(),
+            AnyMobility::GaussMarkov(m) => m.epoch_end(),
+            AnyMobility::Rpgm(m) => m.epoch_end(),
+            AnyMobility::Stationary(m) => m.epoch_end(),
+        }
+    }
+
+    fn advance(&mut self, now: SimTime, rng: &mut Rng) {
+        match self {
+            AnyMobility::Waypoint(m) => m.advance(now, rng),
+            AnyMobility::Walk(m) => m.advance(now, rng),
+            AnyMobility::GaussMarkov(m) => m.advance(now, rng),
+            AnyMobility::Rpgm(m) => m.advance(now, rng),
+            AnyMobility::Stationary(m) => m.advance(now, rng),
+        }
+    }
+}
+
+impl From<RandomWaypoint> for AnyMobility {
+    fn from(m: RandomWaypoint) -> Self {
+        AnyMobility::Waypoint(m)
+    }
+}
+impl From<RandomWalk> for AnyMobility {
+    fn from(m: RandomWalk) -> Self {
+        AnyMobility::Walk(m)
+    }
+}
+impl From<GaussMarkov> for AnyMobility {
+    fn from(m: GaussMarkov) -> Self {
+        AnyMobility::GaussMarkov(m)
+    }
+}
+impl From<Rpgm> for AnyMobility {
+    fn from(m: Rpgm) -> Self {
+        AnyMobility::Rpgm(m)
+    }
+}
+impl From<Stationary> for AnyMobility {
+    fn from(m: Stationary) -> Self {
+        AnyMobility::Stationary(m)
+    }
+}

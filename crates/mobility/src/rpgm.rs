@@ -1,0 +1,248 @@
+//! Reference Point Group Mobility (RPGM).
+//!
+//! Nodes move in teams: a virtual *group leader* follows Random Waypoint,
+//! and each member wanders inside a disc around the leader's position —
+//! the standard model for rescue squads, platoons, or tour groups (Camp et
+//! al.'s survey, which the paper cites for its mobility model).
+//!
+//! Implementation note: members never share mutable state. Every member
+//! owns a *replica* of its group's leader trajectory, seeded identically
+//! (`group_seed`), so all replicas advance through exactly the same
+//! waypoints — cheap, lock-free, and deterministic. The member's own RNG
+//! only drives its offset inside the group disc; offsets are interpolated
+//! between redraws so trajectories stay continuous.
+
+use manet_des::{Rng, SimDuration, SimTime};
+use manet_geom::{Point, Rect, Vector};
+
+use crate::model::Mobility;
+use crate::waypoint::{RandomWaypoint, RandomWaypointCfg};
+
+/// Parameters for [`Rpgm`].
+#[derive(Clone, Copy, Debug)]
+pub struct RpgmCfg {
+    /// Area the group leader roams in.
+    pub bounds: Rect,
+    /// Leader's speed bounds (m/s).
+    pub min_speed: f64,
+    /// Leader's maximum speed (m/s).
+    pub max_speed: f64,
+    /// Leader's maximum pause (s).
+    pub max_pause: f64,
+    /// Members stay within this radius of the leader (m).
+    pub group_radius: f64,
+    /// Seconds between member offset redraws.
+    pub offset_interval: f64,
+}
+
+impl RpgmCfg {
+    /// A walking team: leader at the paper's waypoint parameters, members
+    /// within 10 m.
+    pub fn team(bounds: Rect) -> Self {
+        RpgmCfg {
+            bounds,
+            min_speed: 0.1,
+            max_speed: 1.0,
+            max_pause: 100.0,
+            group_radius: 10.0,
+            offset_interval: 20.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.group_radius >= 0.0, "group radius must be non-negative");
+        assert!(self.offset_interval > 0.0);
+        assert!(self.min_speed > 0.0 && self.max_speed >= self.min_speed);
+    }
+}
+
+/// One member of an RPGM group.
+#[derive(Clone, Debug)]
+pub struct Rpgm {
+    cfg: RpgmCfg,
+    /// This member's replica of the group-leader trajectory.
+    leader: RandomWaypoint,
+    /// RNG advancing the leader replica — identical for all members of the
+    /// group, so the replicas stay in lockstep.
+    leader_rng: Rng,
+    /// Offset interpolation: from `prev_offset` at `offset_start` to
+    /// `next_offset` at `offset_end`.
+    prev_offset: Vector,
+    next_offset: Vector,
+    offset_start: SimTime,
+    offset_end: SimTime,
+}
+
+impl Rpgm {
+    /// A member of the group identified by `group_seed`. All members
+    /// constructed with the same `cfg` and `group_seed` share one leader
+    /// trajectory; `member_rng` individualizes the in-group wandering.
+    pub fn new(cfg: RpgmCfg, group_seed: u64, member_rng: &mut Rng) -> Self {
+        cfg.validate();
+        let mut leader_rng = Rng::new(group_seed);
+        let leader = RandomWaypoint::random_start(
+            RandomWaypointCfg {
+                bounds: cfg.bounds,
+                min_speed: cfg.min_speed,
+                max_speed: cfg.max_speed,
+                max_pause: cfg.max_pause,
+            },
+            &mut leader_rng,
+        );
+        let first = disc_offset(cfg.group_radius, member_rng);
+        let second = disc_offset(cfg.group_radius, member_rng);
+        Rpgm {
+            cfg,
+            leader,
+            leader_rng,
+            prev_offset: first,
+            next_offset: second,
+            offset_start: SimTime::ZERO,
+            offset_end: SimTime::ZERO + SimDuration::from_secs_f64(cfg.offset_interval),
+        }
+    }
+
+    fn offset_at(&self, t: SimTime) -> Vector {
+        let t = t.clamp(self.offset_start, self.offset_end);
+        let span = (self.offset_end - self.offset_start).as_secs_f64();
+        if span <= 0.0 {
+            return self.next_offset;
+        }
+        let frac = (t - self.offset_start).as_secs_f64() / span;
+        Vector::new(
+            self.prev_offset.dx + (self.next_offset.dx - self.prev_offset.dx) * frac,
+            self.prev_offset.dy + (self.next_offset.dy - self.prev_offset.dy) * frac,
+        )
+    }
+}
+
+/// Uniform point in a disc of radius `r` (by rejection-free polar sampling).
+fn disc_offset(r: f64, rng: &mut Rng) -> Vector {
+    if r <= 0.0 {
+        return Vector::ZERO;
+    }
+    let radius = r * rng.f64().sqrt();
+    Vector::from_angle(rng.range_f64(0.0, std::f64::consts::TAU)) * radius
+}
+
+impl Mobility for Rpgm {
+    fn position(&self, t: SimTime) -> Point {
+        self.cfg
+            .bounds
+            .clamp(self.leader.position(t) + self.offset_at(t))
+    }
+
+    fn epoch_end(&self) -> SimTime {
+        self.leader.epoch_end().min(self.offset_end)
+    }
+
+    fn advance(&mut self, now: SimTime, rng: &mut Rng) {
+        if self.leader.epoch_end() <= now {
+            // Advance the leader replica with the *shared* stream so every
+            // member's replica stays identical.
+            self.leader.advance(now, &mut self.leader_rng);
+        }
+        if self.offset_end <= now {
+            self.prev_offset = self.offset_at(now);
+            self.next_offset = disc_offset(self.cfg.group_radius, rng);
+            self.offset_start = now;
+            self.offset_end = now + SimDuration::from_secs_f64(self.cfg.offset_interval);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RpgmCfg {
+        RpgmCfg::team(Rect::sized(100.0, 100.0))
+    }
+
+    fn drive(m: &mut Rpgm, rng: &mut Rng, until: SimTime) {
+        while m.epoch_end() < until {
+            let e = m.epoch_end();
+            m.advance(e, rng);
+        }
+    }
+
+    #[test]
+    fn members_of_one_group_stay_within_two_radii() {
+        let mut rng_a = Rng::new(1);
+        let mut rng_b = Rng::new(2);
+        let mut a = Rpgm::new(cfg(), 77, &mut rng_a);
+        let mut b = Rpgm::new(cfg(), 77, &mut rng_b);
+        for step in 1..200u64 {
+            let t = SimTime::from_secs(step * 10);
+            drive(&mut a, &mut rng_a, t);
+            drive(&mut b, &mut rng_b, t);
+            let d = a.position(t).distance(b.position(t));
+            // Two members can be at most 2 * radius apart (plus boundary
+            // clamping slack, which only pulls them closer).
+            assert!(
+                d <= 2.0 * cfg().group_radius + 1e-9,
+                "group dispersed: {d} m at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_groups_diverge() {
+        let mut rng_a = Rng::new(1);
+        let mut rng_b = Rng::new(1);
+        let mut a = Rpgm::new(cfg(), 10, &mut rng_a);
+        let mut b = Rpgm::new(cfg(), 20, &mut rng_b);
+        let t = SimTime::from_secs(500);
+        drive(&mut a, &mut rng_a, t);
+        drive(&mut b, &mut rng_b, t);
+        // Statistically the two leaders are far apart by now.
+        assert!(
+            a.position(t).distance(b.position(t)) > 2.0 * cfg().group_radius,
+            "distinct groups should not stay huddled"
+        );
+    }
+
+    #[test]
+    fn stays_in_bounds() {
+        let mut rng = Rng::new(3);
+        let bounds = Rect::sized(100.0, 100.0);
+        let mut m = Rpgm::new(cfg(), 5, &mut rng);
+        for step in 1..500u64 {
+            let t = SimTime::from_secs(step * 5);
+            drive(&mut m, &mut rng, t);
+            assert!(bounds.contains(m.position(t)));
+        }
+    }
+
+    #[test]
+    fn trajectory_is_continuous() {
+        let mut rng = Rng::new(4);
+        let mut m = Rpgm::new(cfg(), 6, &mut rng);
+        for _ in 0..300 {
+            let e = m.epoch_end();
+            let before = m.position(e);
+            m.advance(e, &mut rng);
+            let after = m.position(e);
+            assert!(
+                before.distance(after) < 1e-6,
+                "offset interpolation must not teleport: {before:?} -> {after:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_radius_pins_members_to_leader() {
+        let c = RpgmCfg {
+            group_radius: 0.0,
+            ..cfg()
+        };
+        let mut rng_a = Rng::new(1);
+        let mut rng_b = Rng::new(99);
+        let mut a = Rpgm::new(c, 7, &mut rng_a);
+        let mut b = Rpgm::new(c, 7, &mut rng_b);
+        let t = SimTime::from_secs(300);
+        drive(&mut a, &mut rng_a, t);
+        drive(&mut b, &mut rng_b, t);
+        assert!(a.position(t).distance(b.position(t)) < 1e-9);
+    }
+}

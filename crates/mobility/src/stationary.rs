@@ -1,0 +1,56 @@
+//! Fixed nodes: the degenerate mobility model.
+//!
+//! Useful for sanity scenarios (protocols over a frozen topology), for
+//! heterogeneous deployments with anchored infrastructure nodes, and for
+//! making unit tests of upper layers independent of movement.
+
+use manet_des::{Rng, SimTime};
+use manet_geom::Point;
+
+use crate::model::Mobility;
+
+/// A node that never moves.
+#[derive(Clone, Copy, Debug)]
+pub struct Stationary {
+    at: Point,
+}
+
+impl Stationary {
+    /// Pin a node at `at`.
+    pub const fn new(at: Point) -> Self {
+        Stationary { at }
+    }
+}
+
+impl Mobility for Stationary {
+    fn position(&self, _t: SimTime) -> Point {
+        self.at
+    }
+
+    /// Stationary nodes never need an epoch wake-up.
+    fn epoch_end(&self) -> SimTime {
+        SimTime::MAX
+    }
+
+    fn advance(&mut self, _now: SimTime, _rng: &mut Rng) {
+        // Nothing changes; calling this is legal (the world treats MAX
+        // epochs as "never schedule").
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_moves() {
+        let p = Point::new(3.0, 4.0);
+        let mut m = Stationary::new(p);
+        assert_eq!(m.position(SimTime::ZERO), p);
+        assert_eq!(m.position(SimTime::from_secs(3600)), p);
+        assert_eq!(m.epoch_end(), SimTime::MAX);
+        let mut rng = Rng::new(0);
+        m.advance(SimTime::from_secs(1), &mut rng);
+        assert_eq!(m.position(SimTime::from_secs(2)), p);
+    }
+}

@@ -1,0 +1,263 @@
+//! Random Walk (random direction) mobility with wall reflection.
+//!
+//! Each leg draws a uniform heading and speed and walks for a bounded
+//! duration. If the straight step would leave the area, the leg is truncated
+//! at the wall and the next leg starts with the reflected heading, keeping
+//! every epoch a straight line (so `position(t)` stays closed-form).
+
+use manet_des::{Rng, SimDuration, SimTime};
+use manet_geom::{Point, Rect, Vector};
+
+use crate::model::Mobility;
+
+/// Parameters for [`RandomWalk`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomWalkCfg {
+    /// Simulation area.
+    pub bounds: Rect,
+    /// Lower speed bound in m/s (strictly positive).
+    pub min_speed: f64,
+    /// Upper speed bound in m/s.
+    pub max_speed: f64,
+    /// Duration of a full leg in seconds (legs hitting a wall are shorter).
+    pub leg_duration: f64,
+}
+
+impl RandomWalkCfg {
+    /// A walking-pace configuration comparable to the paper's waypoint model.
+    pub fn walking(bounds: Rect) -> Self {
+        RandomWalkCfg {
+            bounds,
+            min_speed: 0.1,
+            max_speed: 1.0,
+            leg_duration: 60.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.min_speed > 0.0 && self.max_speed >= self.min_speed);
+        assert!(self.leg_duration > 0.0);
+    }
+}
+
+/// Random-walk state for a single node.
+#[derive(Clone, Debug)]
+pub struct RandomWalk {
+    cfg: RandomWalkCfg,
+    from: Point,
+    velocity: Vector,
+    start: SimTime,
+    end: SimTime,
+    /// Heading to reuse for the next leg when this one ended at a wall
+    /// (already reflected); `None` means draw a fresh heading.
+    reflected: Option<Vector>,
+}
+
+impl RandomWalk {
+    /// Start at `start_pos` with a random first leg.
+    pub fn new(cfg: RandomWalkCfg, start_pos: Point, rng: &mut Rng) -> Self {
+        cfg.validate();
+        let mut walk = RandomWalk {
+            cfg,
+            from: cfg.bounds.clamp(start_pos),
+            velocity: Vector::ZERO,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+            reflected: None,
+        };
+        walk.draw_leg(SimTime::ZERO, rng);
+        walk
+    }
+
+    /// Uniformly random starting position inside `bounds`.
+    pub fn random_start(cfg: RandomWalkCfg, rng: &mut Rng) -> Self {
+        let p = Point::new(
+            rng.range_f64(cfg.bounds.x0, cfg.bounds.x1),
+            rng.range_f64(cfg.bounds.y0, cfg.bounds.y1),
+        );
+        Self::new(cfg, p, rng)
+    }
+
+    fn draw_leg(&mut self, now: SimTime, rng: &mut Rng) {
+        let velocity = match self.reflected.take() {
+            Some(v) => v,
+            None => {
+                let heading = rng.range_f64(0.0, std::f64::consts::TAU);
+                let speed = rng.range_f64(self.cfg.min_speed, self.cfg.max_speed);
+                Vector::from_angle(heading) * speed
+            }
+        };
+        // Truncate the leg at the first wall hit so the epoch stays linear.
+        let full = self.cfg.leg_duration;
+        let hit = wall_hit(self.cfg.bounds, self.from, velocity);
+        let dur = hit.map_or(full, |(h, _, _)| h.min(full)).max(1e-3);
+        self.velocity = velocity;
+        self.start = now;
+        self.end = now + SimDuration::from_secs_f64(dur);
+        if let Some((h, sx, sy)) = hit {
+            if h <= full {
+                // Leg ends on the wall: pre-compute the reflected heading.
+                self.reflected = Some(Vector::new(velocity.dx * sx, velocity.dy * sy));
+            }
+        }
+    }
+}
+
+/// Time in seconds until `(from + v*t)` first crosses a wall, if ever.
+pub(crate) fn time_to_wall(bounds: Rect, from: Point, v: Vector) -> Option<f64> {
+    let mut t = f64::INFINITY;
+    if v.dx > 0.0 {
+        t = t.min((bounds.x1 - from.x) / v.dx);
+    } else if v.dx < 0.0 {
+        t = t.min((bounds.x0 - from.x) / v.dx);
+    }
+    if v.dy > 0.0 {
+        t = t.min((bounds.y1 - from.y) / v.dy);
+    } else if v.dy < 0.0 {
+        t = t.min((bounds.y0 - from.y) / v.dy);
+    }
+    if t.is_finite() {
+        Some(t.max(0.0))
+    } else {
+        None
+    }
+}
+
+/// First wall hit of the ray `from + v*t`: time and the axis flip signs
+/// `(sx, sy)` describing the reflection there. `None` if `v` is zero.
+///
+/// Computed from per-axis exit times rather than the end position, so it is
+/// immune to clock-tick rounding of the leg duration.
+fn wall_hit(bounds: Rect, from: Point, v: Vector) -> Option<(f64, f64, f64)> {
+    let tx = if v.dx > 0.0 {
+        Some((bounds.x1 - from.x) / v.dx)
+    } else if v.dx < 0.0 {
+        Some((bounds.x0 - from.x) / v.dx)
+    } else {
+        None
+    };
+    let ty = if v.dy > 0.0 {
+        Some((bounds.y1 - from.y) / v.dy)
+    } else if v.dy < 0.0 {
+        Some((bounds.y0 - from.y) / v.dy)
+    } else {
+        None
+    };
+    let hit = match (tx, ty) {
+        (None, None) => return None,
+        (Some(t), None) | (None, Some(t)) => t,
+        (Some(a), Some(b)) => a.min(b),
+    }
+    .max(0.0);
+    // Flip every axis whose exit time coincides with the first hit (both at
+    // a corner). Tolerance absorbs f64 noise in the division.
+    let tol = 1e-9 * (1.0 + hit);
+    let sx = if tx.is_some_and(|t| t <= hit + tol) { -1.0 } else { 1.0 };
+    let sy = if ty.is_some_and(|t| t <= hit + tol) { -1.0 } else { 1.0 };
+    Some((hit, sx, sy))
+}
+
+impl Mobility for RandomWalk {
+    fn position(&self, t: SimTime) -> Point {
+        let t = t.clamp(self.start, self.end);
+        let dt = (t - self.start).as_secs_f64();
+        self.cfg.bounds.clamp(self.from + self.velocity * dt)
+    }
+
+    fn epoch_end(&self) -> SimTime {
+        self.end
+    }
+
+    fn advance(&mut self, now: SimTime, rng: &mut Rng) {
+        self.from = self.position(now);
+        self.draw_leg(now, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_des::Rng;
+
+    fn cfg() -> RandomWalkCfg {
+        RandomWalkCfg::walking(Rect::sized(50.0, 50.0))
+    }
+
+    #[test]
+    fn stays_in_bounds_over_many_legs() {
+        let mut rng = Rng::new(1);
+        let bounds = Rect::sized(50.0, 50.0);
+        let mut m = RandomWalk::random_start(cfg(), &mut rng);
+        for _ in 0..1000 {
+            let end = m.epoch_end();
+            let mid = SimTime::from_ticks((m.start.ticks() + end.ticks()) / 2);
+            assert!(bounds.contains(m.position(mid)));
+            assert!(bounds.contains(m.position(end)));
+            m.advance(end, &mut rng);
+        }
+    }
+
+    #[test]
+    fn continuous_across_reflection() {
+        let mut rng = Rng::new(2);
+        let mut m = RandomWalk::random_start(cfg(), &mut rng);
+        for _ in 0..500 {
+            let end = m.epoch_end();
+            let before = m.position(end);
+            m.advance(end, &mut rng);
+            let after = m.position(end);
+            assert!(before.distance(after) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reflection_reverses_wallward_component() {
+        let mut rng = Rng::new(3);
+        let c = RandomWalkCfg {
+            bounds: Rect::sized(10.0, 10.0),
+            min_speed: 1.0,
+            max_speed: 1.0,
+            leg_duration: 1000.0, // guarantees a wall hit
+        };
+        let mut m = RandomWalk::new(c, Point::new(5.0, 5.0), &mut rng);
+        let v_before = m.velocity;
+        let end = m.epoch_end();
+        m.advance(end, &mut rng);
+        let v_after = m.velocity;
+        // Speed preserved, at least one component flipped.
+        assert!((v_before.length() - v_after.length()).abs() < 1e-9);
+        assert!(
+            (v_before.dx + v_after.dx).abs() < 1e-9 || (v_before.dy + v_after.dy).abs() < 1e-9,
+            "no component was reflected: {v_before:?} -> {v_after:?}"
+        );
+    }
+
+    #[test]
+    fn epoch_ends_strictly_advance() {
+        let mut rng = Rng::new(4);
+        let mut m = RandomWalk::random_start(cfg(), &mut rng);
+        let mut last = SimTime::ZERO;
+        for _ in 0..300 {
+            let end = m.epoch_end();
+            assert!(end > last);
+            m.advance(end, &mut rng);
+            last = end;
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut rng = Rng::new(seed);
+            let mut m = RandomWalk::random_start(cfg(), &mut rng);
+            for _ in 0..50 {
+                let e = m.epoch_end();
+                m.advance(e, &mut rng);
+            }
+            let p = m.position(m.epoch_end());
+            (p.x, p.y)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -1,0 +1,302 @@
+//! Random Waypoint — the mobility model of the paper's evaluation.
+//!
+//! Each node alternates **move** legs and **pause** periods: pick a uniformly
+//! random destination in the area, travel to it in a straight line at a speed
+//! drawn uniformly from `[min_speed, max_speed]`, then pause for a time drawn
+//! uniformly from `[0, max_pause]`. The paper uses `max_speed = 1.0 m/s`
+//! (human walking) and `max_pause = 100 s`.
+//!
+//! A small positive `min_speed` avoids the well-known Random-Waypoint decay
+//! pathology where near-zero speed draws strand nodes for most of the run.
+
+use manet_des::{Rng, SimDuration, SimTime};
+use manet_geom::{Point, Rect};
+
+use crate::model::Mobility;
+
+/// Parameters for [`RandomWaypoint`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomWaypointCfg {
+    /// Simulation area the node roams in.
+    pub bounds: Rect,
+    /// Lower speed bound in m/s (strictly positive).
+    pub min_speed: f64,
+    /// Upper speed bound in m/s (the paper: 1.0).
+    pub max_speed: f64,
+    /// Maximum pause between legs in seconds (the paper: 100.0).
+    pub max_pause: f64,
+}
+
+impl RandomWaypointCfg {
+    /// The paper's human-walking configuration over a given area.
+    pub fn paper(bounds: Rect) -> Self {
+        RandomWaypointCfg {
+            bounds,
+            min_speed: 0.1,
+            max_speed: 1.0,
+            max_pause: 100.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.min_speed > 0.0 && self.max_speed >= self.min_speed,
+            "speeds must satisfy 0 < min <= max"
+        );
+        assert!(self.max_pause >= 0.0, "max_pause must be non-negative");
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Epoch {
+    Moving {
+        from: Point,
+        to: Point,
+        start: SimTime,
+        arrive: SimTime,
+    },
+    Paused {
+        at: Point,
+        until: SimTime,
+    },
+}
+
+/// Random Waypoint state for a single node.
+#[derive(Clone, Debug)]
+pub struct RandomWaypoint {
+    cfg: RandomWaypointCfg,
+    epoch: Epoch,
+}
+
+impl RandomWaypoint {
+    /// Start at `start_pos` with an initial pause drawn from `[0, max_pause]`
+    /// (so the population does not march in phase at t = 0).
+    pub fn new(cfg: RandomWaypointCfg, start_pos: Point, rng: &mut Rng) -> Self {
+        cfg.validate();
+        let at = cfg.bounds.clamp(start_pos);
+        let until = SimTime::ZERO + SimDuration::from_secs_f64(rng.range_f64(0.0, cfg.max_pause));
+        RandomWaypoint {
+            cfg,
+            epoch: Epoch::Paused { at, until },
+        }
+    }
+
+    /// Uniformly random starting position inside `bounds`.
+    pub fn random_start(cfg: RandomWaypointCfg, rng: &mut Rng) -> Self {
+        let p = Point::new(
+            rng.range_f64(cfg.bounds.x0, cfg.bounds.x1),
+            rng.range_f64(cfg.bounds.y0, cfg.bounds.y1),
+        );
+        Self::new(cfg, p, rng)
+    }
+
+    /// True while in a pause period (exposed for tests and telemetry).
+    pub fn is_paused(&self) -> bool {
+        matches!(self.epoch, Epoch::Paused { .. })
+    }
+}
+
+impl Mobility for RandomWaypoint {
+    fn position(&self, t: SimTime) -> Point {
+        match self.epoch {
+            Epoch::Paused { at, .. } => at,
+            Epoch::Moving {
+                from,
+                to,
+                start,
+                arrive,
+            } => {
+                if t <= start {
+                    from
+                } else if t >= arrive {
+                    to
+                } else {
+                    let total = (arrive - start).as_secs_f64();
+                    let done = (t - start).as_secs_f64();
+                    from.lerp(to, done / total)
+                }
+            }
+        }
+    }
+
+    fn epoch_end(&self) -> SimTime {
+        match self.epoch {
+            Epoch::Paused { until, .. } => until,
+            Epoch::Moving { arrive, .. } => arrive,
+        }
+    }
+
+    fn advance(&mut self, now: SimTime, rng: &mut Rng) {
+        let here = self.position(now);
+        self.epoch = match self.epoch {
+            Epoch::Paused { .. } => {
+                let to = Point::new(
+                    rng.range_f64(self.cfg.bounds.x0, self.cfg.bounds.x1),
+                    rng.range_f64(self.cfg.bounds.y0, self.cfg.bounds.y1),
+                );
+                let speed = rng.range_f64(self.cfg.min_speed, self.cfg.max_speed);
+                let dist = here.distance(to);
+                let travel = SimDuration::from_secs_f64(dist / speed);
+                Epoch::Moving {
+                    from: here,
+                    to,
+                    start: now,
+                    // Guard against a zero-length leg producing a zero-length
+                    // epoch (which would spin the event loop).
+                    arrive: now + travel.max(SimDuration::from_millis(1)),
+                }
+            }
+            Epoch::Moving { .. } => {
+                let pause = SimDuration::from_secs_f64(rng.range_f64(0.0, self.cfg.max_pause));
+                Epoch::Paused {
+                    at: here,
+                    until: now + pause.max(SimDuration::from_millis(1)),
+                }
+            }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_des::Rng;
+
+    fn cfg() -> RandomWaypointCfg {
+        RandomWaypointCfg::paper(Rect::sized(100.0, 100.0))
+    }
+
+    fn advance_epochs(m: &mut RandomWaypoint, rng: &mut Rng, n: usize) {
+        for _ in 0..n {
+            let end = m.epoch_end();
+            m.advance(end, rng);
+        }
+    }
+
+    #[test]
+    fn starts_paused_at_start_position() {
+        let mut rng = Rng::new(1);
+        let m = RandomWaypoint::new(cfg(), Point::new(10.0, 20.0), &mut rng);
+        assert!(m.is_paused());
+        assert_eq!(m.position(SimTime::ZERO), Point::new(10.0, 20.0));
+    }
+
+    #[test]
+    fn alternates_pause_and_move() {
+        let mut rng = Rng::new(2);
+        let mut m = RandomWaypoint::random_start(cfg(), &mut rng);
+        assert!(m.is_paused());
+        advance_epochs(&mut m, &mut rng, 1);
+        assert!(!m.is_paused());
+        advance_epochs(&mut m, &mut rng, 1);
+        assert!(m.is_paused());
+    }
+
+    #[test]
+    fn trajectory_is_continuous_across_epochs() {
+        let mut rng = Rng::new(3);
+        let mut m = RandomWaypoint::random_start(cfg(), &mut rng);
+        for _ in 0..200 {
+            let end = m.epoch_end();
+            let before = m.position(end);
+            m.advance(end, &mut rng);
+            let after = m.position(end);
+            assert!(
+                before.distance(after) < 1e-9,
+                "teleport at epoch change: {before:?} -> {after:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn positions_stay_in_bounds() {
+        let mut rng = Rng::new(4);
+        let bounds = Rect::sized(100.0, 100.0);
+        let mut m = RandomWaypoint::random_start(cfg(), &mut rng);
+        for _ in 0..100 {
+            let start = m.position(m.epoch_end());
+            let end = m.epoch_end();
+            // Sample within the epoch.
+            for k in 0..=4 {
+                let t = SimTime::from_ticks(
+                    end.ticks().saturating_sub((4 - k) * end.ticks() / 8),
+                );
+                let p = m.position(t);
+                assert!(bounds.contains(p), "{p:?} outside at sample {k} from {start:?}");
+            }
+            m.advance(end, &mut rng);
+        }
+    }
+
+    #[test]
+    fn speed_respects_limits_during_move() {
+        let mut rng = Rng::new(5);
+        let c = cfg();
+        let mut m = RandomWaypoint::random_start(c, &mut rng);
+        for _ in 0..50 {
+            advance_epochs(&mut m, &mut rng, 1);
+            if let Epoch::Moving {
+                from,
+                to,
+                start,
+                arrive,
+            } = m.epoch
+            {
+                let dist = from.distance(to);
+                let dt = (arrive - start).as_secs_f64();
+                if dist > 0.1 {
+                    let speed = dist / dt;
+                    assert!(
+                        speed <= c.max_speed * 1.01 && speed >= c.min_speed * 0.99,
+                        "speed {speed} outside [{}, {}]",
+                        c.min_speed,
+                        c.max_speed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn position_clamps_outside_epoch() {
+        let mut rng = Rng::new(6);
+        let mut m = RandomWaypoint::new(cfg(), Point::new(1.0, 1.0), &mut rng);
+        advance_epochs(&mut m, &mut rng, 1); // now moving
+        if let Epoch::Moving { from, to, arrive, .. } = m.epoch {
+            assert_eq!(m.position(SimTime::ZERO), from);
+            assert_eq!(m.position(arrive + manet_des::SimDuration::from_secs(10)), to);
+        } else {
+            panic!("expected moving epoch");
+        }
+    }
+
+    #[test]
+    fn epochs_never_have_zero_length() {
+        let mut rng = Rng::new(7);
+        let mut m = RandomWaypoint::random_start(cfg(), &mut rng);
+        let mut last = SimTime::ZERO;
+        for _ in 0..500 {
+            let end = m.epoch_end();
+            assert!(end > last, "epoch end {end:?} not after {last:?}");
+            m.advance(end, &mut rng);
+            last = end;
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = cfg();
+        let run = |seed| {
+            let mut rng = Rng::new(seed);
+            let mut m = RandomWaypoint::random_start(c, &mut rng);
+            for _ in 0..20 {
+                let e = m.epoch_end();
+                m.advance(e, &mut rng);
+            }
+            let p = m.position(m.epoch_end());
+            (p.x, p.y)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-node energy accounting.
+//!
+//! The paper's central efficiency argument is that indiscriminate broadcast
+//! drains batteries: "each message transmitted or received consumes energy,
+//! which is a restrict resource". The meter charges a cost per transmitted
+//! and received byte (plus fixed per-frame overheads) against a battery
+//! budget, giving the network-lifetime estimates the extension experiments
+//! report.
+
+use crate::config::RadioCfg;
+
+/// Tracks the remaining battery of one node, in millijoules.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyMeter {
+    capacity_mj: f64,
+    spent_tx_mj: f64,
+    spent_rx_mj: f64,
+}
+
+impl EnergyMeter {
+    /// A meter with `capacity_mj` millijoules of budget. Use
+    /// [`EnergyMeter::unlimited`] when lifetime is not under study.
+    pub fn new(capacity_mj: f64) -> Self {
+        assert!(capacity_mj > 0.0, "battery capacity must be positive");
+        EnergyMeter {
+            capacity_mj,
+            spent_tx_mj: 0.0,
+            spent_rx_mj: 0.0,
+        }
+    }
+
+    /// A meter that never depletes (capacity = +inf) but still accumulates
+    /// spending, so consumption metrics remain available.
+    pub fn unlimited() -> Self {
+        EnergyMeter {
+            capacity_mj: f64::INFINITY,
+            spent_tx_mj: 0.0,
+            spent_rx_mj: 0.0,
+        }
+    }
+
+    /// Charge one transmission of `bytes`.
+    pub fn charge_tx(&mut self, cfg: &RadioCfg, bytes: u32) {
+        self.spent_tx_mj += cfg.tx_mj_base + cfg.tx_mj_per_byte * bytes as f64;
+    }
+
+    /// Charge one reception of `bytes`.
+    pub fn charge_rx(&mut self, cfg: &RadioCfg, bytes: u32) {
+        self.spent_rx_mj += cfg.rx_mj_base + cfg.rx_mj_per_byte * bytes as f64;
+    }
+
+    /// Total energy spent so far, millijoules.
+    pub fn spent_mj(&self) -> f64 {
+        self.spent_tx_mj + self.spent_rx_mj
+    }
+
+    /// Energy spent transmitting, millijoules.
+    pub fn spent_tx_mj(&self) -> f64 {
+        self.spent_tx_mj
+    }
+
+    /// Energy spent receiving, millijoules.
+    pub fn spent_rx_mj(&self) -> f64 {
+        self.spent_rx_mj
+    }
+
+    /// Remaining budget, millijoules (never negative; +inf when unlimited).
+    pub fn remaining_mj(&self) -> f64 {
+        (self.capacity_mj - self.spent_mj()).max(0.0)
+    }
+
+    /// Fraction of the budget left, in `[0, 1]` (1.0 when unlimited).
+    pub fn level(&self) -> f64 {
+        if self.capacity_mj.is_infinite() {
+            1.0
+        } else {
+            self.remaining_mj() / self.capacity_mj
+        }
+    }
+
+    /// True once the budget is exhausted — the node is dead and the world
+    /// stops delivering to or transmitting from it.
+    pub fn is_depleted(&self) -> bool {
+        self.spent_mj() >= self.capacity_mj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RadioCfg {
+        RadioCfg::paper()
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let c = cfg();
+        let mut m = EnergyMeter::new(1000.0);
+        m.charge_tx(&c, 100);
+        m.charge_rx(&c, 100);
+        let expect_tx = c.tx_mj_base + 100.0 * c.tx_mj_per_byte;
+        let expect_rx = c.rx_mj_base + 100.0 * c.rx_mj_per_byte;
+        assert!((m.spent_tx_mj() - expect_tx).abs() < 1e-12);
+        assert!((m.spent_rx_mj() - expect_rx).abs() < 1e-12);
+        assert!((m.spent_mj() - (expect_tx + expect_rx)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tx_costs_more_than_rx() {
+        let c = cfg();
+        let mut tx = EnergyMeter::new(1000.0);
+        let mut rx = EnergyMeter::new(1000.0);
+        tx.charge_tx(&c, 500);
+        rx.charge_rx(&c, 500);
+        assert!(tx.spent_mj() > rx.spent_mj());
+    }
+
+    #[test]
+    fn depletion_and_level() {
+        let c = cfg();
+        let mut m = EnergyMeter::new(1.0);
+        assert!(!m.is_depleted());
+        assert_eq!(m.level(), 1.0);
+        for _ in 0..1000 {
+            m.charge_tx(&c, 100);
+        }
+        assert!(m.is_depleted());
+        assert_eq!(m.remaining_mj(), 0.0);
+        assert_eq!(m.level(), 0.0);
+    }
+
+    #[test]
+    fn unlimited_never_depletes() {
+        let c = cfg();
+        let mut m = EnergyMeter::unlimited();
+        for _ in 0..100_000 {
+            m.charge_tx(&c, 1500);
+        }
+        assert!(!m.is_depleted());
+        assert_eq!(m.level(), 1.0);
+        assert!(m.spent_mj() > 0.0, "spending still tracked");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        EnergyMeter::new(0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # manet-radio — range-based wireless medium
+//!
+//! The physical layer of the MANET substrate. The model is the one the
+//! paper's metrics are sensitive to, and no more:
+//!
+//! * **unit-disc connectivity** — a frame transmitted at position `p`
+//!   reaches exactly the nodes within `range` metres (the paper: 10 m);
+//! * **per-frame latency** — serialization at the configured bitrate plus a
+//!   CSMA-like uniform random jitter that desynchronizes simultaneous
+//!   rebroadcasts (ns-2's 802.11 backoff plays this role for the authors);
+//! * **optional iid frame loss** — for robustness/ablation scenarios;
+//! * **energy accounting** — per-byte + per-frame costs for transmit and
+//!   receive, the dominant terms the paper's "network lifetime" argument
+//!   rests on.
+//!
+//! A fuzzy coverage edge ([`RadioCfg::fuzz`]) optionally replaces the hard
+//! unit disc for the paper's wireless-coverage sweeps. What is deliberately
+//! *not* modelled: carrier sensing with collisions, capture effects,
+//! fading. At pedestrian speeds and the paper's message rates the network
+//! is far from saturation, and the reported metrics (message counts per
+//! node, hop distances) do not depend on those effects. DESIGN.md records
+//! this substitution.
+
+pub mod config;
+pub mod energy;
+pub mod medium;
+pub mod stats;
+
+pub use config::RadioCfg;
+pub use energy::EnergyMeter;
+pub use medium::Medium;
+pub use stats::PhyStats;

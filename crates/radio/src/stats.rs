@@ -1,0 +1,86 @@
+//! Physical-layer counters.
+
+/// Per-node PHY statistics, updated by the world as it executes receptions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhyStats {
+    /// Frames this node put on the air.
+    pub frames_sent: u64,
+    /// Frames delivered to this node.
+    pub frames_received: u64,
+    /// Receptions destroyed by the loss process.
+    pub frames_lost: u64,
+    /// Unicasts that failed because the destination was out of range.
+    pub link_breaks: u64,
+    /// Bytes transmitted.
+    pub bytes_sent: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+}
+
+impl PhyStats {
+    /// Record a transmission of `bytes`.
+    pub fn on_send(&mut self, bytes: u32) {
+        self.frames_sent += 1;
+        self.bytes_sent += bytes as u64;
+    }
+
+    /// Record a successful reception of `bytes`.
+    pub fn on_receive(&mut self, bytes: u32) {
+        self.frames_received += 1;
+        self.bytes_received += bytes as u64;
+    }
+
+    /// Record a lost reception.
+    pub fn on_loss(&mut self) {
+        self.frames_lost += 1;
+    }
+
+    /// Record a failed unicast (destination out of range).
+    pub fn on_link_break(&mut self) {
+        self.link_breaks += 1;
+    }
+
+    /// Merge another node's (or run's) counters into this one.
+    pub fn merge(&mut self, other: &PhyStats) {
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.frames_lost += other.frames_lost;
+        self.link_breaks += other.link_breaks;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = PhyStats::default();
+        s.on_send(100);
+        s.on_send(50);
+        s.on_receive(100);
+        s.on_loss();
+        s.on_link_break();
+        assert_eq!(s.frames_sent, 2);
+        assert_eq!(s.bytes_sent, 150);
+        assert_eq!(s.frames_received, 1);
+        assert_eq!(s.bytes_received, 100);
+        assert_eq!(s.frames_lost, 1);
+        assert_eq!(s.link_breaks, 1);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = PhyStats::default();
+        a.on_send(10);
+        let mut b = PhyStats::default();
+        b.on_send(20);
+        b.on_receive(5);
+        a.merge(&b);
+        assert_eq!(a.frames_sent, 2);
+        assert_eq!(a.bytes_sent, 30);
+        assert_eq!(a.frames_received, 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Figs 5/6: average minimum distance to the file and answers per request.
+
+use manet_sim::experiments::{cfg_from_args, fig_distance_answers, run_matrix};
+
+fn main() {
+    let cfg = cfg_from_args(&std::env::args().skip(1).collect::<Vec<_>>());
+    let matrix = run_matrix(&cfg);
+    print!("{}", fig_distance_answers(&matrix, cfg.n_nodes));
+}

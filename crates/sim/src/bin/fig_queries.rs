@@ -1,0 +1,9 @@
+//! Figs 11/12: query messages received per node, decreasingly ordered.
+
+use manet_sim::experiments::{cfg_from_args, fig_queries, run_matrix};
+
+fn main() {
+    let cfg = cfg_from_args(&std::env::args().skip(1).collect::<Vec<_>>());
+    let matrix = run_matrix(&cfg);
+    print!("{}", fig_queries(&matrix, cfg.n_nodes));
+}

@@ -1,0 +1,46 @@
+//! Regenerate every table and figure of the paper in one command.
+//!
+//! ```text
+//! reproduce [--nodes 50|150] [--paper] [--reps R] [--duration S] \
+//!           [--seed X] [--threads T] [--table1] [--table2]
+//! ```
+//!
+//! Without `--table1`/`--table2` it runs the full matrix for the chosen
+//! node count and prints Figs 5/6a+b, 7/8, 9/10 and 11/12 as TSV blocks.
+
+use manet_sim::experiments::{
+    cfg_from_args, fig_connects, fig_distance_answers, fig_pings, fig_queries, run_matrix,
+    summary_table,
+};
+use manet_sim::Scenario;
+use p2p_core::AlgoKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--table1") {
+        println!("Table 1: topologies and their characteristics\n");
+        print!("{}", p2p_core::topology::render_table_1());
+        return;
+    }
+    if args.iter().any(|a| a == "--table2") {
+        let nodes = args
+            .iter()
+            .position(|a| a == "--nodes")
+            .map_or(50, |i| args[i + 1].parse().expect("--nodes"));
+        println!("Table 2: parameters used and their typical values\n");
+        print!("{}", Scenario::paper(nodes, AlgoKind::Regular).render_table_2());
+        return;
+    }
+    let cfg = cfg_from_args(&args);
+    eprintln!(
+        "# running matrix: {} nodes, {} s, {} reps, seed {:#x}, {} threads",
+        cfg.n_nodes, cfg.duration_secs, cfg.reps, cfg.seed, cfg.threads
+    );
+    let matrix = run_matrix(&cfg);
+    println!("{}", fig_distance_answers(&matrix, cfg.n_nodes));
+    println!("{}", fig_connects(&matrix, cfg.n_nodes));
+    println!("{}", fig_pings(&matrix, cfg.n_nodes));
+    println!("{}", fig_queries(&matrix, cfg.n_nodes));
+    println!("# scalar summary");
+    print!("{}", summary_table(&matrix));
+}

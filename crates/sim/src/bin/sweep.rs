@@ -1,0 +1,127 @@
+//! Parameter sweeps (paper §8 future work): node density, radio coverage,
+//! mobility speed, mobility model, and churn — the axes the authors name
+//! for future study.
+//!
+//! ```text
+//! sweep --axis density|coverage|speed|mobility|churn [--duration S] [--reps R] ...
+//! ```
+
+use manet_des::SimDuration;
+use manet_sim::experiments::cfg_from_args;
+use manet_sim::{runner, ChurnCfg, MobilityKind, Scenario};
+use p2p_core::AlgoKind;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let axis = raw
+        .iter()
+        .position(|a| a == "--axis")
+        .map(|i| raw[i + 1].clone())
+        .unwrap_or_else(|| "density".into());
+    let rest: Vec<String> = {
+        let mut v = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if raw[i] == "--axis" {
+                i += 2;
+            } else {
+                v.push(raw[i].clone());
+                i += 1;
+            }
+        }
+        v
+    };
+    let mut cfg = cfg_from_args(&rest);
+    if !rest.iter().any(|a| a == "--duration") {
+        cfg.duration_secs = 600; // sweeps trade duration for breadth
+    }
+    println!("axis\tvalue\talgorithm\tqueries\tanswers\tavg_conns\tframes\tavg_energy_mJ");
+    let algos = [AlgoKind::Basic, AlgoKind::Regular];
+    match axis.as_str() {
+        "density" => {
+            for n in [25usize, 50, 75, 100] {
+                for algo in algos {
+                    let mut s = Scenario::paper(n, algo);
+                    s.duration = SimDuration::from_secs(cfg.duration_secs);
+                    report("density", n as f64, algo, &s, &cfg);
+                }
+            }
+        }
+        "coverage" => {
+            for range in [5.0f64, 10.0, 15.0, 20.0] {
+                for algo in algos {
+                    let mut s = Scenario::paper(cfg.n_nodes, algo);
+                    s.radio.range_m = range;
+                    s.duration = SimDuration::from_secs(cfg.duration_secs);
+                    report("coverage", range, algo, &s, &cfg);
+                }
+            }
+        }
+        "speed" => {
+            for speed in [0.5f64, 1.0, 2.0, 5.0] {
+                for algo in algos {
+                    let mut s = Scenario::paper(cfg.n_nodes, algo);
+                    s.mobility = MobilityKind::Waypoint {
+                        max_speed: speed,
+                        max_pause: 100.0,
+                    };
+                    s.duration = SimDuration::from_secs(cfg.duration_secs);
+                    report("speed", speed, algo, &s, &cfg);
+                }
+            }
+        }
+        "mobility" => {
+            let models: [(&str, MobilityKind); 4] = [
+                ("waypoint", MobilityKind::Waypoint { max_speed: 1.0, max_pause: 100.0 }),
+                ("walk", MobilityKind::Walk { max_speed: 1.0 }),
+                ("gauss_markov", MobilityKind::GaussMarkov),
+                (
+                    "rpgm_groups",
+                    MobilityKind::Groups { n_groups: 8, max_speed: 1.0, group_radius: 10.0 },
+                ),
+            ];
+            for (ix, (name, model)) in models.into_iter().enumerate() {
+                for algo in algos {
+                    let mut s = Scenario::paper(cfg.n_nodes, algo);
+                    s.mobility = model;
+                    s.duration = SimDuration::from_secs(cfg.duration_secs);
+                    report(name, ix as f64, algo, &s, &cfg);
+                }
+            }
+        }
+        "churn" => {
+            for mean_uptime in [600.0f64, 300.0, 120.0] {
+                for algo in algos {
+                    let mut s = Scenario::paper(cfg.n_nodes, algo);
+                    s.churn = Some(ChurnCfg {
+                        mean_uptime,
+                        mean_downtime: 60.0,
+                    });
+                    s.duration = SimDuration::from_secs(cfg.duration_secs);
+                    report("churn_uptime", mean_uptime, algo, &s, &cfg);
+                }
+            }
+        }
+        other => panic!("unknown axis {other}: density|coverage|speed|mobility|churn"),
+    }
+}
+
+fn report(
+    axis: &str,
+    value: f64,
+    algo: AlgoKind,
+    s: &Scenario,
+    cfg: &manet_sim::ExperimentCfg,
+) {
+    let results = runner::run_replications(s, cfg.reps.min(3), cfg.seed, cfg.threads);
+    let agg = runner::aggregate(&results, s.catalog.n_files as usize);
+    println!(
+        "{axis}\t{value}\t{}\t{:.1}\t{:.1}\t{:.2}\t{:.0}\t{:.1}",
+        algo.name(),
+        agg.queries_issued.mean,
+        agg.answers.mean,
+        agg.avg_connections.mean,
+        agg.frames_sent.mean,
+        agg.energy_mj.mean
+    );
+}

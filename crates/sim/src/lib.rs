@@ -1,0 +1,18 @@
+//! # manet-sim — scenario orchestration and experiment harness
+//!
+//! Ties the substrate crates into runnable worlds and reproduces the
+//! paper's evaluation (see DESIGN.md for the experiment index).
+
+pub mod experiments;
+pub mod payload;
+pub mod runner;
+pub mod scenario;
+pub mod trace;
+pub mod world;
+
+pub use experiments::{run_matrix, ExperimentCfg};
+pub use payload::AppMsg;
+pub use runner::{aggregate, run_replications, Aggregate};
+pub use scenario::{ChurnCfg, MobilityKind, Scenario};
+pub use trace::{TraceEvent, TraceLog};
+pub use world::{RunResult, World};

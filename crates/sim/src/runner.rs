@@ -1,0 +1,166 @@
+//! Parallel replication runner.
+//!
+//! A single world is inherently sequential (one global event order), but
+//! replications and parameter-sweep points are independent — the paper runs
+//! every scenario 33 times. This module fans replications out over a
+//! crossbeam worker pool with deterministic per-replication seeds, so the
+//! aggregate is identical whatever the thread count (including 1).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use manet_metrics::{average_series, FileMetrics, MsgKind, Summary};
+use parking_lot::Mutex;
+
+use crate::scenario::Scenario;
+use crate::world::{RunResult, World};
+
+/// Derive the seed of replication `rep` from an experiment seed.
+///
+/// SplitMix-style mixing keeps neighbouring reps statistically independent.
+pub fn replication_seed(base: u64, rep: usize) -> u64 {
+    let mut s = base ^ (rep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    s = manet_des::rng::splitmix64(&mut s);
+    s
+}
+
+/// Run `reps` replications of `scenario` on up to `threads` workers.
+///
+/// Results come back ordered by replication index regardless of which
+/// worker finished first.
+pub fn run_replications(scenario: &Scenario, reps: usize, base_seed: u64, threads: usize) -> Vec<RunResult> {
+    assert!(reps >= 1, "need at least one replication");
+    let threads = threads.max(1).min(reps);
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..reps).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let rep = next.fetch_add(1, Ordering::Relaxed);
+                if rep >= reps {
+                    break;
+                }
+                let seed = replication_seed(base_seed, rep);
+                let result = World::new(scenario.clone(), seed).run();
+                results.lock()[rep] = Some(result);
+            });
+        }
+    })
+    .expect("replication worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every replication filled"))
+        .collect()
+}
+
+/// Replication-aggregated metrics for one (scenario, algorithm) cell.
+pub struct Aggregate {
+    /// Averaged decreasing per-node connect-message curve (Figs 7–8).
+    pub connects_sorted: Vec<f64>,
+    /// Averaged decreasing per-node ping curve (Figs 9–10).
+    pub pings_sorted: Vec<f64>,
+    /// Averaged decreasing per-node query curve (Figs 11–12).
+    pub queries_sorted: Vec<f64>,
+    /// Merged per-file accumulators (Figs 5–6).
+    pub files: FileMetrics,
+    /// Across-replication summaries of scalar outcomes.
+    pub queries_issued: Summary,
+    /// Answers received per run.
+    pub answers: Summary,
+    /// Mean connections per member at the end of each run.
+    pub avg_connections: Summary,
+    /// Total frames transmitted per run.
+    pub frames_sent: Summary,
+    /// Mean energy spent per node and run, millijoules.
+    pub energy_mj: Summary,
+    /// Final role census summed over runs: [servent, initial, reserved,
+    /// master, slave].
+    pub roles: [usize; 5],
+    /// Replications aggregated.
+    pub reps: usize,
+}
+
+/// Aggregate a set of replications of the same scenario.
+pub fn aggregate(results: &[RunResult], n_files: usize) -> Aggregate {
+    assert!(!results.is_empty());
+    let collect_sorted = |kind: MsgKind| -> Vec<f64> {
+        let runs: Vec<Vec<u64>> = results
+            .iter()
+            .map(|r| r.counters.sorted_desc(kind, &r.members))
+            .collect();
+        average_series(&runs)
+    };
+    let mut files = FileMetrics::new(n_files);
+    let mut roles = [0usize; 5];
+    for r in results {
+        files.merge(&r.file_metrics);
+        for (acc, v) in roles.iter_mut().zip(r.roles.iter()) {
+            *acc += v;
+        }
+    }
+    let scalar = |f: &dyn Fn(&RunResult) -> f64| -> Summary {
+        Summary::from_slice(&results.iter().map(f).collect::<Vec<_>>())
+    };
+    Aggregate {
+        connects_sorted: collect_sorted(MsgKind::Connect),
+        pings_sorted: collect_sorted(MsgKind::Ping),
+        queries_sorted: collect_sorted(MsgKind::Query),
+        files,
+        queries_issued: scalar(&|r| r.queries_issued as f64),
+        answers: scalar(&|r| r.answers_received as f64),
+        avg_connections: scalar(&|r| r.avg_connections),
+        frames_sent: scalar(&|r| r.phy_total.frames_sent as f64),
+        energy_mj: scalar(&|r| {
+            if r.energy_mj.is_empty() {
+                0.0
+            } else {
+                r.energy_mj.iter().sum::<f64>() / r.energy_mj.len() as f64
+            }
+        }),
+        roles,
+        reps: results.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_core::AlgoKind;
+
+    #[test]
+    fn seeds_are_distinct_and_deterministic() {
+        let a = replication_seed(42, 0);
+        let b = replication_seed(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, replication_seed(42, 0));
+        assert_ne!(replication_seed(43, 0), a);
+    }
+
+    #[test]
+    fn runner_returns_ordered_deterministic_results() {
+        let s = Scenario::quick(15, AlgoKind::Regular, 60);
+        let one_thread = run_replications(&s, 3, 5, 1);
+        let many_threads = run_replications(&s, 3, 5, 4);
+        assert_eq!(one_thread.len(), 3);
+        for (a, b) in one_thread.iter().zip(&many_threads) {
+            assert_eq!(a.events, b.events, "thread count must not matter");
+            assert_eq!(a.queries_issued, b.queries_issued);
+        }
+    }
+
+    #[test]
+    fn aggregate_summarizes() {
+        let s = Scenario::quick(15, AlgoKind::Basic, 120);
+        let results = run_replications(&s, 2, 9, 2);
+        let agg = aggregate(&results, s.catalog.n_files as usize);
+        assert_eq!(agg.reps, 2);
+        assert_eq!(agg.connects_sorted.len(), s.n_members());
+        assert!(agg.frames_sent.mean > 0.0);
+        // Sorted series must be non-increasing.
+        for w in agg.connects_sorted.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Scenario configuration — the programmatic form of Table 2.
+
+use manet_aodv::AodvCfg;
+use manet_des::SimDuration;
+use manet_geom::Rect;
+use manet_radio::RadioCfg;
+use p2p_content::{Catalog, QueryCfg};
+use p2p_core::{AlgoKind, OverlayParams};
+
+/// Which mobility model the scenario's nodes follow.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MobilityKind {
+    /// The paper's Random Waypoint (max speed / max pause in SI units).
+    Waypoint {
+        /// Maximum node speed in m/s (paper: 1.0).
+        max_speed: f64,
+        /// Maximum pause in seconds (paper: 100.0).
+        max_pause: f64,
+    },
+    /// Random walk at walking pace (mobility-model ablations).
+    Walk {
+        /// Maximum node speed in m/s.
+        max_speed: f64,
+    },
+    /// Gauss-Markov correlated motion (ablations).
+    GaussMarkov,
+    /// Reference Point Group Mobility: nodes move in teams around
+    /// replicated group leaders (rescue squads, tour groups).
+    Groups {
+        /// Number of teams; nodes are dealt round-robin.
+        n_groups: usize,
+        /// Leader maximum speed, m/s.
+        max_speed: f64,
+        /// Members stay within this radius of their leader, metres.
+        group_radius: f64,
+    },
+    /// Frozen topology (sanity runs and tests).
+    Stationary,
+}
+
+/// Node churn (future-work extension): members alternate between up and
+/// down with exponentially distributed dwell times.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnCfg {
+    /// Mean time a node stays up, seconds.
+    pub mean_uptime: f64,
+    /// Mean time a node stays down, seconds.
+    pub mean_downtime: f64,
+}
+
+/// A full experiment description. `Scenario::paper(...)` reproduces
+/// Table 2; every field can be overridden for sweeps and ablations.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Total nodes in the ad-hoc network (paper: 50 or 150).
+    pub n_nodes: usize,
+    /// Square area side in metres (paper: 100).
+    pub area_side: f64,
+    /// Fraction of nodes participating in the p2p overlay (paper: 0.75).
+    pub member_fraction: f64,
+    /// Which (re)configuration algorithm members run.
+    pub algo: AlgoKind,
+    /// Radio model (paper: 10 m range).
+    pub radio: RadioCfg,
+    /// Overlay constants (Table 2).
+    pub overlay: OverlayParams,
+    /// Routing constants.
+    pub aodv: AodvCfg,
+    /// File catalogue (20 files, Zipf 40 %).
+    pub catalog: Catalog,
+    /// Query workload (TTL 6, 30 s wait, 15–45 s think).
+    pub query: QueryCfg,
+    /// Mobility model (paper: Random Waypoint <= 1 m/s, <= 100 s pause).
+    pub mobility: MobilityKind,
+    /// Simulated time (paper: 3600 s).
+    pub duration: SimDuration,
+    /// Members join the overlay at uniform times within this window, so
+    /// the population does not probe in phase at t = 0.
+    pub join_window: SimDuration,
+    /// How often a moving node refreshes its grid position (position error
+    /// is bounded by `max_speed * position_refresh`).
+    pub position_refresh: SimDuration,
+    /// Hybrid qualifiers are drawn uniformly from this inclusive range.
+    pub qualifier_range: (u32, u32),
+    /// Battery budget per node in millijoules; `None` = unlimited (the
+    /// paper does not deplete batteries; the lifetime extension does).
+    pub battery_mj: Option<f64>,
+    /// Optional churn process (future-work extension).
+    pub churn: Option<ChurnCfg>,
+    /// Sample the overlay graph for small-world metrics at this period.
+    pub smallworld_sample: Option<SimDuration>,
+    /// Keep the last N protocol events in a trace ring (0 = off).
+    pub trace_capacity: usize,
+}
+
+impl Scenario {
+    /// The paper's scenario for a given node count and algorithm.
+    pub fn paper(n_nodes: usize, algo: AlgoKind) -> Self {
+        Scenario {
+            n_nodes,
+            area_side: 100.0,
+            member_fraction: 0.75,
+            algo,
+            radio: RadioCfg::paper(),
+            overlay: OverlayParams::default(),
+            aodv: AodvCfg::default(),
+            catalog: Catalog::default(),
+            query: QueryCfg::default(),
+            mobility: MobilityKind::Waypoint {
+                max_speed: 1.0,
+                max_pause: 100.0,
+            },
+            duration: SimDuration::from_secs(3600),
+            join_window: SimDuration::from_secs(30),
+            position_refresh: SimDuration::from_secs(1),
+            qualifier_range: (1, 100),
+            battery_mj: None,
+            churn: None,
+            smallworld_sample: None,
+            trace_capacity: 0,
+        }
+    }
+
+    /// A scaled-down variant for tests and Criterion benches: same shape,
+    /// shorter clock.
+    pub fn quick(n_nodes: usize, algo: AlgoKind, secs: u64) -> Self {
+        let mut s = Self::paper(n_nodes, algo);
+        s.duration = SimDuration::from_secs(secs);
+        s.join_window = SimDuration::from_secs(secs.min(10));
+        s
+    }
+
+    /// The simulation area.
+    pub fn area(&self) -> Rect {
+        Rect::sized(self.area_side, self.area_side)
+    }
+
+    /// Number of overlay members (`round(n * fraction)`).
+    pub fn n_members(&self) -> usize {
+        ((self.n_nodes as f64 * self.member_fraction).round() as usize).min(self.n_nodes)
+    }
+
+    /// Panics if the configuration is out of domain.
+    pub fn validate(&self) {
+        assert!(self.n_nodes >= 2, "need at least two nodes");
+        assert!(self.area_side > 0.0);
+        assert!((0.0..=1.0).contains(&self.member_fraction));
+        assert!(self.n_members() >= 1, "at least one member required");
+        assert!(!self.duration.is_zero());
+        assert!(!self.position_refresh.is_zero());
+        assert!(self.qualifier_range.0 <= self.qualifier_range.1);
+        self.radio.validate();
+        self.overlay.validate();
+        self.aodv.validate();
+        self.catalog.validate();
+        if let Some(c) = &self.churn {
+            assert!(c.mean_uptime > 0.0 && c.mean_downtime > 0.0);
+        }
+        if let MobilityKind::Groups { n_groups, .. } = self.mobility {
+            assert!(n_groups >= 1, "need at least one group");
+        }
+    }
+
+    /// Render the effective parameters in the shape of the paper's Table 2.
+    pub fn render_table_2(&self) -> String {
+        let mobility = match self.mobility {
+            MobilityKind::Waypoint {
+                max_speed,
+                max_pause,
+            } => format!("Random Waypoint (<= {max_speed} m/s, pause <= {max_pause} s)"),
+            MobilityKind::Walk { max_speed } => format!("Random Walk (<= {max_speed} m/s)"),
+            MobilityKind::GaussMarkov => "Gauss-Markov".into(),
+            MobilityKind::Groups {
+                n_groups,
+                max_speed,
+                group_radius,
+            } => format!(
+                "RPGM ({n_groups} groups, <= {max_speed} m/s, radius {group_radius} m)"
+            ),
+            MobilityKind::Stationary => "Stationary".into(),
+        };
+        let rows: Vec<(String, String)> = vec![
+            ("transmission range".into(), format!("{} m", self.radio.range_m)),
+            ("number of nodes".into(), format!("{}", self.n_nodes)),
+            (
+                "p2p members".into(),
+                format!("{} ({:.0}%)", self.n_members(), self.member_fraction * 100.0),
+            ),
+            ("area".into(), format!("{0} m x {0} m", self.area_side)),
+            ("mobility".into(), mobility),
+            (
+                "number of distinct searchable files".into(),
+                format!("{}", self.catalog.n_files),
+            ),
+            (
+                "frequency of the most popular file".into(),
+                format!("{:.0}%", self.catalog.max_freq * 100.0),
+            ),
+            (
+                "NHOPS_INITIAL".into(),
+                format!("{} ad-hoc hops", self.overlay.nhops_initial),
+            ),
+            ("MAXNHOPS".into(), format!("{} ad-hoc hops", self.overlay.max_nhops)),
+            (
+                "NHOPS (Basic Algorithm)".into(),
+                format!("{} ad-hoc hops", self.overlay.nhops_basic),
+            ),
+            ("MAXDIST".into(), format!("{} ad-hoc hops", self.overlay.max_dist)),
+            ("MAXNCONN".into(), format!("{}", self.overlay.max_conn)),
+            ("MAXNSLAVES".into(), format!("{}", self.overlay.max_slaves)),
+            ("TTL for queries".into(), format!("{} p2p hops", self.query.ttl)),
+            (
+                "simulated time".into(),
+                format!("{:.0} s", self.duration.as_secs_f64()),
+            ),
+        ];
+        let mut s = String::new();
+        for (k, v) in rows {
+            s.push_str(&format!("{k:<40}{v}\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenarios_validate() {
+        for n in [50, 150] {
+            for algo in AlgoKind::ALL {
+                let s = Scenario::paper(n, algo);
+                s.validate();
+                let expect = (n as f64 * 0.75).round() as usize;
+                assert_eq!(s.n_members(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn member_count_rounds() {
+        let s = Scenario::paper(50, AlgoKind::Basic);
+        assert_eq!(s.n_members(), 38, "75% of 50 rounds to 38");
+        let s = Scenario::paper(150, AlgoKind::Basic);
+        assert_eq!(s.n_members(), 113, "75% of 150 rounds to 113");
+    }
+
+    #[test]
+    fn table_2_mentions_all_constants() {
+        let s = Scenario::paper(50, AlgoKind::Regular);
+        let t = s.render_table_2();
+        for needle in [
+            "10 m",
+            "MAXNCONN",
+            "MAXNSLAVES",
+            "MAXDIST",
+            "NHOPS_INITIAL",
+            "40%",
+            "6 p2p hops",
+            "3600 s",
+        ] {
+            assert!(t.contains(needle), "Table 2 missing {needle}:\n{t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two nodes")]
+    fn degenerate_scenario_rejected() {
+        let mut s = Scenario::paper(50, AlgoKind::Basic);
+        s.n_nodes = 1;
+        s.validate();
+    }
+}

@@ -1,0 +1,211 @@
+//! Event tracing: a bounded, zero-cost-when-off protocol trace.
+//!
+//! Debugging a distributed protocol inside a discrete-event simulation is
+//! miserable without a record of *who did what, when*. [`TraceLog`] keeps
+//! the last `capacity` interesting events in a ring buffer; worlds record
+//! into it when [`Scenario::trace_capacity`](crate::Scenario) is non-zero
+//! and expose it on the [`RunResult`](crate::RunResult). Rendering is
+//! plain text, one event per line, suitable for diffing two runs.
+
+use std::collections::VecDeque;
+
+use manet_des::{NodeId, SimTime};
+use manet_metrics::MsgKind;
+use p2p_core::Role;
+
+/// One traced occurrence.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A member joined the overlay.
+    Join {
+        /// The node.
+        node: NodeId,
+    },
+    /// An overlay/content message was delivered to a member.
+    DeliverUp {
+        /// The receiving member.
+        node: NodeId,
+        /// Who originated the message.
+        from: NodeId,
+        /// The figure category.
+        kind: MsgKind,
+        /// Ad-hoc hops travelled.
+        hops: u8,
+    },
+    /// An overlay connection reached the established state (recorded from
+    /// the neighbor-set delta, so both endpoints appear).
+    ConnUp {
+        /// The observing node.
+        node: NodeId,
+        /// The new neighbor.
+        peer: NodeId,
+    },
+    /// An overlay connection went away.
+    ConnDown {
+        /// The observing node.
+        node: NodeId,
+        /// The lost neighbor.
+        peer: NodeId,
+    },
+    /// A hybrid node changed role.
+    RoleChange {
+        /// The node.
+        node: NodeId,
+        /// Its new role.
+        role: Role,
+    },
+    /// Churn or battery exhaustion toggled a node.
+    PowerChange {
+        /// The node.
+        node: NodeId,
+        /// True = came up, false = went down.
+        up: bool,
+    },
+}
+
+/// A bounded event trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    events: VecDeque<(SimTime, TraceEvent)>,
+    capacity: usize,
+    /// Total events offered, including those evicted from the ring.
+    offered: u64,
+}
+
+impl TraceLog {
+    /// A log keeping at most `capacity` events (0 disables recording).
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            offered: 0,
+        }
+    }
+
+    /// Whether recording is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record an event (drops the oldest when full; no-op when disabled).
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.offered += 1;
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back((at, event));
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(SimTime, TraceEvent)> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events seen (retained + evicted).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Render the retained events as text, one per line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (at, e) in &self.events {
+            let line = match e {
+                TraceEvent::Join { node } => format!("{at} {node} JOIN"),
+                TraceEvent::DeliverUp {
+                    node,
+                    from,
+                    kind,
+                    hops,
+                } => format!("{at} {node} RX {} from {from} ({hops} hops)", kind.name()),
+                TraceEvent::ConnUp { node, peer } => format!("{at} {node} CONN+ {peer}"),
+                TraceEvent::ConnDown { node, peer } => format!("{at} {node} CONN- {peer}"),
+                TraceEvent::RoleChange { node, role } => {
+                    format!("{at} {node} ROLE {role:?}")
+                }
+                TraceEvent::PowerChange { node, up } => {
+                    format!("{at} {node} {}", if *up { "UP" } else { "DOWN" })
+                }
+            };
+            s.push_str(&line);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::new(0);
+        log.record(t(1), TraceEvent::Join { node: NodeId(1) });
+        assert!(!log.enabled());
+        assert!(log.is_empty());
+        assert_eq!(log.offered(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut log = TraceLog::new(2);
+        for k in 0..5u32 {
+            log.record(t(k as u64), TraceEvent::Join { node: NodeId(k) });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.offered(), 5);
+        let kept: Vec<u32> = log
+            .events()
+            .map(|(_, e)| match e {
+                TraceEvent::Join { node } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![3, 4], "newest survive");
+    }
+
+    #[test]
+    fn render_is_one_line_per_event() {
+        let mut log = TraceLog::new(8);
+        log.record(t(1), TraceEvent::Join { node: NodeId(3) });
+        log.record(
+            t(2),
+            TraceEvent::DeliverUp {
+                node: NodeId(3),
+                from: NodeId(5),
+                kind: MsgKind::Ping,
+                hops: 2,
+            },
+        );
+        log.record(t(3), TraceEvent::ConnUp { node: NodeId(3), peer: NodeId(5) });
+        log.record(t(4), TraceEvent::ConnDown { node: NodeId(3), peer: NodeId(5) });
+        log.record(t(5), TraceEvent::RoleChange { node: NodeId(3), role: Role::Master });
+        log.record(t(6), TraceEvent::PowerChange { node: NodeId(3), up: false });
+        let text = log.render();
+        assert_eq!(text.lines().count(), 6);
+        assert!(text.contains("JOIN"));
+        assert!(text.contains("RX ping from n5 (2 hops)"));
+        assert!(text.contains("CONN+ n5"));
+        assert!(text.contains("CONN- n5"));
+        assert!(text.contains("ROLE Master"));
+        assert!(text.contains("n3 DOWN"));
+    }
+}

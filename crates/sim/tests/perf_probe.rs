@@ -1,0 +1,16 @@
+//! Manual perf probe (run with --ignored).
+use manet_sim::{Scenario, World};
+use p2p_core::AlgoKind;
+
+#[test]
+#[ignore = "manual timing probe"]
+fn time_scaling() {
+    let start = std::time::Instant::now();
+    let r = World::new(Scenario::paper(50, AlgoKind::Regular), 1).run();
+    eprintln!("50 nodes, 3600s: {:.2?}, {} events", start.elapsed(), r.events);
+    for secs in [300u64, 900] {
+        let start = std::time::Instant::now();
+        let r = World::new(Scenario::quick(150, AlgoKind::Regular, secs), 1).run();
+        eprintln!("150 nodes, {secs}s sim: {:.2?}, {} events", start.elapsed(), r.events);
+    }
+}

@@ -1,0 +1,74 @@
+//! Small-world laboratory: does the Random algorithm's rewiring show?
+//!
+//! §6.1.2 builds the Random algorithm on Watts-Strogatz rewiring; §7.4
+//! admits the effect did not surface at 50/150 nodes because the network
+//! was too small (n must be much larger than k) and too dynamic. This
+//! example probes both regimes:
+//!
+//! 1. the overlay graphs the simulator actually builds (Regular vs Random),
+//!    sampled mid-run;
+//! 2. a static Watts-Strogatz construction at the same scale, as the
+//!    theoretical reference point.
+//!
+//! ```text
+//! cargo run --release --example small_world_lab
+//! ```
+
+use p2p_adhoc::des::{Rng, SimDuration};
+use p2p_adhoc::graph::{small_world, Graph};
+use p2p_adhoc::prelude::*;
+
+fn main() {
+    println!("== simulated overlays (sampled every 120 s) ==");
+    println!("algorithm\tsamples\tC\tL\tsigma");
+    for algo in [AlgoKind::Regular, AlgoKind::Random] {
+        let mut scenario = Scenario::quick(60, algo, 600);
+        scenario.smallworld_sample = Some(SimDuration::from_secs(120));
+        let result = World::new(scenario, 5).run();
+        if result.smallworld.is_empty() {
+            println!("{}\t0\t-\t-\t-", algo.name());
+            continue;
+        }
+        let n = result.smallworld.len() as f64;
+        let c: f64 = result.smallworld.iter().map(|(_, s)| s.clustering).sum::<f64>() / n;
+        let l: f64 = result.smallworld.iter().map(|(_, s)| s.path_length).sum::<f64>() / n;
+        let sigma: f64 = result.smallworld.iter().map(|(_, s)| s.sigma).sum::<f64>() / n;
+        println!("{}\t{}\t{c:.3}\t{l:.3}\t{sigma:.3}", algo.name(), result.smallworld.len());
+    }
+
+    println!("\n== static Watts-Strogatz reference (n = 400, k = 6) ==");
+    println!("rewiring_p\tC\tL\tsigma");
+    let mut rng = Rng::new(9);
+    for p in [0.0, 0.01, 0.05, 0.2, 1.0] {
+        let g = watts_strogatz(400, 6, p, &mut rng);
+        if let Some(sw) = small_world(&g) {
+            println!("{p}\t{:.3}\t{:.3}\t{:.3}", sw.clustering, sw.path_length, sw.sigma);
+        }
+    }
+    println!(
+        "\nReading: the static construction shows the classic signature \
+         (sigma peaks at small p); the simulated overlays sit in the paper's \
+         'too small, too dynamic' regime, which is why §7.4 saw no effect."
+    );
+}
+
+/// The Watts-Strogatz construction: ring lattice + probabilistic rewiring.
+fn watts_strogatz(n: u32, k: u32, p: f64, rng: &mut Rng) -> Graph {
+    let mut g = Graph::new(n as usize);
+    for v in 0..n {
+        for j in 1..=(k / 2) {
+            let w = (v + j) % n;
+            if rng.chance(p) {
+                // Rewire to a uniformly random non-self endpoint.
+                let mut r = rng.below(n as u64) as u32;
+                if r == v {
+                    r = (r + 1) % n;
+                }
+                g.add_edge(v, r);
+            } else {
+                g.add_edge(v, w);
+            }
+        }
+    }
+    g
+}

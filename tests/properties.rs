@@ -1,0 +1,127 @@
+//! Property-based tests over the public API: protocol invariants that must
+//! hold for *any* seed, scenario size, or message interleaving.
+
+use proptest::prelude::*;
+
+use p2p_adhoc::core::{
+    build_algo, AlgoKind, ConnKind, ConnTable, OvAction, OverlayMsg, OverlayParams, ProbeKind,
+};
+use p2p_adhoc::des::{NodeId, Rng, SimDuration, SimTime};
+use p2p_adhoc::metrics::MsgKind;
+use p2p_adhoc::prelude::{Scenario, World};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Whatever the seed, a world terminates and its conservation laws
+    /// hold: receptions never exceed transmissions times the possible
+    /// audience, members stay members, energy is non-negative.
+    #[test]
+    fn world_invariants_hold_for_any_seed(seed in any::<u64>()) {
+        let scenario = Scenario::quick(18, AlgoKind::Regular, 90);
+        let n_members = scenario.n_members();
+        let r = World::new(scenario, seed).run();
+        prop_assert_eq!(r.members.len(), n_members);
+        prop_assert!(r.phy_total.frames_received <= r.phy_total.frames_sent * 18);
+        prop_assert!(r.energy_mj.iter().all(|&e| e >= 0.0));
+        prop_assert!(r.answers_received <= r.counters.total(MsgKind::QueryHit));
+        // Closed connections can exceed established ones only via pending
+        // handshakes that never completed; both sides are bounded.
+        prop_assert!(r.conns_closed <= r.conns_established + r.counters.total(MsgKind::Connect));
+    }
+
+    /// The same seed gives the same world, for every algorithm.
+    #[test]
+    fn determinism_for_any_algorithm(seed in any::<u64>(), algo_ix in 0usize..4) {
+        let algo = AlgoKind::ALL[algo_ix];
+        let a = World::new(Scenario::quick(14, algo, 60), seed).run();
+        let b = World::new(Scenario::quick(14, algo, 60), seed).run();
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.phy_total, b.phy_total);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// An algorithm fed arbitrary message sequences never panics, never
+    /// exceeds its connection capacity, and never emits a flood with a
+    /// zero TTL.
+    #[test]
+    fn algorithms_survive_arbitrary_message_storms(
+        seed in any::<u64>(),
+        algo_ix in 0usize..4,
+        script in proptest::collection::vec((0u8..12, 1u32..12, 0u8..15), 1..120),
+    ) {
+        let params = OverlayParams::default();
+        let mut algo = build_algo(
+            AlgoKind::ALL[algo_ix],
+            NodeId(0),
+            params,
+            50,
+            Rng::new(seed),
+        );
+        let mut now = SimTime::ZERO;
+        algo.start(now);
+        for (op, peer, hops) in script {
+            now = now + SimDuration::from_millis(250);
+            let peer = NodeId(peer);
+            let msg = match op {
+                0 => OverlayMsg::Probe { kind: ProbeKind::Basic },
+                1 => OverlayMsg::Probe { kind: ProbeKind::Regular },
+                2 => OverlayMsg::Probe { kind: ProbeKind::Random },
+                3 => OverlayMsg::Probe { kind: ProbeKind::Master },
+                4 => OverlayMsg::Offer { kind: ProbeKind::Regular },
+                5 => OverlayMsg::Accept { kind: ProbeKind::Regular },
+                6 => OverlayMsg::Confirm,
+                7 => OverlayMsg::Reject,
+                8 => OverlayMsg::Ping { token: hops as u32 },
+                9 => OverlayMsg::Pong { token: hops as u32 },
+                10 => OverlayMsg::Capture { qualifier: hops as u32 * 7 },
+                _ => OverlayMsg::SlaveRequest,
+            };
+            let actions = if matches!(msg, OverlayMsg::Probe { .. } | OverlayMsg::Capture { .. }) {
+                algo.on_flood(now, peer, hops.max(1), &msg)
+            } else {
+                algo.on_msg(now, peer, hops, &msg)
+            };
+            for a in &actions {
+                if let OvAction::Flood { ttl, .. } = a {
+                    prop_assert!(*ttl >= 1, "zero-ttl flood emitted");
+                }
+            }
+            let _ = algo.tick(now);
+            // Capacity invariant: neighbors never exceed MAXNCONN plus the
+            // hybrid slave allowance.
+            prop_assert!(
+                algo.neighbors().len() <= params.max_conn + params.max_slaves,
+                "capacity exceeded: {} neighbors",
+                algo.neighbors().len()
+            );
+        }
+    }
+
+    /// The connection table's keep-alive protocol never double-counts:
+    /// established + closed is consistent with what we drove in.
+    #[test]
+    fn conn_table_bookkeeping(ops in proptest::collection::vec((0u8..5, 1u32..6), 1..80)) {
+        let params = OverlayParams::default();
+        let mut tb = ConnTable::new();
+        let mut now = SimTime::ZERO;
+        for (op, peer) in ops {
+            now = now + SimDuration::from_secs(1);
+            let peer = NodeId(peer);
+            match op {
+                0 => { tb.open_out(peer, ConnKind::Regular, now); }
+                1 => { tb.open_in(peer, ConnKind::Random, now); }
+                2 => { tb.on_accepted(peer, now, &params); }
+                3 => { tb.on_confirmed(peer, now); }
+                _ => { tb.close(peer, p2p_adhoc::core::CloseReason::Reset); }
+            }
+            let _ = tb.tick(now, &params);
+            let stats = tb.stats();
+            prop_assert!(stats.closed_total() <= stats.established + 80);
+            prop_assert!(tb.established_count() <= tb.len());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Cross-crate protocol tests: the overlay algorithms driven over the real
+//! AODV machinery (via the routing test harness), without the full world.
+//!
+//! The sim-level tests check outcomes statistically; these check exact
+//! message choreography across crate boundaries — which overlay message
+//! rides which routing primitive, and what the hop counts look like to the
+//! upper layer.
+
+use p2p_adhoc::aodv::testkit::TestNet;
+use p2p_adhoc::aodv::Payload;
+use p2p_adhoc::core::{OverlayMsg, ProbeKind};
+use p2p_adhoc::des::NodeId;
+use p2p_adhoc::sim::AppMsg;
+
+fn assert_payload<P: Payload>() {}
+
+#[test]
+fn sim_payload_implements_routing_payload() {
+    // Compile-time check that the sim payload satisfies the routing trait.
+    assert_payload::<AppMsg>();
+}
+
+#[test]
+fn overlay_probe_rides_the_controlled_flood() {
+    let mut net: TestNet<AppMsg> = TestNet::line(5, Default::default());
+    net.flood(
+        0,
+        2,
+        AppMsg::Overlay(OverlayMsg::Probe {
+            kind: ProbeKind::Regular,
+        }),
+    );
+    // TTL 2: nodes 1 and 2 hear it with their true ad-hoc distances.
+    let got: Vec<(u32, u8)> = net
+        .flood_delivered
+        .iter()
+        .map(|(at, _, hops, _)| (at.0, *hops))
+        .collect();
+    assert_eq!(got, vec![(1, 1), (2, 2)]);
+}
+
+#[test]
+fn offers_route_back_without_extra_discovery() {
+    // The responder answers a flood by unicast; thanks to flood route
+    // learning no RREQ is needed for the reply.
+    let mut net: TestNet<AppMsg> = TestNet::line(4, Default::default());
+    net.flood(
+        0,
+        3,
+        AppMsg::Overlay(OverlayMsg::Probe {
+            kind: ProbeKind::Regular,
+        }),
+    );
+    let rreqs_before = net.nodes[3].stats().rreqs_originated;
+    net.send(
+        3,
+        0,
+        AppMsg::Overlay(OverlayMsg::Offer {
+            kind: ProbeKind::Regular,
+        }),
+    );
+    assert_eq!(net.nodes[3].stats().rreqs_originated, rreqs_before);
+    assert_eq!(net.delivered.len(), 1);
+    let (at, src, hops, ref payload) = net.delivered[0];
+    assert_eq!(at, NodeId(0));
+    assert_eq!(src, NodeId(3));
+    assert_eq!(hops, 3, "the pong distance rule sees true ad-hoc hops");
+    assert!(matches!(
+        payload,
+        AppMsg::Overlay(OverlayMsg::Offer { kind: ProbeKind::Regular })
+    ));
+}
+
+#[test]
+fn app_payload_sizes_propagate_to_wire() {
+    use p2p_adhoc::aodv::{Data, Msg};
+    let ping = AppMsg::Overlay(OverlayMsg::Ping { token: 1 });
+    let msg: Msg<AppMsg> = Msg::Data(Data {
+        src: NodeId(0),
+        dst: NodeId(1),
+        hops: 0,
+        payload: ping.clone(),
+    });
+    assert_eq!(
+        msg.wire_size(),
+        p2p_adhoc::aodv::msg::LINK_HEADER + 16 + ping.wire_size()
+    );
+}
