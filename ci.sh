@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The tier-1 gate (see ROADMAP.md): everything here must pass fully offline
+# on a clean checkout — the workspace has zero external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== build (release) =="
+cargo build --workspace --release --offline
+
+echo "== test =="
+cargo test --workspace -q --offline
+
+echo "ci.sh: all gates passed"

@@ -34,7 +34,7 @@ pub mod testkit;
 
 pub use cfg::AodvCfg;
 pub use machine::{Action, Aodv, AodvStats};
-pub use msg::{Data, Flood, Msg, Payload, Rerr, Rreq, Rrep};
+pub use msg::{Data, Flood, Msg, Payload, Rerr, Rrep, Rreq};
 pub use table::{RouteEntry, RouteTable};
 
 #[cfg(test)]
@@ -65,7 +65,10 @@ mod tests {
     fn self_send_delivers_locally_with_zero_hops() {
         let mut net = TestNet::new(2, cfg());
         net.send(1, 1, TestPayload(9));
-        assert_eq!(net.delivered, vec![(NodeId(1), NodeId(1), 0, TestPayload(9))]);
+        assert_eq!(
+            net.delivered,
+            vec![(NodeId(1), NodeId(1), 0, TestPayload(9))]
+        );
         assert_eq!(net.frames_sent, 0, "nothing on the air");
     }
 
@@ -100,10 +103,7 @@ mod tests {
         let mut net = TestNet::line(11, cfg());
         net.send(0, 10, TestPayload(7));
         assert!(net.delivered.is_empty(), "first ring (ttl 3) cannot reach");
-        net.step_until(
-            SimTime::from_secs(10),
-            SimDuration::from_millis(100),
-        );
+        net.step_until(SimTime::from_secs(10), SimDuration::from_millis(100));
         assert_eq!(net.delivered.len(), 1);
         assert_eq!(net.delivered[0].2, 10);
     }
@@ -174,8 +174,11 @@ mod tests {
         net.flood(0, 6, TestPayload(1));
         // Each of the 3 other nodes delivers exactly once.
         assert_eq!(net.flood_delivered.len(), 3);
-        let unique: std::collections::BTreeSet<u32> =
-            net.flood_delivered.iter().map(|(at, _, _, _)| at.0).collect();
+        let unique: std::collections::BTreeSet<u32> = net
+            .flood_delivered
+            .iter()
+            .map(|(at, _, _, _)| at.0)
+            .collect();
         assert_eq!(unique.len(), 3);
     }
 
@@ -269,7 +272,10 @@ mod tests {
     #[test]
     fn next_wake_tracks_discovery_deadline() {
         let mut node: Aodv<TestPayload> = Aodv::new(NodeId(0), cfg());
-        assert!(node.next_wake() >= SimTime::from_secs(1), "only purge pending");
+        assert!(
+            node.next_wake() >= SimTime::from_secs(1),
+            "only purge pending"
+        );
         node.send(SimTime::ZERO, NodeId(9), TestPayload(1));
         let wake = node.next_wake();
         assert!(wake <= SimTime::ZERO + cfg().ring_timeout(cfg().ttl_start));

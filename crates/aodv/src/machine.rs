@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, HashMap};
 use manet_des::{NodeId, SimTime};
 
 use crate::cfg::AodvCfg;
-use crate::msg::{seq_newer, Data, Flood, Hello, Msg, Payload, Rerr, Rreq, Rrep};
+use crate::msg::{seq_newer, Data, Flood, Hello, Msg, Payload, Rerr, Rrep, Rreq};
 use crate::table::RouteTable;
 
 /// What the routing machine asks the world to do.
@@ -275,8 +275,7 @@ impl<P: Payload> Aodv<P> {
         if self.next_purge <= now {
             self.rreq_seen.retain(|_, &mut exp| exp > now);
             self.flood_seen.retain(|_, &mut exp| exp > now);
-            self.table
-                .purge(now, self.cfg.active_route_lifetime * 3);
+            self.table.purge(now, self.cfg.active_route_lifetime * 3);
             self.next_purge = now + manet_des::SimDuration::from_secs(PURGE_PERIOD_SECS);
         }
         if let Some(interval) = self.cfg.hello_interval {
@@ -367,7 +366,11 @@ impl<P: Payload> Aodv<P> {
         self.rreq_seen
             .insert((self.id, rreq_id), now + self.cfg.rreq_seen_lifetime);
         self.stats.rreqs_originated += 1;
-        let dest_seq = self.table.entry(dst).filter(|e| e.valid_seq).map(|e| e.dest_seq);
+        let dest_seq = self
+            .table
+            .entry(dst)
+            .filter(|e| e.valid_seq)
+            .map(|e| e.dest_seq);
         Action::Broadcast(Msg::Rreq(Rreq {
             origin: self.id,
             origin_seq: self.seq,
@@ -571,11 +574,7 @@ impl<P: Payload> Aodv<P> {
         } else {
             // No route at an intermediate hop: drop + RERR (RFC 3561 §6.11).
             self.stats.data_dropped += 1;
-            let seq = self
-                .table
-                .invalidate(data.dst)
-                .map(|(_, s)| s)
-                .unwrap_or(0);
+            let seq = self.table.invalidate(data.dst).map(|(_, s)| s).unwrap_or(0);
             self.stats.rerrs_sent += 1;
             out.push(Action::Broadcast(Msg::Rerr(Rerr {
                 unreachable: vec![(data.dst, seq)],

@@ -113,8 +113,7 @@ impl RouteTable {
                 let fresher = match seq {
                     Some(s) if e.valid_seq => {
                         seq_newer(s, e.dest_seq)
-                            || (s == e.dest_seq
-                                && (hop_count < e.hop_count || !e.usable(now)))
+                            || (s == e.dest_seq && (hop_count < e.hop_count || !e.usable(now)))
                     }
                     Some(_) => true, // first real sequence number wins
                     None => !e.usable(now),
@@ -370,20 +369,21 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use manet_testkit::{option_of, prop_assert, prop_assert_eq, properties, vec_of};
 
     const LIFE: SimDuration = SimDuration::from_secs(10);
 
-    proptest! {
+    properties! {
+        config = manet_testkit::Config::cases(64);
+
         /// Whatever update sequence is applied, a usable route always has a
         /// strictly future expiry, and invalidation is monotone in sequence
         /// numbers (an entry's seq never goes backwards while valid_seq).
-        #[test]
         fn updates_never_regress_sequence_numbers(
-            ops in proptest::collection::vec(
-                (1u32..6, 1u32..6, 1u8..10, proptest::option::of(0u32..50), 0u64..100),
+            ops in vec_of(
+                (1u32..6, 1u32..6, 1u8..10, option_of(0u32..50), 0u64..100),
                 1..100,
             )
         ) {
@@ -414,9 +414,8 @@ mod proptests {
 
         /// break_link leaves no valid route through the broken hop and
         /// reports each broken destination exactly once, sorted.
-        #[test]
         fn break_link_is_complete_and_sorted(
-            routes in proptest::collection::vec((1u32..8, 1u32..4, 1u8..5, 0u32..20), 1..30),
+            routes in vec_of((1u32..8, 1u32..4, 1u8..5, 0u32..20), 1..30),
             via in 1u32..4,
         ) {
             let mut rt = RouteTable::new();

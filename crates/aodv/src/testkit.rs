@@ -141,8 +141,7 @@ impl<P: Payload> TestNet<P> {
                     if self.adj[at.index()].contains(&to.0) {
                         self.queue.push_back((at, to, msg));
                     } else {
-                        let fail =
-                            self.nodes[at.index()].on_unicast_failed(self.now, to, msg);
+                        let fail = self.nodes[at.index()].on_unicast_failed(self.now, to, msg);
                         self.execute(at, fail);
                     }
                 }

@@ -1,0 +1,75 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each ablation toggles one of the paper's four claimed improvements (or a
+//! simulator design decision) and measures the simulated network's cost via
+//! total frames transmitted — throughput of the simulation doubles as a
+//! proxy for traffic volume, and the printed count is the actual frame
+//! count of the last run.
+
+use bench::{bench_scenario, black_box, Harness};
+use manet_des::SimDuration;
+use manet_sim::World;
+use p2p_core::AlgoKind;
+
+/// Improvement 4 (Fig 2): the doubling retry timer. Ablated by pinning
+/// MAXTIMER to TIMER_INITIAL (no backoff).
+fn timer_backoff(h: &Harness) {
+    h.time("ablation_timer_backoff/with_backoff", 5, || {
+        let s = bench_scenario(40, AlgoKind::Regular, 120);
+        black_box(World::new(s, 11).run().phy_total.frames_sent)
+    });
+    h.time("ablation_timer_backoff/no_backoff", 5, || {
+        let mut s = bench_scenario(40, AlgoKind::Regular, 120);
+        s.overlay.max_timer = s.overlay.timer_initial;
+        black_box(World::new(s, 11).run().phy_total.frames_sent)
+    });
+}
+
+/// Improvements 1-3 together are what separate Regular from Basic; the
+/// head-to-head at identical load is the cleanest ablation of the bundle.
+fn basic_vs_regular(h: &Harness) {
+    for algo in [AlgoKind::Basic, AlgoKind::Regular] {
+        h.time(
+            &format!("ablation_discovery_style/{}", algo.name()),
+            5,
+            || {
+                let s = bench_scenario(40, algo, 120);
+                black_box(World::new(s, 12).run().phy_total.frames_sent)
+            },
+        );
+    }
+}
+
+/// Simulator design choice: learning reverse routes from overheard floods
+/// (our stand-in for ns-2's in-flood route setup). Off = every reply to a
+/// discovery probe needs its own RREQ.
+fn flood_route_learning(h: &Harness) {
+    for (name, learn) in [("on", true), ("off", false)] {
+        h.time(&format!("ablation_flood_route_learning/{name}"), 5, || {
+            let mut s = bench_scenario(40, AlgoKind::Regular, 120);
+            s.aodv.learn_routes_from_flood = learn;
+            black_box(World::new(s, 13).run().phy_total.frames_sent)
+        });
+    }
+}
+
+/// Simulator design choice: analytic mobility positions refreshed at 1 s vs
+/// 0.25 s — the accuracy/event-count trade recorded in DESIGN.md.
+fn position_refresh(h: &Harness) {
+    for (name, secs_num, secs_den) in [("1s", 1u64, 1u64), ("250ms", 1, 4)] {
+        h.time(&format!("ablation_position_refresh/{name}"), 5, || {
+            let mut s = bench_scenario(40, AlgoKind::Regular, 120);
+            s.position_refresh =
+                SimDuration::from_ticks(manet_des::TICKS_PER_SECOND * secs_num / secs_den);
+            black_box(World::new(s, 14).run().events)
+        });
+    }
+}
+
+fn main() {
+    let h = Harness::from_env("ablations");
+    timer_backoff(&h);
+    basic_vs_regular(&h);
+    flood_route_learning(&h);
+    position_refresh(&h);
+}

@@ -1,0 +1,25 @@
+//! One bench per paper figure.
+//!
+//! Each figure's data comes from simulating the four algorithms under
+//! Table 2's scenario at 50 or 150 nodes; these benches time exactly that
+//! pipeline at reduced clock (120 s simulated, single replication) so the
+//! relative cost of the algorithms — the paper's whole point — is visible
+//! in the timings. Figure *content* is produced by the `manet-sim`
+//! binaries (`reproduce`, `fig_*`); see EXPERIMENTS.md.
+
+use bench::{bench_scenario, black_box, run_once, Harness};
+use p2p_core::AlgoKind;
+
+fn main() {
+    let h = Harness::from_env("figures");
+    for (figs, n_nodes, secs) in [
+        ("fig5_7_9_11_n50", 50usize, 120u64),
+        ("fig6_8_10_12_n150", 150, 60),
+    ] {
+        for algo in AlgoKind::ALL {
+            h.time(&format!("figures/{figs}/{}", algo.name()), 5, || {
+                run_once(black_box(bench_scenario(n_nodes, algo, secs)), 7)
+            });
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Component microbenches: the substrate hot paths.
+
+use bench::{black_box, Harness};
+use manet_aodv::testkit::{TestNet, TestPayload};
+use manet_aodv::AodvCfg;
+use manet_des::{EventQueue, Rng, SimTime};
+use manet_geom::{Point, Rect, SpatialGrid};
+use manet_graph::Graph;
+use p2p_content::Catalog;
+
+/// The event queue: schedule + pop churn at simulation-like sizes.
+fn event_queue(h: &Harness) {
+    for n in [1_000u64, 10_000, 100_000] {
+        h.time(&format!("event_queue/schedule_pop/{n}"), 20, || {
+            let mut rng = Rng::new(1);
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.schedule(SimTime::from_ticks(rng.below(1_000_000_000)), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        });
+    }
+}
+
+/// The spatial grid: the radio's neighborhood query.
+fn spatial_grid(h: &Harness) {
+    for n in [50u32, 150, 1000] {
+        let mut rng = Rng::new(2);
+        let mut grid = SpatialGrid::new(Rect::sized(100.0, 100.0), 10.0);
+        for k in 0..n {
+            grid.upsert(
+                k,
+                Point::new(rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)),
+            );
+        }
+        let mut out = Vec::new();
+        let mut qr = Rng::new(3);
+        h.time(&format!("spatial_grid/query_range_10m/{n}"), 1000, || {
+            let p = Point::new(qr.range_f64(0.0, 100.0), qr.range_f64(0.0, 100.0));
+            grid.query_range(p, 10.0, u32::MAX, &mut out);
+            black_box(out.len())
+        });
+    }
+}
+
+/// AODV: a full route discovery over a line topology, plus the controlled
+/// broadcast the paper patched into ns-2.
+fn aodv_discovery(h: &Harness) {
+    for hops in [3usize, 8, 15] {
+        h.time(&format!("aodv/route_discovery_line/{hops}"), 50, || {
+            let mut net = TestNet::line(hops + 1, AodvCfg::default());
+            net.send(0, hops as u32, TestPayload(1));
+            net.step_until(
+                SimTime::from_secs(10),
+                manet_des::SimDuration::from_millis(100),
+            );
+            black_box(net.delivered.len())
+        });
+    }
+    h.time("aodv/controlled_flood_mesh20_ttl6", 50, || {
+        let mut net = TestNet::new(20, AodvCfg::default());
+        for a in 0..20u32 {
+            for b in (a + 1)..20 {
+                if (a + b) % 3 != 0 {
+                    net.link(a, b);
+                }
+            }
+        }
+        net.flood(0, 6, TestPayload(9));
+        black_box(net.flood_delivered.len())
+    });
+}
+
+/// Zipf catalogue assignment and sampling.
+fn catalog(h: &Harness) {
+    h.time("catalog/assign_113_members", 200, || {
+        let mut rng = Rng::new(4);
+        black_box(Catalog::default().assign(113, &mut rng))
+    });
+    let cat = Catalog::default();
+    let owned = std::collections::BTreeSet::new();
+    let mut rng = Rng::new(5);
+    h.time("catalog/zipf_sample", 10_000, || {
+        black_box(cat.sample_target(&owned, &mut rng))
+    });
+}
+
+/// Graph analysis: BFS and clustering at overlay scale.
+fn graph_analysis(h: &Harness) {
+    let mut rng = Rng::new(6);
+    let n = 113u32;
+    let mut g = Graph::new(n as usize);
+    for _ in 0..(n * 3) {
+        let a = rng.below(n as u64) as u32;
+        let mut b = rng.below(n as u64) as u32;
+        if a == b {
+            b = (b + 1) % n;
+        }
+        g.add_edge(a, b);
+    }
+    h.time("graph/bfs_113", 500, || black_box(g.bfs_distances(0)));
+    h.time("graph/clustering_113", 100, || {
+        black_box(g.avg_clustering())
+    });
+    h.time("graph/path_length_113", 100, || {
+        black_box(g.characteristic_path_length())
+    });
+}
+
+fn main() {
+    let h = Harness::from_env("micro");
+    event_queue(&h);
+    spatial_grid(&h);
+    aodv_discovery(&h);
+    catalog(&h);
+    graph_analysis(&h);
+}

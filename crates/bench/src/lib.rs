@@ -1,8 +1,28 @@
-//! Shared helpers for the Criterion benches.
+//! Shared helpers for the in-repo timing benches.
+//!
+//! The benches are plain binaries on a dependency-free harness: each suite
+//! times closures over a handful of iterations and prints a fixed-width
+//! min/mean/max table. Not statistically rigorous — these exist to show the
+//! *relative* cost of the algorithms and substrate hot paths and to catch
+//! order-of-magnitude regressions, while keeping the workspace free of
+//! external dev-dependencies.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin micro [filter-substring]
+//! cargo run --release -p bench --bin figures
+//! cargo run --release -p bench --bin ablations
+//! BENCH_ITERS=10 cargo run --release -p bench --bin figures
+//! ```
 //!
 //! The figure benches run scaled-down versions of the paper's scenarios
-//! (same shape, shorter clock) so `cargo bench` completes in minutes; the
+//! (same shape, shorter clock) so a full sweep completes in minutes; the
 //! binaries in `manet-sim` regenerate the figures at full scale.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
 
 use manet_des::SimDuration;
 use manet_sim::{Scenario, World};
@@ -19,4 +39,75 @@ pub fn bench_scenario(n_nodes: usize, algo: AlgoKind, secs: u64) -> Scenario {
 pub fn run_once(scenario: Scenario, seed: u64) -> u64 {
     let r = World::new(scenario, seed).run();
     r.events + r.answers_received + r.phy_total.frames_sent
+}
+
+/// The timing harness: substring filtering via the first CLI argument,
+/// iteration override via `BENCH_ITERS`.
+pub struct Harness {
+    filter: Option<String>,
+    iters_override: Option<u32>,
+}
+
+impl Harness {
+    /// Build from the process environment and print the table header.
+    pub fn from_env(suite: &str) -> Self {
+        let filter = std::env::args().nth(1);
+        let iters_override = std::env::var("BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok());
+        println!("# suite: {suite}");
+        if let Some(f) = &filter {
+            println!("# filter: {f}");
+        }
+        println!(
+            "{:<52} {:>12} {:>12} {:>12} {:>6}",
+            "benchmark", "min", "mean", "max", "iters"
+        );
+        Harness {
+            filter,
+            iters_override,
+        }
+    }
+
+    /// Time `f` over `iters` iterations (after one untimed warmup run) and
+    /// print a table row. Skipped when the name does not match the filter.
+    pub fn time<R>(&self, name: &str, iters: u32, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let iters = self.iters_override.unwrap_or(iters).max(1);
+        black_box(f());
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        let mut total = 0.0f64;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            black_box(f());
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            min = min.min(ms);
+            max = max.max(ms);
+            total += ms;
+        }
+        let mean = total / iters as f64;
+        println!("{name:<52} {min:>10.3}ms {mean:>10.3}ms {max:>10.3}ms {iters:>6}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_builder_is_bench_shaped() {
+        let s = bench_scenario(40, AlgoKind::Regular, 120);
+        s.validate();
+        assert_eq!(s.join_window, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn run_once_produces_nonzero_work() {
+        assert!(run_once(bench_scenario(12, AlgoKind::Regular, 30), 7) > 0);
+    }
 }

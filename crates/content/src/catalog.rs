@@ -76,8 +76,8 @@ impl Catalog {
             return holdings;
         }
         for file in self.files() {
-            let count = ((n_members as f64 * self.frequency(file)).round() as usize)
-                .clamp(1, n_members);
+            let count =
+                ((n_members as f64 * self.frequency(file)).round() as usize).clamp(1, n_members);
             for member in rng.sample_indices(n_members, count) {
                 holdings[member].insert(file);
             }
@@ -89,15 +89,11 @@ impl Catalog {
     /// excluding files in `owned` (nobody searches for what they already
     /// have). Returns `None` if the node owns the entire catalogue.
     pub fn sample_target(&self, owned: &BTreeSet<FileId>, rng: &mut Rng) -> Option<FileId> {
-        let candidates: Vec<FileId> =
-            self.files().filter(|f| !owned.contains(f)).collect();
+        let candidates: Vec<FileId> = self.files().filter(|f| !owned.contains(f)).collect();
         if candidates.is_empty() {
             return None;
         }
-        let weights: Vec<f64> = candidates
-            .iter()
-            .map(|f| 1.0 / f.rank() as f64)
-            .collect();
+        let weights: Vec<f64> = candidates.iter().map(|f| 1.0 / f.rank() as f64).collect();
         let total: f64 = weights.iter().sum();
         let mut x = rng.f64() * total;
         for (f, w) in candidates.iter().zip(&weights) {
@@ -110,13 +106,8 @@ impl Catalog {
     }
 
     /// Sample a query target uniformly (ablation mode).
-    pub fn sample_target_uniform(
-        &self,
-        owned: &BTreeSet<FileId>,
-        rng: &mut Rng,
-    ) -> Option<FileId> {
-        let candidates: Vec<FileId> =
-            self.files().filter(|f| !owned.contains(f)).collect();
+    pub fn sample_target_uniform(&self, owned: &BTreeSet<FileId>, rng: &mut Rng) -> Option<FileId> {
+        let candidates: Vec<FileId> = self.files().filter(|f| !owned.contains(f)).collect();
         if candidates.is_empty() {
             None
         } else {

@@ -264,11 +264,7 @@ impl QueryEngine {
                 // Optional transfer phase: download from the *closest*
                 // answerer (fewest ad-hoc hops, ties to the smallest id).
                 if self.cfg.fetch_bytes.is_some() {
-                    if let Some(best) = o
-                        .answers
-                        .iter()
-                        .min_by_key(|a| (a.adhoc_hops, a.holder))
-                    {
+                    if let Some(best) = o.answers.iter().min_by_key(|a| (a.adhoc_hops, a.holder)) {
                         out.push(CSend {
                             to: best.holder,
                             msg: ContentMsg::FetchRequest {
@@ -295,7 +291,8 @@ impl QueryEngine {
             let target = if self.cfg.zipf_targets {
                 self.catalog.sample_target(&self.files, &mut self.rng)
             } else {
-                self.catalog.sample_target_uniform(&self.files, &mut self.rng)
+                self.catalog
+                    .sample_target_uniform(&self.files, &mut self.rng)
             };
             match (target, neighbors.is_empty()) {
                 (Some(file), false) => {
@@ -484,7 +481,11 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|s| matches!(
             s.msg,
-            ContentMsg::Query { ttl: 6, p2p_hops: 0, .. }
+            ContentMsg::Query {
+                ttl: 6,
+                p2p_hops: 0,
+                ..
+            }
         )));
         assert_eq!(e.stats().issued, 1);
     }
@@ -504,14 +505,22 @@ mod tests {
             wake + SimDuration::from_secs(2),
             NodeId(5),
             3,
-            &ContentMsg::QueryHit { id, file: FileId(0), p2p_hops: 2 },
+            &ContentMsg::QueryHit {
+                id,
+                file: FileId(0),
+                p2p_hops: 2,
+            },
             &[],
         );
         e.on_msg(
             wake + SimDuration::from_secs(3),
             NodeId(7),
             1,
-            &ContentMsg::QueryHit { id, file: FileId(0), p2p_hops: 1 },
+            &ContentMsg::QueryHit {
+                id,
+                file: FileId(0),
+                p2p_hops: 1,
+            },
             &[],
         );
         let deadline = e.next_wake();
@@ -530,7 +539,13 @@ mod tests {
     fn holder_answers_requirer_directly_and_still_forwards() {
         let mut e = engine(3, &[5], 3);
         e.start(t(0));
-        let out = e.on_msg(t(1), NodeId(2), 2, &q(0, 1, 5, 6, 1), &[NodeId(2), NodeId(4)]);
+        let out = e.on_msg(
+            t(1),
+            NodeId(2),
+            2,
+            &q(0, 1, 5, 6, 1),
+            &[NodeId(2), NodeId(4)],
+        );
         // One hit to the origin + one forward (not back to 2, not to 0).
         assert_eq!(out.len(), 2);
         assert_eq!(
@@ -538,7 +553,10 @@ mod tests {
             CSend {
                 to: NodeId(0),
                 msg: ContentMsg::QueryHit {
-                    id: QueryId { origin: NodeId(0), seq: 1 },
+                    id: QueryId {
+                        origin: NodeId(0),
+                        seq: 1
+                    },
                     file: FileId(5),
                     p2p_hops: 2
                 }
@@ -547,7 +565,11 @@ mod tests {
         assert_eq!(out[1].to, NodeId(4));
         assert!(matches!(
             out[1].msg,
-            ContentMsg::Query { ttl: 5, p2p_hops: 2, .. }
+            ContentMsg::Query {
+                ttl: 5,
+                p2p_hops: 2,
+                ..
+            }
         ));
     }
 
@@ -610,7 +632,10 @@ mod tests {
             NodeId(5),
             1,
             &ContentMsg::QueryHit {
-                id: QueryId { origin: NodeId(0), seq: 999 },
+                id: QueryId {
+                    origin: NodeId(0),
+                    seq: 999,
+                },
                 file: FileId(0),
                 p2p_hops: 1,
             },
@@ -646,7 +671,10 @@ mod tests {
     fn fetch_phase_downloads_from_closest_answerer() {
         let mut e = QueryEngine::new(
             NodeId(0),
-            QueryCfg { fetch_bytes: Some(4096), ..cfg() },
+            QueryCfg {
+                fetch_bytes: Some(4096),
+                ..cfg()
+            },
             Catalog::default(),
             BTreeSet::new(),
             Rng::new(12),
@@ -659,20 +687,47 @@ mod tests {
             ref m => panic!("unexpected {m:?}"),
         };
         // Two answers: node 7 is closer than node 5.
-        e.on_msg(wake, NodeId(5), 4, &ContentMsg::QueryHit { id, file, p2p_hops: 2 }, &[]);
-        e.on_msg(wake, NodeId(7), 2, &ContentMsg::QueryHit { id, file, p2p_hops: 1 }, &[]);
+        e.on_msg(
+            wake,
+            NodeId(5),
+            4,
+            &ContentMsg::QueryHit {
+                id,
+                file,
+                p2p_hops: 2,
+            },
+            &[],
+        );
+        e.on_msg(
+            wake,
+            NodeId(7),
+            2,
+            &ContentMsg::QueryHit {
+                id,
+                file,
+                p2p_hops: 1,
+            },
+            &[],
+        );
         let (sends, done) = e.tick(wake + cfg().response_wait, &[NodeId(1)]);
         assert!(done.is_some());
         assert_eq!(
             sends,
-            vec![CSend { to: NodeId(7), msg: ContentMsg::FetchRequest { id, file } }]
+            vec![CSend {
+                to: NodeId(7),
+                msg: ContentMsg::FetchRequest { id, file }
+            }]
         );
         // The transfer arrives: the node now holds (and would serve) the file.
         e.on_msg(
             wake + SimDuration::from_secs(31),
             NodeId(7),
             2,
-            &ContentMsg::FileTransfer { id, file, bytes: 4096 },
+            &ContentMsg::FileTransfer {
+                id,
+                file,
+                bytes: 4096,
+            },
             &[],
         );
         assert!(e.files().contains(&file));
@@ -683,25 +738,38 @@ mod tests {
     fn holder_serves_fetch_requests_only_to_the_query_origin() {
         let mut holder = QueryEngine::new(
             NodeId(3),
-            QueryCfg { fetch_bytes: Some(1000), ..cfg() },
+            QueryCfg {
+                fetch_bytes: Some(1000),
+                ..cfg()
+            },
             Catalog::default(),
             [FileId(5)].into_iter().collect(),
             Rng::new(13),
         );
         holder.start(t(0));
-        let id = QueryId { origin: NodeId(0), seq: 1 };
+        let id = QueryId {
+            origin: NodeId(0),
+            seq: 1,
+        };
         let legit = holder.on_msg(
             t(1),
             NodeId(0),
             2,
-            &ContentMsg::FetchRequest { id, file: FileId(5) },
+            &ContentMsg::FetchRequest {
+                id,
+                file: FileId(5),
+            },
             &[],
         );
         assert_eq!(
             legit,
             vec![CSend {
                 to: NodeId(0),
-                msg: ContentMsg::FileTransfer { id, file: FileId(5), bytes: 1000 }
+                msg: ContentMsg::FileTransfer {
+                    id,
+                    file: FileId(5),
+                    bytes: 1000
+                }
             }]
         );
         // A third party replaying the fetch gets nothing.
@@ -709,7 +777,10 @@ mod tests {
             t(2),
             NodeId(9),
             2,
-            &ContentMsg::FetchRequest { id, file: FileId(5) },
+            &ContentMsg::FetchRequest {
+                id,
+                file: FileId(5),
+            },
             &[],
         );
         assert!(replay.is_empty());
@@ -718,7 +789,10 @@ mod tests {
             t(3),
             NodeId(0),
             2,
-            &ContentMsg::FetchRequest { id, file: FileId(9) },
+            &ContentMsg::FetchRequest {
+                id,
+                file: FileId(9),
+            },
             &[],
         );
         assert!(missing.is_empty());
@@ -735,7 +809,17 @@ mod tests {
             ContentMsg::Query { id, file, .. } => (id, file),
             ref m => panic!("unexpected {m:?}"),
         };
-        e.on_msg(wake, NodeId(5), 2, &ContentMsg::QueryHit { id, file, p2p_hops: 1 }, &[]);
+        e.on_msg(
+            wake,
+            NodeId(5),
+            2,
+            &ContentMsg::QueryHit {
+                id,
+                file,
+                p2p_hops: 1,
+            },
+            &[],
+        );
         let (sends, _) = e.tick(wake + cfg().response_wait, &[NodeId(1)]);
         assert!(sends.is_empty(), "no fetch without fetch_bytes");
     }

@@ -38,12 +38,16 @@ pub trait Reconfigurator {
 
     /// A flooded overlay message arrived (discovery probes, captures).
     /// `hops` is the ad-hoc distance it travelled from `origin`.
-    fn on_flood(&mut self, now: SimTime, origin: NodeId, hops: u8, msg: &OverlayMsg)
-        -> Vec<OvAction>;
+    fn on_flood(
+        &mut self,
+        now: SimTime,
+        origin: NodeId,
+        hops: u8,
+        msg: &OverlayMsg,
+    ) -> Vec<OvAction>;
 
     /// A routed overlay message arrived from `src`, `hops` ad-hoc hops away.
-    fn on_msg(&mut self, now: SimTime, src: NodeId, hops: u8, msg: &OverlayMsg)
-        -> Vec<OvAction>;
+    fn on_msg(&mut self, now: SimTime, src: NodeId, hops: u8, msg: &OverlayMsg) -> Vec<OvAction>;
 
     /// The routing layer gave up reaching `dst`.
     fn on_unreachable(&mut self, now: SimTime, dst: NodeId) -> Vec<OvAction>;

@@ -183,7 +183,9 @@ mod tests {
             out,
             vec![OvAction::Flood {
                 ttl: params().nhops_basic,
-                msg: OverlayMsg::Probe { kind: ProbeKind::Basic }
+                msg: OverlayMsg::Probe {
+                    kind: ProbeKind::Basic
+                }
             }]
         );
     }
@@ -205,14 +207,23 @@ mod tests {
         let mut a = BasicAlgo::new(NodeId(0), p);
         a.start(t(0));
         for k in 1..=p.max_conn as u32 {
-            a.on_msg(t(0), NodeId(k), 2, &OverlayMsg::Offer { kind: ProbeKind::Basic });
+            a.on_msg(
+                t(0),
+                NodeId(k),
+                2,
+                &OverlayMsg::Offer {
+                    kind: ProbeKind::Basic,
+                },
+            );
         }
         assert_eq!(a.neighbors().len(), p.max_conn);
         let out = a.on_flood(
             t(1),
             NodeId(99),
             3,
-            &OverlayMsg::Probe { kind: ProbeKind::Basic },
+            &OverlayMsg::Probe {
+                kind: ProbeKind::Basic,
+            },
         );
         assert_eq!(out.len(), 1, "responders are stateless and always answer");
     }
@@ -223,7 +234,14 @@ mod tests {
         let mut a = BasicAlgo::new(NodeId(0), p);
         a.start(t(0));
         for k in 1..=5u32 {
-            a.on_msg(t(0), NodeId(k), 2, &OverlayMsg::Offer { kind: ProbeKind::Basic });
+            a.on_msg(
+                t(0),
+                NodeId(k),
+                2,
+                &OverlayMsg::Offer {
+                    kind: ProbeKind::Basic,
+                },
+            );
         }
         assert_eq!(a.neighbors().len(), p.max_conn, "capped at MAXNCONN");
         assert_eq!(
@@ -239,7 +257,14 @@ mod tests {
         let mut a = BasicAlgo::new(NodeId(0), p);
         a.start(t(0));
         for k in 1..=p.max_conn as u32 {
-            a.on_msg(t(0), NodeId(k), 2, &OverlayMsg::Offer { kind: ProbeKind::Basic });
+            a.on_msg(
+                t(0),
+                NodeId(k),
+                2,
+                &OverlayMsg::Offer {
+                    kind: ProbeKind::Basic,
+                },
+            );
         }
         let out = a.tick(t(0) + p.basic_timer);
         assert!(
@@ -255,7 +280,10 @@ mod tests {
         let out = a.on_msg(t(1), NodeId(9), 2, &OverlayMsg::Ping { token: 5 });
         assert_eq!(
             out,
-            vec![OvAction::Send { to: NodeId(9), msg: OverlayMsg::Pong { token: 5 } }]
+            vec![OvAction::Send {
+                to: NodeId(9),
+                msg: OverlayMsg::Pong { token: 5 }
+            }]
         );
     }
 
@@ -264,12 +292,23 @@ mod tests {
         let p = params();
         let mut a = BasicAlgo::new(NodeId(0), p);
         a.start(t(0));
-        a.on_msg(t(0), NodeId(1), 2, &OverlayMsg::Offer { kind: ProbeKind::Basic });
+        a.on_msg(
+            t(0),
+            NodeId(1),
+            2,
+            &OverlayMsg::Offer {
+                kind: ProbeKind::Basic,
+            },
+        );
         // Ping goes out, no pong arrives -> reference dies.
         let out = a.tick(t(0) + p.ping_interval);
-        assert!(out
-            .iter()
-            .any(|x| matches!(x, OvAction::Send { msg: OverlayMsg::Ping { .. }, .. })));
+        assert!(out.iter().any(|x| matches!(
+            x,
+            OvAction::Send {
+                msg: OverlayMsg::Ping { .. },
+                ..
+            }
+        )));
         let out2 = a.tick(t(0) + p.ping_interval + p.pong_timeout);
         assert!(a.neighbors().is_empty());
         // The same tick (or the next due one) keeps probing.
@@ -287,7 +326,9 @@ mod tests {
             t(0),
             NodeId(2),
             1,
-            &OverlayMsg::Probe { kind: ProbeKind::Basic },
+            &OverlayMsg::Probe {
+                kind: ProbeKind::Basic,
+            },
         );
         assert!(out.is_empty(), "not in the p2p network yet");
     }
@@ -300,7 +341,9 @@ mod tests {
             t(0),
             NodeId(0),
             0,
-            &OverlayMsg::Probe { kind: ProbeKind::Basic },
+            &OverlayMsg::Probe {
+                kind: ProbeKind::Basic,
+            },
         );
         assert!(out.is_empty());
     }

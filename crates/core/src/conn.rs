@@ -318,8 +318,7 @@ impl ConnTable {
 
     /// Drop every connection (hybrid state resets), recording `reason`.
     pub fn close_all(&mut self, reason: CloseReason) -> Vec<(NodeId, ConnKind)> {
-        let out: Vec<(NodeId, ConnKind)> =
-            self.conns.iter().map(|(id, c)| (*id, c.kind)).collect();
+        let out: Vec<(NodeId, ConnKind)> = self.conns.iter().map(|(id, c)| (*id, c.kind)).collect();
         self.stats.closed[ConnStats::reason_index(reason)] += out.len() as u64;
         self.conns.clear();
         out
@@ -378,10 +377,7 @@ impl ConnTable {
     }
 
     /// Routing declared `peer` unreachable: close if we track it.
-    pub fn on_unreachable(
-        &mut self,
-        peer: NodeId,
-    ) -> Option<(NodeId, ConnKind, CloseReason)> {
+    pub fn on_unreachable(&mut self, peer: NodeId) -> Option<(NodeId, ConnKind, CloseReason)> {
         let kind = self.conns.get(&peer)?.kind;
         self.close(peer, CloseReason::Unreachable);
         Some((peer, kind, CloseReason::Unreachable))
@@ -438,9 +434,7 @@ impl ConnTable {
         let mut wake = SimTime::MAX;
         for c in self.conns.values() {
             let t = match c.state {
-                ConnState::PendingOut | ConnState::PendingIn => {
-                    c.since + params.handshake_timeout
-                }
+                ConnState::PendingOut | ConnState::PendingIn => c.since + params.handshake_timeout,
                 ConnState::Established => {
                     if c.pinger {
                         match c.awaiting_pong {
@@ -537,7 +531,10 @@ mod tests {
         assert_eq!(out.actions.len(), 1);
         assert!(matches!(
             out.actions[0],
-            OvAction::Send { to: NodeId(2), msg: OverlayMsg::Ping { .. } }
+            OvAction::Send {
+                to: NodeId(2),
+                msg: OverlayMsg::Ping { .. }
+            }
         ));
         // No pong: closes at the pong deadline.
         let out2 = tb.tick(t(0) + p.ping_interval + p.pong_timeout, &p);
@@ -554,7 +551,10 @@ mod tests {
         establish_symmetric(&mut tb, NodeId(2), ConnKind::Regular, t(0));
         let out = tb.tick(t(0) + p.ping_interval, &p);
         let token = match out.actions[0] {
-            OvAction::Send { msg: OverlayMsg::Ping { token }, .. } => token,
+            OvAction::Send {
+                msg: OverlayMsg::Ping { token },
+                ..
+            } => token,
             ref other => panic!("expected ping, got {other:?}"),
         };
         let closed = tb.on_pong(NodeId(2), token, 3, t(11), &p);
@@ -570,7 +570,10 @@ mod tests {
         establish_symmetric(&mut tb, NodeId(2), ConnKind::Regular, t(0));
         let out = tb.tick(t(0) + p.ping_interval, &p);
         let token = match out.actions[0] {
-            OvAction::Send { msg: OverlayMsg::Ping { token }, .. } => token,
+            OvAction::Send {
+                msg: OverlayMsg::Ping { token },
+                ..
+            } => token,
             ref other => panic!("expected ping, got {other:?}"),
         };
         let closed = tb.on_pong(NodeId(2), token, p.max_dist, t(11), &p);
@@ -588,15 +591,23 @@ mod tests {
         establish_symmetric(&mut tb, NodeId(2), ConnKind::Random, t(0));
         let out = tb.tick(t(0) + p.ping_interval, &p);
         let token = match out.actions[0] {
-            OvAction::Send { msg: OverlayMsg::Ping { token }, .. } => token,
+            OvAction::Send {
+                msg: OverlayMsg::Ping { token },
+                ..
+            } => token,
             ref other => panic!("expected ping, got {other:?}"),
         };
         // max_dist hops is fine for a random connection...
-        assert!(tb.on_pong(NodeId(2), token, p.max_dist, t(11), &p).is_none());
+        assert!(tb
+            .on_pong(NodeId(2), token, p.max_dist, t(11), &p)
+            .is_none());
         // ...but 2*max_dist is not.
         let out2 = tb.tick(t(11) + p.ping_interval, &p);
         let token2 = match out2.actions[0] {
-            OvAction::Send { msg: OverlayMsg::Ping { token }, .. } => token,
+            OvAction::Send {
+                msg: OverlayMsg::Ping { token },
+                ..
+            } => token,
             ref other => panic!("expected ping, got {other:?}"),
         };
         let closed = tb.on_pong(NodeId(2), token2, p.max_dist * 2, t(22), &p);
@@ -613,7 +624,10 @@ mod tests {
         assert!(tb.adopt_basic(NodeId(2), t(0), &p));
         let out = tb.tick(t(0) + p.ping_interval, &p);
         let token = match out.actions[0] {
-            OvAction::Send { msg: OverlayMsg::Ping { token }, .. } => token,
+            OvAction::Send {
+                msg: OverlayMsg::Ping { token },
+                ..
+            } => token,
             ref other => panic!("expected ping, got {other:?}"),
         };
         assert!(tb.on_pong(NodeId(2), token, 200, t(11), &p).is_none());
@@ -627,10 +641,15 @@ mod tests {
         establish_symmetric(&mut tb, NodeId(2), ConnKind::Regular, t(0));
         let out = tb.tick(t(0) + p.ping_interval, &p);
         let token = match out.actions[0] {
-            OvAction::Send { msg: OverlayMsg::Ping { token }, .. } => token,
+            OvAction::Send {
+                msg: OverlayMsg::Ping { token },
+                ..
+            } => token,
             ref other => panic!("expected ping, got {other:?}"),
         };
-        assert!(tb.on_pong(NodeId(2), token.wrapping_add(7), 3, t(11), &p).is_none());
+        assert!(tb
+            .on_pong(NodeId(2), token.wrapping_add(7), 3, t(11), &p)
+            .is_none());
         // The real pong still works.
         assert!(tb.on_pong(NodeId(2), token, 3, t(12), &p).is_none());
         assert_eq!(tb.established_count(), 1);
@@ -643,8 +662,16 @@ mod tests {
         tb.open_in(NodeId(4), ConnKind::Regular, t(0));
         tb.on_confirmed(NodeId(4), t(0));
         // A ping refreshes the clock.
-        let pong = tb.on_ping(NodeId(4), 1, t(5)).expect("known peer gets pong");
-        assert!(matches!(pong, OvAction::Send { msg: OverlayMsg::Pong { token: 1 }, .. }));
+        let pong = tb
+            .on_ping(NodeId(4), 1, t(5))
+            .expect("known peer gets pong");
+        assert!(matches!(
+            pong,
+            OvAction::Send {
+                msg: OverlayMsg::Pong { token: 1 },
+                ..
+            }
+        ));
         // Silence for the grace period closes it.
         let grace = p.ping_interval + p.pong_timeout * 2;
         let out = tb.tick(t(5) + grace, &p);
@@ -661,7 +688,10 @@ mod tests {
         // The Basic algorithm answers them explicitly instead.
         assert_eq!(
             stranger_pong(NodeId(9), 77),
-            OvAction::Send { to: NodeId(9), msg: OverlayMsg::Pong { token: 77 } }
+            OvAction::Send {
+                to: NodeId(9),
+                msg: OverlayMsg::Pong { token: 77 }
+            }
         );
     }
 
@@ -687,7 +717,10 @@ mod tests {
         let closed = tb.close_all(CloseReason::Reset);
         assert_eq!(closed.len(), 2);
         assert!(tb.is_empty());
-        assert_eq!(tb.stats().closed[ConnStats::reason_index(CloseReason::Reset)], 2);
+        assert_eq!(
+            tb.stats().closed[ConnStats::reason_index(CloseReason::Reset)],
+            2
+        );
         let _ = p;
     }
 

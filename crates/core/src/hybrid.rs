@@ -512,18 +512,27 @@ mod tests {
         let req = weak.on_flood(t(1), NodeId(2), 2, &capture(90));
         assert_eq!(
             req,
-            vec![OvAction::Send { to: NodeId(2), msg: OverlayMsg::SlaveRequest }]
+            vec![OvAction::Send {
+                to: NodeId(2),
+                msg: OverlayMsg::SlaveRequest
+            }]
         );
         assert_eq!(weak.role(), Role::Reserved);
         let acc = strong.on_msg(t(1), NodeId(1), 2, &OverlayMsg::SlaveRequest);
         assert_eq!(
             acc,
-            vec![OvAction::Send { to: NodeId(1), msg: OverlayMsg::SlaveAccept { ok: true } }]
+            vec![OvAction::Send {
+                to: NodeId(1),
+                msg: OverlayMsg::SlaveAccept { ok: true }
+            }]
         );
         let conf = weak.on_msg(t(2), NodeId(2), 2, &OverlayMsg::SlaveAccept { ok: true });
         assert_eq!(
             conf,
-            vec![OvAction::Send { to: NodeId(2), msg: OverlayMsg::SlaveConfirm }]
+            vec![OvAction::Send {
+                to: NodeId(2),
+                msg: OverlayMsg::SlaveConfirm
+            }]
         );
         strong.on_msg(t(2), NodeId(1), 2, &OverlayMsg::SlaveConfirm);
         (weak, strong)
@@ -535,7 +544,10 @@ mod tests {
         let out = a.start(t(0));
         assert_eq!(
             out,
-            vec![OvAction::Flood { ttl: 2, msg: capture(50) }]
+            vec![OvAction::Flood {
+                ttl: 2,
+                msg: capture(50)
+            }]
         );
         assert_eq!(a.role(), Role::Initial);
     }
@@ -573,10 +585,18 @@ mod tests {
     fn capture_reply_triggers_enrollment() {
         let mut weak = HybridAlgo::new(NodeId(1), params(), 10);
         weak.start(t(0));
-        let out = weak.on_msg(t(1), NodeId(2), 2, &OverlayMsg::CaptureReply { qualifier: 90 });
+        let out = weak.on_msg(
+            t(1),
+            NodeId(2),
+            2,
+            &OverlayMsg::CaptureReply { qualifier: 90 },
+        );
         assert_eq!(
             out,
-            vec![OvAction::Send { to: NodeId(2), msg: OverlayMsg::SlaveRequest }]
+            vec![OvAction::Send {
+                to: NodeId(2),
+                msg: OverlayMsg::SlaveRequest
+            }]
         );
         assert_eq!(weak.role(), Role::Reserved);
     }
@@ -589,14 +609,20 @@ mod tests {
         let out = lo.on_flood(t(1), NodeId(2), 2, &capture(50));
         assert_eq!(
             out,
-            vec![OvAction::Send { to: NodeId(2), msg: OverlayMsg::SlaveRequest }]
+            vec![OvAction::Send {
+                to: NodeId(2),
+                msg: OverlayMsg::SlaveRequest
+            }]
         );
         let mut hi = HybridAlgo::new(NodeId(2), params(), 50);
         hi.start(t(0));
         let out2 = hi.on_flood(t(1), NodeId(1), 2, &capture(50));
         assert!(matches!(
             out2[0],
-            OvAction::Send { msg: OverlayMsg::CaptureReply { .. }, .. }
+            OvAction::Send {
+                msg: OverlayMsg::CaptureReply { .. },
+                ..
+            }
         ));
     }
 
@@ -609,13 +635,19 @@ mod tests {
             let out = m.on_msg(t(1), NodeId(k), 2, &OverlayMsg::SlaveRequest);
             assert!(matches!(
                 out[0],
-                OvAction::Send { msg: OverlayMsg::SlaveAccept { ok: true }, .. }
+                OvAction::Send {
+                    msg: OverlayMsg::SlaveAccept { ok: true },
+                    ..
+                }
             ));
         }
         let out = m.on_msg(t(1), NodeId(50), 2, &OverlayMsg::SlaveRequest);
         assert!(matches!(
             out[0],
-            OvAction::Send { msg: OverlayMsg::SlaveAccept { ok: false }, .. }
+            OvAction::Send {
+                msg: OverlayMsg::SlaveAccept { ok: false },
+                ..
+            }
         ));
     }
 
@@ -668,7 +700,7 @@ mod tests {
         let horizon = t(2) + p.master_idle_timeout * 2;
         let mut now = t(2);
         while now < horizon {
-            now = now + p.ping_interval / 2;
+            now += p.ping_interval / 2;
             let _ = master.tick(now);
             master.on_msg(now, NodeId(1), 2, &OverlayMsg::Ping { token: 0 });
             assert_eq!(master.role(), Role::Master, "reverted at {now}");
@@ -688,7 +720,11 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(slave.role(), Role::Initial, "slave must re-enter the search");
+        assert_eq!(
+            slave.role(),
+            Role::Initial,
+            "slave must re-enter the search"
+        );
         assert!(slave.master_of().is_none());
         let _ = p;
     }
@@ -703,7 +739,10 @@ mod tests {
         let token = out
             .iter()
             .find_map(|a| match a {
-                OvAction::Send { msg: OverlayMsg::Ping { token }, .. } => Some(*token),
+                OvAction::Send {
+                    msg: OverlayMsg::Ping { token },
+                    ..
+                } => Some(*token),
                 _ => None,
             })
             .expect("slave pings master");
@@ -728,18 +767,55 @@ mod tests {
             assert_eq!(m.role(), Role::Master);
         }
         // m1 probes; m2 offers; full handshake.
-        let offer = m2.on_flood(t(40), NodeId(1), 3, &OverlayMsg::Probe { kind: ProbeKind::Master });
+        let offer = m2.on_flood(
+            t(40),
+            NodeId(1),
+            3,
+            &OverlayMsg::Probe {
+                kind: ProbeKind::Master,
+            },
+        );
         assert!(matches!(
             offer[0],
-            OvAction::Send { msg: OverlayMsg::Offer { kind: ProbeKind::Master }, .. }
+            OvAction::Send {
+                msg: OverlayMsg::Offer {
+                    kind: ProbeKind::Master
+                },
+                ..
+            }
         ));
-        let acc = m1.on_msg(t(40), NodeId(2), 3, &OverlayMsg::Offer { kind: ProbeKind::Master });
+        let acc = m1.on_msg(
+            t(40),
+            NodeId(2),
+            3,
+            &OverlayMsg::Offer {
+                kind: ProbeKind::Master,
+            },
+        );
         assert!(matches!(
             acc[0],
-            OvAction::Send { msg: OverlayMsg::Accept { kind: ProbeKind::Master }, .. }
+            OvAction::Send {
+                msg: OverlayMsg::Accept {
+                    kind: ProbeKind::Master
+                },
+                ..
+            }
         ));
-        let conf = m2.on_msg(t(41), NodeId(1), 3, &OverlayMsg::Accept { kind: ProbeKind::Master });
-        assert!(matches!(conf[0], OvAction::Send { msg: OverlayMsg::Confirm, .. }));
+        let conf = m2.on_msg(
+            t(41),
+            NodeId(1),
+            3,
+            &OverlayMsg::Accept {
+                kind: ProbeKind::Master,
+            },
+        );
+        assert!(matches!(
+            conf[0],
+            OvAction::Send {
+                msg: OverlayMsg::Confirm,
+                ..
+            }
+        ));
         m1.on_msg(t(41), NodeId(2), 3, &OverlayMsg::Confirm);
         assert_eq!(m1.neighbors(), vec![NodeId(2)]);
         assert_eq!(m2.neighbors(), vec![NodeId(1)]);
@@ -749,7 +825,14 @@ mod tests {
     fn non_masters_ignore_master_probes() {
         let mut a = HybridAlgo::new(NodeId(0), params(), 50);
         a.start(t(0));
-        let out = a.on_flood(t(1), NodeId(9), 2, &OverlayMsg::Probe { kind: ProbeKind::Master });
+        let out = a.on_flood(
+            t(1),
+            NodeId(9),
+            2,
+            &OverlayMsg::Probe {
+                kind: ProbeKind::Master,
+            },
+        );
         assert!(out.is_empty());
     }
 
@@ -760,7 +843,10 @@ mod tests {
         weak.on_flood(t(1), NodeId(2), 2, &capture(90));
         assert_eq!(weak.role(), Role::Reserved);
         let out = weak.on_flood(t(1), NodeId(3), 2, &capture(95));
-        assert!(out.is_empty(), "reserved peers only talk to their candidate");
+        assert!(
+            out.is_empty(),
+            "reserved peers only talk to their candidate"
+        );
     }
 
     #[test]

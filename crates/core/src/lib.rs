@@ -116,13 +116,7 @@ mod tests {
     #[test]
     fn build_algo_covers_all_kinds() {
         for kind in AlgoKind::ALL {
-            let mut algo = build_algo(
-                kind,
-                NodeId(1),
-                OverlayParams::default(),
-                42,
-                Rng::new(7),
-            );
+            let mut algo = build_algo(kind, NodeId(1), OverlayParams::default(), 42, Rng::new(7));
             let out = algo.start(SimTime::ZERO);
             assert!(
                 !out.is_empty(),

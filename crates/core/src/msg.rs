@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn categories() {
         assert_eq!(
-            OverlayMsg::Probe { kind: ProbeKind::Basic }.category(),
+            OverlayMsg::Probe {
+                kind: ProbeKind::Basic
+            }
+            .category(),
             MsgCategory::Connect
         );
         assert_eq!(OverlayMsg::Ping { token: 1 }.category(), MsgCategory::Ping);
@@ -166,9 +169,15 @@ mod tests {
     #[test]
     fn wire_sizes_are_small_and_nonzero() {
         let msgs = [
-            OverlayMsg::Probe { kind: ProbeKind::Regular },
-            OverlayMsg::Offer { kind: ProbeKind::Regular },
-            OverlayMsg::Accept { kind: ProbeKind::Random },
+            OverlayMsg::Probe {
+                kind: ProbeKind::Regular,
+            },
+            OverlayMsg::Offer {
+                kind: ProbeKind::Regular,
+            },
+            OverlayMsg::Accept {
+                kind: ProbeKind::Random,
+            },
             OverlayMsg::Confirm,
             OverlayMsg::Reject,
             OverlayMsg::Ping { token: 9 },
@@ -181,7 +190,7 @@ mod tests {
         ];
         for m in msgs {
             let s = m.wire_size();
-            assert!(s >= 1 && s <= 8, "{m:?} has odd size {s}");
+            assert!((1..=8).contains(&s), "{m:?} has odd size {s}");
         }
     }
 }

@@ -75,8 +75,14 @@ impl OverlayParams {
             self.nhops_initial >= 1 && self.nhops_initial <= self.max_nhops,
             "NHOPS_INITIAL must lie in [1, MAXNHOPS]"
         );
-        assert!(self.nhops_initial.is_multiple_of(2), "the paper's nhops cycle steps by 2");
-        assert!(self.max_nhops.is_multiple_of(2), "MAXNHOPS must be even for the cycle");
+        assert!(
+            self.nhops_initial.is_multiple_of(2),
+            "the paper's nhops cycle steps by 2"
+        );
+        assert!(
+            self.max_nhops.is_multiple_of(2),
+            "MAXNHOPS must be even for the cycle"
+        );
         assert!(self.nhops_basic >= 1);
         assert!(self.max_dist >= 1);
         assert!(!self.timer_initial.is_zero() && self.timer_initial <= self.max_timer);

@@ -273,10 +273,7 @@ impl Reconfigurator for RandomAlgo {
                     ProbeKind::Random => ConnKind::Random,
                     _ => return Vec::new(),
                 };
-                let matches_kind = self
-                    .table
-                    .get(src)
-                    .is_some_and(|c| c.kind == expected);
+                let matches_kind = self.table.get(src).is_some_and(|c| c.kind == expected);
                 if matches_kind && self.table.on_accepted(src, now, &self.params) {
                     self.cycle.on_connected();
                     vec![OvAction::Send {
@@ -372,7 +369,10 @@ mod tests {
             .filter_map(|x| match x {
                 OvAction::Flood {
                     ttl,
-                    msg: OverlayMsg::Probe { kind: ProbeKind::Regular },
+                    msg:
+                        OverlayMsg::Probe {
+                            kind: ProbeKind::Regular,
+                        },
                 } => Some(*ttl),
                 _ => None,
             })
@@ -382,7 +382,10 @@ mod tests {
             .filter_map(|x| match x {
                 OvAction::Flood {
                     ttl,
-                    msg: OverlayMsg::Probe { kind: ProbeKind::Random },
+                    msg:
+                        OverlayMsg::Probe {
+                            kind: ProbeKind::Random,
+                        },
                 } => Some(*ttl),
                 _ => None,
             })
@@ -405,7 +408,10 @@ mod tests {
             for act in a.start(t(0)) {
                 if let OvAction::Flood {
                     ttl,
-                    msg: OverlayMsg::Probe { kind: ProbeKind::Random },
+                    msg:
+                        OverlayMsg::Probe {
+                            kind: ProbeKind::Random,
+                        },
                 } = act
                 {
                     seen.insert(ttl);
@@ -413,7 +419,10 @@ mod tests {
             }
         }
         assert!(seen.len() >= 5, "ttl should vary across seeds: {seen:?}");
-        assert!(*seen.iter().max().unwrap() > p.max_nhops, "long probes exist");
+        assert!(
+            *seen.iter().max().unwrap() > p.max_nhops,
+            "long probes exist"
+        );
     }
 
     #[test]
@@ -430,7 +439,10 @@ mod tests {
             .filter_map(|x| match x {
                 OvAction::Send {
                     to,
-                    msg: OverlayMsg::Accept { kind: ProbeKind::Random },
+                    msg:
+                        OverlayMsg::Accept {
+                            kind: ProbeKind::Random,
+                        },
                 } => Some(*to),
                 _ => None,
             })
@@ -438,7 +450,10 @@ mod tests {
         let rejects: Vec<NodeId> = out
             .iter()
             .filter_map(|x| match x {
-                OvAction::Send { to, msg: OverlayMsg::Reject } => Some(*to),
+                OvAction::Send {
+                    to,
+                    msg: OverlayMsg::Reject,
+                } => Some(*to),
                 _ => None,
             })
             .collect();
@@ -456,7 +471,10 @@ mod tests {
         a.on_msg(t(0), NodeId(4), 5, &offer_random());
         let out = a.tick(t(0) + p.random_response_wait);
         let accept_to = out.iter().find_map(|x| match x {
-            OvAction::Send { to, msg: OverlayMsg::Accept { .. } } => Some(*to),
+            OvAction::Send {
+                to,
+                msg: OverlayMsg::Accept { .. },
+            } => Some(*to),
             _ => None,
         });
         assert_eq!(accept_to, Some(NodeId(4)));
@@ -474,7 +492,10 @@ mod tests {
         // valid; what must never happen is an immediate Accept.
         assert!(out.iter().all(|x| !matches!(
             x,
-            OvAction::Send { msg: OverlayMsg::Accept { .. }, .. }
+            OvAction::Send {
+                msg: OverlayMsg::Accept { .. },
+                ..
+            }
         )));
     }
 
@@ -511,7 +532,12 @@ mod tests {
             for act in a.tick(now) {
                 if matches!(
                     act,
-                    OvAction::Flood { msg: OverlayMsg::Probe { kind: ProbeKind::Random }, .. }
+                    OvAction::Flood {
+                        msg: OverlayMsg::Probe {
+                            kind: ProbeKind::Random
+                        },
+                        ..
+                    }
                 ) {
                     saw_random_probe = true;
                 }
@@ -527,14 +553,37 @@ mod tests {
     fn responder_side_answers_random_probe() {
         let mut b = RandomAlgo::new(NodeId(1), params(), Rng::new(7));
         b.start(t(0));
-        let out = b.on_flood(t(1), NodeId(0), 5, &OverlayMsg::Probe { kind: ProbeKind::Random });
+        let out = b.on_flood(
+            t(1),
+            NodeId(0),
+            5,
+            &OverlayMsg::Probe {
+                kind: ProbeKind::Random,
+            },
+        );
         assert_eq!(
             out,
-            vec![OvAction::Send { to: NodeId(0), msg: offer_random() }]
+            vec![OvAction::Send {
+                to: NodeId(0),
+                msg: offer_random()
+            }]
         );
         // And completes when accepted.
-        let out2 = b.on_msg(t(2), NodeId(0), 5, &OverlayMsg::Accept { kind: ProbeKind::Random });
-        assert_eq!(out2, vec![OvAction::Send { to: NodeId(0), msg: OverlayMsg::Confirm }]);
+        let out2 = b.on_msg(
+            t(2),
+            NodeId(0),
+            5,
+            &OverlayMsg::Accept {
+                kind: ProbeKind::Random,
+            },
+        );
+        assert_eq!(
+            out2,
+            vec![OvAction::Send {
+                to: NodeId(0),
+                msg: OverlayMsg::Confirm
+            }]
+        );
         assert_eq!(b.table().count_kind(ConnKind::Random), 1);
     }
 
@@ -544,7 +593,14 @@ mod tests {
         let mut a = algo();
         a.start(t(0));
         for k in 1..=5u32 {
-            a.on_msg(t(0), NodeId(k), 2, &OverlayMsg::Offer { kind: ProbeKind::Regular });
+            a.on_msg(
+                t(0),
+                NodeId(k),
+                2,
+                &OverlayMsg::Offer {
+                    kind: ProbeKind::Regular,
+                },
+            );
         }
         assert_eq!(
             a.table().count_kind(ConnKind::Regular),
@@ -557,8 +613,28 @@ mod tests {
     fn accept_with_mismatched_kind_is_rejected() {
         let mut b = RandomAlgo::new(NodeId(1), params(), Rng::new(7));
         b.start(t(0));
-        b.on_flood(t(1), NodeId(0), 5, &OverlayMsg::Probe { kind: ProbeKind::Random });
-        let out = b.on_msg(t(2), NodeId(0), 5, &OverlayMsg::Accept { kind: ProbeKind::Regular });
-        assert_eq!(out, vec![OvAction::Send { to: NodeId(0), msg: OverlayMsg::Reject }]);
+        b.on_flood(
+            t(1),
+            NodeId(0),
+            5,
+            &OverlayMsg::Probe {
+                kind: ProbeKind::Random,
+            },
+        );
+        let out = b.on_msg(
+            t(2),
+            NodeId(0),
+            5,
+            &OverlayMsg::Accept {
+                kind: ProbeKind::Regular,
+            },
+        );
+        assert_eq!(
+            out,
+            vec![OvAction::Send {
+                to: NodeId(0),
+                msg: OverlayMsg::Reject
+            }]
+        );
     }
 }

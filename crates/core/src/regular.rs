@@ -105,8 +105,7 @@ impl Reconfigurator for RegularAlgo {
             } if self.started && origin != self.id => {
                 // "A node willing to connect starts a three-way handshake
                 // with the sender."
-                if self.wants_connections() && self.table.open_out(origin, ConnKind::Regular, now)
-                {
+                if self.wants_connections() && self.table.open_out(origin, ConnKind::Regular, now) {
                     vec![OvAction::Send {
                         to: origin,
                         msg: OverlayMsg::Offer {
@@ -247,7 +246,10 @@ mod tests {
         let out = a.start(t(0));
         assert_eq!(
             out,
-            vec![OvAction::Flood { ttl: 2, msg: probe() }]
+            vec![OvAction::Flood {
+                ttl: 2,
+                msg: probe()
+            }]
         );
     }
 
@@ -275,12 +277,24 @@ mod tests {
         let mut b = RegularAlgo::new(NodeId(1), p);
         b.start(t(0));
         let out = b.on_flood(t(1), NodeId(0), 2, &probe());
-        assert_eq!(out, vec![OvAction::Send { to: NodeId(0), msg: offer() }]);
-        assert_eq!(b.table().get(NodeId(0)).unwrap().state, ConnState::PendingOut);
+        assert_eq!(
+            out,
+            vec![OvAction::Send {
+                to: NodeId(0),
+                msg: offer()
+            }]
+        );
+        assert_eq!(
+            b.table().get(NodeId(0)).unwrap().state,
+            ConnState::PendingOut
+        );
         let out2 = b.on_msg(t(2), NodeId(0), 2, &accept());
         assert_eq!(
             out2,
-            vec![OvAction::Send { to: NodeId(0), msg: OverlayMsg::Confirm }]
+            vec![OvAction::Send {
+                to: NodeId(0),
+                msg: OverlayMsg::Confirm
+            }]
         );
         assert_eq!(b.neighbors(), vec![NodeId(0)]);
         assert!(b.table().get(NodeId(0)).unwrap().pinger, "responder pings");
@@ -292,11 +306,20 @@ mod tests {
         let mut a = RegularAlgo::new(NodeId(0), params());
         a.start(t(0));
         let out = a.on_msg(t(1), NodeId(1), 2, &offer());
-        assert_eq!(out, vec![OvAction::Send { to: NodeId(1), msg: accept() }]);
+        assert_eq!(
+            out,
+            vec![OvAction::Send {
+                to: NodeId(1),
+                msg: accept()
+            }]
+        );
         assert!(a.neighbors().is_empty(), "not yet confirmed");
         a.on_msg(t(2), NodeId(1), 2, &OverlayMsg::Confirm);
         assert_eq!(a.neighbors(), vec![NodeId(1)]);
-        assert!(!a.table().get(NodeId(1)).unwrap().pinger, "seeker is passive");
+        assert!(
+            !a.table().get(NodeId(1)).unwrap().pinger,
+            "seeker is passive"
+        );
     }
 
     #[test]
@@ -310,7 +333,10 @@ mod tests {
         let out = a.on_msg(t(1), NodeId(99), 2, &offer());
         assert_eq!(
             out,
-            vec![OvAction::Send { to: NodeId(99), msg: OverlayMsg::Reject }]
+            vec![OvAction::Send {
+                to: NodeId(99),
+                msg: OverlayMsg::Reject
+            }]
         );
         assert_eq!(a.conn_stats().rejected, 1);
     }
@@ -348,7 +374,10 @@ mod tests {
         let out = b.on_msg(t(30), NodeId(0), 2, &accept());
         assert_eq!(
             out,
-            vec![OvAction::Send { to: NodeId(0), msg: OverlayMsg::Reject }]
+            vec![OvAction::Send {
+                to: NodeId(0),
+                msg: OverlayMsg::Reject
+            }]
         );
     }
 
@@ -406,6 +435,9 @@ mod tests {
         let mut a = RegularAlgo::new(NodeId(0), params());
         a.start(t(0));
         let out = a.on_msg(t(1), NodeId(9), 2, &OverlayMsg::Ping { token: 4 });
-        assert!(out.is_empty(), "symmetric algorithms stay silent to strangers");
+        assert!(
+            out.is_empty(),
+            "symmetric algorithms stay silent to strangers"
+        );
     }
 }

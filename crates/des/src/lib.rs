@@ -40,17 +40,18 @@ pub use rng::Rng;
 pub use time::{SimDuration, SimTime, TICKS_PER_SECOND};
 
 #[cfg(test)]
-mod proptests {
-    use proptest::prelude::*;
+mod properties {
     use crate::queue::EventQueue;
     use crate::rng::Rng as SimRng;
     use crate::time::SimTime;
+    use manet_testkit::{any_bool, any_u64, prop_assert, prop_assert_eq, properties, vec_of};
 
-    proptest! {
+    properties! {
+        config = manet_testkit::Config::cases(64);
+
         /// Events always pop in non-decreasing time order, whatever the
         /// scheduling order, with ties resolved by insertion sequence.
-        #[test]
-        fn queue_pops_sorted(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        fn queue_pops_sorted(times in vec_of(0u64..10_000, 1..200)) {
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
                 q.schedule(SimTime::from_ticks(t), (t, i));
@@ -66,10 +67,9 @@ mod proptests {
         }
 
         /// Cancelling an arbitrary subset removes exactly that subset.
-        #[test]
         fn queue_cancel_subset(
-            times in proptest::collection::vec(0u64..1000, 1..100),
-            mask in proptest::collection::vec(any::<bool>(), 100),
+            times in vec_of(0u64..1000, 1..100),
+            mask in vec_of(any_bool(), 100..101),
         ) {
             let mut q = EventQueue::new();
             let ids: Vec<_> = times
@@ -95,8 +95,7 @@ mod proptests {
         }
 
         /// below(n) is always < n for any seed.
-        #[test]
-        fn rng_below_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        fn rng_below_in_bounds(seed in any_u64(), bound in 1u64..1_000_000) {
             let mut r = SimRng::new(seed);
             for _ in 0..50 {
                 prop_assert!(r.below(bound) < bound);
@@ -105,8 +104,7 @@ mod proptests {
 
         /// Forked streams with equal labels are identical; stream equality is
         /// independent of other forks.
-        #[test]
-        fn rng_fork_reproducible(seed in any::<u64>(), label in any::<u64>()) {
+        fn rng_fork_reproducible(seed in any_u64(), label in any_u64()) {
             let parent = SimRng::new(seed);
             let mut a = parent.fork(label);
             let _noise = parent.fork(label.wrapping_add(1));
@@ -117,7 +115,6 @@ mod proptests {
         }
 
         /// SimTime arithmetic round-trips through seconds within a tick.
-        #[test]
         fn time_secs_roundtrip(ticks in 0u64..u64::MAX / 2) {
             let t = SimTime::from_ticks(ticks);
             let back = SimTime::from_secs_f64(t.as_secs_f64());

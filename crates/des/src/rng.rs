@@ -56,7 +56,8 @@ impl Rng {
     /// parent's future output. The parent is *not* advanced, so forking is
     /// insensitive to call order.
     pub fn fork(&self, label: u64) -> Rng {
-        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ label.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut sm =
+            self.s[0] ^ self.s[2].rotate_left(17) ^ label.wrapping_mul(0xA24B_AED4_963E_E407);
         let mut seed = splitmix64(&mut sm);
         seed ^= splitmix64(&mut sm).rotate_left(32);
         Rng::new(seed)
@@ -319,7 +320,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move things"
+        );
     }
 
     #[test]

@@ -54,10 +54,7 @@ impl SpatialGrid {
 
     /// Number of keys currently stored.
     pub fn len(&self) -> usize {
-        self.where_is
-            .iter()
-            .filter(|(_, c)| *c != ABSENT)
-            .count()
+        self.where_is.iter().filter(|(_, c)| *c != ABSENT).count()
     }
 
     /// True if no keys are stored.
@@ -76,8 +73,7 @@ impl SpatialGrid {
     pub fn upsert(&mut self, key: u32, pos: Point) {
         let idx = key as usize;
         if idx >= self.where_is.len() {
-            self.where_is
-                .resize(idx + 1, (Point::ORIGIN, ABSENT));
+            self.where_is.resize(idx + 1, (Point::ORIGIN, ABSENT));
         }
         let new_cell = self.cell_index(pos);
         let (_, old_cell) = self.where_is[idx];
@@ -186,7 +182,10 @@ mod tests {
         g.upsert(1, Point::new(5.0, 5.0));
         g.upsert(2, Point::new(8.0, 5.0));
         g.upsert(3, Point::new(50.0, 50.0));
-        assert_eq!(g.neighbors(Point::new(5.0, 5.0), 10.0, u32::MAX), vec![1, 2]);
+        assert_eq!(
+            g.neighbors(Point::new(5.0, 5.0), 10.0, u32::MAX),
+            vec![1, 2]
+        );
         assert_eq!(g.neighbors(Point::new(5.0, 5.0), 10.0, 1), vec![2]);
         assert_eq!(g.len(), 3);
     }
@@ -274,25 +273,28 @@ mod tests {
             let c = Point::new(rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0));
             let r = rng.range_f64(0.0, 30.0);
             let got = g.neighbors(c, r, u32::MAX);
-            let want: Vec<u32> = (0..200u32).filter(|&k| pts[k as usize].within(c, r)).collect();
+            let want: Vec<u32> = (0..200u32)
+                .filter(|&k| pts[k as usize].within(c, r))
+                .collect();
             assert_eq!(got, want);
         }
     }
 }
 
 #[cfg(test)]
-mod proptests {
+mod properties {
     use super::*;
     use manet_des::Rng;
-    use proptest::prelude::*;
+    use manet_testkit::{any_u64, prop_assert_eq, properties, vec_of};
 
-    proptest! {
+    properties! {
+        config = manet_testkit::Config::cases(64);
+
         /// The grid and a brute-force scan agree on every range query,
         /// through arbitrary interleavings of moves and removals.
-        #[test]
         fn grid_matches_brute_force(
-            seed in any::<u64>(),
-            ops in proptest::collection::vec((0u8..3, 0u32..40), 1..200),
+            seed in any_u64(),
+            ops in vec_of((0u8..3, 0u32..40), 1..200),
         ) {
             let mut rng = Rng::new(seed);
             let bounds = Rect::sized(100.0, 100.0);

@@ -192,7 +192,7 @@ mod tests {
         let sw_ref = small_world(&g).unwrap();
         assert_eq!(sw_iso.n, 50);
         assert!((sw_iso.path_length - sw_ref.path_length).abs() < 1e-9);
-        let _ = g.add_edge(0, 1);
+        g.add_edge(0, 1);
     }
 
     #[test]

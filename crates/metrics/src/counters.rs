@@ -84,9 +84,32 @@ impl NodeCounters {
         self.counts.is_empty()
     }
 
-    /// Record one received message of `kind` at `node`.
+    /// Record one received message of `kind` at `node`. Counts saturate at
+    /// `u64::MAX` instead of overflowing, so pathological soak runs degrade
+    /// to a pegged counter rather than a panic or a wrapped total.
     pub fn record(&mut self, node: NodeId, kind: MsgKind) {
-        self.counts[node.index()][kind.index()] += 1;
+        self.record_many(node, kind, 1);
+    }
+
+    /// Record `n` received messages of `kind` at `node`, saturating.
+    pub fn record_many(&mut self, node: NodeId, kind: MsgKind, n: u64) {
+        let slot = &mut self.counts[node.index()][kind.index()];
+        *slot = slot.saturating_add(n);
+    }
+
+    /// Fold another counter matrix into this one element-wise, saturating.
+    /// Both must track the same number of nodes.
+    pub fn merge(&mut self, other: &NodeCounters) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge counters over different node counts"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m = m.saturating_add(*t);
+            }
+        }
     }
 
     /// The count for one node and kind.
@@ -188,5 +211,47 @@ mod tests {
             assert!(seen.insert(k.index()));
             assert!(!k.name().is_empty());
         }
+    }
+
+    #[test]
+    fn empty_counter_matrix_is_well_behaved() {
+        let c = NodeCounters::new(0);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.total(MsgKind::Ping), 0);
+        assert!(c.column(MsgKind::Ping).is_empty());
+        assert!(c.sorted_desc(MsgKind::Ping, &[]).is_empty());
+        assert_eq!(c.mean_over(MsgKind::Ping, &[]), 0.0);
+    }
+
+    #[test]
+    fn counts_saturate_instead_of_overflowing() {
+        let mut c = NodeCounters::new(1);
+        c.record_many(NodeId(0), MsgKind::Connect, u64::MAX - 1);
+        c.record(NodeId(0), MsgKind::Connect);
+        assert_eq!(c.get(NodeId(0), MsgKind::Connect), u64::MAX);
+        c.record(NodeId(0), MsgKind::Connect); // would overflow if unchecked
+        assert_eq!(c.get(NodeId(0), MsgKind::Connect), u64::MAX);
+    }
+
+    #[test]
+    fn merge_adds_elementwise_and_saturates() {
+        let mut a = NodeCounters::new(2);
+        let mut b = NodeCounters::new(2);
+        a.record_many(NodeId(0), MsgKind::Query, 3);
+        b.record_many(NodeId(0), MsgKind::Query, 4);
+        b.record_many(NodeId(1), MsgKind::Ping, u64::MAX);
+        a.record(NodeId(1), MsgKind::Ping);
+        a.merge(&b);
+        assert_eq!(a.get(NodeId(0), MsgKind::Query), 7);
+        assert_eq!(a.get(NodeId(1), MsgKind::Ping), u64::MAX);
+        assert_eq!(a.get(NodeId(1), MsgKind::Query), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different node counts")]
+    fn merge_rejects_mismatched_sizes() {
+        let mut a = NodeCounters::new(2);
+        a.merge(&NodeCounters::new(3));
     }
 }

@@ -224,4 +224,41 @@ mod tests {
         let b = FileMetrics::new(3);
         a.merge(&b);
     }
+
+    #[test]
+    fn empty_catalogue_is_well_behaved() {
+        let m = FileMetrics::new(0);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert!(m.series(10).is_empty(), "series over no files is empty");
+    }
+
+    #[test]
+    fn series_is_truncated_by_catalogue_size() {
+        let mut m = FileMetrics::new(3);
+        m.record(2, &[(1, 1)], None);
+        let s = m.series(10);
+        assert_eq!(s.len(), 3, "cannot report more ranks than tracked");
+    }
+
+    #[test]
+    fn single_answerless_query_keeps_distances_undefined() {
+        let mut m = FileMetrics::new(1);
+        m.record(0, &[], None);
+        let f = m.file(0);
+        assert_eq!(f.requests, 1);
+        assert_eq!(f.answered, 0);
+        assert_eq!(f.avg_min_distance(), 0.0);
+        assert_eq!(f.avg_min_p2p(), 0.0);
+        assert_eq!(f.avg_oracle_distance(), 0.0);
+        assert_eq!(f.success_rate(), 0.0);
+    }
+
+    #[test]
+    fn series_falls_back_to_observed_distance_without_oracle_samples() {
+        let mut m = FileMetrics::new(1);
+        m.record(0, &[(3, 2)], None); // holder found, but oracle undefined
+        let s = m.series(1);
+        assert_eq!(s[0], (1, 3.0, 1.0), "observed min distance stands in");
+    }
 }

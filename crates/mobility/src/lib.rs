@@ -30,3 +30,171 @@ pub use rpgm::{Rpgm, RpgmCfg};
 pub use stationary::Stationary;
 pub use walk::{RandomWalk, RandomWalkCfg};
 pub use waypoint::{RandomWaypoint, RandomWaypointCfg};
+
+#[cfg(test)]
+mod properties {
+    //! Cross-model contract properties: for *any* seed, every model keeps
+    //! its node inside the area and replays bit-identically from the seed.
+
+    use manet_des::{Rng, SimTime};
+    use manet_geom::{Point, Rect};
+    use manet_testkit::{any_u64, prop_assert, prop_assert_eq, properties};
+
+    use super::*;
+
+    const SIDE: f64 = 100.0;
+
+    /// Build one instance of every model from one seed, the way the
+    /// simulator does: per-model RNG streams forked off a master.
+    fn all_models(seed: u64) -> Vec<(&'static str, AnyMobility)> {
+        let master = Rng::new(seed);
+        let bounds = Rect::sized(SIDE, SIDE);
+        let mut start_rng = master.fork(0);
+        let mut start = || {
+            Point::new(
+                start_rng.range_f64(0.0, SIDE),
+                start_rng.range_f64(0.0, SIDE),
+            )
+        };
+        vec![
+            (
+                "waypoint",
+                RandomWaypoint::new(
+                    RandomWaypointCfg {
+                        bounds,
+                        min_speed: 0.1,
+                        max_speed: 1.0,
+                        max_pause: 100.0,
+                    },
+                    start(),
+                    &mut master.fork(1),
+                )
+                .into(),
+            ),
+            (
+                "walk",
+                RandomWalk::new(
+                    RandomWalkCfg {
+                        bounds,
+                        min_speed: 0.1,
+                        max_speed: 1.0,
+                        leg_duration: 60.0,
+                    },
+                    start(),
+                    &mut master.fork(2),
+                )
+                .into(),
+            ),
+            (
+                "gauss-markov",
+                GaussMarkov::new(
+                    GaussMarkovCfg::walking(bounds),
+                    start(),
+                    &mut master.fork(3),
+                )
+                .into(),
+            ),
+            (
+                "rpgm",
+                Rpgm::new(
+                    RpgmCfg {
+                        bounds,
+                        min_speed: 0.1,
+                        max_speed: 1.0,
+                        max_pause: 100.0,
+                        group_radius: 10.0,
+                        offset_interval: 20.0,
+                    },
+                    master.fork(4).next_u64(),
+                    &mut master.fork(5),
+                )
+                .into(),
+            ),
+            ("stationary", Stationary::new(start()).into()),
+        ]
+    }
+
+    /// Drive a model through epochs up to `horizon_secs`, sampling five
+    /// positions per epoch.
+    fn sample_trajectory(model: &mut AnyMobility, rng: &mut Rng, horizon_secs: u64) -> Vec<Point> {
+        let horizon = SimTime::from_secs(horizon_secs);
+        let mut out = Vec::new();
+        let mut from = SimTime::ZERO;
+        loop {
+            let end = model.epoch_end();
+            let to = end.min(horizon);
+            let span = to.ticks().saturating_sub(from.ticks());
+            for k in 0..=4u64 {
+                let at = SimTime::from_ticks(from.ticks() + span / 4 * k);
+                out.push(model.position(at));
+            }
+            if end >= horizon || end == SimTime::MAX {
+                return out;
+            }
+            model.advance(end, rng);
+            from = end;
+        }
+    }
+
+    properties! {
+        config = manet_testkit::Config::cases(48);
+
+        /// No model ever leaves the configured area, at any sampled instant
+        /// of any epoch.
+        fn every_model_stays_in_area(seed in any_u64()) {
+            for (name, mut model) in all_models(seed) {
+                let mut rng = Rng::new(seed ^ 0xDECADE);
+                for p in sample_trajectory(&mut model, &mut rng, 2_000) {
+                    prop_assert!(
+                        (-1e-9..=SIDE + 1e-9).contains(&p.x)
+                            && (-1e-9..=SIDE + 1e-9).contains(&p.y),
+                        "{} left the area: {:?}",
+                        name,
+                        p
+                    );
+                }
+            }
+        }
+
+        /// The same seed replays the exact same trajectory, bit for bit.
+        fn trajectories_are_bit_reproducible(seed in any_u64()) {
+            let run = |seed: u64| -> Vec<(&'static str, Vec<Point>)> {
+                all_models(seed)
+                    .into_iter()
+                    .map(|(name, mut m)| {
+                        let mut rng = Rng::new(seed ^ 0xF00D);
+                        (name, sample_trajectory(&mut m, &mut rng, 1_000))
+                    })
+                    .collect()
+            };
+            prop_assert_eq!(run(seed), run(seed));
+        }
+
+        /// Different seeds genuinely move the moving models differently.
+        fn seeds_matter_for_moving_models(seed in any_u64()) {
+            let other = seed.wrapping_add(1);
+            for ((name, mut a), (_, mut b)) in
+                all_models(seed).into_iter().zip(all_models(other))
+            {
+                if name == "stationary" {
+                    continue;
+                }
+                let mut ra = Rng::new(seed ^ 0xBEEF);
+                let mut rb = Rng::new(other ^ 0xBEEF);
+                let ta = sample_trajectory(&mut a, &mut ra, 1_000);
+                let tb = sample_trajectory(&mut b, &mut rb, 1_000);
+                prop_assert!(ta != tb, "{} ignored its seed", name);
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_never_schedules_an_epoch() {
+        let m = Stationary::new(Point::new(5.0, 5.0));
+        assert_eq!(m.epoch_end(), SimTime::MAX);
+        assert_eq!(
+            m.position(SimTime::from_secs(1_000_000)),
+            Point::new(5.0, 5.0)
+        );
+    }
+}

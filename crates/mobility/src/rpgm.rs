@@ -50,7 +50,10 @@ impl RpgmCfg {
     }
 
     fn validate(&self) {
-        assert!(self.group_radius >= 0.0, "group radius must be non-negative");
+        assert!(
+            self.group_radius >= 0.0,
+            "group radius must be non-negative"
+        );
         assert!(self.offset_interval > 0.0);
         assert!(self.min_speed > 0.0 && self.max_speed >= self.min_speed);
     }

@@ -152,8 +152,16 @@ fn wall_hit(bounds: Rect, from: Point, v: Vector) -> Option<(f64, f64, f64)> {
     // Flip every axis whose exit time coincides with the first hit (both at
     // a corner). Tolerance absorbs f64 noise in the division.
     let tol = 1e-9 * (1.0 + hit);
-    let sx = if tx.is_some_and(|t| t <= hit + tol) { -1.0 } else { 1.0 };
-    let sy = if ty.is_some_and(|t| t <= hit + tol) { -1.0 } else { 1.0 };
+    let sx = if tx.is_some_and(|t| t <= hit + tol) {
+        -1.0
+    } else {
+        1.0
+    };
+    let sy = if ty.is_some_and(|t| t <= hit + tol) {
+        -1.0
+    } else {
+        1.0
+    };
     Some((hit, sx, sy))
 }
 

@@ -218,11 +218,12 @@ mod tests {
             let end = m.epoch_end();
             // Sample within the epoch.
             for k in 0..=4 {
-                let t = SimTime::from_ticks(
-                    end.ticks().saturating_sub((4 - k) * end.ticks() / 8),
-                );
+                let t = SimTime::from_ticks(end.ticks().saturating_sub((4 - k) * end.ticks() / 8));
                 let p = m.position(t);
-                assert!(bounds.contains(p), "{p:?} outside at sample {k} from {start:?}");
+                assert!(
+                    bounds.contains(p),
+                    "{p:?} outside at sample {k} from {start:?}"
+                );
             }
             m.advance(end, &mut rng);
         }
@@ -262,9 +263,15 @@ mod tests {
         let mut rng = Rng::new(6);
         let mut m = RandomWaypoint::new(cfg(), Point::new(1.0, 1.0), &mut rng);
         advance_epochs(&mut m, &mut rng, 1); // now moving
-        if let Epoch::Moving { from, to, arrive, .. } = m.epoch {
+        if let Epoch::Moving {
+            from, to, arrive, ..
+        } = m.epoch
+        {
             assert_eq!(m.position(SimTime::ZERO), from);
-            assert_eq!(m.position(arrive + manet_des::SimDuration::from_secs(10)), to);
+            assert_eq!(
+                m.position(arrive + manet_des::SimDuration::from_secs(10)),
+                to
+            );
         } else {
             panic!("expected moving epoch");
         }

@@ -59,10 +59,7 @@ impl RadioCfg {
             (0.0..=1.0).contains(&self.loss_prob),
             "loss_prob must be a probability"
         );
-        assert!(
-            (0.0..1.0).contains(&self.fuzz),
-            "fuzz must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&self.fuzz), "fuzz must be in [0, 1)");
         assert!(
             self.tx_mj_per_byte >= 0.0
                 && self.tx_mj_base >= 0.0
@@ -122,9 +119,16 @@ mod tests {
     fn reception_prob_profile() {
         let solid = RadioCfg::paper();
         assert_eq!(solid.reception_prob(0.0), 1.0);
-        assert_eq!(solid.reception_prob(10.0), 1.0, "unit disc: certain at range");
+        assert_eq!(
+            solid.reception_prob(10.0),
+            1.0,
+            "unit disc: certain at range"
+        );
         assert_eq!(solid.reception_prob(10.01), 0.0);
-        let fuzzy = RadioCfg { fuzz: 0.5, ..RadioCfg::paper() };
+        let fuzzy = RadioCfg {
+            fuzz: 0.5,
+            ..RadioCfg::paper()
+        };
         assert_eq!(fuzzy.reception_prob(5.0), 1.0, "solid core");
         assert!((fuzzy.reception_prob(7.5) - 0.5).abs() < 1e-12, "mid-edge");
         assert!(fuzzy.reception_prob(9.9) < 0.05);
@@ -134,7 +138,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "fuzz")]
     fn invalid_fuzz_rejected() {
-        let cfg = RadioCfg { fuzz: 1.0, ..RadioCfg::paper() };
+        let cfg = RadioCfg {
+            fuzz: 1.0,
+            ..RadioCfg::paper()
+        };
         cfg.validate();
     }
 

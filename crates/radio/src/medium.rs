@@ -11,6 +11,46 @@ use manet_geom::{Point, SpatialGrid};
 
 use crate::config::RadioCfg;
 
+/// Transient link impairment injected on top of the configured radio
+/// behaviour.
+///
+/// The fault layer (burst loss, link flaps, jitter spikes — see
+/// `manet-sim`'s fault plan) owns the *schedule* of impairments; the medium
+/// only needs to know what is in force for the transmission being planned,
+/// so it stays a stateless calculator. Extra loss is drawn *after* the
+/// configured loss/fuzz processes and only when non-zero, so a `NONE` value
+/// consumes exactly the same RNG draws as the pre-fault medium — bit-for-bit
+/// compatibility for fault-free runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Additional iid per-reception loss probability in `[0, 1]`.
+    pub extra_loss: f64,
+    /// Additional fixed latency on every transmission (jitter spike).
+    pub extra_delay: SimDuration,
+}
+
+impl LinkFaults {
+    /// No impairment: the medium behaves exactly as configured.
+    pub const NONE: LinkFaults = LinkFaults {
+        extra_loss: 0.0,
+        extra_delay: SimDuration::ZERO,
+    };
+
+    /// True when this value injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.extra_loss == 0.0 && self.extra_delay == SimDuration::ZERO
+    }
+
+    /// Panic on out-of-range parameters.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.extra_loss),
+            "extra_loss must be a probability, got {}",
+            self.extra_loss
+        );
+    }
+}
+
 /// Outcome of one planned reception.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Reception {
@@ -42,12 +82,12 @@ impl Medium {
     }
 
     /// Latency of one transmission: serialization + fixed hop latency +
-    /// uniform jitter. The jitter draw is per-transmission (all receivers of
-    /// one broadcast hear it at the same instant, as in the real world).
-    pub fn tx_delay(&self, bytes: u32, rng: &mut Rng) -> SimDuration {
-        let jitter =
-            SimDuration::from_ticks(rng.below(self.cfg.max_jitter.ticks().max(1)));
-        self.cfg.serialization_delay(bytes) + self.cfg.hop_latency + jitter
+    /// uniform jitter + any injected delay spike. The jitter draw is
+    /// per-transmission (all receivers of one broadcast hear it at the same
+    /// instant, as in the real world).
+    pub fn tx_delay(&self, bytes: u32, rng: &mut Rng, faults: LinkFaults) -> SimDuration {
+        let jitter = SimDuration::from_ticks(rng.below(self.cfg.max_jitter.ticks().max(1)));
+        self.cfg.serialization_delay(bytes) + self.cfg.hop_latency + jitter + faults.extra_delay
     }
 
     /// Plan the receptions of a frame transmitted from `pos` by `sender`.
@@ -55,6 +95,7 @@ impl Medium {
     /// `grid` holds current node positions. Receivers are every node within
     /// range except the sender itself; each gets the same propagation delay,
     /// with loss drawn independently per receiver.
+    #[allow(clippy::too_many_arguments)]
     pub fn plan_broadcast(
         &self,
         grid: &SpatialGrid,
@@ -62,10 +103,11 @@ impl Medium {
         pos: Point,
         bytes: u32,
         rng: &mut Rng,
+        faults: LinkFaults,
         out: &mut Vec<Reception>,
     ) {
         out.clear();
-        let after = self.tx_delay(bytes, rng);
+        let after = self.tx_delay(bytes, rng, faults);
         let mut keys = Vec::new();
         grid.query_range(pos, self.cfg.range_m, sender.0, &mut keys);
         for key in keys {
@@ -75,6 +117,9 @@ impl Medium {
                     .position(key)
                     .map_or(f64::INFINITY, |p| p.distance(pos));
                 lost = !rng.chance(self.cfg.reception_prob(dist));
+            }
+            if !lost && faults.extra_loss > 0.0 {
+                lost = rng.chance(faults.extra_loss);
             }
             out.push(Reception {
                 to: NodeId(key),
@@ -96,15 +141,19 @@ impl Medium {
         dst: NodeId,
         bytes: u32,
         rng: &mut Rng,
+        faults: LinkFaults,
     ) -> Option<Reception> {
         let dst_pos = grid.position(dst.0)?;
         if !pos.within(dst_pos, self.cfg.range_m) {
             return None;
         }
-        let after = self.tx_delay(bytes, rng);
+        let after = self.tx_delay(bytes, rng, faults);
         let mut lost = rng.chance(self.cfg.loss_prob);
         if !lost && self.cfg.fuzz > 0.0 {
             lost = !rng.chance(self.cfg.reception_prob(dst_pos.distance(pos)));
+        }
+        if !lost && faults.extra_loss > 0.0 {
+            lost = rng.chance(faults.extra_loss);
         }
         Some(Reception {
             to: dst,
@@ -133,7 +182,15 @@ mod tests {
         grid.upsert(2, Point::new(59.9, 50.0)); // in range
         grid.upsert(3, Point::new(61.0, 50.0)); // out of range
         let mut out = Vec::new();
-        m.plan_broadcast(&grid, NodeId(0), Point::new(50.0, 50.0), 64, &mut rng, &mut out);
+        m.plan_broadcast(
+            &grid,
+            NodeId(0),
+            Point::new(50.0, 50.0),
+            64,
+            &mut rng,
+            LinkFaults::NONE,
+            &mut out,
+        );
         let ids: Vec<u32> = out.iter().map(|r| r.to.0).collect();
         assert_eq!(ids, vec![1, 2]);
         assert!(out.iter().all(|r| !r.lost), "no loss at loss_prob = 0");
@@ -144,7 +201,15 @@ mod tests {
         let (m, mut grid, mut rng) = setup();
         grid.upsert(0, Point::new(50.0, 50.0));
         let mut out = Vec::new();
-        m.plan_broadcast(&grid, NodeId(0), Point::new(50.0, 50.0), 64, &mut rng, &mut out);
+        m.plan_broadcast(
+            &grid,
+            NodeId(0),
+            Point::new(50.0, 50.0),
+            64,
+            &mut rng,
+            LinkFaults::NONE,
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 
@@ -156,7 +221,15 @@ mod tests {
             grid.upsert(k, Point::new(50.0 + k as f64, 50.0));
         }
         let mut out = Vec::new();
-        m.plan_broadcast(&grid, NodeId(0), Point::new(50.0, 50.0), 64, &mut rng, &mut out);
+        m.plan_broadcast(
+            &grid,
+            NodeId(0),
+            Point::new(50.0, 50.0),
+            64,
+            &mut rng,
+            LinkFaults::NONE,
+            &mut out,
+        );
         assert_eq!(out.len(), 5);
         let d = out[0].after;
         assert!(out.iter().all(|r| r.after == d));
@@ -170,10 +243,15 @@ mod tests {
         grid.upsert(1, Point::new(58.0, 50.0));
         grid.upsert(2, Point::new(90.0, 50.0));
         let src = Point::new(50.0, 50.0);
-        assert!(m.plan_unicast(&grid, src, NodeId(1), 64, &mut rng).is_some());
-        assert!(m.plan_unicast(&grid, src, NodeId(2), 64, &mut rng).is_none());
+        assert!(m
+            .plan_unicast(&grid, src, NodeId(1), 64, &mut rng, LinkFaults::NONE)
+            .is_some());
+        assert!(m
+            .plan_unicast(&grid, src, NodeId(2), 64, &mut rng, LinkFaults::NONE)
+            .is_none());
         assert!(
-            m.plan_unicast(&grid, src, NodeId(99), 64, &mut rng).is_none(),
+            m.plan_unicast(&grid, src, NodeId(99), 64, &mut rng, LinkFaults::NONE)
+                .is_none(),
             "unknown node is a link break"
         );
     }
@@ -193,7 +271,15 @@ mod tests {
         let n = 10_000;
         let mut out = Vec::new();
         for _ in 0..n {
-            m.plan_broadcast(&grid, NodeId(0), Point::new(50.0, 50.0), 64, &mut rng, &mut out);
+            m.plan_broadcast(
+                &grid,
+                NodeId(0),
+                Point::new(50.0, 50.0),
+                64,
+                &mut rng,
+                LinkFaults::NONE,
+                &mut out,
+            );
             if out[0].lost {
                 lost += 1;
             }
@@ -204,7 +290,10 @@ mod tests {
 
     #[test]
     fn fuzzy_edge_loses_some_receptions() {
-        let cfg = RadioCfg { fuzz: 0.5, ..RadioCfg::paper() };
+        let cfg = RadioCfg {
+            fuzz: 0.5,
+            ..RadioCfg::paper()
+        };
         let m = Medium::new(cfg);
         let mut grid = SpatialGrid::new(Rect::sized(100.0, 100.0), 10.0);
         grid.upsert(0, Point::new(50.0, 50.0));
@@ -215,7 +304,15 @@ mod tests {
         let n = 4000;
         let mut out = Vec::new();
         for _ in 0..n {
-            m.plan_broadcast(&grid, NodeId(0), Point::new(50.0, 50.0), 64, &mut rng, &mut out);
+            m.plan_broadcast(
+                &grid,
+                NodeId(0),
+                Point::new(50.0, 50.0),
+                64,
+                &mut rng,
+                LinkFaults::NONE,
+                &mut out,
+            );
             for r in &out {
                 match r.to.0 {
                     1 if r.lost => core_lost += 1,
@@ -236,10 +333,131 @@ mod tests {
         let max = base + m.cfg().max_jitter;
         let mut distinct = std::collections::HashSet::new();
         for _ in 0..100 {
-            let d = m.tx_delay(64, &mut rng);
+            let d = m.tx_delay(64, &mut rng, LinkFaults::NONE);
             assert!(d >= base && d < max);
             distinct.insert(d.ticks());
         }
         assert!(distinct.len() > 10, "jitter should vary");
+    }
+
+    #[test]
+    fn fault_free_plans_match_pre_fault_rng_stream() {
+        // LinkFaults::NONE must not consume extra RNG draws: two media fed
+        // from identically-seeded RNGs stay in lockstep whether or not the
+        // NONE value is threaded through.
+        let (m, mut grid, _) = setup();
+        grid.upsert(0, Point::new(50.0, 50.0));
+        grid.upsert(1, Point::new(55.0, 50.0));
+        let mut a = Rng::new(99);
+        let mut b = Rng::new(99);
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            m.plan_broadcast(
+                &grid,
+                NodeId(0),
+                Point::new(50.0, 50.0),
+                64,
+                &mut a,
+                LinkFaults::NONE,
+                &mut out,
+            );
+            m.plan_unicast(
+                &grid,
+                Point::new(50.0, 50.0),
+                NodeId(1),
+                64,
+                &mut b,
+                LinkFaults::NONE,
+            );
+            m.plan_unicast(
+                &grid,
+                Point::new(50.0, 50.0),
+                NodeId(1),
+                64,
+                &mut a,
+                LinkFaults::NONE,
+            );
+            m.plan_broadcast(
+                &grid,
+                NodeId(0),
+                Point::new(50.0, 50.0),
+                64,
+                &mut b,
+                LinkFaults::NONE,
+                &mut out,
+            );
+        }
+        assert_eq!(a.next_u64(), b.next_u64(), "streams diverged");
+    }
+
+    #[test]
+    fn extra_loss_is_injected_on_top_of_config() {
+        let (m, mut grid, mut rng) = setup(); // loss_prob = 0, fuzz = 0
+        grid.upsert(0, Point::new(50.0, 50.0));
+        grid.upsert(1, Point::new(51.0, 50.0));
+        let faults = LinkFaults {
+            extra_loss: 0.5,
+            extra_delay: SimDuration::ZERO,
+        };
+        let mut lost = 0;
+        let n = 10_000;
+        let mut out = Vec::new();
+        for _ in 0..n {
+            m.plan_broadcast(
+                &grid,
+                NodeId(0),
+                Point::new(50.0, 50.0),
+                64,
+                &mut rng,
+                faults,
+                &mut out,
+            );
+            if out[0].lost {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / n as f64;
+        assert!(
+            (rate - 0.5).abs() < 0.02,
+            "observed injected loss rate {rate}"
+        );
+    }
+
+    #[test]
+    fn extra_delay_shifts_every_transmission() {
+        let (m, mut grid, mut rng) = setup();
+        grid.upsert(0, Point::new(50.0, 50.0));
+        grid.upsert(1, Point::new(51.0, 50.0));
+        let spike = SimDuration::from_millis(250);
+        let faults = LinkFaults {
+            extra_loss: 0.0,
+            extra_delay: spike,
+        };
+        let base = m.cfg().serialization_delay(64) + m.cfg().hop_latency;
+        let r = m
+            .plan_unicast(
+                &grid,
+                Point::new(50.0, 50.0),
+                NodeId(1),
+                64,
+                &mut rng,
+                faults,
+            )
+            .expect("in range");
+        assert!(
+            r.after >= base + spike,
+            "delay spike not applied: {:?}",
+            r.after
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "extra_loss must be a probability")]
+    fn link_faults_validate_rejects_bad_loss() {
+        LinkFaults {
+            extra_loss: 1.5,
+            extra_delay: SimDuration::ZERO,
+        }
+        .validate();
     }
 }

@@ -28,7 +28,10 @@ fn main() {
             .position(|a| a == "--nodes")
             .map_or(50, |i| args[i + 1].parse().expect("--nodes"));
         println!("Table 2: parameters used and their typical values\n");
-        print!("{}", Scenario::paper(nodes, AlgoKind::Regular).render_table_2());
+        print!(
+            "{}",
+            Scenario::paper(nodes, AlgoKind::Regular).render_table_2()
+        );
         return;
     }
     let cfg = cfg_from_args(&args);

@@ -72,12 +72,22 @@ fn main() {
         }
         "mobility" => {
             let models: [(&str, MobilityKind); 4] = [
-                ("waypoint", MobilityKind::Waypoint { max_speed: 1.0, max_pause: 100.0 }),
+                (
+                    "waypoint",
+                    MobilityKind::Waypoint {
+                        max_speed: 1.0,
+                        max_pause: 100.0,
+                    },
+                ),
                 ("walk", MobilityKind::Walk { max_speed: 1.0 }),
                 ("gauss_markov", MobilityKind::GaussMarkov),
                 (
                     "rpgm_groups",
-                    MobilityKind::Groups { n_groups: 8, max_speed: 1.0, group_radius: 10.0 },
+                    MobilityKind::Groups {
+                        n_groups: 8,
+                        max_speed: 1.0,
+                        group_radius: 10.0,
+                    },
                 ),
             ];
             for (ix, (name, model)) in models.into_iter().enumerate() {
@@ -106,13 +116,7 @@ fn main() {
     }
 }
 
-fn report(
-    axis: &str,
-    value: f64,
-    algo: AlgoKind,
-    s: &Scenario,
-    cfg: &manet_sim::ExperimentCfg,
-) {
+fn report(axis: &str, value: f64, algo: AlgoKind, s: &Scenario, cfg: &manet_sim::ExperimentCfg) {
     let results = runner::run_replications(s, cfg.reps.min(3), cfg.seed, cfg.threads);
     let agg = runner::aggregate(&results, s.catalog.n_files as usize);
     println!(

@@ -71,7 +71,10 @@ pub fn run_matrix(cfg: &ExperimentCfg) -> BTreeMap<&'static str, Aggregate> {
     for algo in AlgoKind::ALL {
         let scenario = cfg.scenario(algo);
         let results = run_replications(&scenario, cfg.reps, cfg.seed, cfg.threads);
-        out.insert(algo.name(), aggregate(&results, scenario.catalog.n_files as usize));
+        out.insert(
+            algo.name(),
+            aggregate(&results, scenario.catalog.n_files as usize),
+        );
     }
     out
 }
@@ -119,15 +122,19 @@ pub fn fig_distance_answers(matrix: &BTreeMap<&'static str, Aggregate>, n_nodes:
     format!(
         "{}\n{}",
         render_columns(
-            &format!("Fig {}a: average minimum distance to the file ({n_nodes} nodes, 75% p2p)",
-                if n_nodes <= 50 { 5 } else { 6 }),
+            &format!(
+                "Fig {}a: average minimum distance to the file ({n_nodes} nodes, 75% p2p)",
+                if n_nodes <= 50 { 5 } else { 6 }
+            ),
             "file",
             &dist,
             3,
         ),
         render_columns(
-            &format!("Fig {}b: average number of answers per request ({n_nodes} nodes, 75% p2p)",
-                if n_nodes <= 50 { 5 } else { 6 }),
+            &format!(
+                "Fig {}b: average number of answers per request ({n_nodes} nodes, 75% p2p)",
+                if n_nodes <= 50 { 5 } else { 6 }
+            ),
             "file",
             &answers,
             3,

@@ -1,0 +1,245 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is part of the scenario: it describes every impairment a
+//! replication will suffer, so a `(scenario, seed)` pair still reproduces
+//! bit-identical runs — faults included. The world translates the plan into
+//! events on the shared future-event list (burst boundaries, crash times,
+//! flap and jitter windows) and passes the currently-active impairment to
+//! the radio as a [`manet_radio::LinkFaults`] value on every planned
+//! transmission. An empty plan schedules nothing and draws nothing, so
+//! fault-free runs are byte-identical to the pre-fault simulator.
+//!
+//! Four processes compose:
+//!
+//! * [`PacketLoss`] — iid extra loss, optionally modulated by a two-state
+//!   (Gilbert-style) burst process with exponential dwell times;
+//! * [`CrashEvent`] — a scripted node crash at a fixed time, with an
+//!   optional restart (the node reboots with fresh overlay state, exactly
+//!   like churn recovery);
+//! * [`LinkFlaps`] — periodic whole-medium outages (every transmission in a
+//!   flap window is lost), the harshest partition a shared medium can show;
+//! * [`JitterSpikes`] — periodic windows of extra fixed delivery delay.
+
+use manet_des::{NodeId, SimDuration, SimTime};
+
+/// Two-state burst modulation for [`PacketLoss`].
+///
+/// The process alternates between a *quiet* state (only the base loss
+/// applies) and a *burst* state (loss jumps to `burst_loss`), with dwell
+/// times drawn from exponentials on the world's dedicated fault RNG stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstCfg {
+    /// Mean dwell time in the quiet state, seconds.
+    pub mean_quiet: f64,
+    /// Mean dwell time in the burst state, seconds.
+    pub mean_burst: f64,
+    /// Extra loss probability while bursting, in `[0, 1]`.
+    pub burst_loss: f64,
+}
+
+/// Extra iid packet loss injected on top of the configured radio loss.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PacketLoss {
+    /// Always-on extra loss probability, in `[0, 1]`.
+    pub base: f64,
+    /// Optional burst modulation; during a burst the *maximum* of `base`
+    /// and `burst_loss` applies.
+    pub burst: Option<BurstCfg>,
+}
+
+/// One scripted crash of a specific node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrashEvent {
+    /// Which node crashes (members lose their overlay presence; pure
+    /// relays just stop forwarding).
+    pub node: NodeId,
+    /// When it crashes.
+    pub at: SimTime,
+    /// If set, the node reboots this long after crashing, with fresh
+    /// overlay state but the same identity and files.
+    pub restart_after: Option<SimDuration>,
+}
+
+/// Periodic whole-medium outage windows.
+///
+/// Starting at `period`, every transmission planned during the first
+/// `down` of each `period` is lost. Models the network-wide fade of a
+/// shared channel (interference, a passing obstacle).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFlaps {
+    /// Distance between flap starts.
+    pub period: SimDuration,
+    /// How long each flap lasts; must be shorter than `period`.
+    pub down: SimDuration,
+}
+
+/// Periodic windows of extra fixed delivery delay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JitterSpikes {
+    /// Distance between spike starts.
+    pub period: SimDuration,
+    /// How long each spike lasts; must be shorter than `period`.
+    pub width: SimDuration,
+    /// Extra delay added to every transmission inside a spike window.
+    pub extra_delay: SimDuration,
+}
+
+/// The complete fault schedule of a scenario. `Default` is the empty plan.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Extra packet loss (iid base + optional bursts).
+    pub loss: Option<PacketLoss>,
+    /// Scripted node crashes.
+    pub crashes: Vec<CrashEvent>,
+    /// Periodic whole-medium outages.
+    pub link_flaps: Option<LinkFlaps>,
+    /// Periodic delay spikes.
+    pub jitter: Option<JitterSpikes>,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.loss.is_none()
+            && self.crashes.is_empty()
+            && self.link_flaps.is_none()
+            && self.jitter.is_none()
+    }
+
+    /// The smoke-test plan: `loss_prob` extra iid loss plus one crash of
+    /// `node` at `crash_at`, restarting after `restart_after` if given.
+    pub fn loss_and_crash(
+        loss_prob: f64,
+        node: NodeId,
+        crash_at: SimTime,
+        restart_after: Option<SimDuration>,
+    ) -> Self {
+        FaultPlan {
+            loss: Some(PacketLoss {
+                base: loss_prob,
+                burst: None,
+            }),
+            crashes: vec![CrashEvent {
+                node,
+                at: crash_at,
+                restart_after,
+            }],
+            link_flaps: None,
+            jitter: None,
+        }
+    }
+
+    /// Panics when any parameter is out of domain.
+    pub fn validate(&self, n_nodes: usize) {
+        if let Some(loss) = &self.loss {
+            assert!(
+                (0.0..=1.0).contains(&loss.base),
+                "fault base loss must be a probability, got {}",
+                loss.base
+            );
+            if let Some(b) = &loss.burst {
+                assert!(
+                    b.mean_quiet > 0.0 && b.mean_burst > 0.0,
+                    "burst dwell means must be positive"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&b.burst_loss),
+                    "burst loss must be a probability, got {}",
+                    b.burst_loss
+                );
+            }
+        }
+        for c in &self.crashes {
+            assert!(
+                (c.node.0 as usize) < n_nodes,
+                "crash names node {} but the world has {n_nodes}",
+                c.node.0
+            );
+            if let Some(r) = c.restart_after {
+                assert!(!r.is_zero(), "restart_after must be positive");
+            }
+        }
+        if let Some(f) = &self.link_flaps {
+            assert!(!f.period.is_zero(), "flap period must be positive");
+            assert!(
+                f.down < f.period,
+                "flap down-time must be shorter than the period"
+            );
+            assert!(!f.down.is_zero(), "flap down-time must be positive");
+        }
+        if let Some(j) = &self.jitter {
+            assert!(!j.period.is_zero(), "jitter period must be positive");
+            assert!(
+                j.width < j.period,
+                "jitter width must be shorter than the period"
+            );
+            assert!(!j.width.is_zero(), "jitter width must be positive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty_and_valid() {
+        let p = FaultPlan::default();
+        assert!(p.is_empty());
+        p.validate(10);
+    }
+
+    #[test]
+    fn loss_and_crash_builder() {
+        let p = FaultPlan::loss_and_crash(
+            0.2,
+            NodeId(3),
+            SimTime::from_secs(100),
+            Some(SimDuration::from_secs(60)),
+        );
+        assert!(!p.is_empty());
+        p.validate(10);
+        assert_eq!(p.crashes.len(), 1);
+        assert_eq!(p.loss.unwrap().base, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_loss_rejected() {
+        FaultPlan {
+            loss: Some(PacketLoss {
+                base: 1.2,
+                burst: None,
+            }),
+            ..Default::default()
+        }
+        .validate(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "world has 5")]
+    fn crash_of_unknown_node_rejected() {
+        FaultPlan {
+            crashes: vec![CrashEvent {
+                node: NodeId(7),
+                at: SimTime::from_secs(1),
+                restart_after: None,
+            }],
+            ..Default::default()
+        }
+        .validate(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the period")]
+    fn flap_longer_than_period_rejected() {
+        FaultPlan {
+            link_flaps: Some(LinkFlaps {
+                period: SimDuration::from_secs(10),
+                down: SimDuration::from_secs(10),
+            }),
+            ..Default::default()
+        }
+        .validate(5);
+    }
+}

@@ -1,0 +1,162 @@
+//! Invariant checkers for finished and running worlds.
+//!
+//! Two layers:
+//!
+//! * [`check_result`] — conservation laws over a finished replication's
+//!   [`RunResult`]. These hold for *any* scenario, fault plan included: a
+//!   violation is a simulator bug, never a legitimate protocol outcome.
+//! * [`World::check_invariants`](crate::World::check_invariants) — live
+//!   structural sanity (routing tables, overlay neighbor sets) checkable at
+//!   any point of a stepped run.
+//!
+//! Both return a list of human-readable violations rather than panicking,
+//! so property tests can feed them through `prop_assert!` and report the
+//! replayable case seed.
+
+use crate::scenario::Scenario;
+use crate::world::RunResult;
+use manet_metrics::MsgKind;
+
+/// Check the conservation laws of a finished replication.
+///
+/// Returns one message per violated law; an empty vector means the run is
+/// consistent. The laws:
+///
+/// 1. the member census matches the scenario;
+/// 2. final roles partition the members (they sum to the member count);
+/// 3. every reception was transmitted: received + lost frames never exceed
+///    `sent × (n − 1)` (a broadcast has at most `n − 1` receivers), and the
+///    same for bytes;
+/// 4. energy spent is non-negative and finite for every node;
+/// 5. every answer arrived as a QueryHit delivery;
+/// 6. connections alive at the end never exceed connections ever
+///    established.
+pub fn check_result(scenario: &Scenario, r: &RunResult) -> Vec<String> {
+    let mut v = Vec::new();
+    let n = scenario.n_nodes as u64;
+
+    if r.members.len() != scenario.n_members() {
+        v.push(format!(
+            "member census: result has {} members, scenario says {}",
+            r.members.len(),
+            scenario.n_members()
+        ));
+    }
+
+    let roles_sum: usize = r.roles.iter().sum();
+    if roles_sum != r.members.len() {
+        v.push(format!(
+            "role partition: roles {:?} sum to {roles_sum}, but there are {} members",
+            r.roles,
+            r.members.len()
+        ));
+    }
+
+    let max_receivers = r.phy_total.frames_sent.saturating_mul(n.saturating_sub(1));
+    let accounted = r.phy_total.frames_received + r.phy_total.frames_lost;
+    if accounted > max_receivers {
+        v.push(format!(
+            "frame conservation: {} received + {} lost > {} sent x {} receivers",
+            r.phy_total.frames_received,
+            r.phy_total.frames_lost,
+            r.phy_total.frames_sent,
+            n.saturating_sub(1)
+        ));
+    }
+    let max_bytes = r.phy_total.bytes_sent.saturating_mul(n.saturating_sub(1));
+    if r.phy_total.bytes_received > max_bytes {
+        v.push(format!(
+            "byte conservation: {} received > {} sent x {} receivers",
+            r.phy_total.bytes_received,
+            r.phy_total.bytes_sent,
+            n.saturating_sub(1)
+        ));
+    }
+
+    for (i, &mj) in r.energy_mj.iter().enumerate() {
+        if !(mj.is_finite() && mj >= 0.0) {
+            v.push(format!("energy: node {i} spent {mj} mJ"));
+        }
+    }
+
+    let hits = r.counters.total(MsgKind::QueryHit);
+    if r.answers_received > hits {
+        v.push(format!(
+            "answer conservation: {} answers recorded but only {hits} QueryHit deliveries",
+            r.answers_received
+        ));
+    }
+
+    // Each end of a live connection was counted once when it became
+    // established, so the final census is bounded by the running total.
+    let alive = r.avg_connections * r.members.len() as f64;
+    if alive > r.conns_established as f64 + 1e-6 {
+        v.push(format!(
+            "connection conservation: {alive:.2} connection ends alive at the end, \
+             but only {} were ever established",
+            r.conns_established
+        ));
+    }
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use manet_des::SimTime;
+    use p2p_core::AlgoKind;
+
+    #[test]
+    fn clean_runs_satisfy_conservation_laws() {
+        for algo in AlgoKind::ALL {
+            let s = Scenario::quick(20, algo, 200);
+            let r = World::new(s.clone(), 17).run();
+            let violations = check_result(&s, &r);
+            assert!(violations.is_empty(), "{algo}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn broken_results_are_flagged() {
+        let s = Scenario::quick(20, AlgoKind::Regular, 120);
+        let mut r = World::new(s.clone(), 18).run();
+        r.answers_received += 1_000_000;
+        r.energy_mj[0] = -1.0;
+        r.members.pop();
+        let violations = check_result(&s, &r);
+        assert!(
+            violations.iter().any(|m| m.contains("answer conservation")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|m| m.contains("energy")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|m| m.contains("member census")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn stepped_worlds_stay_structurally_sane() {
+        let s = Scenario::quick(20, AlgoKind::Regular, 120);
+        let mut w = World::new(s, 19);
+        let mut last = SimTime::ZERO;
+        let mut checked = 0;
+        while let Some(now) = w.step() {
+            last = now;
+            checked += 1;
+            if checked % 500 == 0 {
+                let violations = w.check_invariants(now);
+                assert!(violations.is_empty(), "at {now}: {violations:?}");
+            }
+        }
+        let violations = w.check_invariants(last);
+        assert!(violations.is_empty(), "at end: {violations:?}");
+        let r = w.finish();
+        assert!(r.events > 0);
+    }
+}

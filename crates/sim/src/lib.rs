@@ -4,6 +4,8 @@
 //! paper's evaluation (see DESIGN.md for the experiment index).
 
 pub mod experiments;
+pub mod faults;
+pub mod invariants;
 pub mod payload;
 pub mod runner;
 pub mod scenario;
@@ -11,6 +13,8 @@ pub mod trace;
 pub mod world;
 
 pub use experiments::{run_matrix, ExperimentCfg};
+pub use faults::{BurstCfg, CrashEvent, FaultPlan, JitterSpikes, LinkFlaps, PacketLoss};
+pub use invariants::check_result;
 pub use payload::AppMsg;
 pub use runner::{aggregate, run_replications, Aggregate};
 pub use scenario::{ChurnCfg, MobilityKind, Scenario};

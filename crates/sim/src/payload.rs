@@ -55,7 +55,10 @@ mod tests {
     #[test]
     fn kinds_map_to_figure_categories() {
         assert_eq!(
-            AppMsg::Overlay(OverlayMsg::Probe { kind: ProbeKind::Basic }).kind(),
+            AppMsg::Overlay(OverlayMsg::Probe {
+                kind: ProbeKind::Basic
+            })
+            .kind(),
             MsgKind::Connect
         );
         assert_eq!(
@@ -67,14 +70,20 @@ mod tests {
             MsgKind::Connect
         );
         let q = AppMsg::Content(ContentMsg::Query {
-            id: QueryId { origin: NodeId(0), seq: 0 },
+            id: QueryId {
+                origin: NodeId(0),
+                seq: 0,
+            },
             file: FileId(0),
             ttl: 6,
             p2p_hops: 0,
         });
         assert_eq!(q.kind(), MsgKind::Query);
         let hit = AppMsg::Content(ContentMsg::QueryHit {
-            id: QueryId { origin: NodeId(0), seq: 0 },
+            id: QueryId {
+                origin: NodeId(0),
+                seq: 0,
+            },
             file: FileId(0),
             p2p_hops: 2,
         });

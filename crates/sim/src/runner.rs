@@ -3,13 +3,14 @@
 //! A single world is inherently sequential (one global event order), but
 //! replications and parameter-sweep points are independent — the paper runs
 //! every scenario 33 times. This module fans replications out over a
-//! crossbeam worker pool with deterministic per-replication seeds, so the
-//! aggregate is identical whatever the thread count (including 1).
+//! `std::thread::scope` worker pool with deterministic per-replication
+//! seeds, so the aggregate is identical whatever the thread count
+//! (including 1).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use manet_metrics::{average_series, FileMetrics, MsgKind, Summary};
-use parking_lot::Mutex;
 
 use crate::scenario::Scenario;
 use crate::world::{RunResult, World};
@@ -27,29 +28,34 @@ pub fn replication_seed(base: u64, rep: usize) -> u64 {
 ///
 /// Results come back ordered by replication index regardless of which
 /// worker finished first.
-pub fn run_replications(scenario: &Scenario, reps: usize, base_seed: u64, threads: usize) -> Vec<RunResult> {
+pub fn run_replications(
+    scenario: &Scenario,
+    reps: usize,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<RunResult> {
     assert!(reps >= 1, "need at least one replication");
     let threads = threads.max(1).min(reps);
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..reps).map(|_| None).collect());
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let rep = next.fetch_add(1, Ordering::Relaxed);
                 if rep >= reps {
                     break;
                 }
                 let seed = replication_seed(base_seed, rep);
                 let result = World::new(scenario.clone(), seed).run();
-                results.lock()[rep] = Some(result);
+                results.lock().expect("result store poisoned")[rep] = Some(result);
             });
         }
-    })
-    .expect("replication worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("result store poisoned")
         .into_iter()
         .map(|r| r.expect("every replication filled"))
         .collect()

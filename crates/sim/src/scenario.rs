@@ -2,6 +2,8 @@
 
 use manet_aodv::AodvCfg;
 use manet_des::SimDuration;
+
+use crate::faults::FaultPlan;
 use manet_geom::Rect;
 use manet_radio::RadioCfg;
 use p2p_content::{Catalog, QueryCfg};
@@ -91,6 +93,9 @@ pub struct Scenario {
     pub smallworld_sample: Option<SimDuration>,
     /// Keep the last N protocol events in a trace ring (0 = off).
     pub trace_capacity: usize,
+    /// Injected faults (packet-loss bursts, scripted crashes, link flaps,
+    /// delay spikes); the default plan is empty and changes nothing.
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -118,11 +123,12 @@ impl Scenario {
             churn: None,
             smallworld_sample: None,
             trace_capacity: 0,
+            faults: FaultPlan::default(),
         }
     }
 
-    /// A scaled-down variant for tests and Criterion benches: same shape,
-    /// shorter clock.
+    /// A scaled-down variant for tests and the in-repo timing benches:
+    /// same shape, shorter clock.
     pub fn quick(n_nodes: usize, algo: AlgoKind, secs: u64) -> Self {
         let mut s = Self::paper(n_nodes, algo);
         s.duration = SimDuration::from_secs(secs);
@@ -159,6 +165,7 @@ impl Scenario {
         if let MobilityKind::Groups { n_groups, .. } = self.mobility {
             assert!(n_groups >= 1, "need at least one group");
         }
+        self.faults.validate(self.n_nodes);
     }
 
     /// Render the effective parameters in the shape of the paper's Table 2.
@@ -174,17 +181,22 @@ impl Scenario {
                 n_groups,
                 max_speed,
                 group_radius,
-            } => format!(
-                "RPGM ({n_groups} groups, <= {max_speed} m/s, radius {group_radius} m)"
-            ),
+            } => format!("RPGM ({n_groups} groups, <= {max_speed} m/s, radius {group_radius} m)"),
             MobilityKind::Stationary => "Stationary".into(),
         };
         let rows: Vec<(String, String)> = vec![
-            ("transmission range".into(), format!("{} m", self.radio.range_m)),
+            (
+                "transmission range".into(),
+                format!("{} m", self.radio.range_m),
+            ),
             ("number of nodes".into(), format!("{}", self.n_nodes)),
             (
                 "p2p members".into(),
-                format!("{} ({:.0}%)", self.n_members(), self.member_fraction * 100.0),
+                format!(
+                    "{} ({:.0}%)",
+                    self.n_members(),
+                    self.member_fraction * 100.0
+                ),
             ),
             ("area".into(), format!("{0} m x {0} m", self.area_side)),
             ("mobility".into(), mobility),
@@ -200,15 +212,24 @@ impl Scenario {
                 "NHOPS_INITIAL".into(),
                 format!("{} ad-hoc hops", self.overlay.nhops_initial),
             ),
-            ("MAXNHOPS".into(), format!("{} ad-hoc hops", self.overlay.max_nhops)),
+            (
+                "MAXNHOPS".into(),
+                format!("{} ad-hoc hops", self.overlay.max_nhops),
+            ),
             (
                 "NHOPS (Basic Algorithm)".into(),
                 format!("{} ad-hoc hops", self.overlay.nhops_basic),
             ),
-            ("MAXDIST".into(), format!("{} ad-hoc hops", self.overlay.max_dist)),
+            (
+                "MAXDIST".into(),
+                format!("{} ad-hoc hops", self.overlay.max_dist),
+            ),
             ("MAXNCONN".into(), format!("{}", self.overlay.max_conn)),
             ("MAXNSLAVES".into(), format!("{}", self.overlay.max_slaves)),
-            ("TTL for queries".into(), format!("{} p2p hops", self.query.ttl)),
+            (
+                "TTL for queries".into(),
+                format!("{} p2p hops", self.query.ttl),
+            ),
             (
                 "simulated time".into(),
                 format!("{:.0} s", self.duration.as_secs_f64()),

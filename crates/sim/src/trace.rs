@@ -195,10 +195,34 @@ mod tests {
                 hops: 2,
             },
         );
-        log.record(t(3), TraceEvent::ConnUp { node: NodeId(3), peer: NodeId(5) });
-        log.record(t(4), TraceEvent::ConnDown { node: NodeId(3), peer: NodeId(5) });
-        log.record(t(5), TraceEvent::RoleChange { node: NodeId(3), role: Role::Master });
-        log.record(t(6), TraceEvent::PowerChange { node: NodeId(3), up: false });
+        log.record(
+            t(3),
+            TraceEvent::ConnUp {
+                node: NodeId(3),
+                peer: NodeId(5),
+            },
+        );
+        log.record(
+            t(4),
+            TraceEvent::ConnDown {
+                node: NodeId(3),
+                peer: NodeId(5),
+            },
+        );
+        log.record(
+            t(5),
+            TraceEvent::RoleChange {
+                node: NodeId(3),
+                role: Role::Master,
+            },
+        );
+        log.record(
+            t(6),
+            TraceEvent::PowerChange {
+                node: NodeId(3),
+                up: false,
+            },
+        );
         let text = log.render();
         assert_eq!(text.lines().count(), 6);
         assert!(text.contains("JOIN"));

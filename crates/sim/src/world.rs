@@ -17,10 +17,10 @@ use manet_geom::{Point, SpatialGrid};
 use manet_graph::{small_world, Graph, SmallWorld};
 use manet_metrics::{FileMetrics, NodeCounters};
 use manet_mobility::{
-    AnyMobility, GaussMarkov, GaussMarkovCfg, Mobility, RandomWalk, RandomWalkCfg,
-    RandomWaypoint, RandomWaypointCfg, Rpgm, RpgmCfg, Stationary,
+    AnyMobility, GaussMarkov, GaussMarkovCfg, Mobility, RandomWalk, RandomWalkCfg, RandomWaypoint,
+    RandomWaypointCfg, Rpgm, RpgmCfg, Stationary,
 };
-use manet_radio::{EnergyMeter, Medium, PhyStats};
+use manet_radio::{EnergyMeter, LinkFaults, Medium, PhyStats};
 use p2p_content::{CompletedQuery, QueryEngine};
 use p2p_core::{build_algo, BoxedAlgo, OvAction, Role};
 
@@ -37,6 +37,7 @@ mod labels {
     pub const CHURN: u64 = 5;
     pub const PLACEMENT: u64 = 6;
     pub const GROUPS: u64 = 7;
+    pub const FAULTS: u64 = 8;
     pub const MOBILITY_BASE: u64 = 1_000;
     pub const ENGINE_BASE: u64 = 2_000_000;
     pub const ALGO_BASE: u64 = 3_000_000;
@@ -62,6 +63,16 @@ enum Event {
     ChurnDown(NodeId),
     /// Churn: the node comes back.
     ChurnUp(NodeId),
+    /// Fault plan: the burst process flips between quiet and bursting.
+    BurstToggle,
+    /// Fault plan: a scripted node crash.
+    FaultCrash(NodeId),
+    /// Fault plan: a crashed node reboots.
+    FaultRestart(NodeId),
+    /// Fault plan: a whole-medium flap window starts or ends.
+    FlapToggle,
+    /// Fault plan: a delay-spike window starts or ends.
+    JitterToggle,
 }
 
 /// Overlay-member state.
@@ -137,6 +148,13 @@ pub struct World {
     file_metrics: FileMetrics,
     smallworld: Vec<(f64, SmallWorld)>,
     churn_rng: Rng,
+    fault_rng: Rng,
+    /// Burst process state: currently in the high-loss state?
+    burst_on: bool,
+    /// Inside a whole-medium flap window?
+    flap_on: bool,
+    /// Inside a delay-spike window?
+    jitter_on: bool,
     answers_received: u64,
     events: u64,
     trace: TraceLog,
@@ -218,9 +236,7 @@ impl World {
                     group_radius,
                 } => {
                     let group = i % n_groups.max(1);
-                    let group_seed = master
-                        .fork(labels::GROUPS + group as u64)
-                        .next_u64();
+                    let group_seed = master.fork(labels::GROUPS + group as u64).next_u64();
                     Rpgm::new(
                         RpgmCfg {
                             bounds: area,
@@ -240,9 +256,10 @@ impl World {
             grid.upsert(id.0, mobility.position(SimTime::ZERO));
 
             let member = if (i as u32) < n_members as u32 {
-                let qualifier = qual_rng
-                    .range_u64(scenario.qualifier_range.0 as u64, scenario.qualifier_range.1 as u64)
-                    as u32;
+                let qualifier = qual_rng.range_u64(
+                    scenario.qualifier_range.0 as u64,
+                    scenario.qualifier_range.1 as u64,
+                ) as u32;
                 let algo_seed = master.fork(labels::ALGO_BASE + i as u64).next_u64();
                 let algo = build_algo(
                     scenario.algo,
@@ -292,6 +309,10 @@ impl World {
             smallworld: Vec::new(),
             radio_rng: master.fork(labels::RADIO),
             churn_rng: master.fork(labels::CHURN),
+            fault_rng: master.fork(labels::FAULTS),
+            burst_on: false,
+            flap_on: false,
+            jitter_on: false,
             queue: EventQueue::new(),
             grid,
             medium,
@@ -310,9 +331,8 @@ impl World {
             let id = NodeId(i as u32);
             world.schedule_mobility(id, SimTime::ZERO);
             if world.nodes[i].member.is_some() {
-                let at = SimTime::from_ticks(
-                    join_rng.below(world.scenario.join_window.ticks().max(1)),
-                );
+                let at =
+                    SimTime::from_ticks(join_rng.below(world.scenario.join_window.ticks().max(1)));
                 world.queue.schedule(at, Event::Join(id));
             }
         }
@@ -329,24 +349,63 @@ impl World {
                     .schedule(SimTime::from_secs_f64(up), Event::ChurnDown(id));
             }
         }
+
+        // Fault plan: an empty plan schedules nothing and draws nothing, so
+        // fault-free runs stay byte-identical to the pre-fault simulator.
+        let faults = world.scenario.faults.clone();
+        if let Some(loss) = &faults.loss {
+            if let Some(burst) = &loss.burst {
+                let quiet = world.fault_rng.exponential(burst.mean_quiet);
+                world
+                    .queue
+                    .schedule(SimTime::from_secs_f64(quiet), Event::BurstToggle);
+            }
+        }
+        for crash in &faults.crashes {
+            world
+                .queue
+                .schedule(crash.at, Event::FaultCrash(crash.node));
+        }
+        if let Some(flaps) = &faults.link_flaps {
+            world
+                .queue
+                .schedule(SimTime::ZERO + flaps.period, Event::FlapToggle);
+        }
+        if let Some(jitter) = &faults.jitter {
+            world
+                .queue
+                .schedule(SimTime::ZERO + jitter.period, Event::JitterToggle);
+        }
         world
+    }
+
+    /// Process the next event, if it lies within the scenario horizon.
+    ///
+    /// Returns the timestamp of the processed event, or `None` when the
+    /// replication is over (queue drained or horizon reached). Exposed so
+    /// harnesses can interleave [`check_invariants`](World::check_invariants)
+    /// with execution; [`run`](World::run) is the plain loop over it.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let horizon = SimTime::ZERO + self.scenario.duration;
+        let t = self.queue.peek_time()?;
+        if t > horizon {
+            return None;
+        }
+        let (now, event) = self.queue.pop().expect("peeked event exists");
+        self.events += 1;
+        self.dispatch(now, event);
+        Some(now)
     }
 
     /// Execute the replication to `scenario.duration` and report.
     pub fn run(mut self) -> RunResult {
-        let horizon = SimTime::ZERO + self.scenario.duration;
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let (now, event) = self.queue.pop().expect("peeked event exists");
-            self.events += 1;
-            self.dispatch(now, event);
-        }
-        self.finish(horizon)
+        while self.step().is_some() {}
+        self.finish()
     }
 
-    fn finish(self, horizon: SimTime) -> RunResult {
+    /// Consume the world and report. Harnesses driving [`step`](World::step)
+    /// themselves call this once `step` returns `None`.
+    pub fn finish(self) -> RunResult {
         let mut roles = [0usize; 5];
         let mut established = 0;
         let mut closed = 0;
@@ -378,7 +437,6 @@ impl World {
         } else {
             conn_count as f64 / self.members.len() as f64
         };
-        let _ = horizon;
         RunResult {
             counters: self.counters,
             members: self.members,
@@ -410,6 +468,11 @@ impl World {
             Event::SampleSmallWorld => self.on_sample(now),
             Event::ChurnDown(id) => self.on_churn_down(now, id),
             Event::ChurnUp(id) => self.on_churn_up(now, id),
+            Event::BurstToggle => self.on_burst_toggle(now),
+            Event::FaultCrash(id) => self.on_fault_crash(now, id),
+            Event::FaultRestart(id) => self.on_fault_restart(now, id),
+            Event::FlapToggle => self.on_flap_toggle(now),
+            Event::JitterToggle => self.on_jitter_toggle(now),
         }
     }
 
@@ -432,9 +495,12 @@ impl World {
             return; // stationary forever
         }
         let refresh = now + self.scenario.position_refresh;
-        let moving = node.mobility.position(now)
-            != node.mobility.position(refresh.min(epoch_end));
-        let at = if moving { refresh.min(epoch_end) } else { epoch_end };
+        let moving = node.mobility.position(now) != node.mobility.position(refresh.min(epoch_end));
+        let at = if moving {
+            refresh.min(epoch_end)
+        } else {
+            epoch_end
+        };
         self.queue.schedule(at.max(now), Event::Mobility(id));
     }
 
@@ -510,7 +576,13 @@ impl World {
         if let Some(m) = node.member.as_mut() {
             m.joined = false;
         }
-        self.trace.record(now, TraceEvent::PowerChange { node: id, up: false });
+        self.trace.record(
+            now,
+            TraceEvent::PowerChange {
+                node: id,
+                up: false,
+            },
+        );
         let down = self.churn_rng.exponential(churn.mean_downtime);
         self.queue
             .schedule(now + SimDuration::from_secs_f64(down), Event::ChurnUp(id));
@@ -524,17 +596,143 @@ impl World {
         node.up = true;
         if let Some(m) = node.member.as_mut() {
             // Fresh overlay state, same identity and files.
-            m.algo = build_algo(scenario_algo, id, overlay, m.qualifier, Rng::new(m.algo_seed));
+            m.algo = build_algo(
+                scenario_algo,
+                id,
+                overlay,
+                m.qualifier,
+                Rng::new(m.algo_seed),
+            );
             m.joined = true;
             let actions = m.algo.start(now);
             m.engine.start(now);
             self.exec_overlay(now, id, actions);
         }
-        self.trace.record(now, TraceEvent::PowerChange { node: id, up: true });
+        self.trace
+            .record(now, TraceEvent::PowerChange { node: id, up: true });
         let up = self.churn_rng.exponential(churn.mean_uptime);
         self.queue
             .schedule(now + SimDuration::from_secs_f64(up), Event::ChurnDown(id));
         self.reschedule_timer(now, id);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault plan
+    // ------------------------------------------------------------------
+
+    /// The impairment in force for a transmission planned right now,
+    /// composed from the independent loss/burst/flap/jitter processes.
+    fn active_faults(&self) -> LinkFaults {
+        let mut f = LinkFaults::NONE;
+        if let Some(loss) = &self.scenario.faults.loss {
+            f.extra_loss = loss.base;
+            if self.burst_on {
+                if let Some(b) = &loss.burst {
+                    f.extra_loss = f.extra_loss.max(b.burst_loss);
+                }
+            }
+        }
+        if self.flap_on {
+            f.extra_loss = 1.0;
+        }
+        if self.jitter_on {
+            if let Some(j) = &self.scenario.faults.jitter {
+                f.extra_delay = j.extra_delay;
+            }
+        }
+        f
+    }
+
+    fn on_burst_toggle(&mut self, now: SimTime) {
+        let Some(burst) = self.scenario.faults.loss.as_ref().and_then(|l| l.burst) else {
+            return;
+        };
+        self.burst_on = !self.burst_on;
+        let mean = if self.burst_on {
+            burst.mean_burst
+        } else {
+            burst.mean_quiet
+        };
+        let dwell = self.fault_rng.exponential(mean);
+        self.queue
+            .schedule(now + SimDuration::from_secs_f64(dwell), Event::BurstToggle);
+    }
+
+    fn on_fault_crash(&mut self, now: SimTime, id: NodeId) {
+        let restart_after = self
+            .scenario
+            .faults
+            .crashes
+            .iter()
+            .find(|c| c.node == id && c.at <= now)
+            .and_then(|c| c.restart_after);
+        let node = &mut self.nodes[id.index()];
+        node.up = false;
+        // As with churn, the overlay presence dies with the radio and local
+        // overlay state is discarded; peers find out via failed pings.
+        if let Some(m) = node.member.as_mut() {
+            m.joined = false;
+        }
+        self.trace.record(
+            now,
+            TraceEvent::PowerChange {
+                node: id,
+                up: false,
+            },
+        );
+        if let Some(after) = restart_after {
+            self.queue.schedule(now + after, Event::FaultRestart(id));
+        }
+    }
+
+    fn on_fault_restart(&mut self, now: SimTime, id: NodeId) {
+        let scenario_algo = self.scenario.algo;
+        let overlay = self.scenario.overlay;
+        let node = &mut self.nodes[id.index()];
+        node.up = true;
+        if let Some(m) = node.member.as_mut() {
+            // Fresh overlay state, same identity and files (a reboot).
+            m.algo = build_algo(
+                scenario_algo,
+                id,
+                overlay,
+                m.qualifier,
+                Rng::new(m.algo_seed),
+            );
+            m.joined = true;
+            let actions = m.algo.start(now);
+            m.engine.start(now);
+            self.exec_overlay(now, id, actions);
+        }
+        self.trace
+            .record(now, TraceEvent::PowerChange { node: id, up: true });
+        self.reschedule_timer(now, id);
+    }
+
+    fn on_flap_toggle(&mut self, now: SimTime) {
+        let Some(flaps) = self.scenario.faults.link_flaps else {
+            return;
+        };
+        self.flap_on = !self.flap_on;
+        let next = if self.flap_on {
+            flaps.down
+        } else {
+            flaps.period - flaps.down
+        };
+        self.queue.schedule(now + next, Event::FlapToggle);
+    }
+
+    fn on_jitter_toggle(&mut self, now: SimTime) {
+        let Some(jitter) = self.scenario.faults.jitter else {
+            return;
+        };
+        self.jitter_on = !self.jitter_on;
+        let next = if self.jitter_on {
+            jitter.width
+        } else {
+            jitter.period - jitter.width
+        };
+        self.queue.schedule(now + next, Event::JitterToggle);
     }
 
     fn on_deliver(&mut self, now: SimTime, to: NodeId, from: NodeId, msg: Msg<AppMsg>) {
@@ -684,9 +882,17 @@ impl World {
             node.energy.charge_tx(&self.medium.cfg().clone(), bytes);
         }
         let pos = self.nodes[from.index()].mobility.position(now);
+        let faults = self.active_faults();
         let mut receptions = Vec::new();
-        self.medium
-            .plan_broadcast(&self.grid, from, pos, bytes, &mut self.radio_rng, &mut receptions);
+        self.medium.plan_broadcast(
+            &self.grid,
+            from,
+            pos,
+            bytes,
+            &mut self.radio_rng,
+            faults,
+            &mut receptions,
+        );
         for r in receptions {
             if r.lost {
                 self.nodes[r.to.index()].phy.on_loss();
@@ -717,28 +923,25 @@ impl World {
         // A down receiver is indistinguishable from an out-of-range one.
         let receiver_up = self.nodes[to.index()].up;
         let plan = if receiver_up {
+            let faults = self.active_faults();
             self.medium
-                .plan_unicast(&self.grid, pos, to, bytes, &mut self.radio_rng)
+                .plan_unicast(&self.grid, pos, to, bytes, &mut self.radio_rng, faults)
         } else {
             None
         };
         match plan {
             Some(r) if !r.lost => {
-                self.queue.schedule(
-                    now + r.after,
-                    Event::Deliver {
-                        to,
-                        from,
-                        msg,
-                    },
-                );
+                self.queue
+                    .schedule(now + r.after, Event::Deliver { to, from, msg });
             }
             Some(_) => {
                 self.nodes[to.index()].phy.on_loss();
             }
             None => {
                 self.nodes[from.index()].phy.on_link_break();
-                let acts = self.nodes[from.index()].aodv.on_unicast_failed(now, to, msg);
+                let acts = self.nodes[from.index()]
+                    .aodv
+                    .on_unicast_failed(now, to, msg);
                 self.exec_aodv(now, from, acts);
             }
         }
@@ -836,7 +1039,8 @@ impl World {
         let old_role = std::mem::replace(&mut m.last_role, role);
         for &nb in &neighbors {
             if !old.contains(&nb) {
-                self.trace.record(now, TraceEvent::ConnUp { node: id, peer: nb });
+                self.trace
+                    .record(now, TraceEvent::ConnUp { node: id, peer: nb });
             }
         }
         for &nb in &old {
@@ -846,8 +1050,99 @@ impl World {
             }
         }
         if role != old_role {
-            self.trace.record(now, TraceEvent::RoleChange { node: id, role });
+            self.trace
+                .record(now, TraceEvent::RoleChange { node: id, role });
         }
+    }
+
+    /// Structural sanity of the live world at time `now`: routing tables
+    /// and overlay neighbor sets. Returns one message per violation.
+    ///
+    /// Everything checked here holds at *every* instant of *any* scenario
+    /// (faults included); see `invariants` for the end-of-run conservation
+    /// laws. Overlay symmetry is deliberately a soft check: the
+    /// Connect/Accept/Confirm handshake leaves edges one-sided for a
+    /// message round-trip, so only a mostly-asymmetric overlay is flagged.
+    pub fn check_invariants(&self, now: SimTime) -> Vec<String> {
+        let mut v = Vec::new();
+        let n = self.nodes.len();
+
+        // Routing-table sanity.
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            for (dst, entry) in node.aodv.table().iter() {
+                if *dst == id {
+                    v.push(format!("node {i}: routing-table entry for itself"));
+                }
+                if dst.index() >= n {
+                    v.push(format!("node {i}: route to nonexistent node {}", dst.0));
+                }
+                if entry.next_hop.index() >= n {
+                    v.push(format!(
+                        "node {i}: route to {} via nonexistent node {}",
+                        dst.0, entry.next_hop.0
+                    ));
+                }
+                if entry.next_hop == id {
+                    v.push(format!("node {i}: route to {} via itself", dst.0));
+                }
+                if entry.usable(now) && entry.hop_count == 0 {
+                    v.push(format!("node {i}: usable zero-hop route to {}", dst.0));
+                }
+            }
+        }
+
+        // Overlay neighbor-set sanity for live members.
+        let capacity = self.scenario.overlay.max_conn + self.scenario.overlay.max_slaves;
+        let mut neighbor_sets: Vec<Option<Vec<NodeId>>> = vec![None; n];
+        for &id in &self.members {
+            let node = &self.nodes[id.index()];
+            if !node.up {
+                continue;
+            }
+            if let Some(m) = &node.member {
+                if m.joined {
+                    neighbor_sets[id.index()] = Some(m.algo.neighbors());
+                }
+            }
+        }
+        let mut directed = 0usize;
+        let mut asymmetric = 0usize;
+        for (i, set) in neighbor_sets.iter().enumerate() {
+            let Some(neighbors) = set else { continue };
+            if neighbors.len() > capacity {
+                v.push(format!(
+                    "member {i}: {} neighbors exceed capacity {capacity}",
+                    neighbors.len()
+                ));
+            }
+            for (k, &nb) in neighbors.iter().enumerate() {
+                if nb.index() == i {
+                    v.push(format!("member {i}: connected to itself"));
+                }
+                if nb.index() >= self.members.len() {
+                    v.push(format!("member {i}: neighbor {} is not a member", nb.0));
+                    continue;
+                }
+                if neighbors[..k].contains(&nb) {
+                    v.push(format!("member {i}: duplicate neighbor {}", nb.0));
+                }
+                // Symmetry against peers that are alive to answer for it.
+                if let Some(peer_set) = &neighbor_sets[nb.index()] {
+                    directed += 1;
+                    if !peer_set.contains(&NodeId(i as u32)) {
+                        asymmetric += 1;
+                    }
+                }
+            }
+        }
+        if directed >= 8 && asymmetric * 2 > directed {
+            v.push(format!(
+                "overlay symmetry: {asymmetric} of {directed} references one-sided"
+            ));
+        }
+
+        v
     }
 
     /// The current overlay graph over members (established references,
@@ -882,9 +1177,11 @@ mod tests {
     #[test]
     fn world_runs_to_completion_for_all_algorithms() {
         for algo in AlgoKind::ALL {
-            let r = quick(algo, 20, 120, 1);
+            let s = Scenario::quick(20, algo, 120);
+            let expect = s.n_members();
+            let r = World::new(s, 1).run();
             assert!(r.events > 0, "{algo}: no events processed");
-            assert_eq!(r.members.len(), 15);
+            assert_eq!(r.members.len(), expect);
         }
     }
 
@@ -1061,4 +1358,3 @@ mod tests {
         assert!(r.events > 0);
     }
 }
-

@@ -7,10 +7,18 @@ use p2p_core::AlgoKind;
 fn time_scaling() {
     let start = std::time::Instant::now();
     let r = World::new(Scenario::paper(50, AlgoKind::Regular), 1).run();
-    eprintln!("50 nodes, 3600s: {:.2?}, {} events", start.elapsed(), r.events);
+    eprintln!(
+        "50 nodes, 3600s: {:.2?}, {} events",
+        start.elapsed(),
+        r.events
+    );
     for secs in [300u64, 900] {
         let start = std::time::Instant::now();
         let r = World::new(Scenario::quick(150, AlgoKind::Regular, secs), 1).run();
-        eprintln!("150 nodes, {secs}s sim: {:.2?}, {} events", start.elapsed(), r.events);
+        eprintln!(
+            "150 nodes, {secs}s sim: {:.2?}, {} events",
+            start.elapsed(),
+            r.events
+        );
     }
 }

@@ -1,0 +1,320 @@
+//! Case generation: the [`Strategy`] trait and its combinators.
+//!
+//! A strategy knows how to *generate* a value from a seeded [`Gen`] stream
+//! and how to *shrink* a failing value toward something simpler. Shrinking
+//! is candidate-based: `shrink` proposes a bounded list of strictly simpler
+//! values, and the runner greedily descends through the first candidate that
+//! still falsifies the property.
+
+use manet_des::Rng;
+
+/// The source of randomness for one generated case: a thin wrapper around
+/// the simulator's own PRNG, so a case is a pure function of its seed.
+pub struct Gen {
+    rng: Rng,
+}
+
+impl Gen {
+    /// A generator stream for one case seed.
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// The underlying PRNG, for custom strategies.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+}
+
+/// A recipe for generating (and shrinking) values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + std::fmt::Debug;
+
+    /// Draw one value from the stream.
+    fn generate(&self, g: &mut Gen) -> Self::Value;
+
+    /// Propose strictly simpler candidates for a failing value. An empty
+    /// list means the value is already minimal. Candidates are tried in
+    /// order, so put the most aggressive simplifications first.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        /// Uniform draw from a half-open range; shrinks toward the start.
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, g: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + g.rng().below(span) as $t
+            }
+
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let lo = self.start;
+                if *v <= lo {
+                    return Vec::new();
+                }
+                let span = *v - lo;
+                let mut out = vec![lo, lo + span / 4, lo + span / 2, lo + span - span / 4, *v - 1];
+                out.retain(|c| c < v);
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+/// The full `u64` domain (`any::<u64>()` in spirit); shrinks by halving
+/// toward zero.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyU64;
+
+/// Strategy over all 64-bit values.
+pub fn any_u64() -> AnyU64 {
+    AnyU64
+}
+
+impl Strategy for AnyU64 {
+    type Value = u64;
+
+    fn generate(&self, g: &mut Gen) -> u64 {
+        g.rng().next_u64()
+    }
+
+    fn shrink(&self, v: &u64) -> Vec<u64> {
+        if *v == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![0, *v / 4, *v / 2, *v - *v / 4, *v - 1];
+        out.retain(|c| c < v);
+        out.dedup();
+        out
+    }
+}
+
+/// Fair coin; `true` shrinks to `false`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+/// Strategy over booleans.
+pub fn any_bool() -> AnyBool {
+    AnyBool
+}
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, g: &mut Gen) -> bool {
+        g.rng().chance(0.5)
+    }
+
+    fn shrink(&self, v: &bool) -> Vec<bool> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Vectors of `elem` values with a length drawn from `len` (half-open).
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: std::ops::Range<usize>,
+}
+
+/// A vector strategy: lengths uniform in `len`, elements from `elem`.
+/// Shrinks by dropping elements down to the minimum length, then by
+/// shrinking individual elements.
+pub fn vec_of<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, g: &mut Gen) -> Vec<S::Value> {
+        let n = self.len.generate(g);
+        (0..n).map(|_| self.elem.generate(g)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.len.start;
+        let mut out = Vec::new();
+        // Structural shrinks first: shorter vectors fail faster.
+        if v.len() > min {
+            let half = min.max(v.len() / 2);
+            if half < v.len() {
+                out.push(v[..half].to_vec());
+                out.push(v[v.len() - half..].to_vec());
+            }
+            let mut minus_last = v.clone();
+            minus_last.pop();
+            out.push(minus_last);
+            let mut minus_first = v.clone();
+            minus_first.remove(0);
+            out.push(minus_first);
+        }
+        // Then element-wise shrinks, two candidates per slot, capped so the
+        // runner's shrink budget is spent breadth-first.
+        const ELEMENT_CANDIDATE_CAP: usize = 32;
+        for (i, item) in v.iter().enumerate() {
+            if out.len() >= ELEMENT_CANDIDATE_CAP {
+                break;
+            }
+            for simpler in self.elem.shrink(item).into_iter().take(2) {
+                let mut candidate = v.clone();
+                candidate[i] = simpler;
+                out.push(candidate);
+            }
+        }
+        out
+    }
+}
+
+/// `Option<T>` values: `Some` three times out of four; shrinks to `None`
+/// first, then shrinks the payload.
+#[derive(Clone, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Strategy over optional values of `inner`.
+pub fn option_of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, g: &mut Gen) -> Option<S::Value> {
+        if g.rng().chance(0.75) {
+            Some(self.inner.generate(g))
+        } else {
+            None
+        }
+    }
+
+    fn shrink(&self, v: &Option<S::Value>) -> Vec<Option<S::Value>> {
+        match v {
+            None => Vec::new(),
+            Some(x) => {
+                let mut out = vec![None];
+                out.extend(self.inner.shrink(x).into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $v:ident / $ix:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, g: &mut Gen) -> Self::Value {
+                ($(self.$ix.generate(g),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for simpler in self.$ix.shrink(&v.$ix).into_iter().take(3) {
+                        let mut candidate = v.clone();
+                        candidate.$ix = simpler;
+                        out.push(candidate);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A / a / 0);
+    (A / a / 0, B / b / 1);
+    (A / a / 0, B / b / 1, C / c / 2);
+    (A / a / 0, B / b / 1, C / c / 2, D / d / 3);
+    (A / a / 0, B / b / 1, C / c / 2, D / d / 3, E / e / 4);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds_and_are_deterministic() {
+        let strat = 10u32..20;
+        let mut a = Gen::new(7);
+        let mut b = Gen::new(7);
+        for _ in 0..200 {
+            let x = strat.generate(&mut a);
+            assert!((10..20).contains(&x));
+            assert_eq!(x, strat.generate(&mut b), "same seed, same stream");
+        }
+    }
+
+    #[test]
+    fn range_shrink_moves_strictly_down() {
+        let strat = 5u64..1000;
+        let mut v = strat.generate(&mut Gen::new(3));
+        while let Some(&first) = strat.shrink(&v).first() {
+            assert!(first < v);
+            v = first;
+        }
+        assert_eq!(v, 5, "greedy descent bottoms out at the range start");
+    }
+
+    #[test]
+    fn vec_lengths_respect_the_range() {
+        let strat = vec_of(0u8..10, 2..7);
+        let mut g = Gen::new(11);
+        for _ in 0..100 {
+            let v = strat.generate(&mut g);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_shrink_never_goes_below_min_len() {
+        let strat = vec_of(0u8..10, 3..9);
+        let v = strat.generate(&mut Gen::new(13));
+        for candidate in strat.shrink(&v) {
+            assert!(candidate.len() >= 3, "candidate {candidate:?} too short");
+        }
+    }
+
+    #[test]
+    fn option_shrinks_to_none_first() {
+        let strat = option_of(1u32..50);
+        let shrunk = strat.shrink(&Some(30));
+        assert_eq!(shrunk[0], None);
+        assert!(shrunk[1..].iter().all(|c| matches!(c, Some(x) if *x < 30)));
+        assert!(strat.shrink(&None).is_empty());
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let strat = (0u8..5, 10u32..20, any_bool());
+        let (a, b, _c) = strat.generate(&mut Gen::new(17));
+        assert!(a < 5);
+        assert!((10..20).contains(&b));
+        let shrunk = strat.shrink(&(4, 19, true));
+        assert!(!shrunk.is_empty());
+        for (x, y, _) in shrunk {
+            assert!(x < 5 && (10..20).contains(&y));
+        }
+    }
+}

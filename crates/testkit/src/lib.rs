@@ -1,0 +1,184 @@
+//! # manet-testkit — hermetic deterministic property testing
+//!
+//! A self-contained replacement for external property-testing crates, so the
+//! whole workspace builds and tests offline. Case generation is driven by
+//! [`manet_des::Rng`] (the simulator's own xoshiro256++ PRNG), which makes
+//! every generated case a pure function of a 64-bit seed — the same property
+//! the simulator itself guarantees for whole worlds.
+//!
+//! Three pieces:
+//!
+//! * [`gen`] — the [`Strategy`] trait and combinators: integer ranges,
+//!   [`vec_of`], [`option_of`], tuples up to arity five;
+//! * [`runner`] — [`check`] runs a property over N seeded cases, shrinks the
+//!   first failing input (bounded), and panics with a **replayable case
+//!   seed**;
+//! * the macros — [`properties!`] declares `#[test]` functions from
+//!   `name(arg in strategy, ...)` clauses, and [`prop_assert!`] /
+//!   [`prop_assert_eq!`] / [`prop_assert_ne!`] report failures without
+//!   unwinding (panics are also caught and treated as failures).
+//!
+//! ## Replaying a failure
+//!
+//! A falsified property panics with a message like:
+//!
+//! ```text
+//! [testkit] property 'crate::tests::my_prop' falsified at case 7/32
+//!   case seed: 0x3f84d5b10c2a9e71
+//!   minimal input (after 23 shrink steps): (3, [1, 1])
+//!   failure: assertion failed: x < 3
+//!   replay: TESTKIT_SEED=0x3f84d5b10c2a9e71 cargo test my_prop
+//! ```
+//!
+//! Setting `TESTKIT_SEED` re-runs exactly that generated case (shrinking
+//! still applies); `TESTKIT_CASES` overrides the per-property case count.
+//!
+//! ```
+//! manet_testkit::properties! {
+//!     config = manet_testkit::Config::cases(32);
+//!
+//!     /// Addition on small naturals never overflows a u32.
+//!     fn add_is_bounded(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert!(a.checked_add(b).is_some());
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+
+pub mod gen;
+pub mod runner;
+
+pub use gen::{
+    any_bool, any_u64, option_of, vec_of, AnyBool, AnyU64, Gen, OptionStrategy, Strategy,
+    VecStrategy,
+};
+pub use runner::{check, CaseError, CaseResult, Config};
+
+/// Assert a condition inside a property body; on failure the runner records
+/// the message, shrinks the input and reports a replayable seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::CaseError::fail(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::CaseError::fail(format!(
+                "assertion failed: {} — {} ({}:{})",
+                stringify!($cond),
+                format!($($arg)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Assert two expressions are equal (their `Debug` forms are reported).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::CaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n  right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::CaseError::fail(format!(
+                "assertion failed: {} == {} — {}\n  left: {:?}\n  right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                format!($($arg)+),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Assert two expressions are *not* equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::CaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::CaseError::fail(format!(
+                "assertion failed: {} != {} — {}\n  both: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                format!($($arg)+),
+                l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Declare seeded property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` clause becomes a `#[test]`
+/// running the body over [`Config::cases`] generated inputs. The body may use
+/// the `prop_assert*` macros; plain `assert!`/panics are caught too.
+#[macro_export]
+macro_rules! properties {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __cfg: $crate::Config = $cfg;
+                $crate::check(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &__cfg,
+                    ($($strat,)+),
+                    |__case| {
+                        let ($($arg,)+) = ::std::clone::Clone::clone(__case);
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}

@@ -1,0 +1,298 @@
+//! The property runner: seeded case loop, bounded shrinking, replayable
+//! failure reports.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use manet_des::rng::splitmix64;
+
+use crate::gen::{Gen, Strategy};
+
+/// Environment variable that replays one specific generated case.
+pub const SEED_ENV: &str = "TESTKIT_SEED";
+/// Environment variable that overrides the per-property case count.
+pub const CASES_ENV: &str = "TESTKIT_CASES";
+
+/// Per-property configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Generated cases per property (overridable via `TESTKIT_CASES`).
+    pub cases: u32,
+    /// Upper bound on property re-executions spent shrinking a failure.
+    pub max_shrink_steps: u32,
+    /// Master seed the per-case seeds are derived from. Fixed by default so
+    /// CI runs are bit-reproducible; change it to explore new cases.
+    pub master_seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 32,
+            max_shrink_steps: 400,
+            master_seed: 0x1903_0D15_5EED_CA5E,
+        }
+    }
+}
+
+impl Config {
+    /// A config running `n` cases per property.
+    pub fn cases(n: u32) -> Self {
+        Config {
+            cases: n,
+            ..Config::default()
+        }
+    }
+}
+
+/// A falsified case: what went wrong, as text.
+#[derive(Clone, Debug)]
+pub struct CaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl CaseError {
+    /// A failure with the given description.
+    pub fn fail(message: impl Into<String>) -> Self {
+        CaseError {
+            message: message.into(),
+        }
+    }
+}
+
+/// What a property body returns: `Ok(())` or a described failure.
+pub type CaseResult = Result<(), CaseError>;
+
+thread_local! {
+    /// True while the runner probes shrink candidates, so the forwarding
+    /// panic hook stays quiet about panics we catch anyway.
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once) a panic hook that suppresses output for panics the runner
+/// catches on the current thread, and forwards everything else.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Derive the seed of case `ix` of a named property from the master seed.
+fn case_seed(master: u64, name: &str, ix: u32) -> u64 {
+    // FNV-1a over the property name keeps distinct properties on distinct
+    // streams even with equal master seeds and case indices.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut s = master ^ h ^ (ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s)
+}
+
+/// Run one property execution, converting panics into failures.
+fn run_case<V, F>(prop: &F, value: &V) -> CaseResult
+where
+    F: Fn(&V) -> CaseResult,
+{
+    QUIET_PANICS.with(|q| q.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| prop(value)));
+    QUIET_PANICS.with(|q| q.set(false));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic with non-string payload".to_string()
+            };
+            Err(CaseError::fail(format!("panicked: {msg}")))
+        }
+    }
+}
+
+/// Greedily descend through shrink candidates that keep the property
+/// falsified. Returns the simplest failing value found, its error, and the
+/// number of property executions spent.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut error: CaseError,
+    budget: u32,
+    prop: &F,
+) -> (S::Value, CaseError, u32)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> CaseResult,
+{
+    let mut steps = 0u32;
+    'descend: while steps < budget {
+        for candidate in strategy.shrink(&value) {
+            steps += 1;
+            if let Err(e) = run_case(prop, &candidate) {
+                value = candidate;
+                error = e;
+                continue 'descend;
+            }
+            if steps >= budget {
+                break;
+            }
+        }
+        break; // no candidate still fails: local minimum
+    }
+    (value, error, steps)
+}
+
+fn parse_seed(text: &str) -> u64 {
+    let t = text.trim();
+    let parsed = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        t.parse()
+    };
+    parsed.unwrap_or_else(|_| panic!("[testkit] unparseable {SEED_ENV} value: {text:?}"))
+}
+
+/// Check a property over `cfg.cases` generated inputs.
+///
+/// On the first falsified case the input is shrunk (at most
+/// `cfg.max_shrink_steps` extra executions) and the test panics with the
+/// minimal input, the failure, and the case seed to replay via
+/// `TESTKIT_SEED=<seed> cargo test <name>`.
+pub fn check<S, F>(name: &str, cfg: &Config, strategy: S, prop: F)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> CaseResult,
+{
+    install_quiet_hook();
+    let replay: Option<u64> = std::env::var(SEED_ENV).ok().map(|v| parse_seed(&v));
+    let cases = match replay {
+        Some(_) => 1,
+        None => std::env::var(CASES_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(cfg.cases)
+            .max(1),
+    };
+
+    for ix in 0..cases {
+        let seed = replay.unwrap_or_else(|| case_seed(cfg.master_seed, name, ix));
+        let value = strategy.generate(&mut Gen::new(seed));
+        if let Err(error) = run_case(&prop, &value) {
+            let (minimal, error, steps) =
+                shrink_failure(&strategy, value, error, cfg.max_shrink_steps, &prop);
+            let short = name.rsplit("::").next().unwrap_or(name);
+            panic!(
+                "[testkit] property '{name}' falsified at case {ix}/{cases}\n  \
+                 case seed: {seed:#018x}\n  \
+                 minimal input (after {steps} shrink steps): {minimal:?}\n  \
+                 failure: {message}\n  \
+                 replay: {SEED_ENV}={seed:#x} cargo test {short}",
+                message = error.message,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::vec_of;
+
+    #[test]
+    fn passing_property_is_silent() {
+        check("runner::always_true", &Config::cases(64), 0u32..100, |&v| {
+            if v < 100 {
+                Ok(())
+            } else {
+                Err(CaseError::fail("impossible"))
+            }
+        });
+    }
+
+    #[test]
+    fn case_seeds_differ_by_property_case_and_master() {
+        let a = case_seed(1, "p", 0);
+        assert_eq!(a, case_seed(1, "p", 0), "derivation is pure");
+        assert_ne!(a, case_seed(1, "p", 1));
+        assert_ne!(a, case_seed(1, "q", 0));
+        assert_ne!(a, case_seed(2, "p", 0));
+    }
+
+    #[test]
+    fn failure_reports_replayable_seed_and_shrinks() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "runner::find_big",
+                &Config::cases(200),
+                0u64..10_000,
+                |&v| {
+                    if v < 100 {
+                        Ok(())
+                    } else {
+                        Err(CaseError::fail("too big"))
+                    }
+                },
+            );
+        }));
+        let payload = outcome.expect_err("property must be falsified");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic message is a String");
+        assert!(msg.contains("case seed: 0x"), "no seed in: {msg}");
+        assert!(msg.contains("TESTKIT_SEED="), "no replay line in: {msg}");
+        assert!(
+            msg.contains("minimal input (after"),
+            "no shrink report in: {msg}"
+        );
+        // Greedy integer shrinking lands on the smallest failing value.
+        assert!(msg.contains(": 100\n"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn panics_are_caught_and_shrunk_like_failures() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "runner::panicky",
+                &Config::cases(50),
+                vec_of(0u8..10, 1..30),
+                |v| {
+                    assert!(v.len() < 3, "vector too long");
+                    Ok(())
+                },
+            );
+        }));
+        let payload = outcome.expect_err("panicking property must fail");
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("panicked: vector too long"), "got: {msg}");
+        // Minimal failing vector has exactly 3 elements, all shrunk to 0.
+        assert!(msg.contains("[0, 0, 0]"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn generation_is_reproducible_across_runs() {
+        let collect = || {
+            // Property bodies are Fn, so record via interior mutability.
+            let seen = std::cell::RefCell::new(Vec::new());
+            check(
+                "runner::collector",
+                &Config::cases(16),
+                (0u32..1000, vec_of(0u8..5, 1..6)),
+                |case| {
+                    seen.borrow_mut().push(case.clone());
+                    Ok(())
+                },
+            );
+            seen.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+}

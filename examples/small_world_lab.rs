@@ -30,10 +30,24 @@ fn main() {
             continue;
         }
         let n = result.smallworld.len() as f64;
-        let c: f64 = result.smallworld.iter().map(|(_, s)| s.clustering).sum::<f64>() / n;
-        let l: f64 = result.smallworld.iter().map(|(_, s)| s.path_length).sum::<f64>() / n;
+        let c: f64 = result
+            .smallworld
+            .iter()
+            .map(|(_, s)| s.clustering)
+            .sum::<f64>()
+            / n;
+        let l: f64 = result
+            .smallworld
+            .iter()
+            .map(|(_, s)| s.path_length)
+            .sum::<f64>()
+            / n;
         let sigma: f64 = result.smallworld.iter().map(|(_, s)| s.sigma).sum::<f64>() / n;
-        println!("{}\t{}\t{c:.3}\t{l:.3}\t{sigma:.3}", algo.name(), result.smallworld.len());
+        println!(
+            "{}\t{}\t{c:.3}\t{l:.3}\t{sigma:.3}",
+            algo.name(),
+            result.smallworld.len()
+        );
     }
 
     println!("\n== static Watts-Strogatz reference (n = 400, k = 6) ==");
@@ -42,7 +56,10 @@ fn main() {
     for p in [0.0, 0.01, 0.05, 0.2, 1.0] {
         let g = watts_strogatz(400, 6, p, &mut rng);
         if let Some(sw) = small_world(&g) {
-            println!("{p}\t{:.3}\t{:.3}\t{:.3}", sw.clustering, sw.path_length, sw.sigma);
+            println!(
+                "{p}\t{:.3}\t{:.3}\t{:.3}",
+                sw.clustering, sw.path_length, sw.sigma
+            );
         }
     }
     println!(

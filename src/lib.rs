@@ -47,8 +47,8 @@ pub use p2p_core as core;
 pub mod prelude {
     pub use manet_des::{NodeId, Rng, SimDuration, SimTime};
     pub use manet_sim::{
-        run_matrix, run_replications, AppMsg, ChurnCfg, ExperimentCfg, MobilityKind, RunResult,
-        Scenario, World,
+        check_result, run_matrix, run_replications, AppMsg, ChurnCfg, ExperimentCfg, FaultPlan,
+        MobilityKind, RunResult, Scenario, World,
     };
     pub use p2p_content::{Catalog, FileId, QueryCfg};
     pub use p2p_core::{AlgoKind, OverlayParams, Reconfigurator, Role};
@@ -61,7 +61,8 @@ mod tests {
     #[test]
     fn facade_quickstart_compiles_and_runs() {
         let scenario = Scenario::quick(10, AlgoKind::Basic, 30);
+        let expect = scenario.n_members();
         let result = World::new(scenario, 1).run();
-        assert_eq!(result.members.len(), 8);
+        assert_eq!(result.members.len(), expect);
     }
 }

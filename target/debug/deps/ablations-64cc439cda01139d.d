@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-64cc439cda01139d.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-64cc439cda01139d: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-27f36885d99eb9cc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-27f36885d99eb9cc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-27f36885d99eb9cc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-fe67c7190a7f50cb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-fe67c7190a7f50cb: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-dc99d9f3edc90877.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-dc99d9f3edc90877: tests/fault_injection.rs
+
+tests/fault_injection.rs:

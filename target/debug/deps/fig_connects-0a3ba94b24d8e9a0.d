@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_connects-0a3ba94b24d8e9a0.d: crates/sim/src/bin/fig_connects.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_connects-0a3ba94b24d8e9a0.rmeta: crates/sim/src/bin/fig_connects.rs Cargo.toml
+
+crates/sim/src/bin/fig_connects.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_connects-66f30f1dc5772092.d: crates/sim/src/bin/fig_connects.rs
+
+/root/repo/target/debug/deps/fig_connects-66f30f1dc5772092: crates/sim/src/bin/fig_connects.rs
+
+crates/sim/src/bin/fig_connects.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_connects-6d551d7a5dd6cbbb.d: crates/sim/src/bin/fig_connects.rs
+
+/root/repo/target/debug/deps/fig_connects-6d551d7a5dd6cbbb: crates/sim/src/bin/fig_connects.rs
+
+crates/sim/src/bin/fig_connects.rs:

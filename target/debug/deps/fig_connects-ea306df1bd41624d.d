@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_connects-ea306df1bd41624d.d: crates/sim/src/bin/fig_connects.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_connects-ea306df1bd41624d.rmeta: crates/sim/src/bin/fig_connects.rs Cargo.toml
+
+crates/sim/src/bin/fig_connects.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

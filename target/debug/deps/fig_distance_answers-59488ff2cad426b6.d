@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_distance_answers-59488ff2cad426b6.d: crates/sim/src/bin/fig_distance_answers.rs
+
+/root/repo/target/debug/deps/fig_distance_answers-59488ff2cad426b6: crates/sim/src/bin/fig_distance_answers.rs
+
+crates/sim/src/bin/fig_distance_answers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_distance_answers-89f02a8dca3ac54f.d: crates/sim/src/bin/fig_distance_answers.rs
+
+/root/repo/target/debug/deps/fig_distance_answers-89f02a8dca3ac54f: crates/sim/src/bin/fig_distance_answers.rs
+
+crates/sim/src/bin/fig_distance_answers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_distance_answers-c5e419212599ad7e.d: crates/sim/src/bin/fig_distance_answers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_distance_answers-c5e419212599ad7e.rmeta: crates/sim/src/bin/fig_distance_answers.rs Cargo.toml
+
+crates/sim/src/bin/fig_distance_answers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_pings-335a9c7ff2eaa974.d: crates/sim/src/bin/fig_pings.rs
+
+/root/repo/target/debug/deps/fig_pings-335a9c7ff2eaa974: crates/sim/src/bin/fig_pings.rs
+
+crates/sim/src/bin/fig_pings.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_pings-3df97d1ae316455c.d: crates/sim/src/bin/fig_pings.rs
+
+/root/repo/target/debug/deps/fig_pings-3df97d1ae316455c: crates/sim/src/bin/fig_pings.rs
+
+crates/sim/src/bin/fig_pings.rs:

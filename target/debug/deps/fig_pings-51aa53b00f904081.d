@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_pings-51aa53b00f904081.d: crates/sim/src/bin/fig_pings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_pings-51aa53b00f904081.rmeta: crates/sim/src/bin/fig_pings.rs Cargo.toml
+
+crates/sim/src/bin/fig_pings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_queries-0051ea164fe56401.d: crates/sim/src/bin/fig_queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_queries-0051ea164fe56401.rmeta: crates/sim/src/bin/fig_queries.rs Cargo.toml
+
+crates/sim/src/bin/fig_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

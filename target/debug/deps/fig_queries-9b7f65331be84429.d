@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_queries-9b7f65331be84429.d: crates/sim/src/bin/fig_queries.rs
+
+/root/repo/target/debug/deps/fig_queries-9b7f65331be84429: crates/sim/src/bin/fig_queries.rs
+
+crates/sim/src/bin/fig_queries.rs:

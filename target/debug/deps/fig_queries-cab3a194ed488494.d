@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_queries-cab3a194ed488494.d: crates/sim/src/bin/fig_queries.rs
+
+/root/repo/target/debug/deps/fig_queries-cab3a194ed488494: crates/sim/src/bin/fig_queries.rs
+
+crates/sim/src/bin/fig_queries.rs:

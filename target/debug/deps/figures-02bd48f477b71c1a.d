@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-02bd48f477b71c1a.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-02bd48f477b71c1a: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-db26e79a69498e26.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-db26e79a69498e26: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/manet_aodv-2aa0251ddce1af29.d: crates/aodv/src/lib.rs crates/aodv/src/cfg.rs crates/aodv/src/machine.rs crates/aodv/src/msg.rs crates/aodv/src/table.rs crates/aodv/src/testkit.rs
+
+/root/repo/target/debug/deps/libmanet_aodv-2aa0251ddce1af29.rlib: crates/aodv/src/lib.rs crates/aodv/src/cfg.rs crates/aodv/src/machine.rs crates/aodv/src/msg.rs crates/aodv/src/table.rs crates/aodv/src/testkit.rs
+
+/root/repo/target/debug/deps/libmanet_aodv-2aa0251ddce1af29.rmeta: crates/aodv/src/lib.rs crates/aodv/src/cfg.rs crates/aodv/src/machine.rs crates/aodv/src/msg.rs crates/aodv/src/table.rs crates/aodv/src/testkit.rs
+
+crates/aodv/src/lib.rs:
+crates/aodv/src/cfg.rs:
+crates/aodv/src/machine.rs:
+crates/aodv/src/msg.rs:
+crates/aodv/src/table.rs:
+crates/aodv/src/testkit.rs:

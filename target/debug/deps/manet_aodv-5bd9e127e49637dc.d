@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/manet_aodv-5bd9e127e49637dc.d: crates/aodv/src/lib.rs crates/aodv/src/cfg.rs crates/aodv/src/machine.rs crates/aodv/src/msg.rs crates/aodv/src/table.rs crates/aodv/src/testkit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanet_aodv-5bd9e127e49637dc.rmeta: crates/aodv/src/lib.rs crates/aodv/src/cfg.rs crates/aodv/src/machine.rs crates/aodv/src/msg.rs crates/aodv/src/table.rs crates/aodv/src/testkit.rs Cargo.toml
+
+crates/aodv/src/lib.rs:
+crates/aodv/src/cfg.rs:
+crates/aodv/src/machine.rs:
+crates/aodv/src/msg.rs:
+crates/aodv/src/table.rs:
+crates/aodv/src/testkit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

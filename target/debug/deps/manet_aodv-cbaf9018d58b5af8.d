@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/manet_aodv-cbaf9018d58b5af8.d: crates/aodv/src/lib.rs crates/aodv/src/cfg.rs crates/aodv/src/machine.rs crates/aodv/src/msg.rs crates/aodv/src/table.rs crates/aodv/src/testkit.rs
+
+/root/repo/target/debug/deps/manet_aodv-cbaf9018d58b5af8: crates/aodv/src/lib.rs crates/aodv/src/cfg.rs crates/aodv/src/machine.rs crates/aodv/src/msg.rs crates/aodv/src/table.rs crates/aodv/src/testkit.rs
+
+crates/aodv/src/lib.rs:
+crates/aodv/src/cfg.rs:
+crates/aodv/src/machine.rs:
+crates/aodv/src/msg.rs:
+crates/aodv/src/table.rs:
+crates/aodv/src/testkit.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/manet_des-0f322e928f59e60c.d: crates/des/src/lib.rs crates/des/src/ids.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanet_des-0f322e928f59e60c.rmeta: crates/des/src/lib.rs crates/des/src/ids.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs Cargo.toml
+
+crates/des/src/lib.rs:
+crates/des/src/ids.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manet_des-2d6b70b8290d4ebb.d: crates/des/src/lib.rs crates/des/src/ids.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/manet_des-2d6b70b8290d4ebb: crates/des/src/lib.rs crates/des/src/ids.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/ids.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/manet_des-71a952552a3832cf.d: crates/des/src/lib.rs crates/des/src/ids.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libmanet_des-71a952552a3832cf.rlib: crates/des/src/lib.rs crates/des/src/ids.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libmanet_des-71a952552a3832cf.rmeta: crates/des/src/lib.rs crates/des/src/ids.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/ids.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/manet_geom-2363a361c8d166bc.d: crates/geom/src/lib.rs crates/geom/src/grid.rs crates/geom/src/point.rs crates/geom/src/rect.rs
+
+/root/repo/target/debug/deps/manet_geom-2363a361c8d166bc: crates/geom/src/lib.rs crates/geom/src/grid.rs crates/geom/src/point.rs crates/geom/src/rect.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/grid.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:

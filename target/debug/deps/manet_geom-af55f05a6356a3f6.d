@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/manet_geom-af55f05a6356a3f6.d: crates/geom/src/lib.rs crates/geom/src/grid.rs crates/geom/src/point.rs crates/geom/src/rect.rs
+
+/root/repo/target/debug/deps/libmanet_geom-af55f05a6356a3f6.rlib: crates/geom/src/lib.rs crates/geom/src/grid.rs crates/geom/src/point.rs crates/geom/src/rect.rs
+
+/root/repo/target/debug/deps/libmanet_geom-af55f05a6356a3f6.rmeta: crates/geom/src/lib.rs crates/geom/src/grid.rs crates/geom/src/point.rs crates/geom/src/rect.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/grid.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/manet_geom-ba5f8da517422a72.d: crates/geom/src/lib.rs crates/geom/src/grid.rs crates/geom/src/point.rs crates/geom/src/rect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanet_geom-ba5f8da517422a72.rmeta: crates/geom/src/lib.rs crates/geom/src/grid.rs crates/geom/src/point.rs crates/geom/src/rect.rs Cargo.toml
+
+crates/geom/src/lib.rs:
+crates/geom/src/grid.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

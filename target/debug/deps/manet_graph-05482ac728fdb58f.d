@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/manet_graph-05482ac728fdb58f.d: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanet_graph-05482ac728fdb58f.rmeta: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/graph.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis.rs:
+crates/graph/src/graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manet_graph-689a70f5165c21c4.d: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/graph.rs
+
+/root/repo/target/debug/deps/libmanet_graph-689a70f5165c21c4.rlib: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/graph.rs
+
+/root/repo/target/debug/deps/libmanet_graph-689a70f5165c21c4.rmeta: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/graph.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis.rs:
+crates/graph/src/graph.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/manet_graph-cf9f3aa0f2eba657.d: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/graph.rs
+
+/root/repo/target/debug/deps/manet_graph-cf9f3aa0f2eba657: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/graph.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis.rs:
+crates/graph/src/graph.rs:

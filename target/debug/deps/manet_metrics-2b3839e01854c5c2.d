@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/manet_metrics-2b3839e01854c5c2.d: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/distance.rs crates/metrics/src/summary.rs
+
+/root/repo/target/debug/deps/manet_metrics-2b3839e01854c5c2: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/distance.rs crates/metrics/src/summary.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counters.rs:
+crates/metrics/src/distance.rs:
+crates/metrics/src/summary.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/manet_metrics-77b643cd30adbf09.d: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/distance.rs crates/metrics/src/summary.rs
+
+/root/repo/target/debug/deps/libmanet_metrics-77b643cd30adbf09.rlib: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/distance.rs crates/metrics/src/summary.rs
+
+/root/repo/target/debug/deps/libmanet_metrics-77b643cd30adbf09.rmeta: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/distance.rs crates/metrics/src/summary.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counters.rs:
+crates/metrics/src/distance.rs:
+crates/metrics/src/summary.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/manet_metrics-85a146edfe113f52.d: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/distance.rs crates/metrics/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanet_metrics-85a146edfe113f52.rmeta: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/distance.rs crates/metrics/src/summary.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counters.rs:
+crates/metrics/src/distance.rs:
+crates/metrics/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/manet_mobility-0e2b79ef464fe227.d: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/model.rs crates/mobility/src/rpgm.rs crates/mobility/src/stationary.rs crates/mobility/src/walk.rs crates/mobility/src/waypoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanet_mobility-0e2b79ef464fe227.rmeta: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/model.rs crates/mobility/src/rpgm.rs crates/mobility/src/stationary.rs crates/mobility/src/walk.rs crates/mobility/src/waypoint.rs Cargo.toml
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/gauss_markov.rs:
+crates/mobility/src/model.rs:
+crates/mobility/src/rpgm.rs:
+crates/mobility/src/stationary.rs:
+crates/mobility/src/walk.rs:
+crates/mobility/src/waypoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

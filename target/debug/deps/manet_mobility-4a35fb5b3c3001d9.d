@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/manet_mobility-4a35fb5b3c3001d9.d: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/model.rs crates/mobility/src/rpgm.rs crates/mobility/src/stationary.rs crates/mobility/src/walk.rs crates/mobility/src/waypoint.rs
+
+/root/repo/target/debug/deps/manet_mobility-4a35fb5b3c3001d9: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/model.rs crates/mobility/src/rpgm.rs crates/mobility/src/stationary.rs crates/mobility/src/walk.rs crates/mobility/src/waypoint.rs
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/gauss_markov.rs:
+crates/mobility/src/model.rs:
+crates/mobility/src/rpgm.rs:
+crates/mobility/src/stationary.rs:
+crates/mobility/src/walk.rs:
+crates/mobility/src/waypoint.rs:

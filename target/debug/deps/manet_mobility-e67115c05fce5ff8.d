@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/manet_mobility-e67115c05fce5ff8.d: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/model.rs crates/mobility/src/rpgm.rs crates/mobility/src/stationary.rs crates/mobility/src/walk.rs crates/mobility/src/waypoint.rs
+
+/root/repo/target/debug/deps/libmanet_mobility-e67115c05fce5ff8.rlib: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/model.rs crates/mobility/src/rpgm.rs crates/mobility/src/stationary.rs crates/mobility/src/walk.rs crates/mobility/src/waypoint.rs
+
+/root/repo/target/debug/deps/libmanet_mobility-e67115c05fce5ff8.rmeta: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/model.rs crates/mobility/src/rpgm.rs crates/mobility/src/stationary.rs crates/mobility/src/walk.rs crates/mobility/src/waypoint.rs
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/gauss_markov.rs:
+crates/mobility/src/model.rs:
+crates/mobility/src/rpgm.rs:
+crates/mobility/src/stationary.rs:
+crates/mobility/src/walk.rs:
+crates/mobility/src/waypoint.rs:

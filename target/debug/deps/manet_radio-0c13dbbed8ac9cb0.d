@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manet_radio-0c13dbbed8ac9cb0.d: crates/radio/src/lib.rs crates/radio/src/config.rs crates/radio/src/energy.rs crates/radio/src/medium.rs crates/radio/src/stats.rs
+
+/root/repo/target/debug/deps/manet_radio-0c13dbbed8ac9cb0: crates/radio/src/lib.rs crates/radio/src/config.rs crates/radio/src/energy.rs crates/radio/src/medium.rs crates/radio/src/stats.rs
+
+crates/radio/src/lib.rs:
+crates/radio/src/config.rs:
+crates/radio/src/energy.rs:
+crates/radio/src/medium.rs:
+crates/radio/src/stats.rs:

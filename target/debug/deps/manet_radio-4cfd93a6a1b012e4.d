@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/manet_radio-4cfd93a6a1b012e4.d: crates/radio/src/lib.rs crates/radio/src/config.rs crates/radio/src/energy.rs crates/radio/src/medium.rs crates/radio/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanet_radio-4cfd93a6a1b012e4.rmeta: crates/radio/src/lib.rs crates/radio/src/config.rs crates/radio/src/energy.rs crates/radio/src/medium.rs crates/radio/src/stats.rs Cargo.toml
+
+crates/radio/src/lib.rs:
+crates/radio/src/config.rs:
+crates/radio/src/energy.rs:
+crates/radio/src/medium.rs:
+crates/radio/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/manet_radio-c50945d7da280267.d: crates/radio/src/lib.rs crates/radio/src/config.rs crates/radio/src/energy.rs crates/radio/src/medium.rs crates/radio/src/stats.rs
+
+/root/repo/target/debug/deps/libmanet_radio-c50945d7da280267.rlib: crates/radio/src/lib.rs crates/radio/src/config.rs crates/radio/src/energy.rs crates/radio/src/medium.rs crates/radio/src/stats.rs
+
+/root/repo/target/debug/deps/libmanet_radio-c50945d7da280267.rmeta: crates/radio/src/lib.rs crates/radio/src/config.rs crates/radio/src/energy.rs crates/radio/src/medium.rs crates/radio/src/stats.rs
+
+crates/radio/src/lib.rs:
+crates/radio/src/config.rs:
+crates/radio/src/energy.rs:
+crates/radio/src/medium.rs:
+crates/radio/src/stats.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/manet_sim-b94d7e0f0eb06b3b.d: crates/sim/src/lib.rs crates/sim/src/experiments.rs crates/sim/src/faults.rs crates/sim/src/invariants.rs crates/sim/src/payload.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/trace.rs crates/sim/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanet_sim-b94d7e0f0eb06b3b.rmeta: crates/sim/src/lib.rs crates/sim/src/experiments.rs crates/sim/src/faults.rs crates/sim/src/invariants.rs crates/sim/src/payload.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/trace.rs crates/sim/src/world.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/experiments.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/invariants.rs:
+crates/sim/src/payload.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

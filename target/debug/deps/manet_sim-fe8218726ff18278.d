@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/manet_sim-fe8218726ff18278.d: crates/sim/src/lib.rs crates/sim/src/experiments.rs crates/sim/src/faults.rs crates/sim/src/invariants.rs crates/sim/src/payload.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/trace.rs crates/sim/src/world.rs
+
+/root/repo/target/debug/deps/libmanet_sim-fe8218726ff18278.rlib: crates/sim/src/lib.rs crates/sim/src/experiments.rs crates/sim/src/faults.rs crates/sim/src/invariants.rs crates/sim/src/payload.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/trace.rs crates/sim/src/world.rs
+
+/root/repo/target/debug/deps/libmanet_sim-fe8218726ff18278.rmeta: crates/sim/src/lib.rs crates/sim/src/experiments.rs crates/sim/src/faults.rs crates/sim/src/invariants.rs crates/sim/src/payload.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/trace.rs crates/sim/src/world.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/experiments.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/invariants.rs:
+crates/sim/src/payload.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/manet_testkit-2209774f1d65286d.d: crates/testkit/src/lib.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanet_testkit-2209774f1d65286d.rmeta: crates/testkit/src/lib.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manet_testkit-264a20f4050e7149.d: crates/testkit/src/lib.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs
+
+/root/repo/target/debug/deps/libmanet_testkit-264a20f4050e7149.rlib: crates/testkit/src/lib.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs
+
+/root/repo/target/debug/deps/libmanet_testkit-264a20f4050e7149.rmeta: crates/testkit/src/lib.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/manet_testkit-3294e2ff3ccf95cf.d: crates/testkit/src/lib.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs
+
+/root/repo/target/debug/deps/manet_testkit-3294e2ff3ccf95cf: crates/testkit/src/lib.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/manet_testkit-f047311d961aba31.d: crates/testkit/src/lib.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanet_testkit-f047311d961aba31.rmeta: crates/testkit/src/lib.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

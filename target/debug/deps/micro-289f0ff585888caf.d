@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-289f0ff585888caf.d: crates/bench/src/bin/micro.rs
+
+/root/repo/target/debug/deps/micro-289f0ff585888caf: crates/bench/src/bin/micro.rs
+
+crates/bench/src/bin/micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro-548dee4759c3f733.d: crates/bench/src/bin/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro-548dee4759c3f733.rmeta: crates/bench/src/bin/micro.rs Cargo.toml
+
+crates/bench/src/bin/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

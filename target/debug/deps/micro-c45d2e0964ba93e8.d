@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro-c45d2e0964ba93e8.d: crates/bench/src/bin/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro-c45d2e0964ba93e8.rmeta: crates/bench/src/bin/micro.rs Cargo.toml
+
+crates/bench/src/bin/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/p2p_adhoc-334b16291f8d677b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp2p_adhoc-334b16291f8d677b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

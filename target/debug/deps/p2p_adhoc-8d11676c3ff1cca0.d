@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/p2p_adhoc-8d11676c3ff1cca0.d: src/lib.rs
+
+/root/repo/target/debug/deps/p2p_adhoc-8d11676c3ff1cca0: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/p2p_adhoc-93a0558c68387002.d: src/lib.rs
+
+/root/repo/target/debug/deps/libp2p_adhoc-93a0558c68387002.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libp2p_adhoc-93a0558c68387002.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/p2p_content-5218055a268da952.d: crates/content/src/lib.rs crates/content/src/catalog.rs crates/content/src/query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp2p_content-5218055a268da952.rmeta: crates/content/src/lib.rs crates/content/src/catalog.rs crates/content/src/query.rs Cargo.toml
+
+crates/content/src/lib.rs:
+crates/content/src/catalog.rs:
+crates/content/src/query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

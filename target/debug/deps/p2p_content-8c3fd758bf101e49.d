@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/p2p_content-8c3fd758bf101e49.d: crates/content/src/lib.rs crates/content/src/catalog.rs crates/content/src/query.rs
+
+/root/repo/target/debug/deps/libp2p_content-8c3fd758bf101e49.rlib: crates/content/src/lib.rs crates/content/src/catalog.rs crates/content/src/query.rs
+
+/root/repo/target/debug/deps/libp2p_content-8c3fd758bf101e49.rmeta: crates/content/src/lib.rs crates/content/src/catalog.rs crates/content/src/query.rs
+
+crates/content/src/lib.rs:
+crates/content/src/catalog.rs:
+crates/content/src/query.rs:

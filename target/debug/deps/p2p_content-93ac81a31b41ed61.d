@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/p2p_content-93ac81a31b41ed61.d: crates/content/src/lib.rs crates/content/src/catalog.rs crates/content/src/query.rs
+
+/root/repo/target/debug/deps/p2p_content-93ac81a31b41ed61: crates/content/src/lib.rs crates/content/src/catalog.rs crates/content/src/query.rs
+
+crates/content/src/lib.rs:
+crates/content/src/catalog.rs:
+crates/content/src/query.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/p2p_content-a4a681f00195051b.d: crates/content/src/lib.rs crates/content/src/catalog.rs crates/content/src/query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp2p_content-a4a681f00195051b.rmeta: crates/content/src/lib.rs crates/content/src/catalog.rs crates/content/src/query.rs Cargo.toml
+
+crates/content/src/lib.rs:
+crates/content/src/catalog.rs:
+crates/content/src/query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

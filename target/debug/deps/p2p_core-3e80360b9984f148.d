@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/p2p_core-3e80360b9984f148.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/basic.rs crates/core/src/conn.rs crates/core/src/cycle.rs crates/core/src/hybrid.rs crates/core/src/msg.rs crates/core/src/params.rs crates/core/src/random.rs crates/core/src/regular.rs crates/core/src/topology.rs
+
+/root/repo/target/debug/deps/libp2p_core-3e80360b9984f148.rlib: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/basic.rs crates/core/src/conn.rs crates/core/src/cycle.rs crates/core/src/hybrid.rs crates/core/src/msg.rs crates/core/src/params.rs crates/core/src/random.rs crates/core/src/regular.rs crates/core/src/topology.rs
+
+/root/repo/target/debug/deps/libp2p_core-3e80360b9984f148.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/basic.rs crates/core/src/conn.rs crates/core/src/cycle.rs crates/core/src/hybrid.rs crates/core/src/msg.rs crates/core/src/params.rs crates/core/src/random.rs crates/core/src/regular.rs crates/core/src/topology.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/basic.rs:
+crates/core/src/conn.rs:
+crates/core/src/cycle.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/msg.rs:
+crates/core/src/params.rs:
+crates/core/src/random.rs:
+crates/core/src/regular.rs:
+crates/core/src/topology.rs:

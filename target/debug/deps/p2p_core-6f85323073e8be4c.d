@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/p2p_core-6f85323073e8be4c.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/basic.rs crates/core/src/conn.rs crates/core/src/cycle.rs crates/core/src/hybrid.rs crates/core/src/msg.rs crates/core/src/params.rs crates/core/src/random.rs crates/core/src/regular.rs crates/core/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp2p_core-6f85323073e8be4c.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/basic.rs crates/core/src/conn.rs crates/core/src/cycle.rs crates/core/src/hybrid.rs crates/core/src/msg.rs crates/core/src/params.rs crates/core/src/random.rs crates/core/src/regular.rs crates/core/src/topology.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/basic.rs:
+crates/core/src/conn.rs:
+crates/core/src/cycle.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/msg.rs:
+crates/core/src/params.rs:
+crates/core/src/random.rs:
+crates/core/src/regular.rs:
+crates/core/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

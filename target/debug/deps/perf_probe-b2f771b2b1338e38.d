@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_probe-b2f771b2b1338e38.d: crates/sim/tests/perf_probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_probe-b2f771b2b1338e38.rmeta: crates/sim/tests/perf_probe.rs Cargo.toml
+
+crates/sim/tests/perf_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

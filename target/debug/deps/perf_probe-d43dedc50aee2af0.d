@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_probe-d43dedc50aee2af0.d: crates/sim/tests/perf_probe.rs
+
+/root/repo/target/debug/deps/perf_probe-d43dedc50aee2af0: crates/sim/tests/perf_probe.rs
+
+crates/sim/tests/perf_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-37abfa752111de76.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-37abfa752111de76: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_interop-00541ca3fc3e451e.d: tests/protocol_interop.rs
+
+/root/repo/target/debug/deps/protocol_interop-00541ca3fc3e451e: tests/protocol_interop.rs
+
+tests/protocol_interop.rs:

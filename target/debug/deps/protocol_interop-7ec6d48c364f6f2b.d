@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_interop-7ec6d48c364f6f2b.d: tests/protocol_interop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_interop-7ec6d48c364f6f2b.rmeta: tests/protocol_interop.rs Cargo.toml
+
+tests/protocol_interop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

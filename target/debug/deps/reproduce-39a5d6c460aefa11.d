@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce-39a5d6c460aefa11.d: crates/sim/src/bin/reproduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce-39a5d6c460aefa11.rmeta: crates/sim/src/bin/reproduce.rs Cargo.toml
+
+crates/sim/src/bin/reproduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

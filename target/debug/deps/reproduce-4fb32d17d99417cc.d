@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce-4fb32d17d99417cc.d: crates/sim/src/bin/reproduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce-4fb32d17d99417cc.rmeta: crates/sim/src/bin/reproduce.rs Cargo.toml
+
+crates/sim/src/bin/reproduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-ce37ef5b350218eb.d: crates/sim/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-ce37ef5b350218eb: crates/sim/src/bin/reproduce.rs
+
+crates/sim/src/bin/reproduce.rs:

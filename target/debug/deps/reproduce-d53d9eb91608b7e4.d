@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-d53d9eb91608b7e4.d: crates/sim/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-d53d9eb91608b7e4: crates/sim/src/bin/reproduce.rs
+
+crates/sim/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/small_world_study-164a51e50dfb85c9.d: crates/sim/src/bin/small_world_study.rs
+
+/root/repo/target/debug/deps/small_world_study-164a51e50dfb85c9: crates/sim/src/bin/small_world_study.rs
+
+crates/sim/src/bin/small_world_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/small_world_study-9a94c28d3f2614f8.d: crates/sim/src/bin/small_world_study.rs
+
+/root/repo/target/debug/deps/small_world_study-9a94c28d3f2614f8: crates/sim/src/bin/small_world_study.rs
+
+crates/sim/src/bin/small_world_study.rs:

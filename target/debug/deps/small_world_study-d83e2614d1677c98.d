@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/small_world_study-d83e2614d1677c98.d: crates/sim/src/bin/small_world_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmall_world_study-d83e2614d1677c98.rmeta: crates/sim/src/bin/small_world_study.rs Cargo.toml
+
+crates/sim/src/bin/small_world_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep-4b3219010a42ff9e.d: crates/sim/src/bin/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep-4b3219010a42ff9e.rmeta: crates/sim/src/bin/sweep.rs Cargo.toml
+
+crates/sim/src/bin/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

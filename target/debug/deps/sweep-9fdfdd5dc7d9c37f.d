@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-9fdfdd5dc7d9c37f.d: crates/sim/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-9fdfdd5dc7d9c37f: crates/sim/src/bin/sweep.rs
+
+crates/sim/src/bin/sweep.rs:

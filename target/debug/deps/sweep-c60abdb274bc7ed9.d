@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-c60abdb274bc7ed9.d: crates/sim/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-c60abdb274bc7ed9: crates/sim/src/bin/sweep.rs
+
+crates/sim/src/bin/sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep-ef6c11a8172893f5.d: crates/sim/src/bin/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep-ef6c11a8172893f5.rmeta: crates/sim/src/bin/sweep.rs Cargo.toml
+
+crates/sim/src/bin/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tmp_verify_replay-94827cf56cccd1e3.d: tests/tmp_verify_replay.rs
+
+/root/repo/target/debug/deps/tmp_verify_replay-94827cf56cccd1e3: tests/tmp_verify_replay.rs
+
+tests/tmp_verify_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/campus_sharing-63a8fe001a4f8195.d: examples/campus_sharing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcampus_sharing-63a8fe001a4f8195.rmeta: examples/campus_sharing.rs Cargo.toml
+
+examples/campus_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campus_sharing-fa2f5919682ffbb9.d: examples/campus_sharing.rs
+
+/root/repo/target/debug/examples/campus_sharing-fa2f5919682ffbb9: examples/campus_sharing.rs
+
+examples/campus_sharing.rs:

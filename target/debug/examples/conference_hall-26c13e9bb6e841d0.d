@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/conference_hall-26c13e9bb6e841d0.d: examples/conference_hall.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconference_hall-26c13e9bb6e841d0.rmeta: examples/conference_hall.rs Cargo.toml
+
+examples/conference_hall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

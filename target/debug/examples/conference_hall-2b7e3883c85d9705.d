@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/conference_hall-2b7e3883c85d9705.d: examples/conference_hall.rs
+
+/root/repo/target/debug/examples/conference_hall-2b7e3883c85d9705: examples/conference_hall.rs
+
+examples/conference_hall.rs:

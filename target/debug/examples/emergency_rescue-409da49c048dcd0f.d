@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/emergency_rescue-409da49c048dcd0f.d: examples/emergency_rescue.rs
+
+/root/repo/target/debug/examples/emergency_rescue-409da49c048dcd0f: examples/emergency_rescue.rs
+
+examples/emergency_rescue.rs:

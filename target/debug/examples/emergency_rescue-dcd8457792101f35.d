@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/emergency_rescue-dcd8457792101f35.d: examples/emergency_rescue.rs Cargo.toml
+
+/root/repo/target/debug/examples/libemergency_rescue-dcd8457792101f35.rmeta: examples/emergency_rescue.rs Cargo.toml
+
+examples/emergency_rescue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9ce722d51ffe2476.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9ce722d51ffe2476: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/small_world_lab-61927c69d4067002.d: examples/small_world_lab.rs
+
+/root/repo/target/debug/examples/small_world_lab-61927c69d4067002: examples/small_world_lab.rs
+
+examples/small_world_lab.rs:

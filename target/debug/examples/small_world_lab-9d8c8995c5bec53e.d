@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/small_world_lab-9d8c8995c5bec53e.d: examples/small_world_lab.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmall_world_lab-9d8c8995c5bec53e.rmeta: examples/small_world_lab.rs Cargo.toml
+
+examples/small_world_lab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

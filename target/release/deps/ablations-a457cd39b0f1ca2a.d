@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-a457cd39b0f1ca2a.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-a457cd39b0f1ca2a: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-779abbd5b64168cc.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-779abbd5b64168cc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-779abbd5b64168cc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_connects-0fb9d44e95075944.d: crates/sim/src/bin/fig_connects.rs
+
+/root/repo/target/release/deps/fig_connects-0fb9d44e95075944: crates/sim/src/bin/fig_connects.rs
+
+crates/sim/src/bin/fig_connects.rs:

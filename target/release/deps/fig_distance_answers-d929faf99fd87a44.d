@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_distance_answers-d929faf99fd87a44.d: crates/sim/src/bin/fig_distance_answers.rs
+
+/root/repo/target/release/deps/fig_distance_answers-d929faf99fd87a44: crates/sim/src/bin/fig_distance_answers.rs
+
+crates/sim/src/bin/fig_distance_answers.rs:

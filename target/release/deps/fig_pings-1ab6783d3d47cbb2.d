@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_pings-1ab6783d3d47cbb2.d: crates/sim/src/bin/fig_pings.rs
+
+/root/repo/target/release/deps/fig_pings-1ab6783d3d47cbb2: crates/sim/src/bin/fig_pings.rs
+
+crates/sim/src/bin/fig_pings.rs:

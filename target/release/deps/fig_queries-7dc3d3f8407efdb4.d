@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_queries-7dc3d3f8407efdb4.d: crates/sim/src/bin/fig_queries.rs
+
+/root/repo/target/release/deps/fig_queries-7dc3d3f8407efdb4: crates/sim/src/bin/fig_queries.rs
+
+crates/sim/src/bin/fig_queries.rs:

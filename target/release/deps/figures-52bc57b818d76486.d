@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-52bc57b818d76486.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-52bc57b818d76486: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/manet_aodv-134744f3c3cdead3.d: crates/aodv/src/lib.rs crates/aodv/src/cfg.rs crates/aodv/src/machine.rs crates/aodv/src/msg.rs crates/aodv/src/table.rs crates/aodv/src/testkit.rs
+
+/root/repo/target/release/deps/libmanet_aodv-134744f3c3cdead3.rlib: crates/aodv/src/lib.rs crates/aodv/src/cfg.rs crates/aodv/src/machine.rs crates/aodv/src/msg.rs crates/aodv/src/table.rs crates/aodv/src/testkit.rs
+
+/root/repo/target/release/deps/libmanet_aodv-134744f3c3cdead3.rmeta: crates/aodv/src/lib.rs crates/aodv/src/cfg.rs crates/aodv/src/machine.rs crates/aodv/src/msg.rs crates/aodv/src/table.rs crates/aodv/src/testkit.rs
+
+crates/aodv/src/lib.rs:
+crates/aodv/src/cfg.rs:
+crates/aodv/src/machine.rs:
+crates/aodv/src/msg.rs:
+crates/aodv/src/table.rs:
+crates/aodv/src/testkit.rs:

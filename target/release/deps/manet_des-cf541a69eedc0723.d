@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/manet_des-cf541a69eedc0723.d: crates/des/src/lib.rs crates/des/src/ids.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libmanet_des-cf541a69eedc0723.rlib: crates/des/src/lib.rs crates/des/src/ids.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libmanet_des-cf541a69eedc0723.rmeta: crates/des/src/lib.rs crates/des/src/ids.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/ids.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/manet_geom-ca088a2c28adb203.d: crates/geom/src/lib.rs crates/geom/src/grid.rs crates/geom/src/point.rs crates/geom/src/rect.rs
+
+/root/repo/target/release/deps/libmanet_geom-ca088a2c28adb203.rlib: crates/geom/src/lib.rs crates/geom/src/grid.rs crates/geom/src/point.rs crates/geom/src/rect.rs
+
+/root/repo/target/release/deps/libmanet_geom-ca088a2c28adb203.rmeta: crates/geom/src/lib.rs crates/geom/src/grid.rs crates/geom/src/point.rs crates/geom/src/rect.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/grid.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/manet_graph-f43c5846e9f2af15.d: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/graph.rs
+
+/root/repo/target/release/deps/libmanet_graph-f43c5846e9f2af15.rlib: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/graph.rs
+
+/root/repo/target/release/deps/libmanet_graph-f43c5846e9f2af15.rmeta: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/graph.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis.rs:
+crates/graph/src/graph.rs:

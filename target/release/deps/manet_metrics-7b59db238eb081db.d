@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/manet_metrics-7b59db238eb081db.d: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/distance.rs crates/metrics/src/summary.rs
+
+/root/repo/target/release/deps/libmanet_metrics-7b59db238eb081db.rlib: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/distance.rs crates/metrics/src/summary.rs
+
+/root/repo/target/release/deps/libmanet_metrics-7b59db238eb081db.rmeta: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/distance.rs crates/metrics/src/summary.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counters.rs:
+crates/metrics/src/distance.rs:
+crates/metrics/src/summary.rs:

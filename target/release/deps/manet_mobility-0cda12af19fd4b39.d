@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/manet_mobility-0cda12af19fd4b39.d: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/model.rs crates/mobility/src/rpgm.rs crates/mobility/src/stationary.rs crates/mobility/src/walk.rs crates/mobility/src/waypoint.rs
+
+/root/repo/target/release/deps/libmanet_mobility-0cda12af19fd4b39.rlib: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/model.rs crates/mobility/src/rpgm.rs crates/mobility/src/stationary.rs crates/mobility/src/walk.rs crates/mobility/src/waypoint.rs
+
+/root/repo/target/release/deps/libmanet_mobility-0cda12af19fd4b39.rmeta: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/model.rs crates/mobility/src/rpgm.rs crates/mobility/src/stationary.rs crates/mobility/src/walk.rs crates/mobility/src/waypoint.rs
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/gauss_markov.rs:
+crates/mobility/src/model.rs:
+crates/mobility/src/rpgm.rs:
+crates/mobility/src/stationary.rs:
+crates/mobility/src/walk.rs:
+crates/mobility/src/waypoint.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/manet_radio-825073d97f4ae1a8.d: crates/radio/src/lib.rs crates/radio/src/config.rs crates/radio/src/energy.rs crates/radio/src/medium.rs crates/radio/src/stats.rs
+
+/root/repo/target/release/deps/libmanet_radio-825073d97f4ae1a8.rlib: crates/radio/src/lib.rs crates/radio/src/config.rs crates/radio/src/energy.rs crates/radio/src/medium.rs crates/radio/src/stats.rs
+
+/root/repo/target/release/deps/libmanet_radio-825073d97f4ae1a8.rmeta: crates/radio/src/lib.rs crates/radio/src/config.rs crates/radio/src/energy.rs crates/radio/src/medium.rs crates/radio/src/stats.rs
+
+crates/radio/src/lib.rs:
+crates/radio/src/config.rs:
+crates/radio/src/energy.rs:
+crates/radio/src/medium.rs:
+crates/radio/src/stats.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/manet_sim-08b415b66161e71c.d: crates/sim/src/lib.rs crates/sim/src/experiments.rs crates/sim/src/faults.rs crates/sim/src/invariants.rs crates/sim/src/payload.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/trace.rs crates/sim/src/world.rs
+
+/root/repo/target/release/deps/libmanet_sim-08b415b66161e71c.rlib: crates/sim/src/lib.rs crates/sim/src/experiments.rs crates/sim/src/faults.rs crates/sim/src/invariants.rs crates/sim/src/payload.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/trace.rs crates/sim/src/world.rs
+
+/root/repo/target/release/deps/libmanet_sim-08b415b66161e71c.rmeta: crates/sim/src/lib.rs crates/sim/src/experiments.rs crates/sim/src/faults.rs crates/sim/src/invariants.rs crates/sim/src/payload.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/trace.rs crates/sim/src/world.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/experiments.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/invariants.rs:
+crates/sim/src/payload.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/world.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/manet_testkit-5a695a47720716d0.d: crates/testkit/src/lib.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs
+
+/root/repo/target/release/deps/libmanet_testkit-5a695a47720716d0.rlib: crates/testkit/src/lib.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs
+
+/root/repo/target/release/deps/libmanet_testkit-5a695a47720716d0.rmeta: crates/testkit/src/lib.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-e05c57d36f792bae.d: crates/bench/src/bin/micro.rs
+
+/root/repo/target/release/deps/micro-e05c57d36f792bae: crates/bench/src/bin/micro.rs
+
+crates/bench/src/bin/micro.rs:

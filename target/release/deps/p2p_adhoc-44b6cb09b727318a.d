@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/p2p_adhoc-44b6cb09b727318a.d: src/lib.rs
+
+/root/repo/target/release/deps/libp2p_adhoc-44b6cb09b727318a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libp2p_adhoc-44b6cb09b727318a.rmeta: src/lib.rs
+
+src/lib.rs:

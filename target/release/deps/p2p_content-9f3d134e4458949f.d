@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/p2p_content-9f3d134e4458949f.d: crates/content/src/lib.rs crates/content/src/catalog.rs crates/content/src/query.rs
+
+/root/repo/target/release/deps/libp2p_content-9f3d134e4458949f.rlib: crates/content/src/lib.rs crates/content/src/catalog.rs crates/content/src/query.rs
+
+/root/repo/target/release/deps/libp2p_content-9f3d134e4458949f.rmeta: crates/content/src/lib.rs crates/content/src/catalog.rs crates/content/src/query.rs
+
+crates/content/src/lib.rs:
+crates/content/src/catalog.rs:
+crates/content/src/query.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-43bf1b222e9f7d27.d: crates/sim/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-43bf1b222e9f7d27: crates/sim/src/bin/reproduce.rs
+
+crates/sim/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/small_world_study-4ef2fa24b1c0c67f.d: crates/sim/src/bin/small_world_study.rs
+
+/root/repo/target/release/deps/small_world_study-4ef2fa24b1c0c67f: crates/sim/src/bin/small_world_study.rs
+
+crates/sim/src/bin/small_world_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-2d16c8cfcaf54797.d: crates/sim/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-2d16c8cfcaf54797: crates/sim/src/bin/sweep.rs
+
+crates/sim/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-e97fc9708328cf20.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-e97fc9708328cf20: examples/quickstart.rs
+
+examples/quickstart.rs:

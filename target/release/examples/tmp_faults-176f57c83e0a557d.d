@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tmp_faults-176f57c83e0a557d.d: examples/tmp_faults.rs
+
+/root/repo/target/release/examples/tmp_faults-176f57c83e0a557d: examples/tmp_faults.rs
+
+examples/tmp_faults.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libmanet_geom.rlib: /root/repo/crates/geom/src/grid.rs /root/repo/crates/geom/src/lib.rs /root/repo/crates/geom/src/point.rs /root/repo/crates/geom/src/rect.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libmanet_graph.rlib: /root/repo/crates/graph/src/analysis.rs /root/repo/crates/graph/src/graph.rs /root/repo/crates/graph/src/lib.rs

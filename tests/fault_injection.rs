@@ -1,0 +1,174 @@
+//! Fault-injection smoke tests: the paper's algorithms must keep working —
+//! not just not crash — under injected packet loss, scripted node crashes,
+//! loss bursts, link flaps, and delay spikes. Every run is deterministic
+//! per `(scenario, seed)`, faults included.
+
+use p2p_adhoc::des::{NodeId, SimDuration, SimTime};
+use p2p_adhoc::prelude::*;
+use p2p_adhoc::sim::{
+    check_result, BurstCfg, CrashEvent, FaultPlan, JitterSpikes, LinkFlaps, PacketLoss,
+};
+
+/// 20 % extra iid loss plus one mid-run crash (with reboot) of member 1.
+fn smoke_plan(secs: u64) -> FaultPlan {
+    FaultPlan::loss_and_crash(
+        0.20,
+        NodeId(1),
+        SimTime::from_secs(secs / 2),
+        Some(SimDuration::from_secs(60)),
+    )
+}
+
+fn smoke_scenario(algo: AlgoKind) -> Scenario {
+    let mut s = Scenario::quick(40, algo, 600);
+    s.faults = smoke_plan(600);
+    s
+}
+
+#[test]
+fn all_algorithms_survive_loss_and_a_crash() {
+    for algo in AlgoKind::ALL {
+        let s = smoke_scenario(algo);
+        let expect_members = s.n_members();
+        let r = World::new(s.clone(), 2).run();
+        assert_eq!(r.members.len(), expect_members, "{algo}: member census");
+        assert!(
+            r.avg_connections > 0.3,
+            "{algo}: overlay failed to form under faults ({:.2} conns/member)",
+            r.avg_connections
+        );
+        assert!(r.queries_issued > 0, "{algo}: no queries under faults");
+        assert!(
+            r.answers_received >= 1,
+            "{algo}: no answers under 20% loss + crash"
+        );
+        let violations = check_result(&s, &r);
+        assert!(violations.is_empty(), "{algo}: {violations:?}");
+    }
+}
+
+#[test]
+fn faulty_runs_are_deterministic_per_seed() {
+    for algo in [AlgoKind::Regular, AlgoKind::Hybrid] {
+        let a = World::new(smoke_scenario(algo), 11).run();
+        let b = World::new(smoke_scenario(algo), 11).run();
+        assert_eq!(
+            a.events, b.events,
+            "{algo}: fault schedule not deterministic"
+        );
+        assert_eq!(a.phy_total, b.phy_total, "{algo}: phy diverged");
+        assert_eq!(
+            a.answers_received, b.answers_received,
+            "{algo}: answers diverged"
+        );
+        let c = World::new(smoke_scenario(algo), 12).run();
+        assert_ne!(
+            (a.events, a.phy_total.frames_sent),
+            (c.events, c.phy_total.frames_sent),
+            "{algo}: different seeds should differ"
+        );
+    }
+}
+
+#[test]
+fn injected_loss_actually_loses_frames() {
+    let clean = World::new(Scenario::quick(30, AlgoKind::Regular, 300), 5).run();
+    let mut s = Scenario::quick(30, AlgoKind::Regular, 300);
+    s.faults.loss = Some(PacketLoss {
+        base: 0.20,
+        burst: None,
+    });
+    let faulty = World::new(s, 5).run();
+    let clean_rate = clean.phy_total.frames_lost as f64
+        / (clean.phy_total.frames_received + clean.phy_total.frames_lost).max(1) as f64;
+    let faulty_rate = faulty.phy_total.frames_lost as f64
+        / (faulty.phy_total.frames_received + faulty.phy_total.frames_lost).max(1) as f64;
+    assert_eq!(
+        clean.phy_total.frames_lost, 0,
+        "quick scenarios are loss-free"
+    );
+    assert!(
+        (faulty_rate - 0.20).abs() < 0.05,
+        "injected loss rate {faulty_rate:.3} far from 0.20 (clean {clean_rate:.3})"
+    );
+}
+
+#[test]
+fn crashed_node_goes_quiet_and_restart_brings_it_back() {
+    // Crash without restart: the node stops receiving for good.
+    let mut s = Scenario::quick(20, AlgoKind::Regular, 300);
+    s.faults.crashes = vec![CrashEvent {
+        node: NodeId(0),
+        at: SimTime::from_secs(150),
+        restart_after: None,
+    }];
+    let dead = World::new(s.clone(), 7).run();
+    s.faults.crashes[0].restart_after = Some(SimDuration::from_secs(30));
+    let revived = World::new(s, 7).run();
+    assert!(
+        revived.events > dead.events,
+        "a rebooted node should generate more events than a dead one \
+         ({} vs {})",
+        revived.events,
+        dead.events
+    );
+}
+
+#[test]
+fn burst_flap_and_jitter_worlds_run_clean() {
+    let mut s = Scenario::quick(24, AlgoKind::Regular, 400);
+    s.faults = FaultPlan {
+        loss: Some(PacketLoss {
+            base: 0.05,
+            burst: Some(BurstCfg {
+                mean_quiet: 60.0,
+                mean_burst: 15.0,
+                burst_loss: 0.6,
+            }),
+        }),
+        crashes: vec![CrashEvent {
+            node: NodeId(3),
+            at: SimTime::from_secs(200),
+            restart_after: Some(SimDuration::from_secs(40)),
+        }],
+        link_flaps: Some(LinkFlaps {
+            period: SimDuration::from_secs(90),
+            down: SimDuration::from_secs(5),
+        }),
+        jitter: Some(JitterSpikes {
+            period: SimDuration::from_secs(60),
+            width: SimDuration::from_secs(10),
+            extra_delay: SimDuration::from_millis(200),
+        }),
+    };
+    let expect_members = s.n_members();
+    let a = World::new(s.clone(), 21).run();
+    let b = World::new(s.clone(), 21).run();
+    assert_eq!(
+        a.events, b.events,
+        "full fault plan must stay deterministic"
+    );
+    assert_eq!(a.phy_total, b.phy_total);
+    assert_eq!(a.members.len(), expect_members);
+    assert!(
+        a.phy_total.frames_lost > 0,
+        "bursts and flaps should lose frames"
+    );
+    let violations = check_result(&s, &a);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn empty_fault_plan_is_byte_identical_to_no_plan() {
+    // The fault layer must be invisible when unused: same events, same phy,
+    // same RNG consumption as a scenario that predates fault injection.
+    let base = Scenario::quick(25, AlgoKind::Regular, 200);
+    assert!(base.faults.is_empty());
+    let mut explicit = base.clone();
+    explicit.faults = FaultPlan::default();
+    let a = World::new(base, 31).run();
+    let b = World::new(explicit, 31).run();
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.phy_total, b.phy_total);
+    assert_eq!(a.energy_mj, b.energy_mj);
+}

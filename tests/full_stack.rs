@@ -14,9 +14,11 @@ fn run(algo: AlgoKind, nodes: usize, secs: u64, seed: u64) -> RunResult {
 #[test]
 fn all_algorithms_complete_a_run() {
     for algo in AlgoKind::ALL {
-        let r = run(algo, 30, 300, 1);
+        let s = Scenario::quick(30, algo, 300);
+        let expect = s.n_members();
+        let r = World::new(s, 1).run();
         assert!(r.events > 0);
-        assert_eq!(r.members.len(), 23, "75% of 30 nodes, rounded");
+        assert_eq!(r.members.len(), expect, "member fraction of 30 nodes");
         assert!(r.phy_total.frames_sent > 0, "{algo}: radio silence");
     }
 }

@@ -1,7 +1,11 @@
 //! Property-based tests over the public API: protocol invariants that must
 //! hold for *any* seed, scenario size, or message interleaving.
+//!
+//! Runs on the in-repo `manet-testkit` harness: every failure prints a
+//! `TESTKIT_SEED=<seed>` replay line, and `TESTKIT_CASES=<n>` scales the
+//! case count up for soak runs.
 
-use proptest::prelude::*;
+use manet_testkit::{any_u64, prop_assert, prop_assert_eq, properties, vec_of, Config};
 
 use p2p_adhoc::core::{
     build_algo, AlgoKind, ConnKind, ConnTable, OvAction, OverlayMsg, OverlayParams, ProbeKind,
@@ -9,18 +13,18 @@ use p2p_adhoc::core::{
 use p2p_adhoc::des::{NodeId, Rng, SimDuration, SimTime};
 use p2p_adhoc::metrics::MsgKind;
 use p2p_adhoc::prelude::{Scenario, World};
+use p2p_adhoc::sim::{check_result, FaultPlan};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+properties! {
+    config = Config::cases(16);
 
     /// Whatever the seed, a world terminates and its conservation laws
     /// hold: receptions never exceed transmissions times the possible
     /// audience, members stay members, energy is non-negative.
-    #[test]
-    fn world_invariants_hold_for_any_seed(seed in any::<u64>()) {
+    fn world_invariants_hold_for_any_seed(seed in any_u64()) {
         let scenario = Scenario::quick(18, AlgoKind::Regular, 90);
         let n_members = scenario.n_members();
-        let r = World::new(scenario, seed).run();
+        let r = World::new(scenario.clone(), seed).run();
         prop_assert_eq!(r.members.len(), n_members);
         prop_assert!(r.phy_total.frames_received <= r.phy_total.frames_sent * 18);
         prop_assert!(r.energy_mj.iter().all(|&e| e >= 0.0));
@@ -28,30 +32,60 @@ proptest! {
         // Closed connections can exceed established ones only via pending
         // handshakes that never completed; both sides are bounded.
         prop_assert!(r.conns_closed <= r.conns_established + r.counters.total(MsgKind::Connect));
+        let violations = check_result(&scenario, &r);
+        prop_assert!(violations.is_empty(), "conservation violations: {:?}", violations);
     }
 
     /// The same seed gives the same world, for every algorithm.
-    #[test]
-    fn determinism_for_any_algorithm(seed in any::<u64>(), algo_ix in 0usize..4) {
+    fn determinism_for_any_algorithm(seed in any_u64(), algo_ix in 0usize..4) {
         let algo = AlgoKind::ALL[algo_ix];
         let a = World::new(Scenario::quick(14, algo, 60), seed).run();
         let b = World::new(Scenario::quick(14, algo, 60), seed).run();
         prop_assert_eq!(a.events, b.events);
         prop_assert_eq!(a.phy_total, b.phy_total);
     }
+
+    /// Fault injection does not break the simulator: under arbitrary extra
+    /// loss plus a mid-run crash-and-restart, every structural invariant
+    /// still holds at every sampled instant and every conservation law
+    /// holds at the end.
+    fn faulty_worlds_preserve_invariants(seed in any_u64(), loss_pct in 0u32..35) {
+        let mut scenario = Scenario::quick(16, AlgoKind::Regular, 90);
+        scenario.faults = FaultPlan::loss_and_crash(
+            loss_pct as f64 / 100.0,
+            NodeId(1),
+            SimTime::from_secs(45),
+            Some(SimDuration::from_secs(20)),
+        );
+        let mut w = World::new(scenario.clone(), seed);
+        let mut last = SimTime::ZERO;
+        let mut steps = 0u64;
+        while let Some(now) = w.step() {
+            last = now;
+            steps += 1;
+            if steps.is_multiple_of(2000) {
+                let v = w.check_invariants(now);
+                prop_assert!(v.is_empty(), "live violations at {}: {:?}", now, v);
+            }
+        }
+        let v = w.check_invariants(last);
+        prop_assert!(v.is_empty(), "final violations: {:?}", v);
+        let r = w.finish();
+        let v = check_result(&scenario, &r);
+        prop_assert!(v.is_empty(), "conservation violations: {:?}", v);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+properties! {
+    config = Config::cases(64);
 
     /// An algorithm fed arbitrary message sequences never panics, never
     /// exceeds its connection capacity, and never emits a flood with a
     /// zero TTL.
-    #[test]
     fn algorithms_survive_arbitrary_message_storms(
-        seed in any::<u64>(),
+        seed in any_u64(),
         algo_ix in 0usize..4,
-        script in proptest::collection::vec((0u8..12, 1u32..12, 0u8..15), 1..120),
+        script in vec_of((0u8..12, 1u32..12, 0u8..15), 1..120),
     ) {
         let params = OverlayParams::default();
         let mut algo = build_algo(
@@ -64,7 +98,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         algo.start(now);
         for (op, peer, hops) in script {
-            now = now + SimDuration::from_millis(250);
+            now += SimDuration::from_millis(250);
             let peer = NodeId(peer);
             let msg = match op {
                 0 => OverlayMsg::Probe { kind: ProbeKind::Basic },
@@ -103,13 +137,12 @@ proptest! {
 
     /// The connection table's keep-alive protocol never double-counts:
     /// established + closed is consistent with what we drove in.
-    #[test]
-    fn conn_table_bookkeeping(ops in proptest::collection::vec((0u8..5, 1u32..6), 1..80)) {
+    fn conn_table_bookkeeping(ops in vec_of((0u8..5, 1u32..6), 1..80)) {
         let params = OverlayParams::default();
         let mut tb = ConnTable::new();
         let mut now = SimTime::ZERO;
         for (op, peer) in ops {
-            now = now + SimDuration::from_secs(1);
+            now += SimDuration::from_secs(1);
             let peer = NodeId(peer);
             match op {
                 0 => { tb.open_out(peer, ConnKind::Regular, now); }
@@ -124,4 +157,42 @@ proptest! {
             prop_assert!(tb.established_count() <= tb.len());
         }
     }
+}
+
+/// Meta-test for the harness itself: an invariant checker wired through
+/// testkit catches a deliberately broken law and prints a replayable seed.
+#[test]
+fn broken_invariants_are_caught_with_a_replayable_seed() {
+    let outcome = std::panic::catch_unwind(|| {
+        manet_testkit::check(
+            "properties::deliberately_broken_law",
+            &Config::cases(3),
+            (any_u64(),),
+            |&(seed,)| {
+                let scenario = Scenario::quick(10, AlgoKind::Regular, 30);
+                let r = World::new(scenario.clone(), seed).run();
+                let mut violations = check_result(&scenario, &r);
+                // The broken "law": a running radio never transmits. Any
+                // live world falsifies it immediately.
+                if r.phy_total.frames_sent > 0 {
+                    violations.push(format!(
+                        "silence law: {} frames sent",
+                        r.phy_total.frames_sent
+                    ));
+                }
+                if violations.is_empty() {
+                    Ok(())
+                } else {
+                    Err(manet_testkit::CaseError::fail(format!("{violations:?}")))
+                }
+            },
+        );
+    });
+    let payload = outcome.expect_err("the broken law must be falsified");
+    let msg = payload
+        .downcast_ref::<String>()
+        .expect("testkit panics with a String report");
+    assert!(msg.contains("silence law"), "wrong failure: {msg}");
+    assert!(msg.contains("case seed: 0x"), "no case seed in: {msg}");
+    assert!(msg.contains("TESTKIT_SEED="), "no replay line in: {msg}");
 }

@@ -67,7 +67,9 @@ fn offers_route_back_without_extra_discovery() {
     assert_eq!(hops, 3, "the pong distance rule sees true ad-hoc hops");
     assert!(matches!(
         payload,
-        AppMsg::Overlay(OverlayMsg::Offer { kind: ProbeKind::Regular })
+        AppMsg::Overlay(OverlayMsg::Offer {
+            kind: ProbeKind::Regular
+        })
     ));
 }
 
