@@ -16,4 +16,16 @@ cargo build --workspace --release --offline
 echo "== test =="
 cargo test --workspace -q --offline
 
+echo "== bench smoke =="
+# One-iteration shrunken runs so the bench binaries (and their JSON output
+# path) cannot bitrot. Real numbers live in the checked-in BENCH_RESULTS.json;
+# the smoke run writes to a scratch file to leave the baseline untouched.
+BENCH_SMOKE_JSON="target/bench_smoke.json"
+rm -f "$BENCH_SMOKE_JSON"
+BENCH_ITERS=1 BENCH_HOT_NODES=40 BENCH_HOT_SECS=60 BENCH_JSON="$BENCH_SMOKE_JSON" \
+    cargo run --release -q --offline -p bench --bin micro > /dev/null
+BENCH_ITERS=1 BENCH_JSON="$BENCH_SMOKE_JSON" \
+    cargo run --release -q --offline -p bench --bin figures > /dev/null
+test -s "$BENCH_SMOKE_JSON" || { echo "bench smoke produced no JSON"; exit 1; }
+
 echo "ci.sh: all gates passed"

@@ -72,4 +72,5 @@ fn main() {
     basic_vs_regular(&h);
     flood_route_learning(&h);
     position_refresh(&h);
+    h.finish();
 }

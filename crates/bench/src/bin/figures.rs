@@ -22,4 +22,5 @@ fn main() {
             });
         }
     }
+    h.finish();
 }

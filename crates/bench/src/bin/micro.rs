@@ -1,28 +1,105 @@
 //! Component microbenches: the substrate hot paths.
 
-use bench::{black_box, Harness};
+use bench::{bench_scenario, black_box, env_u64, run_result, Harness};
 use manet_aodv::testkit::{TestNet, TestPayload};
 use manet_aodv::AodvCfg;
-use manet_des::{EventQueue, Rng, SimTime};
+use manet_des::{EventQueue, Rng, SchedulerKind, SimTime};
 use manet_geom::{Point, Rect, SpatialGrid};
 use manet_graph::Graph;
 use p2p_content::Catalog;
+use p2p_core::AlgoKind;
 
-/// The event queue: schedule + pop churn at simulation-like sizes.
+const SCHEDULERS: [SchedulerKind; 2] = [SchedulerKind::Calendar, SchedulerKind::Heap];
+
+fn scheduler_name(kind: SchedulerKind) -> &'static str {
+    match kind {
+        SchedulerKind::Heap => "heap",
+        SchedulerKind::Calendar => "calendar",
+    }
+}
+
+/// The event queue: schedule + pop churn at simulation-like sizes, on both
+/// scheduler backends head to head.
 fn event_queue(h: &Harness) {
-    for n in [1_000u64, 10_000, 100_000] {
-        h.time(&format!("event_queue/schedule_pop/{n}"), 20, || {
-            let mut rng = Rng::new(1);
-            let mut q = EventQueue::new();
-            for i in 0..n {
-                q.schedule(SimTime::from_ticks(rng.below(1_000_000_000)), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        });
+    for kind in SCHEDULERS {
+        let sched = scheduler_name(kind);
+        for n in [1_000u64, 10_000, 100_000] {
+            h.time(&format!("event_queue/{sched}/schedule_pop/{n}"), 20, || {
+                let mut rng = Rng::new(1);
+                let mut q = EventQueue::with_scheduler(kind);
+                for i in 0..n {
+                    q.schedule(SimTime::from_ticks(rng.below(1_000_000_000)), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                black_box(acc)
+            });
+        }
+        // Interleaved schedule/cancel/pop — the shape protocol retry timers
+        // produce, and what the stale-entry compaction exists for.
+        h.time(
+            &format!("event_queue/{sched}/cancel_churn/10000"),
+            20,
+            || {
+                let mut rng = Rng::new(2);
+                let mut q = EventQueue::with_scheduler(kind);
+                let mut pending = std::collections::VecDeque::new();
+                let mut acc = 0u64;
+                for i in 0..10_000u64 {
+                    let at = SimTime::from_ticks(q.now().ticks() + 1 + rng.below(1_000_000));
+                    pending.push_back(q.schedule(at, i));
+                    if pending.len() >= 8 {
+                        let id = pending.pop_front().expect("nonempty");
+                        if rng.below(2) == 0 {
+                            q.cancel(id);
+                        }
+                    }
+                    if i % 2 == 0 {
+                        if let Some((_, v)) = q.pop() {
+                            acc = acc.wrapping_add(v);
+                        }
+                    }
+                }
+                while let Some((_, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                black_box(acc)
+            },
+        );
+    }
+}
+
+/// The headline end-to-end cost: a full replication of the Table 2 Regular
+/// scenario on each scheduler. This is the perf regression gate — its
+/// records in BENCH_RESULTS.json (wall-clock, events/sec, peak queue depth)
+/// are the trajectory future PRs measure against. `BENCH_HOT_NODES` /
+/// `BENCH_HOT_SECS` shrink the workload for CI smoke runs; defaults are the
+/// gate scenario (200 nodes, 900 simulated seconds).
+fn sim_hot_path(h: &Harness) {
+    let nodes = env_u64("BENCH_HOT_NODES", 200) as usize;
+    let secs = env_u64("BENCH_HOT_SECS", 900);
+    let mut fingerprints = Vec::new();
+    for kind in SCHEDULERS {
+        let sched = scheduler_name(kind);
+        h.time_meta(
+            &format!("sim_hot_path/{sched}/{nodes}n_{secs}s_regular"),
+            2,
+            || run_result(bench_scenario(nodes, AlgoKind::Regular, secs), 7, kind),
+            |r| {
+                fingerprints.push(r.fingerprint());
+                vec![
+                    ("nodes".into(), nodes as f64),
+                    ("sim_secs".into(), secs as f64),
+                    ("events".into(), r.events as f64),
+                    ("peak_queue_depth".into(), r.peak_queue_depth as f64),
+                ]
+            },
+        );
+    }
+    if let [a, b] = fingerprints[..] {
+        assert_eq!(a, b, "schedulers diverged on the hot-path scenario");
     }
 }
 
@@ -118,4 +195,6 @@ fn main() {
     aodv_discovery(&h);
     catalog(&h);
     graph_analysis(&h);
+    sim_hot_path(&h);
+    h.finish();
 }

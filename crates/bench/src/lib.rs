@@ -20,13 +20,18 @@
 //! (same shape, shorter clock) so a full sweep completes in minutes; the
 //! binaries in `manet-sim` regenerate the figures at full scale.
 
+use std::cell::RefCell;
 use std::time::Instant;
 
 pub use std::hint::black_box;
 
-use manet_des::SimDuration;
-use manet_sim::{Scenario, World};
+use manet_des::{SchedulerKind, SimDuration};
+use manet_sim::{RunResult, Scenario, World};
 use p2p_core::AlgoKind;
+
+pub mod json;
+
+use json::Value;
 
 /// A bench-sized paper scenario: full Table 2 shape, short clock.
 pub fn bench_scenario(n_nodes: usize, algo: AlgoKind, secs: u64) -> Scenario {
@@ -41,11 +46,41 @@ pub fn run_once(scenario: Scenario, seed: u64) -> u64 {
     r.events + r.answers_received + r.phy_total.frames_sent
 }
 
+/// Run one replication on the given scheduler and return the full result,
+/// for benches that record workload metadata (events, peak queue depth).
+pub fn run_result(scenario: Scenario, seed: u64, kind: SchedulerKind) -> RunResult {
+    World::with_scheduler(scenario, seed, kind).run()
+}
+
+/// Read a numeric workload knob from the environment.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// One finished measurement, bound for `BENCH_RESULTS.json`.
+struct Record {
+    name: String,
+    min_ms: f64,
+    mean_ms: f64,
+    max_ms: f64,
+    iters: u32,
+    /// Workload metadata (nodes, events, peak_queue_depth, …) plus derived
+    /// rates (events_per_sec).
+    extra: Vec<(String, f64)>,
+}
+
 /// The timing harness: substring filtering via the first CLI argument,
-/// iteration override via `BENCH_ITERS`.
+/// iteration override via `BENCH_ITERS`, machine-readable output merged
+/// into `BENCH_RESULTS.json` (path override via `BENCH_JSON`) on
+/// [`finish`](Harness::finish).
 pub struct Harness {
+    suite: String,
     filter: Option<String>,
     iters_override: Option<u32>,
+    records: RefCell<Vec<Record>>,
 }
 
 impl Harness {
@@ -64,21 +99,39 @@ impl Harness {
             "benchmark", "min", "mean", "max", "iters"
         );
         Harness {
+            suite: suite.to_string(),
             filter,
             iters_override,
+            records: RefCell::new(Vec::new()),
         }
     }
 
     /// Time `f` over `iters` iterations (after one untimed warmup run) and
     /// print a table row. Skipped when the name does not match the filter.
-    pub fn time<R>(&self, name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    pub fn time<R>(&self, name: &str, iters: u32, f: impl FnMut() -> R) {
+        self.time_meta(name, iters, f, |_| Vec::new());
+    }
+
+    /// Like [`time`](Harness::time), but `meta` maps the warmup run's result
+    /// to workload metadata recorded alongside the timings. When the
+    /// metadata contains an `events` count, a derived `events_per_sec`
+    /// (from the mean wall-clock) is added automatically.
+    pub fn time_meta<R>(
+        &self,
+        name: &str,
+        iters: u32,
+        mut f: impl FnMut() -> R,
+        meta: impl FnOnce(&R) -> Vec<(String, f64)>,
+    ) {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
                 return;
             }
         }
         let iters = self.iters_override.unwrap_or(iters).max(1);
-        black_box(f());
+        let warmup = f();
+        let mut extra = meta(&warmup);
+        black_box(warmup);
         let mut min = f64::INFINITY;
         let mut max = 0.0f64;
         let mut total = 0.0f64;
@@ -92,6 +145,76 @@ impl Harness {
         }
         let mean = total / iters as f64;
         println!("{name:<52} {min:>10.3}ms {mean:>10.3}ms {max:>10.3}ms {iters:>6}");
+        if let Some(&(_, events)) = extra.iter().find(|(k, _)| k == "events") {
+            if mean > 0.0 {
+                extra.push(("events_per_sec".into(), events / (mean / 1e3)));
+            }
+        }
+        self.records.borrow_mut().push(Record {
+            name: name.to_string(),
+            min_ms: min,
+            mean_ms: mean,
+            max_ms: max,
+            iters,
+            extra,
+        });
+    }
+
+    /// Merge every recorded measurement into the results file and report
+    /// where it went.
+    ///
+    /// The file (default `BENCH_RESULTS.json`, overridable via the
+    /// `BENCH_JSON` env var) accumulates across suites: records matching
+    /// this run's `(suite, name)` pairs are replaced in place, everything
+    /// else — other suites, filtered-out benches — is preserved, so each
+    /// suite run refreshes only its own rows and the file stays the
+    /// repo-wide perf trajectory.
+    pub fn finish(self) {
+        let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_RESULTS.json".into());
+        let mut merged: Vec<Value> = match std::fs::read_to_string(&path) {
+            Ok(text) => Value::parse(&text)
+                .ok()
+                .and_then(|doc| {
+                    doc.get("records")
+                        .and_then(Value::as_arr)
+                        .map(<[_]>::to_vec)
+                })
+                .unwrap_or_default(),
+            Err(_) => Vec::new(),
+        };
+        let fresh: Vec<Value> = self
+            .records
+            .into_inner()
+            .into_iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("suite".to_string(), Value::Str(self.suite.clone())),
+                    ("name".to_string(), Value::Str(r.name)),
+                    ("min_ms".to_string(), Value::Num(r.min_ms)),
+                    ("mean_ms".to_string(), Value::Num(r.mean_ms)),
+                    ("max_ms".to_string(), Value::Num(r.max_ms)),
+                    ("iters".to_string(), Value::Num(f64::from(r.iters))),
+                ];
+                fields.extend(r.extra.into_iter().map(|(k, v)| (k, Value::Num(v))));
+                Value::Obj(fields)
+            })
+            .collect();
+        let key = |v: &Value| -> (String, String) {
+            let field = |k: &str| {
+                v.get(k)
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string()
+            };
+            (field("suite"), field("name"))
+        };
+        merged.retain(|old| !fresh.iter().any(|new| key(new) == key(old)));
+        merged.extend(fresh);
+        let doc = Value::Obj(vec![("records".to_string(), Value::Arr(merged))]);
+        match std::fs::write(&path, doc.render()) {
+            Ok(()) => println!("# results merged into {path}"),
+            Err(e) => eprintln!("# failed to write {path}: {e}"),
+        }
     }
 }
 

@@ -9,7 +9,10 @@
 //! * [`time`] — integer-microsecond simulation clock ([`SimTime`],
 //!   [`SimDuration`]);
 //! * [`queue`] — the future-event list ([`EventQueue`]) with exact
-//!   `(time, insertion-sequence)` ordering and O(1) cancellation;
+//!   `(time, insertion-sequence)` ordering and O(1) cancellation, on either
+//!   of two bit-identical scheduler backends ([`SchedulerKind`]): a binary
+//!   heap and a calendar queue (ns-2's bucketed timing wheel, the default —
+//!   amortized O(1) schedule/pop);
 //! * [`rng`] — an in-tree xoshiro256++ PRNG ([`Rng`]) with hierarchical,
 //!   order-insensitive stream forking, so one master seed reproduces a whole
 //!   multi-threaded experiment bit-for-bit.
@@ -29,25 +32,84 @@
 //! }
 //! ```
 
+mod calendar;
 pub mod ids;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use ids::NodeId;
-pub use queue::{EventId, EventQueue};
+pub use queue::{EventId, EventQueue, SchedulerKind};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime, TICKS_PER_SECOND};
 
 #[cfg(test)]
 mod properties {
-    use crate::queue::EventQueue;
+    use crate::queue::{EventQueue, SchedulerKind};
     use crate::rng::Rng as SimRng;
     use crate::time::SimTime;
     use manet_testkit::{any_bool, any_u64, prop_assert, prop_assert_eq, properties, vec_of};
 
     properties! {
         config = manet_testkit::Config::cases(64);
+
+        /// The heap and calendar-queue backends are observationally
+        /// identical: fed the same interleaving of schedules, cancels,
+        /// bounded pops and plain pops — with heavy same-timestamp tie
+        /// pressure — they report the same cancel outcomes and pop the same
+        /// `(time, payload)` sequence.
+        fn schedulers_pop_identically(
+            ops in vec_of((0u8..4, 0u64..50), 1..400),
+        ) {
+            let mut heap = EventQueue::with_scheduler(SchedulerKind::Heap);
+            let mut cal = EventQueue::with_scheduler(SchedulerKind::Calendar);
+            prop_assert_eq!(cal.scheduler(), SchedulerKind::Calendar);
+            // Logical event index -> per-queue id (slot allocation is a
+            // backend detail, so ids are tracked per queue, not shared).
+            let mut heap_ids = Vec::new();
+            let mut cal_ids = Vec::new();
+            let mut scheduled = 0u64;
+            for (op, x) in ops {
+                match op {
+                    // Schedule at a coarse timestamp: plenty of exact ties.
+                    0 | 1 => {
+                        let at = SimTime::from_ticks(heap.now().ticks() + (x / 10) * 1000);
+                        heap_ids.push(heap.schedule(at, scheduled));
+                        cal_ids.push(cal.schedule(at, scheduled));
+                        scheduled += 1;
+                    }
+                    // Cancel an arbitrary previously scheduled event.
+                    2 if !heap_ids.is_empty() => {
+                        let i = (x as usize) % heap_ids.len();
+                        let a = heap.cancel(heap_ids[i]);
+                        let b = cal.cancel(cal_ids[i]);
+                        prop_assert_eq!(a, b, "cancel outcome diverged");
+                    }
+                    // Pop (sometimes horizon-bounded).
+                    _ => {
+                        let got = if x % 3 == 0 {
+                            let limit = SimTime::from_ticks(
+                                heap.now().ticks() + (x % 7) * 1000,
+                            );
+                            (heap.pop_before(limit), cal.pop_before(limit))
+                        } else {
+                            (heap.pop(), cal.pop())
+                        };
+                        prop_assert_eq!(got.0, got.1, "pop diverged");
+                        prop_assert_eq!(heap.now(), cal.now());
+                    }
+                }
+                prop_assert_eq!(heap.len(), cal.len());
+            }
+            // Drain: the tails must match exactly too.
+            loop {
+                let (a, b) = (heap.pop(), cal.pop());
+                prop_assert_eq!(a, b, "drain diverged");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
 
         /// Events always pop in non-decreasing time order, whatever the
         /// scheduling order, with ties resolved by insertion sequence.

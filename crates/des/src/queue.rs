@@ -4,20 +4,41 @@
 //! number so that simultaneous events fire in the order they were scheduled.
 //! That rule makes the whole simulation deterministic: there is exactly one
 //! legal execution for a given seed.
+//!
+//! Two interchangeable scheduler backends implement that contract: a binary
+//! heap (the reference) and a calendar queue (the ns-2 style bucketed
+//! timing wheel that is the default). Both pop the exact same
+//! `(time, seq)` sequence, so the choice is a pure performance knob —
+//! property-tested for equivalence in `crate::properties`.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::calendar::CalendarQueue;
 use crate::time::SimTime;
 
 /// Opaque handle identifying a scheduled event, used for cancellation.
 ///
 /// Internally carries the entry slot so cancellation is O(1); slot reuse is
-/// guarded by the sequence number, so stale ids are harmless.
+/// guarded by the sequence number, so stale ids are harmless. Slot numbers
+/// are an allocation detail: they may differ between scheduler backends even
+/// though the observable pop sequence is identical.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId {
     seq: u64,
     slot: usize,
+}
+
+/// Which future-event-list implementation an [`EventQueue`] runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SchedulerKind {
+    /// Lazy-deletion binary heap: O(log n) schedule/pop. The reference
+    /// implementation.
+    Heap,
+    /// Calendar queue (bucketed timing wheel): amortized O(1) schedule/pop
+    /// under simulation-like workloads. Bit-identical pop order to `Heap`.
+    #[default]
+    Calendar,
 }
 
 struct Entry<E> {
@@ -26,16 +47,21 @@ struct Entry<E> {
     payload: Option<E>,
 }
 
-/// Heap wrapper ordering entries min-first by `(time, seq)`.
-struct HeapItem {
-    at: SimTime,
-    seq: u64,
-    slot: usize,
+/// One scheduled occurrence as stored inside a backend: timestamp, global
+/// insertion sequence, and the slot of its payload entry.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Item {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) slot: usize,
 }
+
+/// Heap wrapper ordering items min-first by `(time, seq)`.
+struct HeapItem(Item);
 
 impl PartialEq for HeapItem {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.0.at == other.0.at && self.0.seq == other.0.seq
     }
 }
 impl Eq for HeapItem {}
@@ -48,24 +74,99 @@ impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the earliest first.
         other
+            .0
             .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .cmp(&self.0.at)
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
     }
 }
 
+enum Backend {
+    Heap(BinaryHeap<HeapItem>),
+    Calendar(CalendarQueue),
+}
+
+impl Backend {
+    fn push(&mut self, item: Item) {
+        match self {
+            Backend::Heap(h) => h.push(HeapItem(item)),
+            Backend::Calendar(c) => c.push(item),
+        }
+    }
+
+    /// Remove and return the minimal `(at, seq)` item, live or stale.
+    fn take_min(&mut self) -> Option<Item> {
+        match self {
+            Backend::Heap(h) => h.pop().map(|h| h.0),
+            Backend::Calendar(c) => c.take_min(),
+        }
+    }
+
+    /// Undo a `take_min`: re-insert `item` and restore any cursor state to
+    /// the caller's clock `now_ticks`.
+    fn unpop(&mut self, item: Item, now_ticks: u64) {
+        match self {
+            Backend::Heap(h) => h.push(HeapItem(item)),
+            Backend::Calendar(c) => c.unpop(item, now_ticks),
+        }
+    }
+
+    /// Restore any cursor state to the caller's clock `now_ticks` after a
+    /// scan that removed items without yielding a live event.
+    fn reset_cursor(&mut self, now_ticks: u64) {
+        match self {
+            Backend::Heap(_) => {}
+            Backend::Calendar(c) => c.reset_cursor(now_ticks),
+        }
+    }
+
+    fn retain(&mut self, mut keep: impl FnMut(&Item) -> bool) {
+        match self {
+            Backend::Heap(h) => {
+                let mut v = std::mem::take(h).into_vec();
+                v.retain(|hi| keep(&hi.0));
+                *h = BinaryHeap::from(v);
+            }
+            Backend::Calendar(c) => c.retain(keep),
+        }
+    }
+
+    fn stored(&self) -> usize {
+        match self {
+            Backend::Heap(h) => h.len(),
+            Backend::Calendar(c) => c.len(),
+        }
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = &Item> + '_> {
+        match self {
+            Backend::Heap(h) => Box::new(h.iter().map(|hi| &hi.0)),
+            Backend::Calendar(c) => Box::new(c.iter()),
+        }
+    }
+}
+
+/// Stale items must outnumber this floor before a compaction sweep runs, so
+/// small queues never pay the O(n) rebuild.
+const COMPACT_FLOOR: usize = 64;
+
 /// A deterministic future-event list.
 ///
-/// `E` is the simulation's event payload type. Supports O(log n) schedule and
-/// pop, and O(1) cancellation (lazy removal). Popping never returns an event
-/// earlier than the last popped time, so causality is monotone.
+/// `E` is the simulation's event payload type. Supports O(1) cancellation
+/// (lazy removal) and — on the default calendar-queue backend — amortized
+/// O(1) schedule and pop. Popping never returns an event earlier than the
+/// last popped time, so causality is monotone. When lazily-cancelled items
+/// come to outnumber half the live count the queue compacts itself, so
+/// churn-heavy workloads cannot grow the backlog without bound.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<HeapItem>,
+    backend: Backend,
     entries: Vec<Entry<E>>,
     free: Vec<usize>,
     next_seq: u64,
     now: SimTime,
     live: usize,
+    /// Cancelled items still sitting in the backend awaiting lazy removal.
+    dead: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -75,15 +176,35 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Create an empty queue with the clock at zero.
+    /// Create an empty queue with the clock at zero, on the default
+    /// (calendar-queue) scheduler.
     pub fn new() -> Self {
+        Self::with_scheduler(SchedulerKind::default())
+    }
+
+    /// Create an empty queue on an explicit scheduler backend. The choice
+    /// affects performance only: pop sequences are bit-identical.
+    pub fn with_scheduler(kind: SchedulerKind) -> Self {
+        let backend = match kind {
+            SchedulerKind::Heap => Backend::Heap(BinaryHeap::new()),
+            SchedulerKind::Calendar => Backend::Calendar(CalendarQueue::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
             entries: Vec::new(),
             free: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             live: 0,
+            dead: 0,
+        }
+    }
+
+    /// The backend this queue runs on.
+    pub fn scheduler(&self) -> SchedulerKind {
+        match self.backend {
+            Backend::Heap(_) => SchedulerKind::Heap,
+            Backend::Calendar(_) => SchedulerKind::Calendar,
         }
     }
 
@@ -133,7 +254,7 @@ impl<E> EventQueue<E> {
                 self.entries.len() - 1
             }
         };
-        self.heap.push(HeapItem { at, seq, slot });
+        self.backend.push(Item { at, seq, slot });
         self.live += 1;
         EventId { seq, slot }
     }
@@ -141,30 +262,82 @@ impl<E> EventQueue<E> {
     /// Cancel a previously scheduled event.
     ///
     /// Returns `true` if the event was pending and is now cancelled, `false`
-    /// if it had already fired or been cancelled. O(1): the heap item is
-    /// removed lazily when it reaches the top.
+    /// if it had already fired or been cancelled. O(1): the backend item is
+    /// removed lazily when it reaches the front — or eagerly by the
+    /// compaction sweep once stale items exceed half the live count.
     pub fn cancel(&mut self, id: EventId) -> bool {
         match self.entries.get_mut(id.slot) {
             Some(entry) if entry.seq == id.seq && !entry.cancelled && entry.payload.is_some() => {
                 entry.cancelled = true;
                 entry.payload = None;
                 self.live -= 1;
+                self.dead += 1;
+                if self.dead >= COMPACT_FLOOR && self.dead * 2 > self.live {
+                    self.compact();
+                }
                 true
             }
             _ => false,
         }
     }
 
+    /// Eagerly sweep lazily-cancelled items out of the backend, reclaiming
+    /// their payload slots. O(stored items). Runs automatically from
+    /// [`cancel`](Self::cancel) once stale items exceed half the live count
+    /// (and a small floor), so long churn-heavy runs cannot accumulate an
+    /// unbounded backlog of tombstones.
+    pub fn compact(&mut self) {
+        let entries = &self.entries;
+        let free = &mut self.free;
+        self.backend.retain(|item| {
+            let e = &entries[item.slot];
+            let live = e.seq == item.seq && !e.cancelled;
+            if !live && e.seq == item.seq {
+                free.push(item.slot);
+            }
+            live
+        });
+        self.dead = 0;
+    }
+
+    /// Number of items physically stored in the backend, including
+    /// lazily-cancelled tombstones. Exposed for tests and benches.
+    pub fn stored(&self) -> usize {
+        self.backend.stored()
+    }
+
     /// Remove and return the earliest pending event, advancing the clock.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(item) = self.heap.pop() {
+        self.pop_before(SimTime::MAX)
+    }
+
+    /// Remove and return the earliest pending event *iff* its timestamp is
+    /// `<= limit`; otherwise leave the queue untouched and return `None`.
+    ///
+    /// This is the horizon-bounded variant the simulation loop uses: one
+    /// amortized O(1)/O(log n) operation instead of a peek-scan followed by
+    /// a pop. The clock only advances when an event is actually returned.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let Some(item) = self.backend.take_min() else {
+                // The scan may have consumed trailing cancelled items and
+                // left the cursor at their (future) windows; rewind it so
+                // later schedules cannot land behind it.
+                self.backend.reset_cursor(self.now.ticks());
+                return None;
+            };
             let entry = &mut self.entries[item.slot];
-            // Stale heap items (recycled slot or cancelled event) are skipped.
+            // Stale items (recycled slot or cancelled event) are skipped.
             if entry.seq != item.seq || entry.cancelled {
                 if entry.seq == item.seq {
                     self.free.push(item.slot);
+                    self.dead -= 1;
                 }
                 continue;
+            }
+            if item.at > limit {
+                self.backend.unpop(item, self.now.ticks());
+                return None;
             }
             let payload = entry.payload.take().expect("live entry has payload");
             self.free.push(item.slot);
@@ -173,13 +346,24 @@ impl<E> EventQueue<E> {
             self.now = item.at;
             return Some((item.at, payload));
         }
-        None
+    }
+
+    /// Calendar-backend diagnostics (`[pops, window_visits, fallback_scans,
+    /// rebuilds, width, buckets, items]`), `None` on the heap backend.
+    #[doc(hidden)]
+    pub fn calendar_stats(&self) -> Option<[u64; 7]> {
+        match &self.backend {
+            Backend::Heap(_) => None,
+            Backend::Calendar(c) => Some(c.stats()),
+        }
     }
 
     /// Timestamp of the earliest pending event, if any, without popping it.
+    ///
+    /// O(n): scans the backend without mutating. Use
+    /// [`pop_before`](Self::pop_before) on hot paths.
     pub fn peek_time(&self) -> Option<SimTime> {
-        // The heap top may be stale; scan lazily without mutating.
-        self.heap
+        self.backend
             .iter()
             .filter(|item| {
                 let e = &self.entries[item.slot];
@@ -199,36 +383,52 @@ mod tests {
         SimTime::from_secs(secs)
     }
 
+    /// Every test runs against both backends; they must be interchangeable.
+    fn on_both(test: impl Fn(EventQueue<&'static str>)) {
+        test(EventQueue::with_scheduler(SchedulerKind::Heap));
+        test(EventQueue::with_scheduler(SchedulerKind::Calendar));
+    }
+
+    #[test]
+    fn default_scheduler_is_calendar() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.scheduler(), SchedulerKind::Calendar);
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(t(3), "c");
-        q.schedule(t(1), "a");
-        q.schedule(t(2), "b");
-        assert_eq!(q.pop(), Some((t(1), "a")));
-        assert_eq!(q.pop(), Some((t(2), "b")));
-        assert_eq!(q.pop(), Some((t(3), "c")));
-        assert_eq!(q.pop(), None);
+        on_both(|mut q| {
+            q.schedule(t(3), "c");
+            q.schedule(t(1), "a");
+            q.schedule(t(2), "b");
+            assert_eq!(q.pop(), Some((t(1), "a")));
+            assert_eq!(q.pop(), Some((t(2), "b")));
+            assert_eq!(q.pop(), Some((t(3), "c")));
+            assert_eq!(q.pop(), None);
+        });
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        q.schedule(t(5), 1);
-        q.schedule(t(5), 2);
-        q.schedule(t(5), 3);
-        assert_eq!(q.pop().unwrap().1, 1);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert_eq!(q.pop().unwrap().1, 3);
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            let mut q = EventQueue::with_scheduler(kind);
+            q.schedule(t(5), 1);
+            q.schedule(t(5), 2);
+            q.schedule(t(5), 3);
+            assert_eq!(q.pop().unwrap().1, 1);
+            assert_eq!(q.pop().unwrap().1, 2);
+            assert_eq!(q.pop().unwrap().1, 3);
+        }
     }
 
     #[test]
     fn clock_advances_with_pops() {
-        let mut q = EventQueue::new();
-        q.schedule(t(7), ());
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.pop();
-        assert_eq!(q.now(), t(7));
+        on_both(|mut q| {
+            q.schedule(t(7), "x");
+            assert_eq!(q.now(), SimTime::ZERO);
+            q.pop();
+            assert_eq!(q.now(), t(7));
+        });
     }
 
     #[test]
@@ -242,69 +442,175 @@ mod tests {
 
     #[test]
     fn cancel_removes_event() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(t(1), "a");
-        q.schedule(t(2), "b");
-        assert!(q.cancel(a));
-        assert!(!q.cancel(a), "double cancel reports false");
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pop(), Some((t(2), "b")));
+        on_both(|mut q| {
+            let a = q.schedule(t(1), "a");
+            q.schedule(t(2), "b");
+            assert!(q.cancel(a));
+            assert!(!q.cancel(a), "double cancel reports false");
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop(), Some((t(2), "b")));
+        });
     }
 
     #[test]
     fn cancel_after_fire_is_noop() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(t(1), "a");
-        q.pop();
-        assert!(!q.cancel(a));
+        on_both(|mut q| {
+            let a = q.schedule(t(1), "a");
+            q.pop();
+            assert!(!q.cancel(a));
+        });
     }
 
     #[test]
     fn slot_recycling_does_not_confuse_ids() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(t(1), 1);
-        q.pop(); // frees slot 0
-        let b = q.schedule(t(2), 2); // reuses slot 0
-        assert!(!q.cancel(a), "stale id must not cancel the new event");
-        assert!(q.cancel(b));
-        assert!(q.is_empty());
+        on_both(|mut q| {
+            let a = q.schedule(t(1), "x");
+            q.pop(); // frees slot 0
+            let b = q.schedule(t(2), "y"); // reuses slot 0
+            assert!(!q.cancel(a), "stale id must not cancel the new event");
+            assert!(q.cancel(b));
+            assert!(q.is_empty());
+        });
     }
 
     #[test]
     fn peek_time_skips_cancelled() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(t(1), ());
-        q.schedule(t(2), ());
-        q.cancel(a);
-        assert_eq!(q.peek_time(), Some(t(2)));
+        on_both(|mut q| {
+            let a = q.schedule(t(1), "x");
+            q.schedule(t(2), "y");
+            q.cancel(a);
+            assert_eq!(q.peek_time(), Some(t(2)));
+        });
+    }
+
+    #[test]
+    fn pop_before_respects_the_limit() {
+        on_both(|mut q| {
+            q.schedule(t(1), "a");
+            q.schedule(t(5), "b");
+            assert_eq!(q.pop_before(t(3)), Some((t(1), "a")));
+            assert_eq!(q.pop_before(t(3)), None);
+            assert_eq!(q.len(), 1, "over-limit event stays queued");
+            assert_eq!(q.now(), t(1), "clock must not advance past the limit");
+            assert_eq!(q.pop_before(t(5)), Some((t(5), "b")));
+        });
+    }
+
+    #[test]
+    fn pop_before_discards_stale_items_without_advancing() {
+        on_both(|mut q| {
+            let a = q.schedule(t(1), "a");
+            q.schedule(t(9), "z");
+            q.cancel(a);
+            assert_eq!(q.pop_before(t(3)), None);
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop(), Some((t(9), "z")));
+        });
+    }
+
+    #[test]
+    fn schedule_behind_a_discarded_cancelled_future_event() {
+        // Regression: draining a cancelled far-future event must not leave
+        // the calendar cursor ahead of the clock, or an event scheduled
+        // between `now` and the cancelled time would be missed or reordered.
+        on_both(|mut q| {
+            q.schedule(t(1), "first");
+            let far = q.schedule(t(100), "cancelled");
+            assert_eq!(q.pop(), Some((t(1), "first"))); // now = 1s
+            q.cancel(far);
+            assert_eq!(q.pop(), None, "only a cancelled event remains");
+            q.schedule(t(2), "early");
+            q.schedule(t(50), "late");
+            assert_eq!(q.pop(), Some((t(2), "early")));
+            assert_eq!(q.pop(), Some((t(50), "late")));
+        });
+    }
+
+    #[test]
+    fn schedule_behind_an_over_limit_event() {
+        // Regression: pop_before must rewind the cursor when it re-inserts
+        // an over-the-horizon event, or an earlier later-scheduled event
+        // would be missed by the wheel sweep.
+        on_both(|mut q| {
+            q.schedule(t(1), "first");
+            q.schedule(t(100), "far");
+            assert_eq!(q.pop(), Some((t(1), "first"))); // now = 1s
+            assert_eq!(q.pop_before(t(10)), None, "far event is over limit");
+            q.schedule(t(2), "early");
+            assert_eq!(q.pop(), Some((t(2), "early")));
+            assert_eq!(q.pop(), Some((t(100), "far")));
+        });
     }
 
     #[test]
     fn interleaved_schedule_and_pop() {
-        let mut q = EventQueue::new();
-        q.schedule(t(1), 1u32);
-        let (now, v) = q.pop().unwrap();
-        assert_eq!(v, 1);
-        q.schedule(now + SimDuration::from_secs(1), 2);
-        q.schedule(now + SimDuration::from_secs(3), 4);
-        q.schedule(now + SimDuration::from_secs(2), 3);
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
-        assert_eq!(order, vec![2, 3, 4]);
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            let mut q = EventQueue::with_scheduler(kind);
+            q.schedule(t(1), 1u32);
+            let (now, v) = q.pop().unwrap();
+            assert_eq!(v, 1);
+            q.schedule(now + SimDuration::from_secs(1), 2);
+            q.schedule(now + SimDuration::from_secs(3), 4);
+            q.schedule(now + SimDuration::from_secs(2), 3);
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+            assert_eq!(order, vec![2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn compaction_bounds_stale_backlog() {
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            let mut q = EventQueue::with_scheduler(kind);
+            let mut ids = Vec::new();
+            for i in 0..(COMPACT_FLOOR as u64 * 4) {
+                ids.push(q.schedule(SimTime::from_ticks(1000 + i), i));
+            }
+            // Cancel everything but the last few: compaction must kick in.
+            let keep = 8;
+            for id in &ids[..ids.len() - keep] {
+                assert!(q.cancel(*id));
+            }
+            assert_eq!(q.len(), keep);
+            assert!(
+                q.stored() <= q.len() + COMPACT_FLOOR,
+                "{kind:?}: stored {} items for {} live",
+                q.stored(),
+                q.len()
+            );
+            // Survivors still pop in order.
+            let survivors: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+            let expect: Vec<u64> = (ids.len() as u64 - keep as u64..ids.len() as u64).collect();
+            assert_eq!(survivors, expect);
+        }
+    }
+
+    #[test]
+    fn explicit_compact_reclaims_slots() {
+        let mut q = EventQueue::with_scheduler(SchedulerKind::Heap);
+        let a = q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        q.cancel(a);
+        assert_eq!(q.stored(), 2);
+        q.compact();
+        assert_eq!(q.stored(), 1);
+        assert_eq!(q.pop(), Some((t(2), 2)));
     }
 
     #[test]
     fn large_volume_stays_sorted() {
-        let mut rng = crate::rng::Rng::new(99);
-        let mut q = EventQueue::new();
-        for _ in 0..10_000 {
-            let at = SimTime::from_ticks(rng.below(1_000_000));
-            q.schedule(at, at);
-        }
-        let mut last = SimTime::ZERO;
-        while let Some((at, payload)) = q.pop() {
-            assert_eq!(at, payload);
-            assert!(at >= last);
-            last = at;
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            let mut rng = crate::rng::Rng::new(99);
+            let mut q = EventQueue::with_scheduler(kind);
+            for _ in 0..10_000 {
+                let at = SimTime::from_ticks(rng.below(1_000_000));
+                q.schedule(at, at);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((at, payload)) = q.pop() {
+                assert_eq!(at, payload);
+                assert!(at >= last);
+                last = at;
+            }
         }
     }
 }

@@ -109,13 +109,16 @@ impl SpatialGrid {
         }
     }
 
-    /// Collect all keys within `range` metres of `center` (inclusive),
-    /// excluding `exclude` (pass `u32::MAX` to exclude nothing).
-    ///
-    /// Results are appended to `out` in ascending key order so that callers
-    /// iterate deterministically.
-    pub fn query_range(&self, center: Point, range: f64, exclude: u32, out: &mut Vec<u32>) {
-        out.clear();
+    /// Visit every `(key, position)` within `range` metres of `center`
+    /// (inclusive), excluding `exclude`, in grid-cell order (NOT key order —
+    /// the `query_range*` wrappers sort for determinism).
+    fn scan_range(
+        &self,
+        center: Point,
+        range: f64,
+        exclude: u32,
+        mut visit: impl FnMut(u32, Point),
+    ) {
         let range = range.max(0.0);
         let lo = self
             .bounds
@@ -136,12 +139,39 @@ impl SpatialGrid {
                     }
                     let (pos, _) = self.where_is[key as usize];
                     if pos.distance_sq(center) <= range_sq {
-                        out.push(key);
+                        visit(key, pos);
                     }
                 }
             }
         }
+    }
+
+    /// Collect all keys within `range` metres of `center` (inclusive),
+    /// excluding `exclude` (pass `u32::MAX` to exclude nothing).
+    ///
+    /// Results replace the contents of the caller-owned `out` buffer, in
+    /// ascending key order so that callers iterate deterministically. The
+    /// buffer's capacity is reused across calls — the radio hot path calls
+    /// this once per transmission without allocating.
+    pub fn query_range(&self, center: Point, range: f64, exclude: u32, out: &mut Vec<u32>) {
+        out.clear();
+        self.scan_range(center, range, exclude, |key, _| out.push(key));
         out.sort_unstable();
+    }
+
+    /// Like [`query_range`](Self::query_range) but also yields each key's
+    /// position, saving the caller one grid lookup per result (the radio
+    /// medium needs positions for distance-dependent reception).
+    pub fn query_range_with_pos(
+        &self,
+        center: Point,
+        range: f64,
+        exclude: u32,
+        out: &mut Vec<(u32, Point)>,
+    ) {
+        out.clear();
+        self.scan_range(center, range, exclude, |key, pos| out.push((key, pos)));
+        out.sort_unstable_by_key(|&(key, _)| key);
     }
 
     /// Convenience wrapper around [`query_range`](Self::query_range) that

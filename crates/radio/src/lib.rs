@@ -28,5 +28,5 @@ pub mod stats;
 
 pub use config::RadioCfg;
 pub use energy::EnergyMeter;
-pub use medium::{LinkFaults, Medium};
+pub use medium::{LinkFaults, Medium, Reception, TxScratch};
 pub use stats::PhyStats;

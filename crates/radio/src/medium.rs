@@ -63,6 +63,21 @@ pub struct Reception {
     pub lost: bool,
 }
 
+/// Caller-owned scratch buffers for transmission planning.
+///
+/// [`Medium::plan_broadcast`] runs once per transmission on the simulation
+/// hot path; routing all of its temporary storage through a scratch value
+/// the caller keeps alive (the world owns one) means steady-state planning
+/// performs zero heap allocations — buffers grow to the neighborhood size
+/// once and are reused for every subsequent frame.
+#[derive(Clone, Debug, Default)]
+pub struct TxScratch {
+    /// In-range receiver keys and positions (planning-internal).
+    keys: Vec<(u32, Point)>,
+    /// Receptions planned by the most recent [`Medium::plan_broadcast`].
+    pub receptions: Vec<Reception>,
+}
+
 /// The wireless medium calculator.
 #[derive(Clone, Debug)]
 pub struct Medium {
@@ -90,11 +105,14 @@ impl Medium {
         self.cfg.serialization_delay(bytes) + self.cfg.hop_latency + jitter + faults.extra_delay
     }
 
-    /// Plan the receptions of a frame transmitted from `pos` by `sender`.
+    /// Plan the receptions of a frame transmitted from `pos` by `sender`,
+    /// into `scratch.receptions`.
     ///
     /// `grid` holds current node positions. Receivers are every node within
     /// range except the sender itself; each gets the same propagation delay,
-    /// with loss drawn independently per receiver.
+    /// with loss drawn independently per receiver. RNG draws happen in
+    /// ascending receiver-key order, independent of grid traversal order, so
+    /// results are deterministic for a given seed.
     #[allow(clippy::too_many_arguments)]
     pub fn plan_broadcast(
         &self,
@@ -104,24 +122,20 @@ impl Medium {
         bytes: u32,
         rng: &mut Rng,
         faults: LinkFaults,
-        out: &mut Vec<Reception>,
+        scratch: &mut TxScratch,
     ) {
-        out.clear();
+        scratch.receptions.clear();
         let after = self.tx_delay(bytes, rng, faults);
-        let mut keys = Vec::new();
-        grid.query_range(pos, self.cfg.range_m, sender.0, &mut keys);
-        for key in keys {
+        grid.query_range_with_pos(pos, self.cfg.range_m, sender.0, &mut scratch.keys);
+        for &(key, rx_pos) in &scratch.keys {
             let mut lost = rng.chance(self.cfg.loss_prob);
             if !lost && self.cfg.fuzz > 0.0 {
-                let dist = grid
-                    .position(key)
-                    .map_or(f64::INFINITY, |p| p.distance(pos));
-                lost = !rng.chance(self.cfg.reception_prob(dist));
+                lost = !rng.chance(self.cfg.reception_prob(rx_pos.distance(pos)));
             }
             if !lost && faults.extra_loss > 0.0 {
                 lost = rng.chance(faults.extra_loss);
             }
-            out.push(Reception {
+            scratch.receptions.push(Reception {
                 to: NodeId(key),
                 after,
                 lost,
@@ -181,7 +195,7 @@ mod tests {
         grid.upsert(1, Point::new(55.0, 50.0)); // in range
         grid.upsert(2, Point::new(59.9, 50.0)); // in range
         grid.upsert(3, Point::new(61.0, 50.0)); // out of range
-        let mut out = Vec::new();
+        let mut tx = TxScratch::default();
         m.plan_broadcast(
             &grid,
             NodeId(0),
@@ -189,18 +203,21 @@ mod tests {
             64,
             &mut rng,
             LinkFaults::NONE,
-            &mut out,
+            &mut tx,
         );
-        let ids: Vec<u32> = out.iter().map(|r| r.to.0).collect();
+        let ids: Vec<u32> = tx.receptions.iter().map(|r| r.to.0).collect();
         assert_eq!(ids, vec![1, 2]);
-        assert!(out.iter().all(|r| !r.lost), "no loss at loss_prob = 0");
+        assert!(
+            tx.receptions.iter().all(|r| !r.lost),
+            "no loss at loss_prob = 0"
+        );
     }
 
     #[test]
     fn broadcast_excludes_sender() {
         let (m, mut grid, mut rng) = setup();
         grid.upsert(0, Point::new(50.0, 50.0));
-        let mut out = Vec::new();
+        let mut tx = TxScratch::default();
         m.plan_broadcast(
             &grid,
             NodeId(0),
@@ -208,9 +225,9 @@ mod tests {
             64,
             &mut rng,
             LinkFaults::NONE,
-            &mut out,
+            &mut tx,
         );
-        assert!(out.is_empty());
+        assert!(tx.receptions.is_empty());
     }
 
     #[test]
@@ -220,7 +237,7 @@ mod tests {
         for k in 1..=5 {
             grid.upsert(k, Point::new(50.0 + k as f64, 50.0));
         }
-        let mut out = Vec::new();
+        let mut tx = TxScratch::default();
         m.plan_broadcast(
             &grid,
             NodeId(0),
@@ -228,11 +245,11 @@ mod tests {
             64,
             &mut rng,
             LinkFaults::NONE,
-            &mut out,
+            &mut tx,
         );
-        assert_eq!(out.len(), 5);
-        let d = out[0].after;
-        assert!(out.iter().all(|r| r.after == d));
+        assert_eq!(tx.receptions.len(), 5);
+        let d = tx.receptions[0].after;
+        assert!(tx.receptions.iter().all(|r| r.after == d));
         assert!(d >= m.cfg().hop_latency, "delay includes fixed latency");
     }
 
@@ -269,7 +286,7 @@ mod tests {
         let mut rng = Rng::new(5);
         let mut lost = 0;
         let n = 10_000;
-        let mut out = Vec::new();
+        let mut tx = TxScratch::default();
         for _ in 0..n {
             m.plan_broadcast(
                 &grid,
@@ -278,9 +295,9 @@ mod tests {
                 64,
                 &mut rng,
                 LinkFaults::NONE,
-                &mut out,
+                &mut tx,
             );
-            if out[0].lost {
+            if tx.receptions[0].lost {
                 lost += 1;
             }
         }
@@ -302,7 +319,7 @@ mod tests {
         let mut rng = Rng::new(8);
         let (mut core_lost, mut edge_lost) = (0u32, 0u32);
         let n = 4000;
-        let mut out = Vec::new();
+        let mut tx = TxScratch::default();
         for _ in 0..n {
             m.plan_broadcast(
                 &grid,
@@ -311,9 +328,9 @@ mod tests {
                 64,
                 &mut rng,
                 LinkFaults::NONE,
-                &mut out,
+                &mut tx,
             );
-            for r in &out {
+            for r in &tx.receptions {
                 match r.to.0 {
                     1 if r.lost => core_lost += 1,
                     2 if r.lost => edge_lost += 1,
@@ -350,7 +367,7 @@ mod tests {
         grid.upsert(1, Point::new(55.0, 50.0));
         let mut a = Rng::new(99);
         let mut b = Rng::new(99);
-        let mut out = Vec::new();
+        let mut tx = TxScratch::default();
         for _ in 0..50 {
             m.plan_broadcast(
                 &grid,
@@ -359,7 +376,7 @@ mod tests {
                 64,
                 &mut a,
                 LinkFaults::NONE,
-                &mut out,
+                &mut tx,
             );
             m.plan_unicast(
                 &grid,
@@ -384,7 +401,7 @@ mod tests {
                 64,
                 &mut b,
                 LinkFaults::NONE,
-                &mut out,
+                &mut tx,
             );
         }
         assert_eq!(a.next_u64(), b.next_u64(), "streams diverged");
@@ -401,7 +418,7 @@ mod tests {
         };
         let mut lost = 0;
         let n = 10_000;
-        let mut out = Vec::new();
+        let mut tx = TxScratch::default();
         for _ in 0..n {
             m.plan_broadcast(
                 &grid,
@@ -410,9 +427,9 @@ mod tests {
                 64,
                 &mut rng,
                 faults,
-                &mut out,
+                &mut tx,
             );
-            if out[0].lost {
+            if tx.receptions[0].lost {
                 lost += 1;
             }
         }

@@ -7,9 +7,6 @@
 //! seeds, so the aggregate is identical whatever the thread count
 //! (including 1).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use manet_metrics::{average_series, FileMetrics, MsgKind, Summary};
 
 use crate::scenario::Scenario;
@@ -27,7 +24,14 @@ pub fn replication_seed(base: u64, rep: usize) -> u64 {
 /// Run `reps` replications of `scenario` on up to `threads` workers.
 ///
 /// Results come back ordered by replication index regardless of which
-/// worker finished first.
+/// worker finished first, and are identical for any thread count: each
+/// replication's seed depends only on its index.
+///
+/// Lock-free by construction: worker `w` statically owns replications
+/// `w, w + threads, w + 2·threads, …` and returns its results through its
+/// join handle — no shared mutable state, no `Mutex` on the result path.
+/// Static striding costs nothing here because replications of one scenario
+/// take near-identical time, so work-stealing had nothing to steal.
 pub fn run_replications(
     scenario: &Scenario,
     reps: usize,
@@ -36,28 +40,32 @@ pub fn run_replications(
 ) -> Vec<RunResult> {
     assert!(reps >= 1, "need at least one replication");
     let threads = threads.max(1).min(reps);
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..reps).map(|_| None).collect());
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let rep = next.fetch_add(1, Ordering::Relaxed);
-                if rep >= reps {
-                    break;
-                }
-                let seed = replication_seed(base_seed, rep);
-                let result = World::new(scenario.clone(), seed).run();
-                results.lock().expect("result store poisoned")[rep] = Some(result);
-            });
-        }
+    let mut per_worker: Vec<Vec<RunResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    (w..reps)
+                        .step_by(threads)
+                        .map(|rep| {
+                            let seed = replication_seed(base_seed, rep);
+                            World::new(scenario.clone(), seed).run()
+                        })
+                        .collect::<Vec<RunResult>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replication worker panicked"))
+            .collect()
     });
 
-    results
-        .into_inner()
-        .expect("result store poisoned")
-        .into_iter()
-        .map(|r| r.expect("every replication filled"))
+    // Interleave the strides back into replication order: rep came from
+    // worker `rep % threads`, at position `rep / threads` of its chunk.
+    let mut iters: Vec<_> = per_worker.iter_mut().map(|v| v.drain(..)).collect();
+    (0..reps)
+        .map(|rep| iters[rep % threads].next().expect("stride filled"))
         .collect()
 }
 

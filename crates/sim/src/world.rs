@@ -12,15 +12,15 @@
 //! seed)` pair reproduces byte-identical results on any machine.
 
 use manet_aodv::{Action as AodvAction, Aodv, Msg};
-use manet_des::{EventQueue, NodeId, Rng, SimDuration, SimTime};
+use manet_des::{EventQueue, NodeId, Rng, SchedulerKind, SimDuration, SimTime};
 use manet_geom::{Point, SpatialGrid};
 use manet_graph::{small_world, Graph, SmallWorld};
-use manet_metrics::{FileMetrics, NodeCounters};
+use manet_metrics::{FileMetrics, MsgKind, NodeCounters};
 use manet_mobility::{
     AnyMobility, GaussMarkov, GaussMarkovCfg, Mobility, RandomWalk, RandomWalkCfg, RandomWaypoint,
     RandomWaypointCfg, Rpgm, RpgmCfg, Stationary,
 };
-use manet_radio::{EnergyMeter, LinkFaults, Medium, PhyStats};
+use manet_radio::{EnergyMeter, LinkFaults, Medium, PhyStats, TxScratch};
 use p2p_content::{CompletedQuery, QueryEngine};
 use p2p_core::{build_algo, BoxedAlgo, OvAction, Role};
 
@@ -128,10 +128,76 @@ pub struct RunResult {
     pub answers_received: u64,
     /// Events the loop processed (throughput metric).
     pub events: u64,
+    /// Deepest the future-event list got during the run (live events).
+    pub peak_queue_depth: usize,
     /// Mean established connections per member at the end.
     pub avg_connections: f64,
     /// The protocol trace (empty unless `Scenario::trace_capacity > 0`).
     pub trace: TraceLog,
+}
+
+impl RunResult {
+    /// Order-sensitive FNV-1a digest of every numeric output of a run.
+    ///
+    /// Two runs count as bit-identical iff their fingerprints match: the
+    /// digest folds in per-node message counters, PHY totals, per-node
+    /// energy (exact f64 bits), the role census, connection/query/answer
+    /// totals, small-world samples, file metrics and the event count. The
+    /// scheduler-equivalence tests and the bench harness use it to detect
+    /// behavioural drift without field-by-field comparison.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, x: u64) {
+            *h = (*h ^ x).wrapping_mul(PRIME);
+        }
+        fn mix_f(h: &mut u64, x: f64) {
+            mix(h, x.to_bits());
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for kind in MsgKind::ALL {
+            for v in self.counters.column(kind) {
+                mix(&mut h, v);
+            }
+        }
+        mix(&mut h, self.members.len() as u64);
+        for i in 0..self.file_metrics.len() {
+            let f = self.file_metrics.file(i);
+            mix(&mut h, f.requests);
+            mix(&mut h, f.answers);
+            mix(&mut h, f.answered);
+            mix(&mut h, f.oracle_count);
+            mix_f(&mut h, f.min_dist_sum);
+            mix_f(&mut h, f.min_p2p_sum);
+            mix_f(&mut h, f.oracle_sum);
+        }
+        for (t, sw) in &self.smallworld {
+            mix_f(&mut h, *t);
+            mix(&mut h, sw.n as u64);
+            mix_f(&mut h, sw.k);
+            mix_f(&mut h, sw.clustering);
+            mix_f(&mut h, sw.path_length);
+        }
+        mix(&mut h, self.phy_total.frames_sent);
+        mix(&mut h, self.phy_total.frames_received);
+        mix(&mut h, self.phy_total.frames_lost);
+        mix(&mut h, self.phy_total.link_breaks);
+        mix(&mut h, self.phy_total.bytes_sent);
+        mix(&mut h, self.phy_total.bytes_received);
+        for e in &self.energy_mj {
+            mix_f(&mut h, *e);
+        }
+        for r in self.roles {
+            mix(&mut h, r as u64);
+        }
+        mix(&mut h, self.conns_established);
+        mix(&mut h, self.conns_closed);
+        mix(&mut h, self.queries_issued);
+        mix(&mut h, self.answers_received);
+        mix(&mut h, self.events);
+        mix(&mut h, self.peak_queue_depth as u64);
+        mix_f(&mut h, self.avg_connections);
+        h
+    }
 }
 
 /// One replication of a [`Scenario`].
@@ -157,12 +223,25 @@ pub struct World {
     jitter_on: bool,
     answers_received: u64,
     events: u64,
+    /// Deepest the future-event list has been (live events).
+    peak_queue: usize,
+    /// Reusable transmission-planning buffers (zero-alloc hot path).
+    scratch: TxScratch,
     trace: TraceLog,
 }
 
 impl World {
-    /// Build a world from a scenario and a replication seed.
+    /// Build a world from a scenario and a replication seed, on the default
+    /// scheduler.
     pub fn new(scenario: Scenario, seed: u64) -> Self {
+        World::with_scheduler(scenario, seed, SchedulerKind::default())
+    }
+
+    /// Build a world whose future-event list runs on `scheduler`.
+    ///
+    /// The choice affects wall-clock speed only: results are bit-identical
+    /// across schedulers (see [`RunResult::fingerprint`]).
+    pub fn with_scheduler(scenario: Scenario, seed: u64, scheduler: SchedulerKind) -> Self {
         scenario.validate();
         let master = Rng::new(seed);
         let area = scenario.area();
@@ -313,7 +392,7 @@ impl World {
             burst_on: false,
             flap_on: false,
             jitter_on: false,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_scheduler(scheduler),
             grid,
             medium,
             nodes,
@@ -321,6 +400,8 @@ impl World {
             holders_by_file,
             answers_received: 0,
             events: 0,
+            peak_queue: 0,
+            scratch: TxScratch::default(),
             trace: TraceLog::new(scenario.trace_capacity),
             scenario,
         };
@@ -387,11 +468,8 @@ impl World {
     /// with execution; [`run`](World::run) is the plain loop over it.
     pub fn step(&mut self) -> Option<SimTime> {
         let horizon = SimTime::ZERO + self.scenario.duration;
-        let t = self.queue.peek_time()?;
-        if t > horizon {
-            return None;
-        }
-        let (now, event) = self.queue.pop().expect("peeked event exists");
+        self.peak_queue = self.peak_queue.max(self.queue.len());
+        let (now, event) = self.queue.pop_before(horizon)?;
         self.events += 1;
         self.dispatch(now, event);
         Some(now)
@@ -450,6 +528,7 @@ impl World {
             queries_issued: queries,
             answers_received: self.answers_received,
             events: self.events,
+            peak_queue_depth: self.peak_queue,
             avg_connections,
             trace: self.trace,
         }
@@ -883,7 +962,6 @@ impl World {
         }
         let pos = self.nodes[from.index()].mobility.position(now);
         let faults = self.active_faults();
-        let mut receptions = Vec::new();
         self.medium.plan_broadcast(
             &self.grid,
             from,
@@ -891,9 +969,12 @@ impl World {
             bytes,
             &mut self.radio_rng,
             faults,
-            &mut receptions,
+            &mut self.scratch,
         );
-        for r in receptions {
+        // Indexed loop: the scratch buffer must stay borrowable while the
+        // nodes and the queue are mutated (Reception is Copy).
+        for i in 0..self.scratch.receptions.len() {
+            let r = self.scratch.receptions[i];
             if r.lost {
                 self.nodes[r.to.index()].phy.on_loss();
             } else {
@@ -1172,6 +1253,38 @@ mod tests {
 
     fn quick(algo: AlgoKind, n: usize, secs: u64, seed: u64) -> RunResult {
         World::new(Scenario::quick(n, algo, secs), seed).run()
+    }
+
+    #[test]
+    #[ignore = "diagnostic probe"]
+    fn calendar_probe() {
+        let nodes: usize = std::env::var("PROBE_NODES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(150);
+        let secs: u64 = std::env::var("PROBE_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        let kind = match std::env::var("PROBE_SCHED").as_deref() {
+            Ok("heap") => SchedulerKind::Heap,
+            _ => SchedulerKind::Calendar,
+        };
+        let mut w = World::with_scheduler(Scenario::quick(nodes, AlgoKind::Regular, secs), 7, kind);
+        let t0 = std::time::Instant::now();
+        let mut next_dump = 0u64;
+        while let Some(now) = w.step() {
+            if now.ticks() >= next_dump {
+                if let Some(s) = w.queue.calendar_stats() {
+                    eprintln!(
+                        "t={:>4}s pops={} winvisits={} fallbacks={} rebuilds={} width={} buckets={} items={}",
+                        now.ticks() / 1_000_000, s[0], s[1], s[2], s[3], s[4], s[5], s[6]
+                    );
+                }
+                next_dump = now.ticks() + 30_000_000;
+            }
+        }
+        eprintln!("wall: {:?} events={}", t0.elapsed(), w.events);
     }
 
     #[test]
