@@ -28,4 +28,18 @@ BENCH_ITERS=1 BENCH_JSON="$BENCH_SMOKE_JSON" \
     cargo run --release -q --offline -p bench --bin figures > /dev/null
 test -s "$BENCH_SMOKE_JSON" || { echo "bench smoke produced no JSON"; exit 1; }
 
+echo "== obs smoke =="
+# One short instrumented run with the sink enabled; obs_check parses every
+# JSONL line and asserts the core per-subsystem counters are present.
+OBS_SMOKE_DIR="target/obs_smoke"
+rm -rf "$OBS_SMOKE_DIR"
+cargo run --release -q --offline -p manet-sim --bin reproduce -- \
+    --nodes 12 --duration 60 --reps 1 --obs-out "$OBS_SMOKE_DIR" > /dev/null
+cargo run --release -q --offline -p manet-obs --bin obs_check -- "$OBS_SMOKE_DIR"
+
+echo "== perf gate (disabled sink) =="
+# The observability sink must stay free when off: events/sec on the 200-node
+# 900 s Regular hot-path scenario within 2% of the checked-in baseline.
+cargo run --release -q --offline -p bench --bin perf_gate
+
 echo "ci.sh: all gates passed"

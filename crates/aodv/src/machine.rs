@@ -70,6 +70,10 @@ pub struct AodvStats {
     pub floods_forwarded: u64,
     /// HELLO beacons transmitted.
     pub hellos_sent: u64,
+    /// RREQs dropped by the duplicate cache (already-seen `(origin, id)`).
+    pub rreq_dup_dropped: u64,
+    /// Controlled broadcasts dropped by the per-node broadcast cache.
+    pub flood_dup_dropped: u64,
 }
 
 /// An in-progress route discovery.
@@ -416,6 +420,7 @@ impl<P: Payload> Aodv<P> {
         }
         let key = (rreq.origin, rreq.rreq_id);
         if self.rreq_seen.contains_key(&key) {
+            self.stats.rreq_dup_dropped += 1;
             return out;
         }
         self.rreq_seen
@@ -590,6 +595,7 @@ impl<P: Payload> Aodv<P> {
         }
         let key = (flood.origin, flood.flood_id);
         if self.flood_seen.contains_key(&key) {
+            self.stats.flood_dup_dropped += 1;
             return out; // the paper's per-node broadcast cache
         }
         self.flood_seen

@@ -101,6 +101,33 @@ fn sim_hot_path(h: &Harness) {
     if let [a, b] = fingerprints[..] {
         assert_eq!(a, b, "schedulers diverged on the hot-path scenario");
     }
+    // The same scenario with the observability sink enabled. perf_gate uses
+    // this record as its machine-speed calibration: it shares the disabled
+    // run's memory/instruction profile (so ambient contention cancels) but
+    // already pays instrumentation (so a leak into the disabled path slows
+    // only the disabled record).
+    h.time_meta(
+        &format!("sim_hot_path/calendar_obs/{nodes}n_{secs}s_regular"),
+        2,
+        || {
+            let mut s = bench_scenario(nodes, AlgoKind::Regular, secs);
+            s.obs = manet_obs::ObsConfig::enabled();
+            run_result(s, 7, SchedulerKind::Calendar)
+        },
+        |r| {
+            assert_eq!(
+                r.fingerprint(),
+                fingerprints[0],
+                "observed run diverged from the unobserved hot path"
+            );
+            vec![
+                ("nodes".into(), nodes as f64),
+                ("sim_secs".into(), secs as f64),
+                ("events".into(), r.events as f64),
+                ("peak_queue_depth".into(), r.peak_queue_depth as f64),
+            ]
+        },
+    );
 }
 
 /// The spatial grid: the radio's neighborhood query.

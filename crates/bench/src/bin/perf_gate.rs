@@ -1,0 +1,154 @@
+//! Disabled-sink overhead gate for the observability layer.
+//!
+//! Runs the hot-path gate scenario (200 nodes, 900 simulated seconds,
+//! Regular algorithm, calendar scheduler) with the observability sink in
+//! its default disabled state, and compares the measured events/sec
+//! against the checked-in `micro/sim_hot_path/calendar/...` record in
+//! `BENCH_RESULTS.json`. Fails (non-zero exit) when throughput falls more
+//! than the tolerance below the baseline — i.e. when instrumentation
+//! stopped being free.
+//!
+//! Shared CI machines drift far more than the 2 % tolerance between the
+//! moment the baseline was recorded and the moment the gate runs, so the
+//! raw baseline is rescaled by a machine-speed factor measured *now*: the
+//! ratio of the checked-in `sim_hot_path/calendar_obs/...` record (the
+//! same scenario with the sink enabled) to a contemporaneous enabled-sink
+//! run. The enabled run shares the disabled run's memory and instruction
+//! profile — ambient contention, frequency scaling and thermal throttle
+//! slow both alike and cancel — but it already pays for instrumentation,
+//! so cost leaking into the *disabled* path slows only the gated run and
+//! is caught. The factor is capped at 1.0 so a fast moment never raises
+//! the floor above the nominal baseline. Measurements interleave
+//! enabled/disabled pairs and the gate exits early once an iteration
+//! clears the floor: a transient stall costs extra iterations, a real
+//! regression fails them all.
+//!
+//! The gate also cross-checks determinism for free: the enabled and
+//! disabled runs must produce identical event counts and fingerprints,
+//! and both must match the baseline record's event count (workload drift
+//! guard).
+//!
+//! Knobs: `BENCH_HOT_NODES` / `BENCH_HOT_SECS` shrink the workload (the
+//! baseline records for that shape must exist), `PERF_GATE_ITERS` caps
+//! the measurement pairs (early exit on pass; default 4), `PERF_GATE_TOL`
+//! the allowed fractional shortfall (default 0.02), `BENCH_JSON` the
+//! results file.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bench::{bench_scenario, env_u64, json::Value, run_result};
+use manet_des::SchedulerKind;
+use manet_sim::RunResult;
+use p2p_core::AlgoKind;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// One timed gate-scenario run; returns (events/sec, result).
+fn timed_run(nodes: usize, secs: u64, observed: bool) -> (f64, RunResult) {
+    let mut scenario = bench_scenario(nodes, AlgoKind::Regular, secs);
+    if observed {
+        scenario.obs = manet_obs::ObsConfig::enabled();
+    }
+    assert_eq!(
+        scenario.obs.enabled, observed,
+        "bench scenarios must default to the disabled sink"
+    );
+    let t0 = Instant::now();
+    let r = run_result(scenario, 7, SchedulerKind::Calendar);
+    let eps = r.events as f64 / t0.elapsed().as_secs_f64();
+    (eps, r)
+}
+
+fn main() -> ExitCode {
+    let nodes = env_u64("BENCH_HOT_NODES", 200) as usize;
+    let secs = env_u64("BENCH_HOT_SECS", 900);
+    let iters = env_u64("PERF_GATE_ITERS", 4).max(1);
+    let tol = env_f64("PERF_GATE_TOL", 0.02);
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_RESULTS.json".into());
+    let shape = format!("{nodes}n_{secs}s_regular");
+    let disabled_name = format!("sim_hot_path/calendar/{shape}");
+    let enabled_name = format!("sim_hot_path/calendar_obs/{shape}");
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Value::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf_gate: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let micro_eps = |name: &str| -> Option<(f64, u64)> {
+        let r = doc.get("records").and_then(Value::as_arr).and_then(|rs| {
+            rs.iter().find(|r| {
+                r.get("suite").and_then(Value::as_str) == Some("micro")
+                    && r.get("name").and_then(Value::as_str) == Some(name)
+            })
+        })?;
+        let eps = r.get("events_per_sec").and_then(Value::as_f64)?;
+        let events = r.get("events").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        (eps > 0.0).then_some((eps, events))
+    };
+    let Some((base_eps, base_events)) = micro_eps(&disabled_name) else {
+        eprintln!("perf_gate: no micro/{disabled_name} record in {path}; run the micro bench");
+        return ExitCode::FAILURE;
+    };
+    let Some((calib_eps, _)) = micro_eps(&enabled_name) else {
+        eprintln!("perf_gate: no micro/{enabled_name} record in {path}; run the micro bench");
+        return ExitCode::FAILURE;
+    };
+
+    for i in 0..iters {
+        let (eps_obs, r_obs) = timed_run(nodes, secs, true);
+        let (eps, r) = timed_run(nodes, secs, false);
+        if r.fingerprint() != r_obs.fingerprint() || r.events != r_obs.events {
+            eprintln!(
+                "perf_gate: FAIL — enabling the sink changed the run \
+                 ({} vs {} events)",
+                r_obs.events, r.events
+            );
+            return ExitCode::FAILURE;
+        }
+        if base_events != 0 && r.events != base_events {
+            eprintln!(
+                "perf_gate: workload drift — run produced {} events but the baseline \
+                 record has {base_events}; refresh the micro bench records before gating",
+                r.events
+            );
+            return ExitCode::FAILURE;
+        }
+        // The machine right now vs the machine that recorded the baseline,
+        // measured on the leak-insensitive enabled-sink workload.
+        let speed = (eps_obs / calib_eps).min(1.0);
+        let floor = base_eps * speed * (1.0 - tol);
+        println!(
+            "perf_gate: pair {}/{iters}: disabled {eps:.0} events/sec, enabled \
+             {eps_obs:.0} (speed factor {speed:.3}, floor {floor:.0} at tol {tol})",
+            i + 1,
+        );
+        if eps >= floor {
+            println!(
+                "perf_gate: OK — disabled sink at {:+.2}% of the speed-adjusted baseline",
+                (eps / (base_eps * speed) - 1.0) * 100.0
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("perf_gate: pair {}/{iters} below floor, retrying", i + 1);
+    }
+    eprintln!(
+        "perf_gate: FAIL — all {iters} measurement pairs fell below the floor; \
+         the disabled observability sink is no longer free"
+    );
+    ExitCode::FAILURE
+}

@@ -29,7 +29,7 @@ use manet_des::{SchedulerKind, SimDuration};
 use manet_sim::{RunResult, Scenario, World};
 use p2p_core::AlgoKind;
 
-pub mod json;
+pub use manet_obs::json;
 
 use json::Value;
 

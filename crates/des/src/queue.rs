@@ -226,6 +226,13 @@ impl<E> EventQueue<E> {
         self.live == 0
     }
 
+    /// Total events ever scheduled on this queue (the insertion-sequence
+    /// high-water mark; includes popped and cancelled events).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Schedule `payload` to fire at absolute time `at`.
     ///
     /// Panics if `at` is earlier than the current time (scheduling into the

@@ -1,0 +1,103 @@
+//! CI smoke checker for observability dumps.
+//!
+//! Usage: `obs_check <dir>`. Reads every `*.jsonl` file under `<dir>`
+//! (non-recursive), asserts each line parses as standalone JSON with a
+//! `type` field, and that the core counters the instrumented run is
+//! expected to export all appear somewhere in the directory. Exits
+//! non-zero with a message on any violation, so `ci.sh` can gate on it.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use manet_obs::json::Value;
+
+const CORE_COUNTERS: [&str; 5] = [
+    "des.events_popped",
+    "des.calendar.retunes",
+    "radio.tx_planned",
+    "aodv.rreq_dup_dropped",
+    "sim.queries_issued",
+];
+
+fn main() -> ExitCode {
+    let dir = match std::env::args().nth(1) {
+        Some(d) => d,
+        None => {
+            eprintln!("usage: obs_check <dir-with-jsonl-dumps>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("obs_check: cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut files = 0usize;
+    let mut lines = 0usize;
+    let mut counters_seen: BTreeSet<String> = BTreeSet::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            continue;
+        }
+        files += 1;
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obs_check: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        for (ln, line) in text.lines().enumerate() {
+            lines += 1;
+            let v = match Value::parse(line) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!(
+                        "obs_check: {}:{}: line is not valid JSON: {e}",
+                        path.display(),
+                        ln + 1
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            let ty = match v.get("type").and_then(Value::as_str) {
+                Some(t) => t,
+                None => {
+                    eprintln!(
+                        "obs_check: {}:{}: line lacks a \"type\" field",
+                        path.display(),
+                        ln + 1
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            if ty == "counter" {
+                if let Some(name) = v.get("name").and_then(Value::as_str) {
+                    counters_seen.insert(name.to_string());
+                }
+            }
+        }
+    }
+
+    if files == 0 {
+        eprintln!("obs_check: no .jsonl files in {dir}");
+        return ExitCode::FAILURE;
+    }
+    let missing: Vec<&str> = CORE_COUNTERS
+        .iter()
+        .copied()
+        .filter(|c| !counters_seen.contains(*c))
+        .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "obs_check: core counters missing from {dir}: {missing:?} (saw {counters_seen:?})"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("obs_check: OK — {files} file(s), {lines} parseable line(s), {len} counter name(s), all core counters present", len = counters_seen.len());
+    ExitCode::SUCCESS
+}

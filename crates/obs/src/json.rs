@@ -1,10 +1,12 @@
-//! Minimal JSON support for `BENCH_RESULTS.json`.
+//! Minimal JSON support for observability artifacts and bench results.
 //!
 //! Hand-rolled so the workspace stays free of external dependencies. The
-//! subset covered is exactly what the bench harness needs to emit and merge
+//! subset covered is exactly what the workspace needs to emit and merge
 //! its own output — objects, arrays, strings, finite numbers, bools, null —
-//! but the parser accepts any standard JSON document so a hand-edited
-//! results file still merges cleanly.
+//! but the parser accepts any standard JSON document, so hand-edited
+//! results files still merge cleanly and foreign JSONL lines still parse.
+//! Used by [`crate::ObsReport`] for JSONL export/dumps and re-exported by
+//! the `bench` crate for `BENCH_RESULTS.json`.
 
 /// A JSON document node. Object keys keep insertion order so merged files
 /// diff minimally run-over-run.

@@ -1,0 +1,35 @@
+//! # manet-obs — dependency-free observability
+//!
+//! The measurement substrate for the simulator (see DESIGN.md,
+//! "Observability"). Three pillars, all plain data with no external
+//! dependencies and no knowledge of the simulation crates:
+//!
+//! * [`Registry`] — named counters, gauges and log-bucketed histograms,
+//!   sampled on a sim-time cadence into per-run time series;
+//! * [`SpanProfile`] — scoped wall-clock timers over hot-path regions,
+//!   aggregated into a per-phase profile;
+//! * [`FlightRecorder`] — a severity-tagged ring buffer of protocol
+//!   occurrences, dumped as JSONL when a run fails its invariants.
+//!
+//! [`ObsReport`] bundles the three for one finished run and merges
+//! deterministically across replications; [`ObsConfig`] is the switch the
+//! simulation layer consults. Everything here is passive: when the sink is
+//! disabled the instrumented code takes a single `Option` branch and does
+//! no work, so enabling observability never changes simulation results —
+//! only wall-clock.
+//!
+//! The [`json`] module is the workspace's hand-rolled JSON reader/writer
+//! (promoted from the bench harness); [`ObsReport::to_jsonl`] and the
+//! failure dumps are built on it, and `bench` re-exports it for
+//! `BENCH_RESULTS.json`.
+
+pub mod json;
+pub mod recorder;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use recorder::{FlightRecord, FlightRecorder, Severity};
+pub use registry::{CounterId, GaugeId, HistId, Histogram, Registry};
+pub use report::{ObsConfig, ObsReport};
+pub use span::{SpanId, SpanProfile};

@@ -76,6 +76,11 @@ pub struct TxScratch {
     keys: Vec<(u32, Point)>,
     /// Receptions planned by the most recent [`Medium::plan_broadcast`].
     pub receptions: Vec<Reception>,
+    /// Cumulative receptions planned across every broadcast through this
+    /// scratch (deterministic; sampled by the observability layer).
+    pub planned_total: u64,
+    /// Cumulative planned receptions the loss process destroyed.
+    pub lost_total: u64,
 }
 
 /// The wireless medium calculator.
@@ -135,6 +140,8 @@ impl Medium {
             if !lost && faults.extra_loss > 0.0 {
                 lost = rng.chance(faults.extra_loss);
             }
+            scratch.planned_total += 1;
+            scratch.lost_total += lost as u64;
             scratch.receptions.push(Reception {
                 to: NodeId(key),
                 after,

@@ -3,16 +3,21 @@
 //! for future study.
 //!
 //! ```text
-//! sweep --axis density|coverage|speed|mobility|churn [--duration S] [--reps R] ...
+//! sweep --axis density|coverage|speed|mobility|churn [--duration S] [--reps R] \
+//!       [--obs-out DIR] ...
 //! ```
+//!
+//! With `--obs-out DIR` every cell's merged observability report is written
+//! to `DIR/<axis>_<value>_<algo>.jsonl`.
 
 use manet_des::SimDuration;
-use manet_sim::experiments::cfg_from_args;
+use manet_sim::experiments::{cfg_from_args, take_obs_out};
 use manet_sim::{runner, ChurnCfg, MobilityKind, Scenario};
 use p2p_core::AlgoKind;
 
 fn main() {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let obs_out = take_obs_out(&mut raw);
     let axis = raw
         .iter()
         .position(|a| a == "--axis")
@@ -32,6 +37,7 @@ fn main() {
         v
     };
     let mut cfg = cfg_from_args(&rest);
+    cfg.obs = obs_out.is_some();
     if !rest.iter().any(|a| a == "--duration") {
         cfg.duration_secs = 600; // sweeps trade duration for breadth
     }
@@ -43,7 +49,7 @@ fn main() {
                 for algo in algos {
                     let mut s = Scenario::paper(n, algo);
                     s.duration = SimDuration::from_secs(cfg.duration_secs);
-                    report("density", n as f64, algo, &s, &cfg);
+                    report("density", n as f64, algo, &s, &cfg, obs_out.as_deref());
                 }
             }
         }
@@ -53,7 +59,7 @@ fn main() {
                     let mut s = Scenario::paper(cfg.n_nodes, algo);
                     s.radio.range_m = range;
                     s.duration = SimDuration::from_secs(cfg.duration_secs);
-                    report("coverage", range, algo, &s, &cfg);
+                    report("coverage", range, algo, &s, &cfg, obs_out.as_deref());
                 }
             }
         }
@@ -66,7 +72,7 @@ fn main() {
                         max_pause: 100.0,
                     };
                     s.duration = SimDuration::from_secs(cfg.duration_secs);
-                    report("speed", speed, algo, &s, &cfg);
+                    report("speed", speed, algo, &s, &cfg, obs_out.as_deref());
                 }
             }
         }
@@ -95,7 +101,7 @@ fn main() {
                     let mut s = Scenario::paper(cfg.n_nodes, algo);
                     s.mobility = model;
                     s.duration = SimDuration::from_secs(cfg.duration_secs);
-                    report(name, ix as f64, algo, &s, &cfg);
+                    report(name, ix as f64, algo, &s, &cfg, obs_out.as_deref());
                 }
             }
         }
@@ -108,7 +114,14 @@ fn main() {
                         mean_downtime: 60.0,
                     });
                     s.duration = SimDuration::from_secs(cfg.duration_secs);
-                    report("churn_uptime", mean_uptime, algo, &s, &cfg);
+                    report(
+                        "churn_uptime",
+                        mean_uptime,
+                        algo,
+                        &s,
+                        &cfg,
+                        obs_out.as_deref(),
+                    );
                 }
             }
         }
@@ -116,9 +129,26 @@ fn main() {
     }
 }
 
-fn report(axis: &str, value: f64, algo: AlgoKind, s: &Scenario, cfg: &manet_sim::ExperimentCfg) {
+fn report(
+    axis: &str,
+    value: f64,
+    algo: AlgoKind,
+    s: &Scenario,
+    cfg: &manet_sim::ExperimentCfg,
+    obs_out: Option<&std::path::Path>,
+) {
+    let mut s = s.clone();
+    if cfg.obs {
+        s.obs = manet_sim::ObsConfig::enabled();
+    }
+    let s = &s;
     let results = runner::run_replications(s, cfg.reps.min(3), cfg.seed, cfg.threads);
     let agg = runner::aggregate(&results, s.catalog.n_files as usize);
+    if let Some(dir) = obs_out {
+        let path = dir.join(format!("{axis}_{value}_{}.jsonl", algo.name()));
+        agg.obs.write_jsonl(&path).expect("write obs report");
+        eprintln!("# obs report: {}", path.display());
+    }
     println!(
         "{axis}\t{value}\t{}\t{:.1}\t{:.1}\t{:.2}\t{:.0}\t{:.1}",
         algo.name(),

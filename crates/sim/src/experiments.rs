@@ -27,6 +27,9 @@ pub struct ExperimentCfg {
     pub seed: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Enable the observability sink (metrics registry, spans, flight
+    /// recorder) on every replication. Never changes results.
+    pub obs: bool,
 }
 
 impl ExperimentCfg {
@@ -40,6 +43,7 @@ impl ExperimentCfg {
             reps: 33,
             seed: 0x1DDF_2003,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            obs: false,
         }
     }
 
@@ -54,6 +58,7 @@ impl ExperimentCfg {
             reps,
             seed: 0x1DDF_2003,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            obs: false,
         }
     }
 
@@ -61,6 +66,9 @@ impl ExperimentCfg {
     pub fn scenario(&self, algo: AlgoKind) -> Scenario {
         let mut s = Scenario::paper(self.n_nodes, algo);
         s.duration = SimDuration::from_secs(self.duration_secs);
+        if self.obs {
+            s.obs = manet_obs::ObsConfig::enabled();
+        }
         s
     }
 }
@@ -218,7 +226,25 @@ pub fn summary_table(matrix: &BTreeMap<&'static str, Aggregate>) -> String {
     s
 }
 
+/// Usage text for the experiment binaries (printed by `--help`).
+pub const USAGE: &str = "\
+options:
+  --nodes N       total ad-hoc nodes (default 50; the paper uses 50 or 150)
+  --paper         paper-scale campaign (33 reps, 3600 s)
+  --duration S    simulated seconds per replication
+  --reps R        replications per cell
+  --seed X        experiment seed (u64)
+  --threads T     worker threads
+  --obs-out DIR   enable the observability sink and write one JSONL report
+                  per cell into DIR (counters, histograms, time series,
+                  span profile, flight-recorder records)
+  --help          print this text";
+
 /// Parse `--flag value` style arguments shared by the figure binaries.
+///
+/// `--help` prints [`USAGE`] and exits. `--obs-out DIR` is a binary-level
+/// flag: binaries that support it strip it (see [`take_obs_out`]) before
+/// calling this, and it is rejected here otherwise.
 pub fn cfg_from_args(args: &[String]) -> ExperimentCfg {
     let mut n_nodes = 50usize;
     let mut cfg_kind = "default";
@@ -253,9 +279,11 @@ pub fn cfg_from_args(args: &[String]) -> ExperimentCfg {
                 threads = Some(args[i + 1].parse().expect("--threads count"));
                 i += 2;
             }
-            other => panic!(
-                "unknown argument {other}; expected --nodes N --paper --duration S --reps R --seed X --threads T"
-            ),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}\n{USAGE}"),
         }
     }
     let mut cfg = if cfg_kind == "paper" {
@@ -278,6 +306,17 @@ pub fn cfg_from_args(args: &[String]) -> ExperimentCfg {
     cfg
 }
 
+/// Strip a `--obs-out DIR` pair from `args`, returning the directory when
+/// present. Binaries call this before [`cfg_from_args`] and set
+/// [`ExperimentCfg::obs`] from the result.
+pub fn take_obs_out(args: &mut Vec<String>) -> Option<std::path::PathBuf> {
+    let i = args.iter().position(|a| a == "--obs-out")?;
+    assert!(i + 1 < args.len(), "--obs-out takes a directory");
+    let dir = args.remove(i + 1);
+    args.remove(i);
+    Some(std::path::PathBuf::from(dir))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +328,7 @@ mod tests {
             reps: 1,
             seed: 3,
             threads: 1,
+            obs: false,
         }
     }
 
@@ -327,6 +367,20 @@ mod tests {
         assert_eq!(cfg.n_nodes, 150);
         assert_eq!(cfg.reps, 7);
         assert_eq!(cfg.duration_secs, 300);
+    }
+
+    #[test]
+    fn obs_out_is_stripped_before_cfg_parsing() {
+        let mut args: Vec<String> = ["--nodes", "30", "--obs-out", "/tmp/obs", "--reps", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let dir = take_obs_out(&mut args);
+        assert_eq!(dir.as_deref(), Some(std::path::Path::new("/tmp/obs")));
+        let cfg = cfg_from_args(&args);
+        assert_eq!(cfg.n_nodes, 30);
+        assert_eq!(cfg.reps, 2);
+        assert!(take_obs_out(&mut args).is_none(), "already stripped");
     }
 
     #[test]

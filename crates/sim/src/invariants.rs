@@ -101,6 +101,24 @@ pub fn check_result(scenario: &Scenario, r: &RunResult) -> Vec<String> {
     v
 }
 
+/// [`check_result`] plus automatic flight-recorder dumps: when violations
+/// are found and the run carried an enabled observability sink, the
+/// report is written as a JSONL failure dump into `dir` (see
+/// [`manet_obs::report::dump_failure`]). Returns the violations either way.
+pub fn check_result_dumping(
+    scenario: &Scenario,
+    r: &RunResult,
+    dir: &std::path::Path,
+) -> Vec<String> {
+    let v = check_result(scenario, r);
+    if !v.is_empty() && r.obs.enabled() {
+        if let Ok(path) = manet_obs::report::dump_failure(dir, "check_result", &v, &r.obs) {
+            eprintln!("invariants: flight-recorder dump at {}", path.display());
+        }
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,7 +14,8 @@ pub mod world;
 
 pub use experiments::{run_matrix, ExperimentCfg};
 pub use faults::{BurstCfg, CrashEvent, FaultPlan, JitterSpikes, LinkFlaps, PacketLoss};
-pub use invariants::check_result;
+pub use invariants::{check_result, check_result_dumping};
+pub use manet_obs::{ObsConfig, ObsReport};
 pub use payload::AppMsg;
 pub use runner::{aggregate, run_replications, Aggregate};
 pub use scenario::{ChurnCfg, MobilityKind, Scenario};

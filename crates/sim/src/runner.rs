@@ -8,6 +8,7 @@
 //! (including 1).
 
 use manet_metrics::{average_series, FileMetrics, MsgKind, Summary};
+use manet_obs::ObsReport;
 
 use crate::scenario::Scenario;
 use crate::world::{RunResult, World};
@@ -94,6 +95,11 @@ pub struct Aggregate {
     pub roles: [usize; 5],
     /// Replications aggregated.
     pub reps: usize,
+    /// Merged observability reports (empty when the sink was disabled).
+    /// Folded in replication order — and `run_replications` re-interleaves
+    /// worker strides back into that order — so the merged report is
+    /// identical for any thread count.
+    pub obs: ObsReport,
 }
 
 /// Aggregate a set of replications of the same scenario.
@@ -108,10 +114,14 @@ pub fn aggregate(results: &[RunResult], n_files: usize) -> Aggregate {
     };
     let mut files = FileMetrics::new(n_files);
     let mut roles = [0usize; 5];
+    let mut obs = ObsReport::default();
     for r in results {
         files.merge(&r.file_metrics);
         for (acc, v) in roles.iter_mut().zip(r.roles.iter()) {
             *acc += v;
+        }
+        if r.obs.enabled() {
+            obs.merge(&r.obs);
         }
     }
     let scalar = |f: &dyn Fn(&RunResult) -> f64| -> Summary {
@@ -135,6 +145,7 @@ pub fn aggregate(results: &[RunResult], n_files: usize) -> Aggregate {
         }),
         roles,
         reps: results.len(),
+        obs,
     }
 }
 

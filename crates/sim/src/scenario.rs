@@ -5,6 +5,7 @@ use manet_des::SimDuration;
 
 use crate::faults::FaultPlan;
 use manet_geom::Rect;
+use manet_obs::ObsConfig;
 use manet_radio::RadioCfg;
 use p2p_content::{Catalog, QueryCfg};
 use p2p_core::{AlgoKind, OverlayParams};
@@ -96,6 +97,9 @@ pub struct Scenario {
     /// Injected faults (packet-loss bursts, scripted crashes, link flaps,
     /// delay spikes); the default plan is empty and changes nothing.
     pub faults: FaultPlan,
+    /// Observability sink (metrics registry, spans, flight recorder).
+    /// Disabled by default; enabling it never changes simulation results.
+    pub obs: ObsConfig,
 }
 
 impl Scenario {
@@ -124,6 +128,7 @@ impl Scenario {
             smallworld_sample: None,
             trace_capacity: 0,
             faults: FaultPlan::default(),
+            obs: ObsConfig::default(),
         }
     }
 
@@ -164,6 +169,12 @@ impl Scenario {
         }
         if let MobilityKind::Groups { n_groups, .. } = self.mobility {
             assert!(n_groups >= 1, "need at least one group");
+        }
+        if self.obs.enabled {
+            assert!(
+                self.obs.sample_period_secs >= 0.0,
+                "negative obs sample period"
+            );
         }
         self.faults.validate(self.n_nodes);
     }

@@ -70,6 +70,9 @@ pub struct TraceLog {
     capacity: usize,
     /// Total events offered, including those evicted from the ring.
     offered: u64,
+    /// Events evicted to make room — a non-zero value means the rendered
+    /// trace is a suffix of the run, not the whole story.
+    dropped: u64,
 }
 
 impl TraceLog {
@@ -79,6 +82,7 @@ impl TraceLog {
             events: VecDeque::with_capacity(capacity.min(4096)),
             capacity,
             offered: 0,
+            dropped: 0,
         }
     }
 
@@ -95,6 +99,7 @@ impl TraceLog {
         self.offered += 1;
         if self.events.len() == self.capacity {
             self.events.pop_front();
+            self.dropped += 1;
         }
         self.events.push_back((at, event));
     }
@@ -119,9 +124,22 @@ impl TraceLog {
         self.offered
     }
 
-    /// Render the retained events as text, one per line.
+    /// Events evicted from the ring (0 means the trace is complete).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the retained events as text, one per line. A truncated trace
+    /// leads with a header stating how many events were evicted, so a
+    /// partial recording can never pass for a complete one.
     pub fn render(&self) -> String {
         let mut s = String::new();
+        if self.dropped > 0 {
+            s.push_str(&format!(
+                "# trace truncated: {} of {} events dropped (capacity {})\n",
+                self.dropped, self.offered, self.capacity
+            ));
+        }
         for (at, e) in &self.events {
             let line = match e {
                 TraceEvent::Join { node } => format!("{at} {node} JOIN"),
@@ -172,6 +190,12 @@ mod tests {
         }
         assert_eq!(log.len(), 2);
         assert_eq!(log.offered(), 5);
+        assert_eq!(log.dropped(), 3);
+        let text = log.render();
+        assert!(
+            text.starts_with("# trace truncated: 3 of 5 events dropped"),
+            "missing truncation header:\n{text}"
+        );
         let kept: Vec<u32> = log
             .events()
             .map(|(_, e)| match e {

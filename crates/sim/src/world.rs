@@ -20,9 +20,15 @@ use manet_mobility::{
     AnyMobility, GaussMarkov, GaussMarkovCfg, Mobility, RandomWalk, RandomWalkCfg, RandomWaypoint,
     RandomWaypointCfg, Rpgm, RpgmCfg, Stationary,
 };
+use manet_obs::{
+    CounterId, FlightRecorder, GaugeId, HistId, ObsReport, Registry, Severity, SpanId, SpanProfile,
+};
 use manet_radio::{EnergyMeter, LinkFaults, Medium, PhyStats, TxScratch};
 use p2p_content::{CompletedQuery, QueryEngine};
 use p2p_core::{build_algo, BoxedAlgo, OvAction, Role};
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use crate::payload::AppMsg;
 use crate::scenario::{MobilityKind, Scenario};
@@ -102,6 +108,72 @@ struct NodeState {
     timer_at: SimTime,
 }
 
+/// Observability sink state for one world: the metrics registry with its
+/// pre-resolved metric ids, the span profile and the flight recorder.
+///
+/// Lives behind `Option<Box<_>>` on [`World`] so the disabled
+/// configuration costs one pointer-null branch per event and nothing else.
+/// Everything recorded here is derived from simulation state the world
+/// maintains anyway — enabling observability never draws randomness,
+/// schedules events, or otherwise perturbs a run (the fingerprint tests
+/// hold it to that).
+struct ObsState {
+    registry: Registry,
+    spans: SpanProfile,
+    recorder: FlightRecorder,
+    c_events: CounterId,
+    c_scheduled: CounterId,
+    c_retunes: CounterId,
+    c_tx_planned: CounterId,
+    c_tx_lost: CounterId,
+    c_rreq_orig: CounterId,
+    c_rreq_dup: CounterId,
+    c_flood_dup: CounterId,
+    c_queries: CounterId,
+    c_answers: CounterId,
+    g_queue: GaugeId,
+    h_fanout: HistId,
+    h_hops: HistId,
+    s_pop: SpanId,
+    s_dispatch: SpanId,
+    s_plan: SpanId,
+    /// Sim-time series cadence (zero disables series sampling).
+    sample_period: SimDuration,
+    /// When the next series sample is due.
+    next_sample: SimTime,
+}
+
+impl ObsState {
+    fn new(cfg: manet_obs::ObsConfig) -> Self {
+        let mut registry = Registry::default();
+        let mut spans = SpanProfile::new();
+        let sample_period = SimDuration::from_secs_f64(cfg.sample_period_secs.max(0.0));
+        ObsState {
+            c_events: registry.counter("des.events_popped"),
+            c_scheduled: registry.counter("des.events_scheduled"),
+            c_retunes: registry.counter("des.calendar.retunes"),
+            c_tx_planned: registry.counter("radio.tx_planned"),
+            c_tx_lost: registry.counter("radio.tx_lost"),
+            c_rreq_orig: registry.counter("aodv.rreqs_originated"),
+            c_rreq_dup: registry.counter("aodv.rreq_dup_dropped"),
+            c_flood_dup: registry.counter("aodv.flood_dup_dropped"),
+            c_queries: registry.counter("sim.queries_issued"),
+            c_answers: registry.counter("sim.answers_received"),
+            g_queue: registry.gauge("des.queue_depth"),
+            h_fanout: registry.hist("radio.broadcast_fanout"),
+            h_hops: registry.hist("sim.deliver_hops"),
+            s_pop: spans.register("des.pop"),
+            s_dispatch: spans.register("sim.dispatch"),
+            s_plan: spans.register("radio.plan_broadcast"),
+            registry,
+            spans,
+            recorder: FlightRecorder::new(cfg.recorder_capacity),
+            sample_period,
+            next_sample: SimTime::ZERO + sample_period,
+        }
+    }
+}
+
 /// Everything a finished replication reports.
 pub struct RunResult {
     /// Per-node received-message counters.
@@ -134,6 +206,11 @@ pub struct RunResult {
     pub avg_connections: f64,
     /// The protocol trace (empty unless `Scenario::trace_capacity > 0`).
     pub trace: TraceLog,
+    /// The observability report (empty unless `Scenario::obs` is enabled).
+    /// Deliberately excluded from [`fingerprint`](RunResult::fingerprint):
+    /// its span timings are wall-clock and the deterministic contract is
+    /// carried by the numeric outputs already folded in.
+    pub obs: ObsReport,
 }
 
 impl RunResult {
@@ -228,6 +305,11 @@ pub struct World {
     /// Reusable transmission-planning buffers (zero-alloc hot path).
     scratch: TxScratch,
     trace: TraceLog,
+    /// Replication seed (kept for observability dump labels).
+    seed: u64,
+    /// Observability sink; `None` (the default) keeps the hot path to a
+    /// single branch per event.
+    obs: Option<Box<ObsState>>,
 }
 
 impl World {
@@ -403,6 +485,11 @@ impl World {
             peak_queue: 0,
             scratch: TxScratch::default(),
             trace: TraceLog::new(scenario.trace_capacity),
+            seed,
+            obs: scenario
+                .obs
+                .enabled
+                .then(|| Box::new(ObsState::new(scenario.obs))),
             scenario,
         };
 
@@ -469,9 +556,47 @@ impl World {
     pub fn step(&mut self) -> Option<SimTime> {
         let horizon = SimTime::ZERO + self.scenario.duration;
         self.peak_queue = self.peak_queue.max(self.queue.len());
+        if self.obs.is_some() {
+            return self.step_observed(horizon);
+        }
         let (now, event) = self.queue.pop_before(horizon)?;
         self.events += 1;
         self.dispatch(now, event);
+        Some(now)
+    }
+
+    /// The instrumented twin of [`step`](World::step): identical simulation
+    /// behaviour, plus span timing around the scheduler pop and the event
+    /// dispatch, and opportunistic series sampling on the configured
+    /// sim-time cadence. Sampling only reads state — it never schedules
+    /// events or draws randomness — so observed and unobserved runs stay
+    /// bit-identical.
+    fn step_observed(&mut self, horizon: SimTime) -> Option<SimTime> {
+        let t0 = Instant::now();
+        let popped = self.queue.pop_before(horizon);
+        {
+            let obs = self.obs.as_mut().expect("observed step");
+            obs.spans.add(obs.s_pop, t0.elapsed());
+        }
+        let (now, event) = popped?;
+        self.events += 1;
+        let t1 = Instant::now();
+        self.dispatch(now, event);
+        let sample_due = {
+            let obs = self.obs.as_mut().expect("observed step");
+            obs.spans.add(obs.s_dispatch, t1.elapsed());
+            if !obs.sample_period.is_zero() && now >= obs.next_sample {
+                while obs.next_sample <= now {
+                    obs.next_sample += obs.sample_period;
+                }
+                true
+            } else {
+                false
+            }
+        };
+        if sample_due {
+            self.obs_sample(now, true);
+        }
         Some(now)
     }
 
@@ -481,9 +606,153 @@ impl World {
         self.finish()
     }
 
+    /// Execute the replication with invariant checking and automatic
+    /// flight-recorder dumps.
+    ///
+    /// The event loop runs inside `catch_unwind`, so a panicking fault-plan
+    /// run still writes its JSONL post-mortem into `dump_dir` before the
+    /// panic resumes. After a clean run, [`check_invariants`]
+    /// (World::check_invariants) and the end-of-run conservation laws
+    /// ([`crate::invariants::check_result`]) are evaluated; any violation
+    /// is recorded at `Error` severity and dumped. Returns the result and
+    /// the (already dumped) violations.
+    pub fn run_checked(mut self, dump_dir: &Path) -> (RunResult, Vec<String>) {
+        use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+        let seed = self.seed;
+        let outcome = catch_unwind(AssertUnwindSafe(|| while self.step().is_some() {}));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            let now = self.queue.now();
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.recorder
+                    .record(now.as_secs_f64(), Severity::Error, "panic", msg.clone());
+            }
+            self.dump_obs(dump_dir, &format!("panic_seed{seed}"), &[msg]);
+            resume_unwind(payload);
+        }
+        let now = self.queue.now();
+        let mut violations = self.check_invariants(now);
+        if !violations.is_empty() {
+            if let Some(obs) = self.obs.as_deref_mut() {
+                for v in &violations {
+                    obs.recorder
+                        .record(now.as_secs_f64(), Severity::Error, "invariant", v.clone());
+                }
+            }
+            self.dump_obs(dump_dir, &format!("invariants_seed{seed}"), &violations);
+        }
+        let scenario = self.scenario.clone();
+        let result = self.finish();
+        let end = crate::invariants::check_result(&scenario, &result);
+        if !end.is_empty() && result.obs.enabled() {
+            let _ = manet_obs::report::dump_failure(
+                dump_dir,
+                &format!("conservation_seed{seed}"),
+                &end,
+                &result.obs,
+            );
+        }
+        violations.extend(end);
+        (result, violations)
+    }
+
+    /// Mirror the world's always-on counters into the registry and (when
+    /// `push_series`) append a time-series sample at `now`.
+    fn obs_sample(&mut self, now: SimTime, push_series: bool) {
+        let Some(mut obs) = self.obs.take() else {
+            return;
+        };
+        obs.registry.set(obs.c_events, self.events);
+        obs.registry
+            .set(obs.c_scheduled, self.queue.scheduled_total());
+        if let Some(stats) = self.queue.calendar_stats() {
+            obs.registry.set(obs.c_retunes, stats[3]);
+        }
+        obs.registry
+            .set(obs.c_tx_planned, self.scratch.planned_total);
+        obs.registry.set(obs.c_tx_lost, self.scratch.lost_total);
+        let (mut rreq_orig, mut rreq_dup, mut flood_dup) = (0u64, 0u64, 0u64);
+        for node in &self.nodes {
+            let st = node.aodv.stats();
+            rreq_orig += st.rreqs_originated;
+            rreq_dup += st.rreq_dup_dropped;
+            flood_dup += st.flood_dup_dropped;
+        }
+        obs.registry.set(obs.c_rreq_orig, rreq_orig);
+        obs.registry.set(obs.c_rreq_dup, rreq_dup);
+        obs.registry.set(obs.c_flood_dup, flood_dup);
+        let mut queries = 0u64;
+        for &id in &self.members {
+            if let Some(m) = &self.nodes[id.index()].member {
+                queries += m.engine.stats().issued;
+            }
+        }
+        obs.registry.set(obs.c_queries, queries);
+        obs.registry.set(obs.c_answers, self.answers_received);
+        obs.registry.set_gauge(obs.g_queue, self.queue.len() as f64);
+        if push_series {
+            obs.registry.sample(now.as_secs_f64());
+        }
+        self.obs = Some(obs);
+    }
+
+    /// Append a flight-recorder entry. The message closure only runs when
+    /// the sink (and its recorder) is enabled, keeping format cost off the
+    /// disabled path.
+    fn obs_record(
+        &mut self,
+        now: SimTime,
+        severity: Severity,
+        tag: &'static str,
+        msg: impl FnOnce() -> String,
+    ) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            if obs.recorder.enabled() {
+                obs.recorder.record(now.as_secs_f64(), severity, tag, msg());
+            }
+        }
+    }
+
+    /// Write the current observability state as a JSONL failure dump into
+    /// `dir`. Returns the path written, or `None` when the sink is
+    /// disabled (or the write failed).
+    pub fn dump_obs(&mut self, dir: &Path, label: &str, violations: &[String]) -> Option<PathBuf> {
+        self.obs.as_ref()?;
+        let now = self.queue.now();
+        self.obs_sample(now, true);
+        let o = self.obs.as_ref().expect("sink enabled");
+        let report = ObsReport {
+            registry: o.registry.clone(),
+            spans: o.spans.clone(),
+            recorder: o.recorder.clone(),
+            runs: 1,
+        };
+        manet_obs::report::dump_failure(dir, label, violations, &report).ok()
+    }
+
     /// Consume the world and report. Harnesses driving [`step`](World::step)
     /// themselves call this once `step` returns `None`.
-    pub fn finish(self) -> RunResult {
+    pub fn finish(mut self) -> RunResult {
+        // Final observability sample at the horizon, so counter totals in
+        // the report match the run's end state even with sampling off.
+        if self.obs.is_some() {
+            let horizon = SimTime::ZERO + self.scenario.duration;
+            let push_series = !self.obs.as_ref().expect("checked").sample_period.is_zero();
+            self.obs_sample(horizon, push_series);
+        }
+        let obs = match self.obs.take() {
+            Some(o) => ObsReport {
+                registry: o.registry,
+                spans: o.spans,
+                recorder: o.recorder,
+                runs: 1,
+            },
+            None => ObsReport::default(),
+        };
         let mut roles = [0usize; 5];
         let mut established = 0;
         let mut closed = 0;
@@ -531,6 +800,7 @@ impl World {
             peak_queue_depth: self.peak_queue,
             avg_connections,
             trace: self.trace,
+            obs,
         }
     }
 
@@ -595,6 +865,9 @@ impl World {
         let actions = member.algo.start(now);
         member.engine.start(now);
         self.trace.record(now, TraceEvent::Join { node: id });
+        self.obs_record(now, Severity::Info, "join", || {
+            format!("{id} joined the overlay")
+        });
         self.exec_overlay(now, id, actions);
         self.trace_member_delta(now, id);
         self.reschedule_timer(now, id);
@@ -662,6 +935,9 @@ impl World {
                 up: false,
             },
         );
+        self.obs_record(now, Severity::Warn, "churn", || {
+            format!("{id} churned down")
+        });
         let down = self.churn_rng.exponential(churn.mean_downtime);
         self.queue
             .schedule(now + SimDuration::from_secs_f64(down), Event::ChurnUp(id));
@@ -689,6 +965,7 @@ impl World {
         }
         self.trace
             .record(now, TraceEvent::PowerChange { node: id, up: true });
+        self.obs_record(now, Severity::Info, "churn", || format!("{id} churned up"));
         let up = self.churn_rng.exponential(churn.mean_uptime);
         self.queue
             .schedule(now + SimDuration::from_secs_f64(up), Event::ChurnDown(id));
@@ -727,6 +1004,10 @@ impl World {
             return;
         };
         self.burst_on = !self.burst_on;
+        let on = self.burst_on;
+        self.obs_record(now, Severity::Warn, "fault", || {
+            format!("loss burst {}", if on { "started" } else { "ended" })
+        });
         let mean = if self.burst_on {
             burst.mean_burst
         } else {
@@ -759,6 +1040,7 @@ impl World {
                 up: false,
             },
         );
+        self.obs_record(now, Severity::Warn, "crash", || format!("{id} crashed"));
         if let Some(after) = restart_after {
             self.queue.schedule(now + after, Event::FaultRestart(id));
         }
@@ -785,6 +1067,7 @@ impl World {
         }
         self.trace
             .record(now, TraceEvent::PowerChange { node: id, up: true });
+        self.obs_record(now, Severity::Info, "crash", || format!("{id} restarted"));
         self.reschedule_timer(now, id);
     }
 
@@ -793,6 +1076,10 @@ impl World {
             return;
         };
         self.flap_on = !self.flap_on;
+        let on = self.flap_on;
+        self.obs_record(now, Severity::Warn, "fault", || {
+            format!("link flap {}", if on { "started" } else { "ended" })
+        });
         let next = if self.flap_on {
             flaps.down
         } else {
@@ -806,6 +1093,10 @@ impl World {
             return;
         };
         self.jitter_on = !self.jitter_on;
+        let on = self.jitter_on;
+        self.obs_record(now, Severity::Warn, "fault", || {
+            format!("delay spike {}", if on { "started" } else { "ended" })
+        });
         let next = if self.jitter_on {
             jitter.width
         } else {
@@ -815,7 +1106,7 @@ impl World {
     }
 
     fn on_deliver(&mut self, now: SimTime, to: NodeId, from: NodeId, msg: Msg<AppMsg>) {
-        {
+        let depleted = {
             let node = &mut self.nodes[to.index()];
             if !node.up || node.energy.is_depleted() {
                 return;
@@ -825,8 +1116,16 @@ impl World {
             node.energy.charge_rx(&self.medium.cfg().clone(), bytes);
             if node.energy.is_depleted() {
                 node.up = false;
-                return;
+                true
+            } else {
+                false
             }
+        };
+        if depleted {
+            self.obs_record(now, Severity::Warn, "depleted", || {
+                format!("{to} battery depleted; radio off")
+            });
+            return;
         }
         let actions = self.nodes[to.index()].aodv.on_frame(now, from, msg);
         self.exec_aodv(now, to, actions);
@@ -914,6 +1213,9 @@ impl World {
             return; // pure relays have no overlay presence
         }
         self.counters.record(at, payload.kind());
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.registry.observe(obs.h_hops, hops as u64);
+        }
         if self.trace.enabled() {
             self.trace.record(
                 now,
@@ -962,6 +1264,7 @@ impl World {
         }
         let pos = self.nodes[from.index()].mobility.position(now);
         let faults = self.active_faults();
+        let t0 = self.obs.is_some().then(Instant::now);
         self.medium.plan_broadcast(
             &self.grid,
             from,
@@ -971,6 +1274,12 @@ impl World {
             faults,
             &mut self.scratch,
         );
+        if let Some(t0) = t0 {
+            let fanout = self.scratch.receptions.len() as u64;
+            let obs = self.obs.as_deref_mut().expect("timed");
+            obs.spans.add(obs.s_plan, t0.elapsed());
+            obs.registry.observe(obs.h_fanout, fanout);
+        }
         // Indexed loop: the scratch buffer must stay borrowable while the
         // nodes and the queue are mutated (Reception is Copy).
         for i in 0..self.scratch.receptions.len() {
@@ -1020,6 +1329,9 @@ impl World {
             }
             None => {
                 self.nodes[from.index()].phy.on_link_break();
+                self.obs_record(now, Severity::Debug, "link_break", || {
+                    format!("{from} lost unicast link to {to}")
+                });
                 let acts = self.nodes[from.index()]
                     .aodv
                     .on_unicast_failed(now, to, msg);

@@ -27,10 +27,15 @@ fn smoke_scenario(algo: AlgoKind) -> Scenario {
 
 #[test]
 fn all_algorithms_survive_loss_and_a_crash() {
+    // Run with the observability sink on and `run_checked`, so a failure
+    // here leaves a JSONL flight-recorder dump next to the red test.
+    let dump_dir = std::env::temp_dir().join(format!("fault_smoke_obs_{}", std::process::id()));
     for algo in AlgoKind::ALL {
-        let s = smoke_scenario(algo);
+        let mut s = smoke_scenario(algo);
+        s.obs = p2p_adhoc::sim::ObsConfig::enabled();
         let expect_members = s.n_members();
-        let r = World::new(s.clone(), 2).run();
+        let (r, violations) = World::new(s.clone(), 2).run_checked(&dump_dir);
+        assert!(violations.is_empty(), "{algo}: {violations:?}");
         assert_eq!(r.members.len(), expect_members, "{algo}: member census");
         assert!(
             r.avg_connections > 0.3,
@@ -42,9 +47,12 @@ fn all_algorithms_survive_loss_and_a_crash() {
             r.answers_received >= 1,
             "{algo}: no answers under 20% loss + crash"
         );
-        let violations = check_result(&s, &r);
-        assert!(violations.is_empty(), "{algo}: {violations:?}");
+        assert!(
+            r.obs.recorder.enabled(),
+            "{algo}: fault smoke should carry the flight recorder"
+        );
     }
+    let _ = std::fs::remove_dir_all(&dump_dir);
 }
 
 #[test]

@@ -146,6 +146,7 @@ fn experiment_matrix_produces_all_figures() {
         reps: 1,
         seed: 4,
         threads: 1,
+        obs: false,
     };
     let matrix = run_matrix(&cfg);
     assert_eq!(matrix.len(), 4);
