@@ -4,19 +4,45 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== fmt =="
+# Per-stage wall-clock accounting, printed as a summary at the end.
+STAGE_NAMES=()
+STAGE_SECS=()
+CURRENT_STAGE=""
+STAGE_T0=0
+
+stage() {
+    stage_end
+    CURRENT_STAGE="$1"
+    STAGE_T0=$SECONDS
+    echo "== $CURRENT_STAGE =="
+}
+
+stage_end() {
+    if [[ -n "$CURRENT_STAGE" ]]; then
+        STAGE_NAMES+=("$CURRENT_STAGE")
+        STAGE_SECS+=($((SECONDS - STAGE_T0)))
+        CURRENT_STAGE=""
+    fi
+}
+
+stage "fmt"
 cargo fmt --all -- --check
 
-echo "== clippy =="
+stage "clippy"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== build (release) =="
+stage "doc"
+# Rustdoc is part of the contract: broken intra-doc links or bad code
+# fences fail the gate, not just warn.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
+
+stage "build (release)"
 cargo build --workspace --release --offline
 
-echo "== test =="
+stage "test"
 cargo test --workspace -q --offline
 
-echo "== bench smoke =="
+stage "bench smoke"
 # One-iteration shrunken runs so the bench binaries (and their JSON output
 # path) cannot bitrot. Real numbers live in the checked-in BENCH_RESULTS.json;
 # the smoke run writes to a scratch file to leave the baseline untouched.
@@ -28,7 +54,7 @@ BENCH_ITERS=1 BENCH_JSON="$BENCH_SMOKE_JSON" \
     cargo run --release -q --offline -p bench --bin figures > /dev/null
 test -s "$BENCH_SMOKE_JSON" || { echo "bench smoke produced no JSON"; exit 1; }
 
-echo "== obs smoke =="
+stage "obs smoke"
 # One short instrumented run with the sink enabled; obs_check parses every
 # JSONL line and asserts the core per-subsystem counters are present.
 OBS_SMOKE_DIR="target/obs_smoke"
@@ -37,9 +63,17 @@ cargo run --release -q --offline -p manet-sim --bin reproduce -- \
     --nodes 12 --duration 60 --reps 1 --obs-out "$OBS_SMOKE_DIR" > /dev/null
 cargo run --release -q --offline -p manet-obs --bin obs_check -- "$OBS_SMOKE_DIR"
 
-echo "== perf gate (disabled sink) =="
+stage "perf gate (disabled sink)"
 # The observability sink must stay free when off: events/sec on the 200-node
 # 900 s Regular hot-path scenario within 2% of the checked-in baseline.
 cargo run --release -q --offline -p bench --bin perf_gate
 
+stage_end
+echo
 echo "ci.sh: all gates passed"
+TOTAL=0
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '  %-26s %4ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+    TOTAL=$((TOTAL + STAGE_SECS[i]))
+done
+printf '  %-26s %4ds\n' "total" "$TOTAL"

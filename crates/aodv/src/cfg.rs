@@ -99,23 +99,42 @@ impl AodvCfg {
         rings + self.rreq_retries + 1
     }
 
+    /// Non-panicking validation: the first internal inconsistency,
+    /// rendered; `None` when the configuration is sound.
+    pub fn problem(&self) -> Option<String> {
+        if self.ttl_start < 1 {
+            return Some("ttl_start must be at least 1".into());
+        }
+        if self.net_diameter < self.ttl_threshold {
+            return Some("net_diameter must cover the ring threshold".into());
+        }
+        if self.active_route_lifetime.is_zero() {
+            return Some("active_route_lifetime must be positive".into());
+        }
+        if self.hop_traversal_time.is_zero() {
+            return Some("hop_traversal_time must be positive".into());
+        }
+        if self.max_buffered_per_dest == 0 {
+            return Some("max_buffered_per_dest must be positive".into());
+        }
+        if self.max_data_hops <= self.net_diameter {
+            return Some("data hop budget must exceed the network diameter".into());
+        }
+        if let Some(h) = self.hello_interval {
+            if h.is_zero() {
+                return Some("hello interval must be positive".into());
+            }
+            if self.allowed_hello_loss < 1 {
+                return Some("allowed_hello_loss must be at least 1".into());
+            }
+        }
+        None
+    }
+
     /// Panics if the configuration is internally inconsistent.
     pub fn validate(&self) {
-        assert!(self.ttl_start >= 1, "ttl_start must be at least 1");
-        assert!(
-            self.net_diameter >= self.ttl_threshold,
-            "net_diameter must cover the ring threshold"
-        );
-        assert!(!self.active_route_lifetime.is_zero());
-        assert!(!self.hop_traversal_time.is_zero());
-        assert!(self.max_buffered_per_dest > 0);
-        assert!(
-            self.max_data_hops > self.net_diameter,
-            "data hop budget must exceed the network diameter"
-        );
-        if let Some(h) = self.hello_interval {
-            assert!(!h.is_zero(), "hello interval must be positive");
-            assert!(self.allowed_hello_loss >= 1);
+        if let Some(p) = self.problem() {
+            panic!("{p}");
         }
     }
 }

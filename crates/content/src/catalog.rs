@@ -47,11 +47,21 @@ impl Default for Catalog {
 impl Catalog {
     /// Panics on out-of-domain parameters.
     pub fn validate(&self) {
-        assert!(self.n_files >= 1, "need at least one file");
-        assert!(
-            self.max_freq > 0.0 && self.max_freq <= 1.0,
-            "max_freq must be a fraction of the population"
-        );
+        if let Some(p) = self.problem() {
+            panic!("{p}");
+        }
+    }
+
+    /// Non-panicking validation: the first out-of-domain parameter,
+    /// rendered; `None` when the catalogue is sound.
+    pub fn problem(&self) -> Option<String> {
+        if self.n_files < 1 {
+            return Some("need at least one file".into());
+        }
+        if !(self.max_freq > 0.0 && self.max_freq <= 1.0) {
+            return Some("max_freq must be a fraction of the population".into());
+        }
+        None
     }
 
     /// Presence frequency of `file`: `max_freq / rank`.

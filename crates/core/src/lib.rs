@@ -35,6 +35,7 @@ pub mod msg;
 pub mod params;
 pub mod random;
 pub mod regular;
+pub mod testkit;
 pub mod topology;
 
 pub use api::{Reconfigurator, Role};

@@ -68,30 +68,56 @@ impl Default for OverlayParams {
 }
 
 impl OverlayParams {
+    /// Non-panicking validation: the first internal inconsistency,
+    /// rendered; `None` when the parameters are sound.
+    pub fn problem(&self) -> Option<String> {
+        if self.max_conn < 1 {
+            return Some("MAXNCONN must be at least 1".into());
+        }
+        if !(self.nhops_initial >= 1 && self.nhops_initial <= self.max_nhops) {
+            return Some("NHOPS_INITIAL must lie in [1, MAXNHOPS]".into());
+        }
+        if !self.nhops_initial.is_multiple_of(2) {
+            return Some("the paper's nhops cycle steps by 2".into());
+        }
+        if !self.max_nhops.is_multiple_of(2) {
+            return Some("MAXNHOPS must be even for the cycle".into());
+        }
+        if self.nhops_basic < 1 {
+            return Some("NHOPS (Basic) must be at least 1".into());
+        }
+        if self.max_dist < 1 {
+            return Some("MAXDIST must be at least 1".into());
+        }
+        if self.timer_initial.is_zero() || self.timer_initial > self.max_timer {
+            return Some("TIMER_INITIAL must lie in (0, MAXTIMER]".into());
+        }
+        if self.basic_timer.is_zero() {
+            return Some("TIMER (Basic) must be positive".into());
+        }
+        if self.ping_interval.is_zero() {
+            return Some("ping interval must be positive".into());
+        }
+        if self.pong_timeout.is_zero() {
+            return Some("pong timeout must be positive".into());
+        }
+        if self.handshake_timeout.is_zero() {
+            return Some("handshake timeout must be positive".into());
+        }
+        if self.max_slaves < 1 {
+            return Some("MAXNSLAVES must be at least 1".into());
+        }
+        if self.master_idle_timeout.is_zero() {
+            return Some("MAXTIMERMASTER must be positive".into());
+        }
+        None
+    }
+
     /// Panics if the parameters are internally inconsistent.
     pub fn validate(&self) {
-        assert!(self.max_conn >= 1, "MAXNCONN must be at least 1");
-        assert!(
-            self.nhops_initial >= 1 && self.nhops_initial <= self.max_nhops,
-            "NHOPS_INITIAL must lie in [1, MAXNHOPS]"
-        );
-        assert!(
-            self.nhops_initial.is_multiple_of(2),
-            "the paper's nhops cycle steps by 2"
-        );
-        assert!(
-            self.max_nhops.is_multiple_of(2),
-            "MAXNHOPS must be even for the cycle"
-        );
-        assert!(self.nhops_basic >= 1);
-        assert!(self.max_dist >= 1);
-        assert!(!self.timer_initial.is_zero() && self.timer_initial <= self.max_timer);
-        assert!(!self.basic_timer.is_zero());
-        assert!(!self.ping_interval.is_zero());
-        assert!(!self.pong_timeout.is_zero());
-        assert!(!self.handshake_timeout.is_zero());
-        assert!(self.max_slaves >= 1);
-        assert!(!self.master_idle_timeout.is_zero());
+        if let Some(p) = self.problem() {
+            panic!("{p}");
+        }
     }
 
     /// The distance limit a connection of the given kind must respect, in

@@ -1,0 +1,270 @@
+//! Contract-testing harness for [`Reconfigurator`] implementations.
+//!
+//! [`MiniNet`] drives a set of algorithm instances over an *ideal*
+//! transport: every live node is exactly [`MiniNet::hops`] ad-hoc hops
+//! from every other, floods reach everyone whose hop limit covers that
+//! distance, unicasts arrive instantly, and a unicast to a dead node
+//! reports back as unreachable — the same contract the full simulator's
+//! routing layer provides, minus the radio. That makes it the right tool
+//! for conformance tests: algorithm behaviour is isolated from mobility,
+//! loss and AODV, runs take microseconds, and everything is
+//! deterministic (nodes are always processed in id order).
+//!
+//! The conformance suite in `tests/conformance.rs` runs every
+//! [`AlgoKind`] through this harness and checks the
+//! contract every implementation must honour: sane neighbor lists
+//! (sorted, duplicate-free, self-free, capacity-bounded), overlay
+//! formation on a perfect network, tolerance of stray and duplicate
+//! messages, and eviction of unreachable peers.
+
+use std::collections::VecDeque;
+
+use manet_des::{NodeId, Rng, SimDuration, SimTime};
+
+use crate::api::Reconfigurator;
+use crate::msg::{OvAction, OverlayMsg};
+use crate::params::OverlayParams;
+use crate::{build_algo, AlgoKind, BoxedAlgo, Role};
+
+/// Hard cap on actions processed per [`MiniNet::drain`] call: an
+/// algorithm that keeps a message ping-pong going without consulting its
+/// timer would otherwise hang the test.
+const ACTION_BUDGET: usize = 100_000;
+
+/// An ideal-transport network of [`Reconfigurator`] instances.
+pub struct MiniNet {
+    /// The parameters every node was built with.
+    pub params: OverlayParams,
+    algos: Vec<BoxedAlgo>,
+    up: Vec<bool>,
+    now: SimTime,
+    /// Uniform ad-hoc distance between any two live nodes.
+    pub hops: u8,
+    inbox: VecDeque<(NodeId, OvAction)>,
+    /// Messages delivered to algorithm entry points so far.
+    pub delivered: u64,
+}
+
+impl MiniNet {
+    /// Build `n` instances of `kind` with the given parameters.
+    ///
+    /// Hybrid qualifiers are distinct per node (higher id → higher
+    /// qualifier, so role assignment is predictable); the Random
+    /// algorithm's RNG is seeded from `seed` and the node id.
+    pub fn new(kind: AlgoKind, n: usize, params: OverlayParams, seed: u64) -> Self {
+        let algos = (0..n)
+            .map(|i| {
+                let id = NodeId(i as u32);
+                let qualifier = (i as u32 + 1) * 10;
+                build_algo(
+                    kind,
+                    id,
+                    params,
+                    qualifier,
+                    Rng::new(seed ^ (i as u64) << 8),
+                )
+            })
+            .collect();
+        MiniNet {
+            params,
+            algos,
+            up: vec![true; n],
+            now: SimTime::ZERO,
+            hops: 1,
+            inbox: VecDeque::new(),
+            delivered: 0,
+        }
+    }
+
+    /// Number of nodes (live or dead).
+    pub fn len(&self) -> usize {
+        self.algos.len()
+    }
+
+    /// True when the net has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.algos.is_empty()
+    }
+
+    /// The harness clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to one node's algorithm.
+    pub fn algo(&self, id: NodeId) -> &dyn Reconfigurator {
+        self.algos[id.index()].as_ref()
+    }
+
+    /// One node's established neighbor list.
+    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        self.algos[id.index()].neighbors()
+    }
+
+    /// One node's current role.
+    pub fn role(&self, id: NodeId) -> Role {
+        self.algos[id.index()].role()
+    }
+
+    /// Is the node alive?
+    pub fn is_up(&self, id: NodeId) -> bool {
+        self.up[id.index()]
+    }
+
+    /// Start every live node, one second apart in id order, settling the
+    /// traffic after each.
+    ///
+    /// The stagger mirrors the full simulator's join window and is
+    /// load-bearing: with a zero-latency transport, two nodes starting at
+    /// the same instant answer each other's probes simultaneously, both
+    /// end up with a pending *outgoing* handshake to the other, and the
+    /// crossed offers mutually reject — in deterministic lockstep they
+    /// would re-collide on every retry, forever.
+    pub fn start_all(&mut self) {
+        for i in 0..self.algos.len() {
+            if !self.up[i] {
+                continue;
+            }
+            let actions = self.algos[i].start(self.now);
+            self.enqueue(NodeId(i as u32), actions);
+            self.drain();
+            self.advance(SimDuration::from_secs(1));
+        }
+    }
+
+    /// Advance the clock by `dt`, tick every live node whose timer is
+    /// due (id order), and settle the resulting traffic.
+    pub fn advance(&mut self, dt: SimDuration) {
+        self.now += dt;
+        for i in 0..self.algos.len() {
+            if !self.up[i] {
+                continue;
+            }
+            if self.algos[i].next_wake() <= self.now {
+                let actions = self.algos[i].tick(self.now);
+                self.enqueue(NodeId(i as u32), actions);
+            }
+        }
+        self.drain();
+    }
+
+    /// Run for `secs` seconds of virtual time in one-second steps.
+    pub fn run_secs(&mut self, secs: u64) {
+        for _ in 0..secs {
+            self.advance(SimDuration::from_secs(1));
+        }
+    }
+
+    /// Kill a node: it stops ticking, floods skip it, and unicasts to it
+    /// bounce back to the sender as unreachable.
+    pub fn kill(&mut self, id: NodeId) {
+        self.up[id.index()] = false;
+    }
+
+    /// Inject a routed message into `to` as if `from` had sent it, and
+    /// settle the fallout. For stray/duplicate-message conformance tests.
+    pub fn inject_msg(&mut self, from: NodeId, to: NodeId, msg: OverlayMsg) {
+        let actions = self.algos[to.index()].on_msg(self.now, from, self.hops, &msg);
+        self.delivered += 1;
+        self.enqueue(to, actions);
+        self.drain();
+    }
+
+    /// Inject a flooded message into `to` as if `from` had originated it.
+    pub fn inject_flood(&mut self, from: NodeId, to: NodeId, msg: OverlayMsg) {
+        let actions = self.algos[to.index()].on_flood(self.now, from, self.hops, &msg);
+        self.delivered += 1;
+        self.enqueue(to, actions);
+        self.drain();
+    }
+
+    /// The contract every implementation must honour at every instant:
+    /// neighbor lists sorted by id, duplicate-free, self-free, within
+    /// `MAXNCONN + MAXNSLAVES`, and only naming nodes that exist.
+    /// Returns one message per violation (empty = conforming).
+    pub fn contract_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let capacity = self.params.max_conn + self.params.max_slaves;
+        for (i, algo) in self.algos.iter().enumerate() {
+            let neighbors = algo.neighbors();
+            if neighbors.len() > capacity {
+                v.push(format!(
+                    "node {i}: {} neighbors exceed MAXNCONN+MAXNSLAVES = {capacity}",
+                    neighbors.len()
+                ));
+            }
+            for (k, &nb) in neighbors.iter().enumerate() {
+                if nb.index() == i {
+                    v.push(format!("node {i}: lists itself as a neighbor"));
+                }
+                if nb.index() >= self.algos.len() {
+                    v.push(format!("node {i}: neighbor {} does not exist", nb.0));
+                }
+                if k > 0 && neighbors[k - 1] >= nb {
+                    v.push(format!(
+                        "node {i}: neighbor list not sorted/unique at position {k}: {:?}",
+                        neighbors
+                    ));
+                }
+            }
+        }
+        v
+    }
+
+    /// Total established connection endpoints across live nodes.
+    pub fn total_neighbor_count(&self) -> usize {
+        (0..self.algos.len())
+            .filter(|&i| self.up[i])
+            .map(|i| self.algos[i].neighbors().len())
+            .sum()
+    }
+
+    fn enqueue(&mut self, from: NodeId, actions: Vec<OvAction>) {
+        for a in actions {
+            self.inbox.push_back((from, a));
+        }
+    }
+
+    /// Process queued actions to quiescence. Floods fan out to every live
+    /// node within the hop limit; unicasts arrive or bounce back as
+    /// unreachable. Handlers run depth-per-message, breadth-per-action —
+    /// deterministic because node order is id order throughout.
+    fn drain(&mut self) {
+        let mut budget = ACTION_BUDGET;
+        while let Some((from, action)) = self.inbox.pop_front() {
+            budget -= 1;
+            assert!(
+                budget > 0,
+                "testkit: action storm (> {ACTION_BUDGET} actions without quiescing)"
+            );
+            if !self.up[from.index()] {
+                continue; // the sender died with traffic in flight
+            }
+            match action {
+                OvAction::Flood { ttl, msg } => {
+                    if ttl < self.hops {
+                        continue;
+                    }
+                    for i in 0..self.algos.len() {
+                        if i == from.index() || !self.up[i] {
+                            continue;
+                        }
+                        let acts = self.algos[i].on_flood(self.now, from, self.hops, &msg);
+                        self.delivered += 1;
+                        self.enqueue(NodeId(i as u32), acts);
+                    }
+                }
+                OvAction::Send { to, msg } => {
+                    if self.up[to.index()] {
+                        let acts = self.algos[to.index()].on_msg(self.now, from, self.hops, &msg);
+                        self.delivered += 1;
+                        self.enqueue(to, acts);
+                    } else {
+                        let acts = self.algos[from.index()].on_unreachable(self.now, to);
+                        self.enqueue(from, acts);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -51,22 +51,42 @@ impl RadioCfg {
         }
     }
 
+    /// Non-panicking validation: the first parameter outside its physical
+    /// domain, rendered; `None` when the configuration is sound.
+    pub fn problem(&self) -> Option<String> {
+        if self.range_m <= 0.0 || self.range_m.is_nan() {
+            return Some(format!("range must be positive, got {}", self.range_m));
+        }
+        if self.bitrate_bps <= 0.0 || self.bitrate_bps.is_nan() {
+            return Some(format!(
+                "bitrate must be positive, got {}",
+                self.bitrate_bps
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.loss_prob) {
+            return Some(format!(
+                "loss_prob must be a probability, got {}",
+                self.loss_prob
+            ));
+        }
+        if !(0.0..1.0).contains(&self.fuzz) {
+            return Some(format!("fuzz must be in [0, 1), got {}", self.fuzz));
+        }
+        if !(self.tx_mj_per_byte >= 0.0
+            && self.tx_mj_base >= 0.0
+            && self.rx_mj_per_byte >= 0.0
+            && self.rx_mj_base >= 0.0)
+        {
+            return Some("energy costs must be non-negative".into());
+        }
+        None
+    }
+
     /// Panics if any parameter is out of its physical domain.
     pub fn validate(&self) {
-        assert!(self.range_m > 0.0, "range must be positive");
-        assert!(self.bitrate_bps > 0.0, "bitrate must be positive");
-        assert!(
-            (0.0..=1.0).contains(&self.loss_prob),
-            "loss_prob must be a probability"
-        );
-        assert!((0.0..1.0).contains(&self.fuzz), "fuzz must be in [0, 1)");
-        assert!(
-            self.tx_mj_per_byte >= 0.0
-                && self.tx_mj_base >= 0.0
-                && self.rx_mj_per_byte >= 0.0
-                && self.rx_mj_base >= 0.0,
-            "energy costs must be non-negative"
-        );
+        if let Some(p) = self.problem() {
+            panic!("{p}");
+        }
     }
 
     /// Serialization delay of a frame of `bytes` at the configured bitrate.

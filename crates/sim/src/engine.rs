@@ -1,0 +1,174 @@
+//! The simulation engine: virtual clock, future-event list, and typed
+//! event routing.
+//!
+//! [`Engine`] is deliberately slim — it owns the [`EventQueue`], the
+//! processed-event counter and the peak-depth gauge, and nothing else.
+//! Everything that *reacts* to events lives either in the per-node layer
+//! stack (`crate::stack`) or in a registered [`Subsystem`]
+//! (`crate::subsystems`).
+//!
+//! Event routing is typed: node-stack traffic (frame deliveries, combined
+//! node timers, overlay joins) is dispatched straight to the layer
+//! adapters, while every cross-cutting process (mobility, churn, faults,
+//! samplers) schedules [`SubEvent`]s in its own namespace — the
+//! [`SubsystemId`] it was registered under. Adding a new subsystem
+//! therefore never touches the [`Event`] enum.
+
+use manet_aodv::Msg;
+use manet_des::{EventQueue, NodeId, SchedulerKind, SimTime};
+
+use crate::payload::AppMsg;
+use crate::world::WorldCore;
+
+/// Index of a registered subsystem; doubles as its event namespace.
+pub(crate) type SubsystemId = u16;
+
+/// Everything scheduled in the future-event list.
+pub(crate) enum Event {
+    /// A frame finishes arriving at `to` (routed to the phy layer).
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: Msg<AppMsg>,
+    },
+    /// Combined protocol timer for one node (routing + overlay + query).
+    NodeTimer(NodeId),
+    /// A member joins the overlay.
+    Join(NodeId),
+    /// A subsystem-namespaced event, routed to `subsystems[id]`.
+    Sub(SubsystemId, SubEvent),
+}
+
+/// An event inside one subsystem's private namespace.
+///
+/// The meaning of each shape is the owning subsystem's business: mobility
+/// uses `Node` for position re-evaluation, churn uses `Node`/`NodeAlt` for
+/// its down/up alternation, the burst/flap/jitter processes use `Tick` for
+/// their window boundaries.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum SubEvent {
+    /// A node-less process boundary (window toggles, samplers).
+    Tick,
+    /// A per-node event (primary meaning).
+    Node(NodeId),
+    /// A per-node event (secondary meaning, e.g. the up-phase of churn).
+    NodeAlt(NodeId),
+}
+
+/// The clock and future-event list of one replication.
+pub(crate) struct Engine {
+    queue: EventQueue<Event>,
+    /// Events the loop has processed.
+    pub(crate) events: u64,
+    /// Deepest the future-event list has been (live events).
+    pub(crate) peak_queue: usize,
+}
+
+impl Engine {
+    pub(crate) fn with_scheduler(kind: SchedulerKind) -> Self {
+        Engine {
+            queue: EventQueue::with_scheduler(kind),
+            events: 0,
+            peak_queue: 0,
+        }
+    }
+
+    /// Schedule `ev` at absolute time `at`.
+    pub(crate) fn schedule(&mut self, at: SimTime, ev: Event) {
+        self.queue.schedule(at, ev);
+    }
+
+    /// Pop the next event at or before `horizon`, updating the peak-depth
+    /// gauge (before the pop, so the popped event still counts as live)
+    /// and the processed-event counter.
+    pub(crate) fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, Event)> {
+        self.peak_queue = self.peak_queue.max(self.queue.len());
+        let popped = self.queue.pop_before(horizon)?;
+        self.events += 1;
+        Some(popped)
+    }
+
+    /// The current virtual time (time of the last popped event).
+    pub(crate) fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Live events in the future-event list.
+    pub(crate) fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Read access to the underlying queue (scheduler statistics).
+    pub(crate) fn queue(&self) -> &EventQueue<Event> {
+        &self.queue
+    }
+}
+
+/// A pluggable cross-cutting process registered on the engine.
+///
+/// Subsystems own their private state (RNG streams, schedules, cadences)
+/// and react to events in their own [`SubEvent`] namespace; they reach the
+/// shared simulation state through [`SubCtx`]. Lifecycle:
+///
+/// 1. [`seed_node`](Subsystem::seed_node) — once per node during world
+///    construction, in node-id order (interleaved across subsystems so
+///    initial-event insertion order is part of the deterministic contract);
+/// 2. [`init`](Subsystem::init) — once after all nodes exist, in
+///    registration order;
+/// 3. [`handle`](Subsystem::handle) — for every popped event the subsystem
+///    scheduled;
+/// 4. [`after_event`](Subsystem::after_event) — after every dispatched
+///    event, only when [`wants_post_hook`](Subsystem::wants_post_hook) —
+///    a passive tap that must not schedule events or draw randomness;
+/// 5. [`on_finish`](Subsystem::on_finish) — once when the world is
+///    finished, before the result is assembled.
+pub(crate) trait Subsystem {
+    /// Per-node seeding during world construction.
+    fn seed_node(&mut self, ctx: &mut SubCtx<'_>, id: NodeId) {
+        let _ = (ctx, id);
+    }
+
+    /// One-time seeding after all nodes exist.
+    fn init(&mut self, ctx: &mut SubCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Handle an event this subsystem scheduled.
+    fn handle(&mut self, ctx: &mut SubCtx<'_>, now: SimTime, ev: SubEvent) {
+        let _ = (ctx, now, ev);
+    }
+
+    /// Opt into the per-event post-dispatch tap. Checked once at world
+    /// construction, so passive observers cost nothing when absent.
+    fn wants_post_hook(&self) -> bool {
+        false
+    }
+
+    /// Passive post-dispatch tap (see [`Subsystem::wants_post_hook`]).
+    /// Must only read simulation state —
+    /// never schedule events or draw randomness — so instrumented and bare
+    /// runs stay bit-identical.
+    fn after_event(&mut self, core: &mut WorldCore, now: SimTime) {
+        let _ = (core, now);
+    }
+
+    /// End-of-run hook, called before the result is assembled.
+    fn on_finish(&mut self, core: &mut WorldCore) {
+        let _ = core;
+    }
+}
+
+/// What a [`Subsystem`] sees of the world: the shared core plus its own
+/// registration id, so everything it schedules lands back in its own
+/// namespace.
+pub(crate) struct SubCtx<'a> {
+    pub(crate) core: &'a mut WorldCore,
+    pub(crate) owner: SubsystemId,
+}
+
+impl SubCtx<'_> {
+    /// Schedule `ev` in the owning subsystem's namespace at time `at`.
+    pub(crate) fn schedule(&mut self, at: SimTime, ev: SubEvent) {
+        self.core.engine.schedule(at, Event::Sub(self.owner, ev));
+    }
+}

@@ -22,6 +22,8 @@
 
 use manet_des::{NodeId, SimDuration, SimTime};
 
+use crate::errors::ScenarioError;
+
 /// Two-state burst modulation for [`PacketLoss`].
 ///
 /// The process alternates between a *quiet* state (only the base loss
@@ -129,51 +131,69 @@ impl FaultPlan {
         }
     }
 
-    /// Panics when any parameter is out of domain.
-    pub fn validate(&self, n_nodes: usize) {
+    /// Typed validation against a world of `n_nodes` nodes: the first
+    /// out-of-domain parameter as a [`ScenarioError`] (including crash
+    /// targets outside the world), or `Ok(())` for a simulable plan.
+    pub fn check(&self, n_nodes: usize) -> Result<(), ScenarioError> {
         if let Some(loss) = &self.loss {
-            assert!(
-                (0.0..=1.0).contains(&loss.base),
-                "fault base loss must be a probability, got {}",
-                loss.base
-            );
+            if !(0.0..=1.0).contains(&loss.base) {
+                return Err(ScenarioError::LossNotProbability { prob: loss.base });
+            }
             if let Some(b) = &loss.burst {
-                assert!(
-                    b.mean_quiet > 0.0 && b.mean_burst > 0.0,
-                    "burst dwell means must be positive"
-                );
-                assert!(
-                    (0.0..=1.0).contains(&b.burst_loss),
-                    "burst loss must be a probability, got {}",
-                    b.burst_loss
-                );
+                if !(b.mean_quiet > 0.0 && b.mean_burst > 0.0) {
+                    return Err(ScenarioError::BurstDwellNotPositive {
+                        mean_quiet: b.mean_quiet,
+                        mean_burst: b.mean_burst,
+                    });
+                }
+                if !(0.0..=1.0).contains(&b.burst_loss) {
+                    return Err(ScenarioError::BurstLossNotProbability { prob: b.burst_loss });
+                }
             }
         }
         for c in &self.crashes {
-            assert!(
-                (c.node.0 as usize) < n_nodes,
-                "crash names node {} but the world has {n_nodes}",
-                c.node.0
-            );
+            if (c.node.0 as usize) >= n_nodes {
+                return Err(ScenarioError::CrashTargetOutOfRange {
+                    node: c.node.0,
+                    n_nodes,
+                });
+            }
             if let Some(r) = c.restart_after {
-                assert!(!r.is_zero(), "restart_after must be positive");
+                if r.is_zero() {
+                    return Err(ScenarioError::ZeroRestartDelay { node: c.node.0 });
+                }
             }
         }
         if let Some(f) = &self.link_flaps {
-            assert!(!f.period.is_zero(), "flap period must be positive");
-            assert!(
-                f.down < f.period,
-                "flap down-time must be shorter than the period"
-            );
-            assert!(!f.down.is_zero(), "flap down-time must be positive");
+            if f.period.is_zero() {
+                return Err(ScenarioError::FlapPeriodZero);
+            }
+            if f.down >= f.period {
+                return Err(ScenarioError::FlapDownNotShorter);
+            }
+            if f.down.is_zero() {
+                return Err(ScenarioError::FlapDownZero);
+            }
         }
         if let Some(j) = &self.jitter {
-            assert!(!j.period.is_zero(), "jitter period must be positive");
-            assert!(
-                j.width < j.period,
-                "jitter width must be shorter than the period"
-            );
-            assert!(!j.width.is_zero(), "jitter width must be positive");
+            if j.period.is_zero() {
+                return Err(ScenarioError::JitterPeriodZero);
+            }
+            if j.width >= j.period {
+                return Err(ScenarioError::JitterWidthNotShorter);
+            }
+            if j.width.is_zero() {
+                return Err(ScenarioError::JitterWidthZero);
+            }
+        }
+        Ok(())
+    }
+
+    /// Panics when any parameter is out of domain (the message is the
+    /// [`ScenarioError`] display form).
+    pub fn validate(&self, n_nodes: usize) {
+        if let Err(e) = self.check(n_nodes) {
+            panic!("{e}");
         }
     }
 }

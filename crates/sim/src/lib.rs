@@ -3,15 +3,20 @@
 //! Ties the substrate crates into runnable worlds and reproduces the
 //! paper's evaluation (see DESIGN.md for the experiment index).
 
+pub(crate) mod engine;
+pub mod errors;
 pub mod experiments;
 pub mod faults;
 pub mod invariants;
 pub mod payload;
 pub mod runner;
 pub mod scenario;
+pub(crate) mod stack;
+pub(crate) mod subsystems;
 pub mod trace;
 pub mod world;
 
+pub use errors::ScenarioError;
 pub use experiments::{run_matrix, ExperimentCfg};
 pub use faults::{BurstCfg, CrashEvent, FaultPlan, JitterSpikes, LinkFlaps, PacketLoss};
 pub use invariants::{check_result, check_result_dumping};

@@ -3,6 +3,7 @@
 use manet_aodv::AodvCfg;
 use manet_des::SimDuration;
 
+use crate::errors::ScenarioError;
 use crate::faults::FaultPlan;
 use manet_geom::Rect;
 use manet_obs::ObsConfig;
@@ -151,32 +152,81 @@ impl Scenario {
         ((self.n_nodes as f64 * self.member_fraction).round() as usize).min(self.n_nodes)
     }
 
-    /// Panics if the configuration is out of domain.
-    pub fn validate(&self) {
-        assert!(self.n_nodes >= 2, "need at least two nodes");
-        assert!(self.area_side > 0.0);
-        assert!((0.0..=1.0).contains(&self.member_fraction));
-        assert!(self.n_members() >= 1, "at least one member required");
-        assert!(!self.duration.is_zero());
-        assert!(!self.position_refresh.is_zero());
-        assert!(self.qualifier_range.0 <= self.qualifier_range.1);
-        self.radio.validate();
-        self.overlay.validate();
-        self.aodv.validate();
-        self.catalog.validate();
+    /// Typed validation: the first out-of-domain parameter as a
+    /// [`ScenarioError`], or `Ok(())` when the scenario is simulable.
+    /// [`World::try_new`](crate::World::try_new) runs this before building
+    /// anything, so construction never panics on a bad configuration.
+    pub fn check(&self) -> Result<(), ScenarioError> {
+        if self.n_nodes < 2 {
+            return Err(ScenarioError::TooFewNodes {
+                n_nodes: self.n_nodes,
+            });
+        }
+        if self.area_side <= 0.0 || self.area_side.is_nan() {
+            return Err(ScenarioError::NonPositiveArea {
+                side: self.area_side,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.member_fraction) {
+            return Err(ScenarioError::MemberFractionOutOfRange {
+                fraction: self.member_fraction,
+            });
+        }
+        if self.n_members() < 1 {
+            return Err(ScenarioError::NoMembers);
+        }
+        if self.duration.is_zero() {
+            return Err(ScenarioError::ZeroDuration);
+        }
+        if self.position_refresh.is_zero() {
+            return Err(ScenarioError::ZeroPositionRefresh);
+        }
+        if self.qualifier_range.0 > self.qualifier_range.1 {
+            return Err(ScenarioError::QualifierRangeInverted {
+                lo: self.qualifier_range.0,
+                hi: self.qualifier_range.1,
+            });
+        }
+        if let Some(p) = self.radio.problem() {
+            return Err(ScenarioError::Radio(p));
+        }
+        if let Some(p) = self.overlay.problem() {
+            return Err(ScenarioError::Overlay(p));
+        }
+        if let Some(p) = self.aodv.problem() {
+            return Err(ScenarioError::Routing(p));
+        }
+        if let Some(p) = self.catalog.problem() {
+            return Err(ScenarioError::Catalog(p));
+        }
         if let Some(c) = &self.churn {
-            assert!(c.mean_uptime > 0.0 && c.mean_downtime > 0.0);
+            if !(c.mean_uptime > 0.0 && c.mean_downtime > 0.0) {
+                return Err(ScenarioError::NonPositiveChurnDwell {
+                    mean_uptime: c.mean_uptime,
+                    mean_downtime: c.mean_downtime,
+                });
+            }
         }
         if let MobilityKind::Groups { n_groups, .. } = self.mobility {
-            assert!(n_groups >= 1, "need at least one group");
+            if n_groups < 1 {
+                return Err(ScenarioError::NoGroups);
+            }
         }
-        if self.obs.enabled {
-            assert!(
-                self.obs.sample_period_secs >= 0.0,
-                "negative obs sample period"
-            );
+        if self.obs.enabled && self.obs.sample_period_secs < 0.0 {
+            return Err(ScenarioError::NegativeObsSamplePeriod {
+                secs: self.obs.sample_period_secs,
+            });
         }
-        self.faults.validate(self.n_nodes);
+        self.faults.check(self.n_nodes)
+    }
+
+    /// Panics if the configuration is out of domain (the message is the
+    /// [`ScenarioError`] display form). Assertion-style twin of
+    /// [`check`](Scenario::check).
+    pub fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 
     /// Render the effective parameters in the shape of the paper's Table 2.

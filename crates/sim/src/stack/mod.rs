@@ -1,0 +1,180 @@
+//! The per-node protocol stack: three explicit layers plus mobility.
+//!
+//! ```text
+//!   overlay   Reconfigurator + QueryEngine      (crate::stack::overlay)
+//!      ↑ DeliverUp            ↓ OverlayDown
+//!   routing   AODV state machine                (crate::stack::routing)
+//!      ↑ FrameUp              ↓ SendDown
+//!   phy       radio stats + energy meter        (crate::stack::phy)
+//! ```
+//!
+//! Layers communicate exclusively through the typed verbs defined here;
+//! no layer reaches into another's fields. The adapters are free
+//! functions over `&mut WorldCore` rather than methods on a borrowed
+//! [`NodeStack`]: action execution is depth-first and immediate (an AODV
+//! broadcast draws from the shared radio RNG *before* the next action
+//! runs), so the adapters need the whole core — nodes, medium, RNG and
+//! event queue — at every hop of the cascade.
+
+pub(crate) mod overlay;
+pub(crate) mod phy;
+pub(crate) mod routing;
+
+use manet_aodv::{Aodv, Msg};
+use manet_des::{NodeId, Rng, SimTime};
+use manet_mobility::AnyMobility;
+use manet_radio::{EnergyMeter, PhyStats};
+use p2p_content::{ContentMsg, QueryEngine};
+use p2p_core::{BoxedAlgo, OverlayMsg, Role};
+
+use crate::engine::Event;
+use crate::payload::AppMsg;
+use crate::world::WorldCore;
+
+// ---------------------------------------------------------------------
+// Inter-layer verbs
+// ---------------------------------------------------------------------
+
+/// phy → routing: a frame survived the medium and arrived intact.
+pub(crate) struct FrameUp {
+    pub(crate) from: NodeId,
+    pub(crate) msg: Msg<AppMsg>,
+}
+
+/// routing → phy: put a frame on the air.
+pub(crate) enum SendDown {
+    /// One-hop broadcast to everyone in range.
+    Broadcast(Msg<AppMsg>),
+    /// One-hop unicast to a specific neighbor.
+    Unicast { to: NodeId, msg: Msg<AppMsg> },
+}
+
+/// routing → overlay: an application payload reached its destination.
+pub(crate) struct DeliverUp {
+    /// Originator of the payload.
+    pub(crate) src: NodeId,
+    /// Ad-hoc hops travelled.
+    pub(crate) hops: u8,
+    /// Arrived via a hop-limited flood (true) or a routed unicast.
+    pub(crate) flood: bool,
+    pub(crate) payload: AppMsg,
+}
+
+/// overlay → routing: send an application payload across the MANET.
+pub(crate) enum OverlayDown {
+    /// Hop-limited flood of a (re)configuration message.
+    Flood { ttl: u8, msg: OverlayMsg },
+    /// Routed (re)configuration unicast.
+    Send { to: NodeId, msg: OverlayMsg },
+    /// Routed content (query-layer) unicast.
+    Content { to: NodeId, msg: ContentMsg },
+}
+
+/// any layer → engine: earliest instant this stack needs its combined
+/// timer to fire.
+pub(crate) struct TimerReq(pub(crate) SimTime);
+
+// ---------------------------------------------------------------------
+// Layers
+// ---------------------------------------------------------------------
+
+/// Physical layer: radio accounting and the energy budget.
+pub(crate) struct PhyLayer {
+    pub(crate) stats: PhyStats,
+    pub(crate) energy: EnergyMeter,
+    /// Radio on/off (churn, crashes, battery depletion).
+    pub(crate) up: bool,
+}
+
+/// Routing layer: the AODV state machine and the combined-timer slot.
+pub(crate) struct RoutingLayer {
+    pub(crate) aodv: Aodv<AppMsg>,
+    /// Earliest scheduled NodeTimer (MAX = none) — avoids event storms.
+    pub(crate) timer_at: SimTime,
+}
+
+/// Overlay-member state (reconfiguration algorithm + query engine).
+pub(crate) struct MemberState {
+    pub(crate) algo: BoxedAlgo,
+    pub(crate) engine: QueryEngine,
+    pub(crate) joined: bool,
+    /// Seed to rebuild the algorithm after churn or a crash restart.
+    pub(crate) algo_seed: u64,
+    pub(crate) qualifier: u32,
+    /// Trace support: last observed neighbor set and role, for deltas.
+    pub(crate) last_neighbors: Vec<NodeId>,
+    pub(crate) last_role: Role,
+}
+
+/// Overlay layer: present only on members.
+pub(crate) struct OverlayLayer {
+    pub(crate) member: Option<MemberState>,
+}
+
+/// One node's full stack, phy to overlay, plus its mobility process.
+pub(crate) struct NodeStack {
+    pub(crate) mobility: AnyMobility,
+    pub(crate) mob_rng: Rng,
+    pub(crate) phy: PhyLayer,
+    pub(crate) routing: RoutingLayer,
+    pub(crate) overlay: OverlayLayer,
+}
+
+impl NodeStack {
+    /// Is this node a member that currently participates in the overlay?
+    pub(crate) fn is_joined(&self) -> bool {
+        self.overlay.member.as_ref().is_some_and(|m| m.joined)
+    }
+
+    /// The earliest wake any layer of this stack needs, as a typed
+    /// [`TimerReq`]: the minimum over the routing, overlay and query
+    /// timers (overlay/query only while joined).
+    pub(crate) fn timer_request(&self) -> TimerReq {
+        let mut wake = self.routing.aodv.next_wake();
+        if let Some(m) = &self.overlay.member {
+            if m.joined {
+                wake = wake.min(m.algo.next_wake()).min(m.engine.next_wake());
+            }
+        }
+        TimerReq(wake)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Combined-timer plumbing
+// ---------------------------------------------------------------------
+
+/// The node's combined protocol timer fired: tick routing, then (for
+/// joined members) the overlay and query layers, then re-arm.
+pub(crate) fn node_timer(core: &mut WorldCore, now: SimTime, id: NodeId) {
+    {
+        let node = &mut core.nodes[id.index()];
+        node.routing.timer_at = SimTime::MAX;
+        if !node.phy.up {
+            return;
+        }
+    }
+    routing::tick(core, now, id);
+    overlay::tick(core, now, id);
+    resched_timer(core, now, id);
+}
+
+/// Re-arm the node's combined timer from the stack's [`TimerReq`], unless
+/// an earlier (or equal) timer is already pending or the wake lies past
+/// the horizon.
+pub(crate) fn resched_timer(core: &mut WorldCore, now: SimTime, id: NodeId) {
+    let TimerReq(wake) = {
+        let node = &core.nodes[id.index()];
+        if !node.phy.up {
+            return;
+        }
+        node.timer_request()
+    };
+    let horizon = core.horizon();
+    if wake >= core.nodes[id.index()].routing.timer_at || wake > horizon {
+        return;
+    }
+    let at = wake.max(now);
+    core.engine.schedule(at, Event::NodeTimer(id));
+    core.nodes[id.index()].routing.timer_at = at;
+}

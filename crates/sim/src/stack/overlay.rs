@@ -1,0 +1,230 @@
+//! The overlay-layer adapter: the (re)configuration algorithm and the
+//! query engine on top of routing.
+//!
+//! Receives [`DeliverUp`] verbs from the routing layer, feeds them to the
+//! member's [`Reconfigurator`](p2p_core::Reconfigurator) or
+//! [`QueryEngine`](p2p_content::QueryEngine), and pushes the resulting
+//! traffic back down as [`OverlayDown`] verbs. Also owns the overlay
+//! half of the power lifecycle (join, power-off, power-on) shared by the
+//! churn and crash subsystems.
+
+use manet_des::{NodeId, Rng, SimTime};
+use manet_obs::Severity;
+use p2p_core::{build_algo, OvAction};
+
+use crate::payload::AppMsg;
+use crate::stack::{routing, DeliverUp, OverlayDown};
+use crate::trace::TraceEvent;
+use crate::world::WorldCore;
+
+/// The member joins the overlay: start the algorithm and the query
+/// engine, then execute the first discovery traffic.
+pub(crate) fn join(core: &mut WorldCore, now: SimTime, id: NodeId) {
+    let node = &mut core.nodes[id.index()];
+    if !node.phy.up {
+        return;
+    }
+    let Some(member) = node.overlay.member.as_mut() else {
+        return;
+    };
+    member.joined = true;
+    let actions = member.algo.start(now);
+    member.engine.start(now);
+    core.trace.record(now, TraceEvent::Join { node: id });
+    core.obs_record(now, Severity::Info, "join", || {
+        format!("{id} joined the overlay")
+    });
+    exec_actions(core, now, id, actions);
+    core.trace_member_delta(now, id);
+    super::resched_timer(core, now, id);
+}
+
+/// Overlay + query timer tick at node `id` (no-op unless joined).
+pub(crate) fn tick(core: &mut WorldCore, now: SimTime, id: NodeId) {
+    if !core.nodes[id.index()].is_joined() {
+        return;
+    }
+    let ov_actions = {
+        let member = core.nodes[id.index()]
+            .overlay
+            .member
+            .as_mut()
+            .expect("joined");
+        member.algo.tick(now)
+    };
+    exec_actions(core, now, id, ov_actions);
+    let (sends, completed) = {
+        let member = core.nodes[id.index()]
+            .overlay
+            .member
+            .as_mut()
+            .expect("joined");
+        let neighbors = member.algo.neighbors();
+        member.engine.tick(now, &neighbors)
+    };
+    if let Some(done) = completed {
+        core.record_completed_query(id, &done);
+    }
+    exec_content(core, now, id, sends);
+    core.trace_member_delta(now, id);
+}
+
+/// An application payload reached node `at` (a [`DeliverUp`] verb from
+/// the routing layer): count it, trace it, and hand it to the member's
+/// overlay algorithm or query engine.
+pub(crate) fn deliver_up(core: &mut WorldCore, now: SimTime, at: NodeId, verb: DeliverUp) {
+    let DeliverUp {
+        src,
+        hops,
+        flood,
+        payload,
+    } = verb;
+    if !core.nodes[at.index()].is_joined() {
+        return; // pure relays have no overlay presence
+    }
+    core.counters.record(at, payload.kind());
+    if let Some(obs) = core.obs.as_deref_mut() {
+        obs.registry.observe(obs.h_hops, hops as u64);
+    }
+    if core.trace.enabled() {
+        core.trace.record(
+            now,
+            TraceEvent::DeliverUp {
+                node: at,
+                from: src,
+                kind: payload.kind(),
+                hops,
+            },
+        );
+    }
+    match payload {
+        AppMsg::Overlay(msg) => {
+            let acts = {
+                let m = core.nodes[at.index()]
+                    .overlay
+                    .member
+                    .as_mut()
+                    .expect("joined");
+                if flood {
+                    m.algo.on_flood(now, src, hops, &msg)
+                } else {
+                    m.algo.on_msg(now, src, hops, &msg)
+                }
+            };
+            exec_actions(core, now, at, acts);
+        }
+        AppMsg::Content(msg) => {
+            let sends = {
+                let m = core.nodes[at.index()]
+                    .overlay
+                    .member
+                    .as_mut()
+                    .expect("joined");
+                let neighbors = m.algo.neighbors();
+                m.engine.on_msg(now, src, hops, &msg, &neighbors)
+            };
+            exec_content(core, now, at, sends);
+        }
+    }
+    core.trace_member_delta(now, at);
+    super::resched_timer(core, now, at);
+}
+
+/// The routing layer gave up reaching `dst`: tell the overlay algorithm.
+pub(crate) fn peer_unreachable(core: &mut WorldCore, now: SimTime, at: NodeId, dst: NodeId) {
+    if !core.nodes[at.index()].is_joined() {
+        return;
+    }
+    let acts = {
+        let m = core.nodes[at.index()]
+            .overlay
+            .member
+            .as_mut()
+            .expect("joined");
+        m.algo.on_unreachable(now, dst)
+    };
+    exec_actions(core, now, at, acts);
+}
+
+/// The node's radio switches off (churn, crash): the overlay presence
+/// dies with it. Local state is discarded (a rebooted app); peers
+/// discover via failed pings.
+pub(crate) fn power_off(core: &mut WorldCore, now: SimTime, id: NodeId) {
+    let node = &mut core.nodes[id.index()];
+    node.phy.up = false;
+    if let Some(m) = node.overlay.member.as_mut() {
+        m.joined = false;
+    }
+    core.trace.record(
+        now,
+        TraceEvent::PowerChange {
+            node: id,
+            up: false,
+        },
+    );
+}
+
+/// The node's radio comes back (churn recovery, crash restart): members
+/// rebuild a fresh overlay instance from their stable seed — same
+/// identity and files, blank protocol state — and rejoin immediately.
+pub(crate) fn power_on(core: &mut WorldCore, now: SimTime, id: NodeId) {
+    let scenario_algo = core.scenario.algo;
+    let overlay_params = core.scenario.overlay;
+    let node = &mut core.nodes[id.index()];
+    node.phy.up = true;
+    let actions = if let Some(m) = node.overlay.member.as_mut() {
+        m.algo = build_algo(
+            scenario_algo,
+            id,
+            overlay_params,
+            m.qualifier,
+            Rng::new(m.algo_seed),
+        );
+        m.joined = true;
+        let actions = m.algo.start(now);
+        m.engine.start(now);
+        Some(actions)
+    } else {
+        None
+    };
+    if let Some(actions) = actions {
+        exec_actions(core, now, id, actions);
+    }
+    core.trace
+        .record(now, TraceEvent::PowerChange { node: id, up: true });
+}
+
+/// Execute a batch of overlay actions at node `at` by pushing
+/// [`OverlayDown`] verbs into the routing layer, in order.
+pub(crate) fn exec_actions(core: &mut WorldCore, now: SimTime, at: NodeId, actions: Vec<OvAction>) {
+    for action in actions {
+        match action {
+            OvAction::Flood { ttl, msg } => {
+                routing::overlay_down(core, now, at, OverlayDown::Flood { ttl, msg })
+            }
+            OvAction::Send { to, msg } => {
+                routing::overlay_down(core, now, at, OverlayDown::Send { to, msg })
+            }
+        }
+    }
+}
+
+/// Execute a batch of content-layer sends at node `at`.
+pub(crate) fn exec_content(
+    core: &mut WorldCore,
+    now: SimTime,
+    at: NodeId,
+    sends: Vec<p2p_content::CSend>,
+) {
+    for send in sends {
+        routing::overlay_down(
+            core,
+            now,
+            at,
+            OverlayDown::Content {
+                to: send.to,
+                msg: send.msg,
+            },
+        );
+    }
+}

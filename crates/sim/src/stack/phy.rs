@@ -1,0 +1,153 @@
+//! The phy-layer adapter: frame arrival and transmission.
+//!
+//! Owns all radio accounting (PHY stats, energy charges) and the only
+//! contact point with the [`Medium`](manet_radio::Medium): the routing
+//! layer hands down [`SendDown`] verbs, arriving frames are handed up as
+//! [`FrameUp`] verbs. Energy charges borrow the medium's config in place —
+//! no per-frame clone on the hot path.
+
+use std::time::Instant;
+
+use manet_des::{NodeId, SimTime};
+use manet_mobility::Mobility;
+use manet_obs::Severity;
+
+use crate::engine::Event;
+use crate::payload::AppMsg;
+use crate::stack::{routing, FrameUp, SendDown};
+use crate::world::WorldCore;
+
+/// A frame finished arriving at `to`: charge reception, then hand the
+/// frame up to the routing layer (unless the radio is off or the battery
+/// just died).
+pub(crate) fn frame_arrival(core: &mut WorldCore, now: SimTime, to: NodeId, frame: FrameUp) {
+    let FrameUp { from, msg } = frame;
+    let depleted = {
+        let cfg = core.medium.cfg();
+        let node = &mut core.nodes[to.index()];
+        if !node.phy.up || node.phy.energy.is_depleted() {
+            return;
+        }
+        let bytes = msg.wire_size();
+        node.phy.stats.on_receive(bytes);
+        node.phy.energy.charge_rx(cfg, bytes);
+        if node.phy.energy.is_depleted() {
+            node.phy.up = false;
+            true
+        } else {
+            false
+        }
+    };
+    if depleted {
+        core.obs_record(now, Severity::Warn, "depleted", || {
+            format!("{to} battery depleted; radio off")
+        });
+        return;
+    }
+    routing::frame_up(core, now, to, FrameUp { from, msg });
+}
+
+/// Execute a [`SendDown`] verb from the routing layer at node `from`.
+pub(crate) fn send_down(core: &mut WorldCore, now: SimTime, from: NodeId, verb: SendDown) {
+    match verb {
+        SendDown::Broadcast(msg) => broadcast(core, now, from, msg),
+        SendDown::Unicast { to, msg } => unicast(core, now, from, to, msg),
+    }
+}
+
+fn broadcast(core: &mut WorldCore, now: SimTime, from: NodeId, msg: manet_aodv::Msg<AppMsg>) {
+    let bytes = msg.wire_size();
+    {
+        let cfg = core.medium.cfg();
+        let node = &mut core.nodes[from.index()];
+        if !node.phy.up || node.phy.energy.is_depleted() {
+            return;
+        }
+        node.phy.stats.on_send(bytes);
+        node.phy.energy.charge_tx(cfg, bytes);
+    }
+    let pos = core.nodes[from.index()].mobility.position(now);
+    let faults = core.active_faults();
+    let t0 = core.obs.is_some().then(Instant::now);
+    core.medium.plan_broadcast(
+        &core.grid,
+        from,
+        pos,
+        bytes,
+        &mut core.radio_rng,
+        faults,
+        &mut core.scratch,
+    );
+    if let Some(t0) = t0 {
+        let fanout = core.scratch.receptions.len() as u64;
+        let obs = core.obs.as_deref_mut().expect("timed");
+        obs.spans.add(obs.s_plan, t0.elapsed());
+        obs.registry.observe(obs.h_fanout, fanout);
+    }
+    // Indexed loop: the scratch buffer must stay borrowable while the
+    // nodes and the queue are mutated (Reception is Copy).
+    for i in 0..core.scratch.receptions.len() {
+        let r = core.scratch.receptions[i];
+        if r.lost {
+            core.nodes[r.to.index()].phy.stats.on_loss();
+        } else {
+            core.engine.schedule(
+                now + r.after,
+                Event::Deliver {
+                    to: r.to,
+                    from,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+}
+
+fn unicast(
+    core: &mut WorldCore,
+    now: SimTime,
+    from: NodeId,
+    to: NodeId,
+    msg: manet_aodv::Msg<AppMsg>,
+) {
+    let bytes = msg.wire_size();
+    {
+        let cfg = core.medium.cfg();
+        let node = &mut core.nodes[from.index()];
+        if !node.phy.up || node.phy.energy.is_depleted() {
+            return;
+        }
+        node.phy.stats.on_send(bytes);
+        node.phy.energy.charge_tx(cfg, bytes);
+    }
+    let pos = core.nodes[from.index()].mobility.position(now);
+    // A down receiver is indistinguishable from an out-of-range one.
+    let receiver_up = core.nodes[to.index()].phy.up;
+    let plan = if receiver_up {
+        let faults = core.active_faults();
+        core.medium
+            .plan_unicast(&core.grid, pos, to, bytes, &mut core.radio_rng, faults)
+    } else {
+        None
+    };
+    match plan {
+        Some(r) if !r.lost => {
+            core.engine
+                .schedule(now + r.after, Event::Deliver { to, from, msg });
+        }
+        Some(_) => {
+            core.nodes[to.index()].phy.stats.on_loss();
+        }
+        None => {
+            core.nodes[from.index()].phy.stats.on_link_break();
+            core.obs_record(now, Severity::Debug, "link_break", || {
+                format!("{from} lost unicast link to {to}")
+            });
+            let acts = core.nodes[from.index()]
+                .routing
+                .aodv
+                .on_unicast_failed(now, to, msg);
+            routing::exec(core, now, from, acts);
+        }
+    }
+}

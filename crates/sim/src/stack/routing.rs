@@ -1,0 +1,91 @@
+//! The routing-layer adapter: the AODV machine between phy and overlay.
+//!
+//! Translates [`FrameUp`] verbs into AODV inputs and AODV
+//! [`Action`](manet_aodv::Action)s into [`SendDown`] / [`DeliverUp`]
+//! verbs. Execution is depth-first and immediate: each action completes
+//! (including any transmissions it plans and the RNG draws they make)
+//! before the next action of the same batch runs — this ordering is part
+//! of the deterministic contract.
+
+use manet_aodv::Action as AodvAction;
+use manet_des::{NodeId, SimTime};
+
+use crate::payload::AppMsg;
+use crate::stack::{overlay, phy, DeliverUp, FrameUp, OverlayDown, SendDown};
+use crate::world::WorldCore;
+
+/// A frame arrived from the phy layer at node `to`: feed it to AODV and
+/// execute the resulting actions, then re-arm the node's timer.
+pub(crate) fn frame_up(core: &mut WorldCore, now: SimTime, to: NodeId, frame: FrameUp) {
+    let actions = core.nodes[to.index()]
+        .routing
+        .aodv
+        .on_frame(now, frame.from, frame.msg);
+    exec(core, now, to, actions);
+    super::resched_timer(core, now, to);
+}
+
+/// Routing timer tick at node `id`.
+pub(crate) fn tick(core: &mut WorldCore, now: SimTime, id: NodeId) {
+    let actions = core.nodes[id.index()].routing.aodv.tick(now);
+    exec(core, now, id, actions);
+}
+
+/// Execute an [`OverlayDown`] verb from the overlay layer at node `at`:
+/// feed the payload into AODV and execute the resulting actions.
+pub(crate) fn overlay_down(core: &mut WorldCore, now: SimTime, at: NodeId, verb: OverlayDown) {
+    let aodv = &mut core.nodes[at.index()].routing.aodv;
+    let acts = match verb {
+        OverlayDown::Flood { ttl, msg } => aodv.flood(now, ttl.max(1), AppMsg::Overlay(msg)),
+        OverlayDown::Send { to, msg } => aodv.send(now, to, AppMsg::Overlay(msg)),
+        OverlayDown::Content { to, msg } => aodv.send(now, to, AppMsg::Content(msg)),
+    };
+    exec(core, now, at, acts);
+}
+
+/// Execute a batch of AODV actions at node `at`, in order, depth-first.
+pub(crate) fn exec(
+    core: &mut WorldCore,
+    now: SimTime,
+    at: NodeId,
+    actions: Vec<AodvAction<AppMsg>>,
+) {
+    for action in actions {
+        match action {
+            AodvAction::Broadcast(msg) => phy::send_down(core, now, at, SendDown::Broadcast(msg)),
+            AodvAction::Unicast { to, msg } => {
+                phy::send_down(core, now, at, SendDown::Unicast { to, msg })
+            }
+            AodvAction::Deliver { src, hops, payload } => overlay::deliver_up(
+                core,
+                now,
+                at,
+                DeliverUp {
+                    src,
+                    hops,
+                    flood: false,
+                    payload,
+                },
+            ),
+            AodvAction::DeliverFlood {
+                origin,
+                hops,
+                payload,
+            } => overlay::deliver_up(
+                core,
+                now,
+                at,
+                DeliverUp {
+                    src: origin,
+                    hops,
+                    flood: true,
+                    payload,
+                },
+            ),
+            AodvAction::Unreachable { dst, dropped } => {
+                let _ = dropped; // payload loss is visible via metrics
+                overlay::peer_unreachable(core, now, at, dst);
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Mobility as a subsystem: position epochs and periodic refreshes.
+
+use manet_des::{NodeId, SimTime};
+use manet_mobility::Mobility;
+
+use crate::engine::{SubCtx, SubEvent, Subsystem};
+
+/// Drives every node's mobility process: advances epochs, refreshes the
+/// spatial grid while a node is moving, and schedules the next
+/// re-evaluation.
+pub(crate) struct MobilityDriver;
+
+impl Subsystem for MobilityDriver {
+    fn seed_node(&mut self, ctx: &mut SubCtx<'_>, id: NodeId) {
+        schedule_next(ctx, id, SimTime::ZERO);
+    }
+
+    fn handle(&mut self, ctx: &mut SubCtx<'_>, now: SimTime, ev: SubEvent) {
+        let SubEvent::Node(id) = ev else { return };
+        let pos = {
+            let node = &mut ctx.core.nodes[id.index()];
+            if node.mobility.epoch_end() <= now {
+                node.mobility.advance(now, &mut node.mob_rng);
+            }
+            node.mobility.position(now)
+        };
+        ctx.core.grid.upsert(id.0, pos);
+        schedule_next(ctx, id, now);
+    }
+}
+
+/// Schedule the next position re-evaluation: the epoch end, or a
+/// periodic refresh while the node is actually moving.
+fn schedule_next(ctx: &mut SubCtx<'_>, id: NodeId, now: SimTime) {
+    let at = {
+        let node = &ctx.core.nodes[id.index()];
+        let epoch_end = node.mobility.epoch_end();
+        if epoch_end == SimTime::MAX {
+            return; // stationary forever
+        }
+        let refresh = now + ctx.core.scenario.position_refresh;
+        let moving = node.mobility.position(now) != node.mobility.position(refresh.min(epoch_end));
+        if moving {
+            refresh.min(epoch_end)
+        } else {
+            epoch_end
+        }
+    };
+    ctx.schedule(at.max(now), SubEvent::Node(id));
+}

@@ -1,0 +1,56 @@
+//! Observability series sampling as a passive post-dispatch tap.
+//!
+//! Registered only when the scenario's sink is enabled. The tap runs
+//! after every dispatched event and only *reads* simulation state
+//! (mirroring counters into the registry, appending series samples) — it
+//! never schedules events or draws randomness, so instrumented runs stay
+//! bit-identical to bare ones.
+
+use manet_des::{SimDuration, SimTime};
+
+use crate::engine::{SubCtx, Subsystem};
+use crate::world::WorldCore;
+
+/// Sim-time series sampling on the configured cadence, plus the final
+/// at-horizon sample every enabled sink gets.
+pub(crate) struct ObsSampler {
+    /// Sampling cadence (zero disables series sampling; the final
+    /// at-horizon counter mirror still happens).
+    period: SimDuration,
+    /// When the next series sample is due.
+    next_sample: SimTime,
+}
+
+impl ObsSampler {
+    pub(crate) fn new(cfg: manet_obs::ObsConfig) -> Self {
+        let period = SimDuration::from_secs_f64(cfg.sample_period_secs.max(0.0));
+        ObsSampler {
+            period,
+            next_sample: SimTime::ZERO + period,
+        }
+    }
+}
+
+impl Subsystem for ObsSampler {
+    fn init(&mut self, _ctx: &mut SubCtx<'_>) {}
+
+    fn wants_post_hook(&self) -> bool {
+        true
+    }
+
+    fn after_event(&mut self, core: &mut WorldCore, now: SimTime) {
+        if !self.period.is_zero() && now >= self.next_sample {
+            while self.next_sample <= now {
+                self.next_sample += self.period;
+            }
+            core.obs_sample(now, true);
+        }
+    }
+
+    fn on_finish(&mut self, core: &mut WorldCore) {
+        // Final sample at the horizon, so counter totals in the report
+        // match the run's end state even with series sampling off.
+        let horizon = core.horizon();
+        core.obs_sample(horizon, !self.period.is_zero());
+    }
+}

@@ -1,21 +1,28 @@
-//! The simulated world: nodes, medium, event loop.
+//! The simulated world: a slim engine, per-node layer stacks, and
+//! pluggable subsystems.
 //!
-//! One [`World`] is one replication: it owns every node's protocol stack
-//! (mobility → radio → AODV → overlay algorithm → query engine), the
-//! spatial grid, and the future-event list. All protocol crates are pure
-//! state machines; this module is the only place where their actions turn
-//! into scheduled events.
+//! One [`World`] is one replication. Since the layered refactor it is a
+//! thin composition root: the crate-private `Engine` (`crate::engine`)
+//! owns the clock and future-event list, every node's protocol stack
+//! (mobility → phy → AODV → overlay → query engine) lives in a
+//! `NodeStack` (`crate::stack`) whose layers talk through typed verbs,
+//! and every cross-cutting process (mobility epochs, churn, the fault
+//! plan, samplers) is a registered `Subsystem` (`crate::subsystems`)
+//! with its own event namespace. `WorldCore` is the shared state those
+//! parts operate on.
 //!
 //! Determinism: every random stream is forked from the replication seed
 //! with a fixed label, all per-node containers iterate in id order, and the
 //! event queue breaks timestamp ties by insertion order — so a `(scenario,
-//! seed)` pair reproduces byte-identical results on any machine.
+//! seed)` pair reproduces byte-identical results on any machine. The
+//! layered decomposition is held to the same contract: the
+//! `refactor_equivalence` test pins fingerprints captured on the
+//! pre-refactor monolith.
 
-use manet_aodv::{Action as AodvAction, Aodv, Msg};
-use manet_des::{EventQueue, NodeId, Rng, SchedulerKind, SimDuration, SimTime};
+use manet_des::{NodeId, Rng, SchedulerKind, SimTime};
 use manet_geom::{Point, SpatialGrid};
-use manet_graph::{small_world, Graph, SmallWorld};
-use manet_metrics::{FileMetrics, MsgKind, NodeCounters};
+use manet_graph::{Graph, SmallWorld};
+use manet_metrics::{FileMetrics, NodeCounters};
 use manet_mobility::{
     AnyMobility, GaussMarkov, GaussMarkovCfg, Mobility, RandomWalk, RandomWalkCfg, RandomWaypoint,
     RandomWaypointCfg, Rpgm, RpgmCfg, Stationary,
@@ -25,17 +32,21 @@ use manet_obs::{
 };
 use manet_radio::{EnergyMeter, LinkFaults, Medium, PhyStats, TxScratch};
 use p2p_content::{CompletedQuery, QueryEngine};
-use p2p_core::{build_algo, BoxedAlgo, OvAction, Role};
+use p2p_core::{build_algo, Role};
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use crate::payload::AppMsg;
+use crate::engine::{Engine, Event, SubCtx, Subsystem, SubsystemId};
+use crate::errors::ScenarioError;
 use crate::scenario::{MobilityKind, Scenario};
+use crate::stack::{FrameUp, MemberState, NodeStack, OverlayLayer, PhyLayer, RoutingLayer};
+use crate::subsystems;
 use crate::trace::{TraceEvent, TraceLog};
+use manet_aodv::Aodv;
 
 /// RNG stream labels (see DESIGN.md's determinism note).
-mod labels {
+pub(crate) mod labels {
     pub const RADIO: u64 = 1;
     pub const QUALIFIERS: u64 = 2;
     pub const CATALOG: u64 = 3;
@@ -49,78 +60,20 @@ mod labels {
     pub const ALGO_BASE: u64 = 3_000_000;
 }
 
-/// Everything scheduled in the future-event list.
-enum Event {
-    /// Re-evaluate a node's position (epoch end or periodic refresh).
-    Mobility(NodeId),
-    /// A frame finishes arriving at `to`.
-    Deliver {
-        to: NodeId,
-        from: NodeId,
-        msg: Msg<AppMsg>,
-    },
-    /// Combined protocol timer for one node.
-    NodeTimer(NodeId),
-    /// A member joins the overlay.
-    Join(NodeId),
-    /// Periodic small-world snapshot of the overlay graph.
-    SampleSmallWorld,
-    /// Churn: the node switches off.
-    ChurnDown(NodeId),
-    /// Churn: the node comes back.
-    ChurnUp(NodeId),
-    /// Fault plan: the burst process flips between quiet and bursting.
-    BurstToggle,
-    /// Fault plan: a scripted node crash.
-    FaultCrash(NodeId),
-    /// Fault plan: a crashed node reboots.
-    FaultRestart(NodeId),
-    /// Fault plan: a whole-medium flap window starts or ends.
-    FlapToggle,
-    /// Fault plan: a delay-spike window starts or ends.
-    JitterToggle,
-}
-
-/// Overlay-member state.
-struct MemberState {
-    algo: BoxedAlgo,
-    engine: QueryEngine,
-    joined: bool,
-    /// Seed to rebuild the algorithm after churn.
-    algo_seed: u64,
-    qualifier: u32,
-    /// Trace support: last observed neighbor set and role, to emit deltas.
-    last_neighbors: Vec<NodeId>,
-    last_role: Role,
-}
-
-/// One node's full stack.
-struct NodeState {
-    mobility: AnyMobility,
-    mob_rng: Rng,
-    aodv: Aodv<AppMsg>,
-    member: Option<MemberState>,
-    energy: EnergyMeter,
-    phy: PhyStats,
-    /// Radio on/off (churn, battery depletion).
-    up: bool,
-    /// Earliest scheduled NodeTimer (MAX = none) — avoids event storms.
-    timer_at: SimTime,
-}
-
 /// Observability sink state for one world: the metrics registry with its
 /// pre-resolved metric ids, the span profile and the flight recorder.
 ///
-/// Lives behind `Option<Box<_>>` on [`World`] so the disabled
+/// Lives behind `Option<Box<_>>` on [`WorldCore`] so the disabled
 /// configuration costs one pointer-null branch per event and nothing else.
 /// Everything recorded here is derived from simulation state the world
 /// maintains anyway — enabling observability never draws randomness,
 /// schedules events, or otherwise perturbs a run (the fingerprint tests
-/// hold it to that).
-struct ObsState {
-    registry: Registry,
-    spans: SpanProfile,
-    recorder: FlightRecorder,
+/// hold it to that). Series cadence lives in the
+/// [`ObsSampler`](crate::subsystems::ObsSampler) subsystem.
+pub(crate) struct ObsState {
+    pub(crate) registry: Registry,
+    pub(crate) spans: SpanProfile,
+    pub(crate) recorder: FlightRecorder,
     c_events: CounterId,
     c_scheduled: CounterId,
     c_retunes: CounterId,
@@ -132,22 +85,17 @@ struct ObsState {
     c_queries: CounterId,
     c_answers: CounterId,
     g_queue: GaugeId,
-    h_fanout: HistId,
-    h_hops: HistId,
+    pub(crate) h_fanout: HistId,
+    pub(crate) h_hops: HistId,
     s_pop: SpanId,
     s_dispatch: SpanId,
-    s_plan: SpanId,
-    /// Sim-time series cadence (zero disables series sampling).
-    sample_period: SimDuration,
-    /// When the next series sample is due.
-    next_sample: SimTime,
+    pub(crate) s_plan: SpanId,
 }
 
 impl ObsState {
     fn new(cfg: manet_obs::ObsConfig) -> Self {
         let mut registry = Registry::default();
         let mut spans = SpanProfile::new();
-        let sample_period = SimDuration::from_secs_f64(cfg.sample_period_secs.max(0.0));
         ObsState {
             c_events: registry.counter("des.events_popped"),
             c_scheduled: registry.counter("des.events_scheduled"),
@@ -168,10 +116,20 @@ impl ObsState {
             registry,
             spans,
             recorder: FlightRecorder::new(cfg.recorder_capacity),
-            sample_period,
-            next_sample: SimTime::ZERO + sample_period,
         }
     }
+}
+
+/// Medium-wide fault-window flags, flipped by the fault subsystems and
+/// read by [`WorldCore::active_faults`] on every planned transmission.
+#[derive(Default)]
+pub(crate) struct LinkState {
+    /// Burst process currently in the high-loss state?
+    pub(crate) burst_on: bool,
+    /// Inside a whole-medium flap window?
+    pub(crate) flap_on: bool,
+    /// Inside a delay-spike window?
+    pub(crate) jitter_on: bool,
 }
 
 /// Everything a finished replication reports.
@@ -223,6 +181,7 @@ impl RunResult {
     /// scheduler-equivalence tests and the bench harness use it to detect
     /// behavioural drift without field-by-field comparison.
     pub fn fingerprint(&self) -> u64 {
+        use manet_metrics::MsgKind;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         fn mix(h: &mut u64, x: u64) {
             *h = (*h ^ x).wrapping_mul(PRIME);
@@ -277,46 +236,389 @@ impl RunResult {
     }
 }
 
-/// One replication of a [`Scenario`].
-pub struct World {
-    scenario: Scenario,
-    queue: EventQueue<Event>,
-    grid: SpatialGrid,
-    medium: Medium,
-    radio_rng: Rng,
-    nodes: Vec<NodeState>,
-    members: Vec<NodeId>,
-    holders_by_file: Vec<Vec<NodeId>>,
-    counters: NodeCounters,
-    file_metrics: FileMetrics,
-    smallworld: Vec<(f64, SmallWorld)>,
-    churn_rng: Rng,
-    fault_rng: Rng,
-    /// Burst process state: currently in the high-loss state?
-    burst_on: bool,
-    /// Inside a whole-medium flap window?
-    flap_on: bool,
-    /// Inside a delay-spike window?
-    jitter_on: bool,
-    answers_received: u64,
-    events: u64,
-    /// Deepest the future-event list has been (live events).
-    peak_queue: usize,
+/// The shared simulation state every layer adapter and subsystem operates
+/// on: the engine, the node stacks, the medium, metrics accumulators and
+/// the optional observability sink. Kept separate from [`World`] so a
+/// subsystem (borrowed from `World::subsystems`) and the core can be
+/// borrowed mutably at the same time.
+pub(crate) struct WorldCore {
+    pub(crate) scenario: Scenario,
+    pub(crate) engine: Engine,
+    pub(crate) grid: SpatialGrid,
+    pub(crate) medium: Medium,
+    pub(crate) radio_rng: Rng,
+    pub(crate) nodes: Vec<NodeStack>,
+    pub(crate) members: Vec<NodeId>,
+    pub(crate) holders_by_file: Vec<Vec<NodeId>>,
+    pub(crate) counters: NodeCounters,
+    pub(crate) file_metrics: FileMetrics,
+    pub(crate) smallworld: Vec<(f64, SmallWorld)>,
+    pub(crate) link_state: LinkState,
+    pub(crate) answers_received: u64,
     /// Reusable transmission-planning buffers (zero-alloc hot path).
-    scratch: TxScratch,
-    trace: TraceLog,
+    pub(crate) scratch: TxScratch,
+    pub(crate) trace: TraceLog,
     /// Replication seed (kept for observability dump labels).
-    seed: u64,
+    pub(crate) seed: u64,
     /// Observability sink; `None` (the default) keeps the hot path to a
     /// single branch per event.
-    obs: Option<Box<ObsState>>,
+    pub(crate) obs: Option<Box<ObsState>>,
+}
+
+impl WorldCore {
+    /// The scenario horizon as an absolute time.
+    pub(crate) fn horizon(&self) -> SimTime {
+        SimTime::ZERO + self.scenario.duration
+    }
+
+    /// The impairment in force for a transmission planned right now,
+    /// composed from the independent loss/burst/flap/jitter processes.
+    pub(crate) fn active_faults(&self) -> LinkFaults {
+        let mut f = LinkFaults::NONE;
+        if let Some(loss) = &self.scenario.faults.loss {
+            f.extra_loss = loss.base;
+            if self.link_state.burst_on {
+                if let Some(b) = &loss.burst {
+                    f.extra_loss = f.extra_loss.max(b.burst_loss);
+                }
+            }
+        }
+        if self.link_state.flap_on {
+            f.extra_loss = 1.0;
+        }
+        if self.link_state.jitter_on {
+            if let Some(j) = &self.scenario.faults.jitter {
+                f.extra_delay = j.extra_delay;
+            }
+        }
+        f
+    }
+
+    /// Mirror the world's always-on counters into the registry and (when
+    /// `push_series`) append a time-series sample at `now`.
+    pub(crate) fn obs_sample(&mut self, now: SimTime, push_series: bool) {
+        let Some(mut obs) = self.obs.take() else {
+            return;
+        };
+        obs.registry.set(obs.c_events, self.engine.events);
+        obs.registry
+            .set(obs.c_scheduled, self.engine.queue().scheduled_total());
+        if let Some(stats) = self.engine.queue().calendar_stats() {
+            obs.registry.set(obs.c_retunes, stats[3]);
+        }
+        obs.registry
+            .set(obs.c_tx_planned, self.scratch.planned_total);
+        obs.registry.set(obs.c_tx_lost, self.scratch.lost_total);
+        let (mut rreq_orig, mut rreq_dup, mut flood_dup) = (0u64, 0u64, 0u64);
+        for node in &self.nodes {
+            let st = node.routing.aodv.stats();
+            rreq_orig += st.rreqs_originated;
+            rreq_dup += st.rreq_dup_dropped;
+            flood_dup += st.flood_dup_dropped;
+        }
+        obs.registry.set(obs.c_rreq_orig, rreq_orig);
+        obs.registry.set(obs.c_rreq_dup, rreq_dup);
+        obs.registry.set(obs.c_flood_dup, flood_dup);
+        let mut queries = 0u64;
+        for &id in &self.members {
+            if let Some(m) = &self.nodes[id.index()].overlay.member {
+                queries += m.engine.stats().issued;
+            }
+        }
+        obs.registry.set(obs.c_queries, queries);
+        obs.registry.set(obs.c_answers, self.answers_received);
+        obs.registry
+            .set_gauge(obs.g_queue, self.engine.len() as f64);
+        if push_series {
+            obs.registry.sample(now.as_secs_f64());
+        }
+        self.obs = Some(obs);
+    }
+
+    /// Append a flight-recorder entry. The message closure only runs when
+    /// the sink (and its recorder) is enabled, keeping format cost off the
+    /// disabled path.
+    pub(crate) fn obs_record(
+        &mut self,
+        now: SimTime,
+        severity: Severity,
+        tag: &'static str,
+        msg: impl FnOnce() -> String,
+    ) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            if obs.recorder.enabled() {
+                obs.recorder.record(now.as_secs_f64(), severity, tag, msg());
+            }
+        }
+    }
+
+    pub(crate) fn record_completed_query(&mut self, requirer: NodeId, done: &CompletedQuery) {
+        let dists: Vec<(u8, u8)> = done
+            .answers
+            .iter()
+            .map(|a| (a.adhoc_hops, a.p2p_hops))
+            .collect();
+        self.answers_received += done.answers.len() as u64;
+        let oracle = self.oracle_distance(requirer, done.file.0 as usize);
+        self.file_metrics
+            .record(done.file.0 as usize, &dists, oracle);
+    }
+
+    /// The paper's Fig 5-6 distance: "the minimum number of hops from the
+    /// source to the peer holding the requested information" — a BFS over
+    /// the instantaneous radio connectivity graph from the requirer to the
+    /// *nearest* holder of the file. `None` when no holder is reachable.
+    fn oracle_distance(&self, requirer: NodeId, file: usize) -> Option<u32> {
+        let holders = &self.holders_by_file[file];
+        if holders.is_empty() {
+            return None;
+        }
+        let targets: Vec<u32> = holders
+            .iter()
+            .filter(|h| self.nodes[h.index()].phy.up)
+            .map(|h| h.0)
+            .collect();
+        let graph = self.connectivity_graph();
+        graph.min_distance_to_any(requirer.0, &targets)
+    }
+
+    /// The instantaneous radio connectivity graph over all (up) nodes.
+    pub(crate) fn connectivity_graph(&self) -> Graph {
+        let n = self.nodes.len();
+        let mut g = Graph::new(n);
+        let range = self.medium.cfg().range_m;
+        let mut buf = Vec::new();
+        for (id, pos) in self.grid.iter() {
+            if !self.nodes[id as usize].phy.up {
+                continue;
+            }
+            self.grid.query_range(pos, range, id, &mut buf);
+            for &nb in &buf {
+                if nb > id && self.nodes[nb as usize].phy.up {
+                    g.add_edge(id, nb);
+                }
+            }
+        }
+        g
+    }
+
+    /// The current overlay graph over members (established references,
+    /// symmetric closure).
+    pub(crate) fn overlay_graph(&self) -> Graph {
+        let n = self.members.len();
+        let mut g = Graph::new(n);
+        for (slot, &id) in self.members.iter().enumerate() {
+            if let Some(m) = &self.nodes[id.index()].overlay.member {
+                for nb in m.algo.neighbors() {
+                    let other = nb.index();
+                    if other < n && other != slot {
+                        g.add_edge(slot as u32, nb.0);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// Emit ConnUp/ConnDown/RoleChange trace events from the member's
+    /// state delta since the last observation. No-op when tracing is off.
+    pub(crate) fn trace_member_delta(&mut self, now: SimTime, id: NodeId) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let Some(m) = self.nodes[id.index()].overlay.member.as_mut() else {
+            return;
+        };
+        let neighbors = m.algo.neighbors();
+        let role = m.algo.role();
+        let old = std::mem::replace(&mut m.last_neighbors, neighbors.clone());
+        let old_role = std::mem::replace(&mut m.last_role, role);
+        for &nb in &neighbors {
+            if !old.contains(&nb) {
+                self.trace
+                    .record(now, TraceEvent::ConnUp { node: id, peer: nb });
+            }
+        }
+        for &nb in &old {
+            if !neighbors.contains(&nb) {
+                self.trace
+                    .record(now, TraceEvent::ConnDown { node: id, peer: nb });
+            }
+        }
+        if role != old_role {
+            self.trace
+                .record(now, TraceEvent::RoleChange { node: id, role });
+        }
+    }
+
+    /// Structural sanity of the live world at time `now`; see
+    /// [`World::check_invariants`].
+    fn check_invariants(&self, now: SimTime) -> Vec<String> {
+        let mut v = Vec::new();
+        let n = self.nodes.len();
+
+        // Routing-table sanity.
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            for (dst, entry) in node.routing.aodv.table().iter() {
+                if *dst == id {
+                    v.push(format!("node {i}: routing-table entry for itself"));
+                }
+                if dst.index() >= n {
+                    v.push(format!("node {i}: route to nonexistent node {}", dst.0));
+                }
+                if entry.next_hop.index() >= n {
+                    v.push(format!(
+                        "node {i}: route to {} via nonexistent node {}",
+                        dst.0, entry.next_hop.0
+                    ));
+                }
+                if entry.next_hop == id {
+                    v.push(format!("node {i}: route to {} via itself", dst.0));
+                }
+                if entry.usable(now) && entry.hop_count == 0 {
+                    v.push(format!("node {i}: usable zero-hop route to {}", dst.0));
+                }
+            }
+        }
+
+        // Overlay neighbor-set sanity for live members.
+        let capacity = self.scenario.overlay.max_conn + self.scenario.overlay.max_slaves;
+        let mut neighbor_sets: Vec<Option<Vec<NodeId>>> = vec![None; n];
+        for &id in &self.members {
+            let node = &self.nodes[id.index()];
+            if !node.phy.up {
+                continue;
+            }
+            if let Some(m) = &node.overlay.member {
+                if m.joined {
+                    neighbor_sets[id.index()] = Some(m.algo.neighbors());
+                }
+            }
+        }
+        let mut directed = 0usize;
+        let mut asymmetric = 0usize;
+        for (i, set) in neighbor_sets.iter().enumerate() {
+            let Some(neighbors) = set else { continue };
+            if neighbors.len() > capacity {
+                v.push(format!(
+                    "member {i}: {} neighbors exceed capacity {capacity}",
+                    neighbors.len()
+                ));
+            }
+            for (k, &nb) in neighbors.iter().enumerate() {
+                if nb.index() == i {
+                    v.push(format!("member {i}: connected to itself"));
+                }
+                if nb.index() >= self.members.len() {
+                    v.push(format!("member {i}: neighbor {} is not a member", nb.0));
+                    continue;
+                }
+                if neighbors[..k].contains(&nb) {
+                    v.push(format!("member {i}: duplicate neighbor {}", nb.0));
+                }
+                // Symmetry against peers that are alive to answer for it.
+                if let Some(peer_set) = &neighbor_sets[nb.index()] {
+                    directed += 1;
+                    if !peer_set.contains(&NodeId(i as u32)) {
+                        asymmetric += 1;
+                    }
+                }
+            }
+        }
+        if directed >= 8 && asymmetric * 2 > directed {
+            v.push(format!(
+                "overlay symmetry: {asymmetric} of {directed} references one-sided"
+            ));
+        }
+
+        v
+    }
+
+    /// Consume the core and assemble the [`RunResult`].
+    fn finish_result(mut self) -> RunResult {
+        let obs = match self.obs.take() {
+            Some(o) => ObsReport {
+                registry: o.registry,
+                spans: o.spans,
+                recorder: o.recorder,
+                runs: 1,
+            },
+            None => ObsReport::default(),
+        };
+        let mut roles = [0usize; 5];
+        let mut established = 0;
+        let mut closed = 0;
+        let mut conn_count = 0usize;
+        let mut phy_total = PhyStats::default();
+        let mut energy = Vec::with_capacity(self.nodes.len());
+        let mut queries = 0;
+        for node in &self.nodes {
+            phy_total.merge(&node.phy.stats);
+            energy.push(node.phy.energy.spent_mj());
+            if let Some(m) = &node.overlay.member {
+                let idx = match m.algo.role() {
+                    Role::Servent => 0,
+                    Role::Initial => 1,
+                    Role::Reserved => 2,
+                    Role::Master => 3,
+                    Role::Slave => 4,
+                };
+                roles[idx] += 1;
+                let st = m.algo.conn_stats();
+                established += st.established;
+                closed += st.closed_total();
+                conn_count += m.algo.neighbors().len();
+                queries += m.engine.stats().issued;
+            }
+        }
+        let avg_connections = if self.members.is_empty() {
+            0.0
+        } else {
+            conn_count as f64 / self.members.len() as f64
+        };
+        RunResult {
+            counters: self.counters,
+            members: self.members,
+            file_metrics: self.file_metrics,
+            smallworld: self.smallworld,
+            phy_total,
+            energy_mj: energy,
+            roles,
+            conns_established: established,
+            conns_closed: closed,
+            queries_issued: queries,
+            answers_received: self.answers_received,
+            events: self.engine.events,
+            peak_queue_depth: self.engine.peak_queue,
+            avg_connections,
+            trace: self.trace,
+            obs,
+        }
+    }
+}
+
+/// One replication of a [`Scenario`]: the shared crate-private core plus
+/// the registered subsystems and the post-dispatch tap list.
+pub struct World {
+    core: WorldCore,
+    subsystems: Vec<Box<dyn Subsystem>>,
+    /// Indices of subsystems that opted into the post-dispatch tap.
+    post_hooks: Vec<SubsystemId>,
 }
 
 impl World {
     /// Build a world from a scenario and a replication seed, on the default
-    /// scheduler.
+    /// scheduler. Panics on an invalid scenario; see
+    /// [`try_new`](World::try_new) for the fallible twin.
     pub fn new(scenario: Scenario, seed: u64) -> Self {
         World::with_scheduler(scenario, seed, SchedulerKind::default())
+    }
+
+    /// Fallible constructor: returns the first configuration problem as a
+    /// typed [`ScenarioError`] instead of panicking.
+    pub fn try_new(scenario: Scenario, seed: u64) -> Result<Self, ScenarioError> {
+        World::try_with_scheduler(scenario, seed, SchedulerKind::default())
     }
 
     /// Build a world whose future-event list runs on `scheduler`.
@@ -324,7 +626,16 @@ impl World {
     /// The choice affects wall-clock speed only: results are bit-identical
     /// across schedulers (see [`RunResult::fingerprint`]).
     pub fn with_scheduler(scenario: Scenario, seed: u64, scheduler: SchedulerKind) -> Self {
-        scenario.validate();
+        World::try_with_scheduler(scenario, seed, scheduler).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`with_scheduler`](World::with_scheduler).
+    pub fn try_with_scheduler(
+        scenario: Scenario,
+        seed: u64,
+        scheduler: SchedulerKind,
+    ) -> Result<Self, ScenarioError> {
+        scenario.check()?;
         let master = Rng::new(seed);
         let area = scenario.area();
         let mut grid = SpatialGrid::new(area, scenario.radio.range_m);
@@ -449,40 +760,46 @@ impl World {
                 None
             };
 
-            nodes.push(NodeState {
+            nodes.push(NodeStack {
                 mobility,
                 mob_rng,
-                aodv: Aodv::new(id, scenario.aodv),
-                member,
-                energy: match scenario.battery_mj {
-                    Some(mj) => EnergyMeter::new(mj),
-                    None => EnergyMeter::unlimited(),
+                phy: PhyLayer {
+                    stats: PhyStats::default(),
+                    energy: match scenario.battery_mj {
+                        Some(mj) => EnergyMeter::new(mj),
+                        None => EnergyMeter::unlimited(),
+                    },
+                    up: true,
                 },
-                phy: PhyStats::default(),
-                up: true,
-                timer_at: SimTime::MAX,
+                routing: RoutingLayer {
+                    aodv: Aodv::new(id, scenario.aodv),
+                    timer_at: SimTime::MAX,
+                },
+                overlay: OverlayLayer { member },
             });
         }
 
-        let mut world = World {
+        let mut subsystems = subsystems::build(&scenario, &master);
+        let post_hooks: Vec<SubsystemId> = subsystems
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.wants_post_hook())
+            .map(|(k, _)| k as SubsystemId)
+            .collect();
+
+        let mut core = WorldCore {
             counters: NodeCounters::new(n),
             file_metrics: FileMetrics::new(scenario.catalog.n_files as usize),
             smallworld: Vec::new(),
             radio_rng: master.fork(labels::RADIO),
-            churn_rng: master.fork(labels::CHURN),
-            fault_rng: master.fork(labels::FAULTS),
-            burst_on: false,
-            flap_on: false,
-            jitter_on: false,
-            queue: EventQueue::with_scheduler(scheduler),
+            link_state: LinkState::default(),
+            engine: Engine::with_scheduler(scheduler),
             grid,
             medium,
             nodes,
             members,
             holders_by_file,
             answers_received: 0,
-            events: 0,
-            peak_queue: 0,
             scratch: TxScratch::default(),
             trace: TraceLog::new(scenario.trace_capacity),
             seed,
@@ -493,58 +810,42 @@ impl World {
             scenario,
         };
 
-        // Seed events: mobility epochs, staggered joins, samplers, churn.
+        // Seed initial events. Insertion order is part of the deterministic
+        // contract (timestamp ties break by insertion), so the interleaving
+        // mirrors the pre-refactor monolith: per node, every subsystem's
+        // per-node seeds (mobility) then the staggered join; afterwards each
+        // subsystem's one-time seeds in registration order (samplers, churn
+        // draws, the fault plan's windows and crashes).
         let mut join_rng = master.fork(labels::JOIN);
         for i in 0..n {
             let id = NodeId(i as u32);
-            world.schedule_mobility(id, SimTime::ZERO);
-            if world.nodes[i].member.is_some() {
+            for (k, sub) in subsystems.iter_mut().enumerate() {
+                sub.seed_node(
+                    &mut SubCtx {
+                        core: &mut core,
+                        owner: k as SubsystemId,
+                    },
+                    id,
+                );
+            }
+            if core.nodes[i].overlay.member.is_some() {
                 let at =
-                    SimTime::from_ticks(join_rng.below(world.scenario.join_window.ticks().max(1)));
-                world.queue.schedule(at, Event::Join(id));
+                    SimTime::from_ticks(join_rng.below(core.scenario.join_window.ticks().max(1)));
+                core.engine.schedule(at, Event::Join(id));
             }
         }
-        if let Some(period) = world.scenario.smallworld_sample {
-            world
-                .queue
-                .schedule(SimTime::ZERO + period, Event::SampleSmallWorld);
-        }
-        if let Some(churn) = world.scenario.churn {
-            for &id in &world.members.clone() {
-                let up = world.churn_rng.exponential(churn.mean_uptime);
-                world
-                    .queue
-                    .schedule(SimTime::from_secs_f64(up), Event::ChurnDown(id));
-            }
+        for (k, sub) in subsystems.iter_mut().enumerate() {
+            sub.init(&mut SubCtx {
+                core: &mut core,
+                owner: k as SubsystemId,
+            });
         }
 
-        // Fault plan: an empty plan schedules nothing and draws nothing, so
-        // fault-free runs stay byte-identical to the pre-fault simulator.
-        let faults = world.scenario.faults.clone();
-        if let Some(loss) = &faults.loss {
-            if let Some(burst) = &loss.burst {
-                let quiet = world.fault_rng.exponential(burst.mean_quiet);
-                world
-                    .queue
-                    .schedule(SimTime::from_secs_f64(quiet), Event::BurstToggle);
-            }
-        }
-        for crash in &faults.crashes {
-            world
-                .queue
-                .schedule(crash.at, Event::FaultCrash(crash.node));
-        }
-        if let Some(flaps) = &faults.link_flaps {
-            world
-                .queue
-                .schedule(SimTime::ZERO + flaps.period, Event::FlapToggle);
-        }
-        if let Some(jitter) = &faults.jitter {
-            world
-                .queue
-                .schedule(SimTime::ZERO + jitter.period, Event::JitterToggle);
-        }
-        world
+        Ok(World {
+            core,
+            subsystems,
+            post_hooks,
+        })
     }
 
     /// Process the next event, if it lies within the scenario horizon.
@@ -554,50 +855,63 @@ impl World {
     /// harnesses can interleave [`check_invariants`](World::check_invariants)
     /// with execution; [`run`](World::run) is the plain loop over it.
     pub fn step(&mut self) -> Option<SimTime> {
-        let horizon = SimTime::ZERO + self.scenario.duration;
-        self.peak_queue = self.peak_queue.max(self.queue.len());
-        if self.obs.is_some() {
+        let horizon = self.core.horizon();
+        if self.core.obs.is_some() {
             return self.step_observed(horizon);
         }
-        let (now, event) = self.queue.pop_before(horizon)?;
-        self.events += 1;
+        let (now, event) = self.core.engine.pop_before(horizon)?;
         self.dispatch(now, event);
+        self.run_post_hooks(now);
         Some(now)
     }
 
     /// The instrumented twin of [`step`](World::step): identical simulation
     /// behaviour, plus span timing around the scheduler pop and the event
-    /// dispatch, and opportunistic series sampling on the configured
-    /// sim-time cadence. Sampling only reads state — it never schedules
-    /// events or draws randomness — so observed and unobserved runs stay
-    /// bit-identical.
+    /// dispatch. The post-dispatch taps (series sampling) only read state —
+    /// they never schedule events or draw randomness — so observed and
+    /// unobserved runs stay bit-identical.
     fn step_observed(&mut self, horizon: SimTime) -> Option<SimTime> {
         let t0 = Instant::now();
-        let popped = self.queue.pop_before(horizon);
+        let popped = self.core.engine.pop_before(horizon);
         {
-            let obs = self.obs.as_mut().expect("observed step");
+            let obs = self.core.obs.as_mut().expect("observed step");
             obs.spans.add(obs.s_pop, t0.elapsed());
         }
         let (now, event) = popped?;
-        self.events += 1;
         let t1 = Instant::now();
         self.dispatch(now, event);
-        let sample_due = {
-            let obs = self.obs.as_mut().expect("observed step");
+        {
+            let obs = self.core.obs.as_mut().expect("observed step");
             obs.spans.add(obs.s_dispatch, t1.elapsed());
-            if !obs.sample_period.is_zero() && now >= obs.next_sample {
-                while obs.next_sample <= now {
-                    obs.next_sample += obs.sample_period;
-                }
-                true
-            } else {
-                false
-            }
-        };
-        if sample_due {
-            self.obs_sample(now, true);
         }
+        self.run_post_hooks(now);
         Some(now)
+    }
+
+    /// Route one event: node-stack traffic to the layer adapters,
+    /// namespaced events to their owning subsystem.
+    fn dispatch(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Deliver { to, from, msg } => {
+                crate::stack::phy::frame_arrival(&mut self.core, now, to, FrameUp { from, msg })
+            }
+            Event::NodeTimer(id) => crate::stack::node_timer(&mut self.core, now, id),
+            Event::Join(id) => crate::stack::overlay::join(&mut self.core, now, id),
+            Event::Sub(owner, ev) => self.subsystems[owner as usize].handle(
+                &mut SubCtx {
+                    core: &mut self.core,
+                    owner,
+                },
+                now,
+                ev,
+            ),
+        }
+    }
+
+    fn run_post_hooks(&mut self, now: SimTime) {
+        for &k in &self.post_hooks {
+            self.subsystems[k as usize].after_event(&mut self.core, now);
+        }
     }
 
     /// Execute the replication to `scenario.duration` and report.
@@ -611,14 +925,14 @@ impl World {
     ///
     /// The event loop runs inside `catch_unwind`, so a panicking fault-plan
     /// run still writes its JSONL post-mortem into `dump_dir` before the
-    /// panic resumes. After a clean run, [`check_invariants`]
-    /// (World::check_invariants) and the end-of-run conservation laws
+    /// panic resumes. After a clean run,
+    /// [`check_invariants`](World::check_invariants) and the conservation laws
     /// ([`crate::invariants::check_result`]) are evaluated; any violation
     /// is recorded at `Error` severity and dumped. Returns the result and
     /// the (already dumped) violations.
     pub fn run_checked(mut self, dump_dir: &Path) -> (RunResult, Vec<String>) {
         use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-        let seed = self.seed;
+        let seed = self.core.seed;
         let outcome = catch_unwind(AssertUnwindSafe(|| while self.step().is_some() {}));
         if let Err(payload) = outcome {
             let msg = payload
@@ -626,18 +940,18 @@ impl World {
                 .map(|s| s.to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".into());
-            let now = self.queue.now();
-            if let Some(obs) = self.obs.as_deref_mut() {
+            let now = self.core.engine.now();
+            if let Some(obs) = self.core.obs.as_deref_mut() {
                 obs.recorder
                     .record(now.as_secs_f64(), Severity::Error, "panic", msg.clone());
             }
             self.dump_obs(dump_dir, &format!("panic_seed{seed}"), &[msg]);
             resume_unwind(payload);
         }
-        let now = self.queue.now();
+        let now = self.core.engine.now();
         let mut violations = self.check_invariants(now);
         if !violations.is_empty() {
-            if let Some(obs) = self.obs.as_deref_mut() {
+            if let Some(obs) = self.core.obs.as_deref_mut() {
                 for v in &violations {
                     obs.recorder
                         .record(now.as_secs_f64(), Severity::Error, "invariant", v.clone());
@@ -645,7 +959,7 @@ impl World {
             }
             self.dump_obs(dump_dir, &format!("invariants_seed{seed}"), &violations);
         }
-        let scenario = self.scenario.clone();
+        let scenario = self.core.scenario.clone();
         let result = self.finish();
         let end = crate::invariants::check_result(&scenario, &result);
         if !end.is_empty() && result.obs.enabled() {
@@ -660,71 +974,14 @@ impl World {
         (result, violations)
     }
 
-    /// Mirror the world's always-on counters into the registry and (when
-    /// `push_series`) append a time-series sample at `now`.
-    fn obs_sample(&mut self, now: SimTime, push_series: bool) {
-        let Some(mut obs) = self.obs.take() else {
-            return;
-        };
-        obs.registry.set(obs.c_events, self.events);
-        obs.registry
-            .set(obs.c_scheduled, self.queue.scheduled_total());
-        if let Some(stats) = self.queue.calendar_stats() {
-            obs.registry.set(obs.c_retunes, stats[3]);
-        }
-        obs.registry
-            .set(obs.c_tx_planned, self.scratch.planned_total);
-        obs.registry.set(obs.c_tx_lost, self.scratch.lost_total);
-        let (mut rreq_orig, mut rreq_dup, mut flood_dup) = (0u64, 0u64, 0u64);
-        for node in &self.nodes {
-            let st = node.aodv.stats();
-            rreq_orig += st.rreqs_originated;
-            rreq_dup += st.rreq_dup_dropped;
-            flood_dup += st.flood_dup_dropped;
-        }
-        obs.registry.set(obs.c_rreq_orig, rreq_orig);
-        obs.registry.set(obs.c_rreq_dup, rreq_dup);
-        obs.registry.set(obs.c_flood_dup, flood_dup);
-        let mut queries = 0u64;
-        for &id in &self.members {
-            if let Some(m) = &self.nodes[id.index()].member {
-                queries += m.engine.stats().issued;
-            }
-        }
-        obs.registry.set(obs.c_queries, queries);
-        obs.registry.set(obs.c_answers, self.answers_received);
-        obs.registry.set_gauge(obs.g_queue, self.queue.len() as f64);
-        if push_series {
-            obs.registry.sample(now.as_secs_f64());
-        }
-        self.obs = Some(obs);
-    }
-
-    /// Append a flight-recorder entry. The message closure only runs when
-    /// the sink (and its recorder) is enabled, keeping format cost off the
-    /// disabled path.
-    fn obs_record(
-        &mut self,
-        now: SimTime,
-        severity: Severity,
-        tag: &'static str,
-        msg: impl FnOnce() -> String,
-    ) {
-        if let Some(obs) = self.obs.as_deref_mut() {
-            if obs.recorder.enabled() {
-                obs.recorder.record(now.as_secs_f64(), severity, tag, msg());
-            }
-        }
-    }
-
     /// Write the current observability state as a JSONL failure dump into
     /// `dir`. Returns the path written, or `None` when the sink is
     /// disabled (or the write failed).
     pub fn dump_obs(&mut self, dir: &Path, label: &str, violations: &[String]) -> Option<PathBuf> {
-        self.obs.as_ref()?;
-        let now = self.queue.now();
-        self.obs_sample(now, true);
-        let o = self.obs.as_ref().expect("sink enabled");
+        self.core.obs.as_ref()?;
+        let now = self.core.engine.now();
+        self.core.obs_sample(now, true);
+        let o = self.core.obs.as_ref().expect("sink enabled");
         let report = ObsReport {
             registry: o.registry.clone(),
             spans: o.spans.clone(),
@@ -735,717 +992,13 @@ impl World {
     }
 
     /// Consume the world and report. Harnesses driving [`step`](World::step)
-    /// themselves call this once `step` returns `None`.
+    /// themselves call this once `step` returns `None`. Subsystem finish
+    /// hooks (the sink's final at-horizon sample) run first.
     pub fn finish(mut self) -> RunResult {
-        // Final observability sample at the horizon, so counter totals in
-        // the report match the run's end state even with sampling off.
-        if self.obs.is_some() {
-            let horizon = SimTime::ZERO + self.scenario.duration;
-            let push_series = !self.obs.as_ref().expect("checked").sample_period.is_zero();
-            self.obs_sample(horizon, push_series);
+        for sub in &mut self.subsystems {
+            sub.on_finish(&mut self.core);
         }
-        let obs = match self.obs.take() {
-            Some(o) => ObsReport {
-                registry: o.registry,
-                spans: o.spans,
-                recorder: o.recorder,
-                runs: 1,
-            },
-            None => ObsReport::default(),
-        };
-        let mut roles = [0usize; 5];
-        let mut established = 0;
-        let mut closed = 0;
-        let mut conn_count = 0usize;
-        let mut phy_total = PhyStats::default();
-        let mut energy = Vec::with_capacity(self.nodes.len());
-        let mut queries = 0;
-        for node in &self.nodes {
-            phy_total.merge(&node.phy);
-            energy.push(node.energy.spent_mj());
-            if let Some(m) = &node.member {
-                let idx = match m.algo.role() {
-                    Role::Servent => 0,
-                    Role::Initial => 1,
-                    Role::Reserved => 2,
-                    Role::Master => 3,
-                    Role::Slave => 4,
-                };
-                roles[idx] += 1;
-                let st = m.algo.conn_stats();
-                established += st.established;
-                closed += st.closed_total();
-                conn_count += m.algo.neighbors().len();
-                queries += m.engine.stats().issued;
-            }
-        }
-        let avg_connections = if self.members.is_empty() {
-            0.0
-        } else {
-            conn_count as f64 / self.members.len() as f64
-        };
-        RunResult {
-            counters: self.counters,
-            members: self.members,
-            file_metrics: self.file_metrics,
-            smallworld: self.smallworld,
-            phy_total,
-            energy_mj: energy,
-            roles,
-            conns_established: established,
-            conns_closed: closed,
-            queries_issued: queries,
-            answers_received: self.answers_received,
-            events: self.events,
-            peak_queue_depth: self.peak_queue,
-            avg_connections,
-            trace: self.trace,
-            obs,
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Event dispatch
-    // ------------------------------------------------------------------
-
-    fn dispatch(&mut self, now: SimTime, event: Event) {
-        match event {
-            Event::Mobility(id) => self.on_mobility(now, id),
-            Event::Deliver { to, from, msg } => self.on_deliver(now, to, from, msg),
-            Event::NodeTimer(id) => self.on_node_timer(now, id),
-            Event::Join(id) => self.on_join(now, id),
-            Event::SampleSmallWorld => self.on_sample(now),
-            Event::ChurnDown(id) => self.on_churn_down(now, id),
-            Event::ChurnUp(id) => self.on_churn_up(now, id),
-            Event::BurstToggle => self.on_burst_toggle(now),
-            Event::FaultCrash(id) => self.on_fault_crash(now, id),
-            Event::FaultRestart(id) => self.on_fault_restart(now, id),
-            Event::FlapToggle => self.on_flap_toggle(now),
-            Event::JitterToggle => self.on_jitter_toggle(now),
-        }
-    }
-
-    fn on_mobility(&mut self, now: SimTime, id: NodeId) {
-        let node = &mut self.nodes[id.index()];
-        if node.mobility.epoch_end() <= now {
-            node.mobility.advance(now, &mut node.mob_rng);
-        }
-        let pos = node.mobility.position(now);
-        self.grid.upsert(id.0, pos);
-        self.schedule_mobility(id, now);
-    }
-
-    /// Schedule the next position re-evaluation: the epoch end, or a
-    /// periodic refresh while the node is actually moving.
-    fn schedule_mobility(&mut self, id: NodeId, now: SimTime) {
-        let node = &self.nodes[id.index()];
-        let epoch_end = node.mobility.epoch_end();
-        if epoch_end == SimTime::MAX {
-            return; // stationary forever
-        }
-        let refresh = now + self.scenario.position_refresh;
-        let moving = node.mobility.position(now) != node.mobility.position(refresh.min(epoch_end));
-        let at = if moving {
-            refresh.min(epoch_end)
-        } else {
-            epoch_end
-        };
-        self.queue.schedule(at.max(now), Event::Mobility(id));
-    }
-
-    fn on_join(&mut self, now: SimTime, id: NodeId) {
-        let node = &mut self.nodes[id.index()];
-        if !node.up {
-            return;
-        }
-        let Some(member) = node.member.as_mut() else {
-            return;
-        };
-        member.joined = true;
-        let actions = member.algo.start(now);
-        member.engine.start(now);
-        self.trace.record(now, TraceEvent::Join { node: id });
-        self.obs_record(now, Severity::Info, "join", || {
-            format!("{id} joined the overlay")
-        });
-        self.exec_overlay(now, id, actions);
-        self.trace_member_delta(now, id);
-        self.reschedule_timer(now, id);
-    }
-
-    fn on_node_timer(&mut self, now: SimTime, id: NodeId) {
-        {
-            let node = &mut self.nodes[id.index()];
-            node.timer_at = SimTime::MAX;
-            if !node.up {
-                return;
-            }
-        }
-        // Routing timer.
-        let aodv_actions = self.nodes[id.index()].aodv.tick(now);
-        self.exec_aodv(now, id, aodv_actions);
-        // Overlay + query timers.
-        let is_joined = self.nodes[id.index()]
-            .member
-            .as_ref()
-            .is_some_and(|m| m.joined);
-        if is_joined {
-            let ov_actions = {
-                let member = self.nodes[id.index()].member.as_mut().expect("joined");
-                member.algo.tick(now)
-            };
-            self.exec_overlay(now, id, ov_actions);
-            let (sends, completed) = {
-                let member = self.nodes[id.index()].member.as_mut().expect("joined");
-                let neighbors = member.algo.neighbors();
-                member.engine.tick(now, &neighbors)
-            };
-            if let Some(done) = completed {
-                self.record_completed_query(id, &done);
-            }
-            self.exec_content(now, id, sends);
-            self.trace_member_delta(now, id);
-        }
-        self.reschedule_timer(now, id);
-    }
-
-    fn on_sample(&mut self, now: SimTime) {
-        let graph = self.overlay_graph();
-        if let Some(sw) = small_world(&graph) {
-            self.smallworld.push((now.as_secs_f64(), sw));
-        }
-        if let Some(period) = self.scenario.smallworld_sample {
-            self.queue.schedule(now + period, Event::SampleSmallWorld);
-        }
-    }
-
-    fn on_churn_down(&mut self, now: SimTime, id: NodeId) {
-        let churn = self.scenario.churn.expect("churn event without config");
-        let node = &mut self.nodes[id.index()];
-        node.up = false;
-        // The overlay presence dies with the radio; peers discover via
-        // failed pings. Local state is discarded (a rebooted app).
-        if let Some(m) = node.member.as_mut() {
-            m.joined = false;
-        }
-        self.trace.record(
-            now,
-            TraceEvent::PowerChange {
-                node: id,
-                up: false,
-            },
-        );
-        self.obs_record(now, Severity::Warn, "churn", || {
-            format!("{id} churned down")
-        });
-        let down = self.churn_rng.exponential(churn.mean_downtime);
-        self.queue
-            .schedule(now + SimDuration::from_secs_f64(down), Event::ChurnUp(id));
-    }
-
-    fn on_churn_up(&mut self, now: SimTime, id: NodeId) {
-        let churn = self.scenario.churn.expect("churn event without config");
-        let scenario_algo = self.scenario.algo;
-        let overlay = self.scenario.overlay;
-        let node = &mut self.nodes[id.index()];
-        node.up = true;
-        if let Some(m) = node.member.as_mut() {
-            // Fresh overlay state, same identity and files.
-            m.algo = build_algo(
-                scenario_algo,
-                id,
-                overlay,
-                m.qualifier,
-                Rng::new(m.algo_seed),
-            );
-            m.joined = true;
-            let actions = m.algo.start(now);
-            m.engine.start(now);
-            self.exec_overlay(now, id, actions);
-        }
-        self.trace
-            .record(now, TraceEvent::PowerChange { node: id, up: true });
-        self.obs_record(now, Severity::Info, "churn", || format!("{id} churned up"));
-        let up = self.churn_rng.exponential(churn.mean_uptime);
-        self.queue
-            .schedule(now + SimDuration::from_secs_f64(up), Event::ChurnDown(id));
-        self.reschedule_timer(now, id);
-    }
-
-    // ------------------------------------------------------------------
-    // Fault plan
-    // ------------------------------------------------------------------
-
-    /// The impairment in force for a transmission planned right now,
-    /// composed from the independent loss/burst/flap/jitter processes.
-    fn active_faults(&self) -> LinkFaults {
-        let mut f = LinkFaults::NONE;
-        if let Some(loss) = &self.scenario.faults.loss {
-            f.extra_loss = loss.base;
-            if self.burst_on {
-                if let Some(b) = &loss.burst {
-                    f.extra_loss = f.extra_loss.max(b.burst_loss);
-                }
-            }
-        }
-        if self.flap_on {
-            f.extra_loss = 1.0;
-        }
-        if self.jitter_on {
-            if let Some(j) = &self.scenario.faults.jitter {
-                f.extra_delay = j.extra_delay;
-            }
-        }
-        f
-    }
-
-    fn on_burst_toggle(&mut self, now: SimTime) {
-        let Some(burst) = self.scenario.faults.loss.as_ref().and_then(|l| l.burst) else {
-            return;
-        };
-        self.burst_on = !self.burst_on;
-        let on = self.burst_on;
-        self.obs_record(now, Severity::Warn, "fault", || {
-            format!("loss burst {}", if on { "started" } else { "ended" })
-        });
-        let mean = if self.burst_on {
-            burst.mean_burst
-        } else {
-            burst.mean_quiet
-        };
-        let dwell = self.fault_rng.exponential(mean);
-        self.queue
-            .schedule(now + SimDuration::from_secs_f64(dwell), Event::BurstToggle);
-    }
-
-    fn on_fault_crash(&mut self, now: SimTime, id: NodeId) {
-        let restart_after = self
-            .scenario
-            .faults
-            .crashes
-            .iter()
-            .find(|c| c.node == id && c.at <= now)
-            .and_then(|c| c.restart_after);
-        let node = &mut self.nodes[id.index()];
-        node.up = false;
-        // As with churn, the overlay presence dies with the radio and local
-        // overlay state is discarded; peers find out via failed pings.
-        if let Some(m) = node.member.as_mut() {
-            m.joined = false;
-        }
-        self.trace.record(
-            now,
-            TraceEvent::PowerChange {
-                node: id,
-                up: false,
-            },
-        );
-        self.obs_record(now, Severity::Warn, "crash", || format!("{id} crashed"));
-        if let Some(after) = restart_after {
-            self.queue.schedule(now + after, Event::FaultRestart(id));
-        }
-    }
-
-    fn on_fault_restart(&mut self, now: SimTime, id: NodeId) {
-        let scenario_algo = self.scenario.algo;
-        let overlay = self.scenario.overlay;
-        let node = &mut self.nodes[id.index()];
-        node.up = true;
-        if let Some(m) = node.member.as_mut() {
-            // Fresh overlay state, same identity and files (a reboot).
-            m.algo = build_algo(
-                scenario_algo,
-                id,
-                overlay,
-                m.qualifier,
-                Rng::new(m.algo_seed),
-            );
-            m.joined = true;
-            let actions = m.algo.start(now);
-            m.engine.start(now);
-            self.exec_overlay(now, id, actions);
-        }
-        self.trace
-            .record(now, TraceEvent::PowerChange { node: id, up: true });
-        self.obs_record(now, Severity::Info, "crash", || format!("{id} restarted"));
-        self.reschedule_timer(now, id);
-    }
-
-    fn on_flap_toggle(&mut self, now: SimTime) {
-        let Some(flaps) = self.scenario.faults.link_flaps else {
-            return;
-        };
-        self.flap_on = !self.flap_on;
-        let on = self.flap_on;
-        self.obs_record(now, Severity::Warn, "fault", || {
-            format!("link flap {}", if on { "started" } else { "ended" })
-        });
-        let next = if self.flap_on {
-            flaps.down
-        } else {
-            flaps.period - flaps.down
-        };
-        self.queue.schedule(now + next, Event::FlapToggle);
-    }
-
-    fn on_jitter_toggle(&mut self, now: SimTime) {
-        let Some(jitter) = self.scenario.faults.jitter else {
-            return;
-        };
-        self.jitter_on = !self.jitter_on;
-        let on = self.jitter_on;
-        self.obs_record(now, Severity::Warn, "fault", || {
-            format!("delay spike {}", if on { "started" } else { "ended" })
-        });
-        let next = if self.jitter_on {
-            jitter.width
-        } else {
-            jitter.period - jitter.width
-        };
-        self.queue.schedule(now + next, Event::JitterToggle);
-    }
-
-    fn on_deliver(&mut self, now: SimTime, to: NodeId, from: NodeId, msg: Msg<AppMsg>) {
-        let depleted = {
-            let node = &mut self.nodes[to.index()];
-            if !node.up || node.energy.is_depleted() {
-                return;
-            }
-            let bytes = msg.wire_size();
-            node.phy.on_receive(bytes);
-            node.energy.charge_rx(&self.medium.cfg().clone(), bytes);
-            if node.energy.is_depleted() {
-                node.up = false;
-                true
-            } else {
-                false
-            }
-        };
-        if depleted {
-            self.obs_record(now, Severity::Warn, "depleted", || {
-                format!("{to} battery depleted; radio off")
-            });
-            return;
-        }
-        let actions = self.nodes[to.index()].aodv.on_frame(now, from, msg);
-        self.exec_aodv(now, to, actions);
-        self.reschedule_timer(now, to);
-    }
-
-    // ------------------------------------------------------------------
-    // Action execution
-    // ------------------------------------------------------------------
-
-    fn exec_aodv(&mut self, now: SimTime, at: NodeId, actions: Vec<AodvAction<AppMsg>>) {
-        for action in actions {
-            match action {
-                AodvAction::Broadcast(msg) => self.transmit_broadcast(now, at, msg),
-                AodvAction::Unicast { to, msg } => self.transmit_unicast(now, at, to, msg),
-                AodvAction::Deliver { src, hops, payload } => {
-                    self.deliver_up(now, at, src, hops, payload, false)
-                }
-                AodvAction::DeliverFlood {
-                    origin,
-                    hops,
-                    payload,
-                } => self.deliver_up(now, at, origin, hops, payload, true),
-                AodvAction::Unreachable { dst, dropped } => {
-                    let _ = dropped; // payload loss is visible via metrics
-                    let is_joined = self.nodes[at.index()]
-                        .member
-                        .as_ref()
-                        .is_some_and(|m| m.joined);
-                    if is_joined {
-                        let acts = {
-                            let m = self.nodes[at.index()].member.as_mut().expect("joined");
-                            m.algo.on_unreachable(now, dst)
-                        };
-                        self.exec_overlay(now, at, acts);
-                    }
-                }
-            }
-        }
-    }
-
-    fn exec_overlay(&mut self, now: SimTime, at: NodeId, actions: Vec<OvAction>) {
-        for action in actions {
-            match action {
-                OvAction::Flood { ttl, msg } => {
-                    let acts =
-                        self.nodes[at.index()]
-                            .aodv
-                            .flood(now, ttl.max(1), AppMsg::Overlay(msg));
-                    self.exec_aodv(now, at, acts);
-                }
-                OvAction::Send { to, msg } => {
-                    let acts = self.nodes[at.index()]
-                        .aodv
-                        .send(now, to, AppMsg::Overlay(msg));
-                    self.exec_aodv(now, at, acts);
-                }
-            }
-        }
-    }
-
-    fn exec_content(&mut self, now: SimTime, at: NodeId, sends: Vec<p2p_content::CSend>) {
-        for send in sends {
-            let acts = self.nodes[at.index()]
-                .aodv
-                .send(now, send.to, AppMsg::Content(send.msg));
-            self.exec_aodv(now, at, acts);
-        }
-    }
-
-    fn deliver_up(
-        &mut self,
-        now: SimTime,
-        at: NodeId,
-        src: NodeId,
-        hops: u8,
-        payload: AppMsg,
-        flood: bool,
-    ) {
-        let is_joined = self.nodes[at.index()]
-            .member
-            .as_ref()
-            .is_some_and(|m| m.joined);
-        if !is_joined {
-            return; // pure relays have no overlay presence
-        }
-        self.counters.record(at, payload.kind());
-        if let Some(obs) = self.obs.as_deref_mut() {
-            obs.registry.observe(obs.h_hops, hops as u64);
-        }
-        if self.trace.enabled() {
-            self.trace.record(
-                now,
-                TraceEvent::DeliverUp {
-                    node: at,
-                    from: src,
-                    kind: payload.kind(),
-                    hops,
-                },
-            );
-        }
-        match payload {
-            AppMsg::Overlay(msg) => {
-                let acts = {
-                    let m = self.nodes[at.index()].member.as_mut().expect("joined");
-                    if flood {
-                        m.algo.on_flood(now, src, hops, &msg)
-                    } else {
-                        m.algo.on_msg(now, src, hops, &msg)
-                    }
-                };
-                self.exec_overlay(now, at, acts);
-            }
-            AppMsg::Content(msg) => {
-                let sends = {
-                    let m = self.nodes[at.index()].member.as_mut().expect("joined");
-                    let neighbors = m.algo.neighbors();
-                    m.engine.on_msg(now, src, hops, &msg, &neighbors)
-                };
-                self.exec_content(now, at, sends);
-            }
-        }
-        self.trace_member_delta(now, at);
-        self.reschedule_timer(now, at);
-    }
-
-    fn transmit_broadcast(&mut self, now: SimTime, from: NodeId, msg: Msg<AppMsg>) {
-        let bytes = msg.wire_size();
-        {
-            let node = &mut self.nodes[from.index()];
-            if !node.up || node.energy.is_depleted() {
-                return;
-            }
-            node.phy.on_send(bytes);
-            node.energy.charge_tx(&self.medium.cfg().clone(), bytes);
-        }
-        let pos = self.nodes[from.index()].mobility.position(now);
-        let faults = self.active_faults();
-        let t0 = self.obs.is_some().then(Instant::now);
-        self.medium.plan_broadcast(
-            &self.grid,
-            from,
-            pos,
-            bytes,
-            &mut self.radio_rng,
-            faults,
-            &mut self.scratch,
-        );
-        if let Some(t0) = t0 {
-            let fanout = self.scratch.receptions.len() as u64;
-            let obs = self.obs.as_deref_mut().expect("timed");
-            obs.spans.add(obs.s_plan, t0.elapsed());
-            obs.registry.observe(obs.h_fanout, fanout);
-        }
-        // Indexed loop: the scratch buffer must stay borrowable while the
-        // nodes and the queue are mutated (Reception is Copy).
-        for i in 0..self.scratch.receptions.len() {
-            let r = self.scratch.receptions[i];
-            if r.lost {
-                self.nodes[r.to.index()].phy.on_loss();
-            } else {
-                self.queue.schedule(
-                    now + r.after,
-                    Event::Deliver {
-                        to: r.to,
-                        from,
-                        msg: msg.clone(),
-                    },
-                );
-            }
-        }
-    }
-
-    fn transmit_unicast(&mut self, now: SimTime, from: NodeId, to: NodeId, msg: Msg<AppMsg>) {
-        let bytes = msg.wire_size();
-        {
-            let node = &mut self.nodes[from.index()];
-            if !node.up || node.energy.is_depleted() {
-                return;
-            }
-            node.phy.on_send(bytes);
-            node.energy.charge_tx(&self.medium.cfg().clone(), bytes);
-        }
-        let pos = self.nodes[from.index()].mobility.position(now);
-        // A down receiver is indistinguishable from an out-of-range one.
-        let receiver_up = self.nodes[to.index()].up;
-        let plan = if receiver_up {
-            let faults = self.active_faults();
-            self.medium
-                .plan_unicast(&self.grid, pos, to, bytes, &mut self.radio_rng, faults)
-        } else {
-            None
-        };
-        match plan {
-            Some(r) if !r.lost => {
-                self.queue
-                    .schedule(now + r.after, Event::Deliver { to, from, msg });
-            }
-            Some(_) => {
-                self.nodes[to.index()].phy.on_loss();
-            }
-            None => {
-                self.nodes[from.index()].phy.on_link_break();
-                self.obs_record(now, Severity::Debug, "link_break", || {
-                    format!("{from} lost unicast link to {to}")
-                });
-                let acts = self.nodes[from.index()]
-                    .aodv
-                    .on_unicast_failed(now, to, msg);
-                self.exec_aodv(now, from, acts);
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Support
-    // ------------------------------------------------------------------
-
-    fn reschedule_timer(&mut self, now: SimTime, id: NodeId) {
-        let wake = {
-            let node = &self.nodes[id.index()];
-            if !node.up {
-                return;
-            }
-            let mut wake = node.aodv.next_wake();
-            if let Some(m) = &node.member {
-                if m.joined {
-                    wake = wake.min(m.algo.next_wake()).min(m.engine.next_wake());
-                }
-            }
-            wake
-        };
-        let horizon = SimTime::ZERO + self.scenario.duration;
-        if wake >= self.nodes[id.index()].timer_at || wake > horizon {
-            return; // an earlier (or equal) timer is already pending
-        }
-        let at = wake.max(now);
-        self.queue.schedule(at, Event::NodeTimer(id));
-        self.nodes[id.index()].timer_at = at;
-    }
-
-    fn record_completed_query(&mut self, requirer: NodeId, done: &CompletedQuery) {
-        let dists: Vec<(u8, u8)> = done
-            .answers
-            .iter()
-            .map(|a| (a.adhoc_hops, a.p2p_hops))
-            .collect();
-        self.answers_received += done.answers.len() as u64;
-        let oracle = self.oracle_distance(requirer, done.file.0 as usize);
-        self.file_metrics
-            .record(done.file.0 as usize, &dists, oracle);
-    }
-
-    /// The paper's Fig 5-6 distance: "the minimum number of hops from the
-    /// source to the peer holding the requested information" — a BFS over
-    /// the instantaneous radio connectivity graph from the requirer to the
-    /// *nearest* holder of the file. `None` when no holder is reachable.
-    fn oracle_distance(&self, requirer: NodeId, file: usize) -> Option<u32> {
-        let holders = &self.holders_by_file[file];
-        if holders.is_empty() {
-            return None;
-        }
-        let targets: Vec<u32> = holders
-            .iter()
-            .filter(|h| self.nodes[h.index()].up)
-            .map(|h| h.0)
-            .collect();
-        let graph = self.connectivity_graph();
-        graph.min_distance_to_any(requirer.0, &targets)
-    }
-
-    /// The instantaneous radio connectivity graph over all (up) nodes.
-    pub fn connectivity_graph(&self) -> Graph {
-        let n = self.nodes.len();
-        let mut g = Graph::new(n);
-        let range = self.medium.cfg().range_m;
-        let mut buf = Vec::new();
-        for (id, pos) in self.grid.iter() {
-            if !self.nodes[id as usize].up {
-                continue;
-            }
-            self.grid.query_range(pos, range, id, &mut buf);
-            for &nb in &buf {
-                if nb > id && self.nodes[nb as usize].up {
-                    g.add_edge(id, nb);
-                }
-            }
-        }
-        g
-    }
-
-    /// Emit ConnUp/ConnDown/RoleChange trace events from the member's
-    /// state delta since the last observation. No-op when tracing is off.
-    fn trace_member_delta(&mut self, now: SimTime, id: NodeId) {
-        if !self.trace.enabled() {
-            return;
-        }
-        let Some(m) = self.nodes[id.index()].member.as_mut() else {
-            return;
-        };
-        let neighbors = m.algo.neighbors();
-        let role = m.algo.role();
-        let old = std::mem::replace(&mut m.last_neighbors, neighbors.clone());
-        let old_role = std::mem::replace(&mut m.last_role, role);
-        for &nb in &neighbors {
-            if !old.contains(&nb) {
-                self.trace
-                    .record(now, TraceEvent::ConnUp { node: id, peer: nb });
-            }
-        }
-        for &nb in &old {
-            if !neighbors.contains(&nb) {
-                self.trace
-                    .record(now, TraceEvent::ConnDown { node: id, peer: nb });
-            }
-        }
-        if role != old_role {
-            self.trace
-                .record(now, TraceEvent::RoleChange { node: id, role });
-        }
+        self.core.finish_result()
     }
 
     /// Structural sanity of the live world at time `now`: routing tables
@@ -1457,109 +1010,25 @@ impl World {
     /// Connect/Accept/Confirm handshake leaves edges one-sided for a
     /// message round-trip, so only a mostly-asymmetric overlay is flagged.
     pub fn check_invariants(&self, now: SimTime) -> Vec<String> {
-        let mut v = Vec::new();
-        let n = self.nodes.len();
+        self.core.check_invariants(now)
+    }
 
-        // Routing-table sanity.
-        for (i, node) in self.nodes.iter().enumerate() {
-            let id = NodeId(i as u32);
-            for (dst, entry) in node.aodv.table().iter() {
-                if *dst == id {
-                    v.push(format!("node {i}: routing-table entry for itself"));
-                }
-                if dst.index() >= n {
-                    v.push(format!("node {i}: route to nonexistent node {}", dst.0));
-                }
-                if entry.next_hop.index() >= n {
-                    v.push(format!(
-                        "node {i}: route to {} via nonexistent node {}",
-                        dst.0, entry.next_hop.0
-                    ));
-                }
-                if entry.next_hop == id {
-                    v.push(format!("node {i}: route to {} via itself", dst.0));
-                }
-                if entry.usable(now) && entry.hop_count == 0 {
-                    v.push(format!("node {i}: usable zero-hop route to {}", dst.0));
-                }
-            }
-        }
-
-        // Overlay neighbor-set sanity for live members.
-        let capacity = self.scenario.overlay.max_conn + self.scenario.overlay.max_slaves;
-        let mut neighbor_sets: Vec<Option<Vec<NodeId>>> = vec![None; n];
-        for &id in &self.members {
-            let node = &self.nodes[id.index()];
-            if !node.up {
-                continue;
-            }
-            if let Some(m) = &node.member {
-                if m.joined {
-                    neighbor_sets[id.index()] = Some(m.algo.neighbors());
-                }
-            }
-        }
-        let mut directed = 0usize;
-        let mut asymmetric = 0usize;
-        for (i, set) in neighbor_sets.iter().enumerate() {
-            let Some(neighbors) = set else { continue };
-            if neighbors.len() > capacity {
-                v.push(format!(
-                    "member {i}: {} neighbors exceed capacity {capacity}",
-                    neighbors.len()
-                ));
-            }
-            for (k, &nb) in neighbors.iter().enumerate() {
-                if nb.index() == i {
-                    v.push(format!("member {i}: connected to itself"));
-                }
-                if nb.index() >= self.members.len() {
-                    v.push(format!("member {i}: neighbor {} is not a member", nb.0));
-                    continue;
-                }
-                if neighbors[..k].contains(&nb) {
-                    v.push(format!("member {i}: duplicate neighbor {}", nb.0));
-                }
-                // Symmetry against peers that are alive to answer for it.
-                if let Some(peer_set) = &neighbor_sets[nb.index()] {
-                    directed += 1;
-                    if !peer_set.contains(&NodeId(i as u32)) {
-                        asymmetric += 1;
-                    }
-                }
-            }
-        }
-        if directed >= 8 && asymmetric * 2 > directed {
-            v.push(format!(
-                "overlay symmetry: {asymmetric} of {directed} references one-sided"
-            ));
-        }
-
-        v
+    /// The instantaneous radio connectivity graph over all (up) nodes.
+    pub fn connectivity_graph(&self) -> Graph {
+        self.core.connectivity_graph()
     }
 
     /// The current overlay graph over members (established references,
     /// symmetric closure).
     pub fn overlay_graph(&self) -> Graph {
-        let n = self.members.len();
-        let mut g = Graph::new(n);
-        for (slot, &id) in self.members.iter().enumerate() {
-            if let Some(m) = &self.nodes[id.index()].member {
-                for nb in m.algo.neighbors() {
-                    let other = nb.index();
-                    if other < n && other != slot {
-                        g.add_edge(slot as u32, nb.0);
-                    }
-                }
-            }
-        }
-        g
+        self.core.overlay_graph()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use manet_des::SimDuration;
     use manet_metrics::MsgKind;
     use p2p_core::AlgoKind;
 
@@ -1587,7 +1056,7 @@ mod tests {
         let mut next_dump = 0u64;
         while let Some(now) = w.step() {
             if now.ticks() >= next_dump {
-                if let Some(s) = w.queue.calendar_stats() {
+                if let Some(s) = w.core.engine.queue().calendar_stats() {
                     eprintln!(
                         "t={:>4}s pops={} winvisits={} fallbacks={} rebuilds={} width={} buckets={} items={}",
                         now.ticks() / 1_000_000, s[0], s[1], s[2], s[3], s[4], s[5], s[6]
@@ -1596,7 +1065,7 @@ mod tests {
                 next_dump = now.ticks() + 30_000_000;
             }
         }
-        eprintln!("wall: {:?} events={}", t0.elapsed(), w.events);
+        eprintln!("wall: {:?} events={}", t0.elapsed(), w.core.engine.events);
     }
 
     #[test]
@@ -1781,5 +1250,22 @@ mod tests {
         s.mobility = MobilityKind::Stationary;
         let r = World::new(s, 13).run();
         assert!(r.events > 0);
+    }
+
+    #[test]
+    fn invalid_scenarios_surface_as_typed_errors() {
+        let mut s = Scenario::quick(20, AlgoKind::Regular, 120);
+        s.n_nodes = 1;
+        match World::try_new(s, 1) {
+            Err(ScenarioError::TooFewNodes { n_nodes: 1 }) => {}
+            other => panic!("expected TooFewNodes, got {:?}", other.err()),
+        }
+        let mut s = Scenario::quick(20, AlgoKind::Regular, 120);
+        s.faults =
+            crate::faults::FaultPlan::loss_and_crash(0.1, NodeId(99), SimTime::from_secs(10), None);
+        match World::try_new(s, 1) {
+            Err(ScenarioError::CrashTargetOutOfRange { node: 99, .. }) => {}
+            other => panic!("expected CrashTargetOutOfRange, got {:?}", other.err()),
+        }
     }
 }
