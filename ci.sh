@@ -63,6 +63,23 @@ cargo run --release -q --offline -p manet-sim --bin reproduce -- \
     --nodes 12 --duration 60 --reps 1 --obs-out "$OBS_SMOKE_DIR" > /dev/null
 cargo run --release -q --offline -p manet-obs --bin obs_check -- "$OBS_SMOKE_DIR"
 
+stage "trace smoke"
+# One short instrumented run with causal tracing on; obs_check validates
+# the exported artifacts (trace-event quintet, parent links, monotone
+# timestamps, JSON round-trip) and trace_query summarises one of them.
+TRACE_SMOKE_DIR="target/trace_smoke"
+rm -rf "$TRACE_SMOKE_DIR"
+cargo run --release -q --offline -p manet-sim --bin reproduce -- \
+    --nodes 20 --duration 120 --reps 1 --trace-out "$TRACE_SMOKE_DIR" > /dev/null 2>&1
+cargo run --release -q --offline -p manet-obs --bin obs_check -- "$TRACE_SMOKE_DIR"
+# Via a temp file rather than `| head`: head closing the pipe early would
+# kill trace_query with SIGPIPE under pipefail.
+cargo run --release -q --offline -p manet-obs --bin trace_query -- \
+    "$TRACE_SMOKE_DIR/Regular_rep0.trace.json" > target/trace_smoke_summary.txt
+head -n 5 target/trace_smoke_summary.txt
+grep -q "route_discovery" target/trace_smoke_summary.txt \
+    || { echo "trace_query produced no latency decomposition"; exit 1; }
+
 stage "perf gate (disabled sink)"
 # The observability sink must stay free when off: events/sec on the 200-node
 # 900 s Regular hot-path scenario within 2% of the checked-in baseline.

@@ -227,10 +227,11 @@ mod tests {
         };
         let mut net = TestNet::new(2, c);
         // No link: everything queues at the discovery buffer.
-        let a0 = net.nodes[0].send(SimTime::ZERO, NodeId(1), TestPayload(1));
+        let none = manet_des::TraceCtx::NONE;
+        let a0 = net.nodes[0].send(SimTime::ZERO, NodeId(1), TestPayload(1), none);
         assert_eq!(a0.len(), 1, "first send opens a discovery");
-        net.nodes[0].send(SimTime::ZERO, NodeId(1), TestPayload(2));
-        net.nodes[0].send(SimTime::ZERO, NodeId(1), TestPayload(3));
+        net.nodes[0].send(SimTime::ZERO, NodeId(1), TestPayload(2), none);
+        net.nodes[0].send(SimTime::ZERO, NodeId(1), TestPayload(3), none);
         assert_eq!(net.nodes[0].stats().data_dropped, 1);
         // Link up and let the retry deliver what survived.
         net.link(0, 1);
@@ -276,9 +277,15 @@ mod tests {
             node.next_wake() >= SimTime::from_secs(1),
             "only purge pending"
         );
-        node.send(SimTime::ZERO, NodeId(9), TestPayload(1));
+        let ctx = manet_des::TraceCtx::root(42, 1);
+        node.send(SimTime::ZERO, NodeId(9), TestPayload(1), ctx);
         let wake = node.next_wake();
         assert!(wake <= SimTime::ZERO + cfg().ring_timeout(cfg().ttl_start));
+        assert_eq!(
+            node.next_wake_ctx(),
+            ctx,
+            "the armed wake belongs to the waiting discovery"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use manet_des::{NodeId, SimTime};
+use manet_des::{NodeId, SimTime, TraceCtx};
 
 use crate::cfg::AodvCfg;
 use crate::msg::{seq_newer, Data, Flood, Hello, Msg, Payload, Rerr, Rrep, Rreq};
@@ -29,6 +29,8 @@ pub enum Action<P> {
         hops: u8,
         /// The payload itself.
         payload: P,
+        /// Causal context the payload travelled with.
+        ctx: TraceCtx,
     },
     /// A controlled-broadcast payload reached this node; hand it up.
     DeliverFlood {
@@ -38,6 +40,8 @@ pub enum Action<P> {
         hops: u8,
         /// The payload itself.
         payload: P,
+        /// Causal context the flood travelled with.
+        ctx: TraceCtx,
     },
     /// Route discovery for `dst` failed after all retries.
     Unreachable {
@@ -45,6 +49,8 @@ pub enum Action<P> {
         dst: NodeId,
         /// Payloads that were waiting for the route, in send order.
         dropped: Vec<P>,
+        /// Causal context of the payload that opened the discovery.
+        ctx: TraceCtx,
     },
 }
 
@@ -83,8 +89,14 @@ struct Discovery<P> {
     attempt: u8,
     /// When the current attempt times out.
     deadline: SimTime,
-    /// Payloads waiting for the route.
-    queue: Vec<P>,
+    /// Payloads waiting for the route, each with the context it was sent
+    /// under (later sends may belong to a different query than the one
+    /// that opened the discovery).
+    queue: Vec<(P, TraceCtx)>,
+    /// Context of the payload that opened this discovery: every RREQ
+    /// attempt (including ring retries) is attributed to it, so the
+    /// route-acquisition cost lands on the query that paid for it.
+    ctx: TraceCtx,
 }
 
 /// The AODV engine for one node. `P` is the upper-layer payload type.
@@ -173,6 +185,24 @@ impl<P: Payload> Aodv<P> {
             .min(self.next_hello)
     }
 
+    /// Causal context of the wake reported by [`next_wake`](Self::next_wake):
+    /// the waiting discovery's context when the earliest deadline is a
+    /// route-discovery retry, [`TraceCtx::NONE`] when it is housekeeping or
+    /// a HELLO beacon. Lets the simulation attribute the armed timer to the
+    /// query that is waiting on it.
+    pub fn next_wake_ctx(&self) -> TraceCtx {
+        let mut best: Option<(SimTime, TraceCtx)> = None;
+        for d in self.pending.values() {
+            if best.is_none_or(|(t, _)| d.deadline < t) {
+                best = Some((d.deadline, d.ctx));
+            }
+        }
+        match best {
+            Some((t, ctx)) if t <= self.next_purge && t <= self.next_hello => ctx,
+            _ => TraceCtx::NONE,
+        }
+    }
+
     /// Record that `from` was just heard (HELLO-mode neighbor tracking).
     fn heard(&mut self, now: SimTime, from: NodeId) {
         if self.cfg.hello_interval.is_some() {
@@ -184,14 +214,16 @@ impl<P: Payload> Aodv<P> {
     // Upper-layer entry points
     // ------------------------------------------------------------------
 
-    /// Send `payload` to `dst`, discovering a route if necessary.
-    pub fn send(&mut self, now: SimTime, dst: NodeId, payload: P) -> Vec<Action<P>> {
+    /// Send `payload` to `dst` under causal context `ctx`, discovering a
+    /// route if necessary (pass [`TraceCtx::NONE`] when untraced).
+    pub fn send(&mut self, now: SimTime, dst: NodeId, payload: P, ctx: TraceCtx) -> Vec<Action<P>> {
         let mut out = Vec::new();
         if dst == self.id {
             out.push(Action::Deliver {
                 src: self.id,
                 hops: 0,
                 payload,
+                ctx,
             });
             return out;
         }
@@ -207,6 +239,7 @@ impl<P: Payload> Aodv<P> {
                     dst,
                     hops: 0,
                     payload,
+                    ctx,
                 }),
             });
             return out;
@@ -218,13 +251,14 @@ impl<P: Payload> Aodv<P> {
                     d.queue.remove(0);
                     self.stats.data_dropped += 1;
                 }
-                d.queue.push(payload);
+                d.queue.push((payload, ctx));
             }
             None => {
                 let mut d = Discovery {
                     attempt: 0,
                     deadline: SimTime::MAX,
-                    queue: vec![payload],
+                    queue: vec![(payload, ctx)],
+                    ctx,
                 };
                 out.push(self.emit_rreq(now, dst, &mut d));
                 self.pending.insert(dst, d);
@@ -234,8 +268,9 @@ impl<P: Payload> Aodv<P> {
     }
 
     /// Originate a controlled hop-limited broadcast of `payload` reaching
-    /// nodes up to `ttl` ad-hoc hops away (the paper's connect mechanism).
-    pub fn flood(&mut self, now: SimTime, ttl: u8, payload: P) -> Vec<Action<P>> {
+    /// nodes up to `ttl` ad-hoc hops away (the paper's connect mechanism),
+    /// under causal context `ctx`.
+    pub fn flood(&mut self, now: SimTime, ttl: u8, payload: P, ctx: TraceCtx) -> Vec<Action<P>> {
         assert!(ttl >= 1, "flood ttl must be at least 1");
         let flood_id = self.next_flood_id;
         self.next_flood_id += 1;
@@ -249,6 +284,7 @@ impl<P: Payload> Aodv<P> {
             ttl,
             hops: 0,
             payload,
+            ctx,
         }))]
     }
 
@@ -272,7 +308,8 @@ impl<P: Payload> Aodv<P> {
                 self.stats.data_dropped += d.queue.len() as u64;
                 out.push(Action::Unreachable {
                     dst,
-                    dropped: d.queue,
+                    dropped: d.queue.into_iter().map(|(p, _)| p).collect(),
+                    ctx: d.ctx,
                 });
             }
         }
@@ -301,8 +338,10 @@ impl<P: Payload> Aodv<P> {
                 let broken = self.table.break_link(nb);
                 if !broken.is_empty() {
                     self.stats.rerrs_sent += 1;
+                    // Beacon silence is background upkeep: no query caused it.
                     out.push(Action::Broadcast(Msg::Rerr(Rerr {
                         unreachable: broken,
+                        ctx: TraceCtx::NONE,
                     })));
                 }
             }
@@ -315,10 +354,12 @@ impl<P: Payload> Aodv<P> {
     pub fn on_unicast_failed(&mut self, now: SimTime, to: NodeId, msg: Msg<P>) -> Vec<Action<P>> {
         let mut out = Vec::new();
         let broken = self.table.break_link(to);
+        // The error is attributed to whatever the failed frame was doing.
+        let ctx = msg.ctx();
         if let Msg::Data(d) = msg {
             if d.src == self.id {
-                // We originated it: buffer and rediscover.
-                out.extend(self.send(now, d.dst, d.payload));
+                // We originated it: buffer and rediscover under its context.
+                out.extend(self.send(now, d.dst, d.payload, d.ctx));
             } else {
                 self.stats.data_dropped += 1;
             }
@@ -327,6 +368,7 @@ impl<P: Payload> Aodv<P> {
             self.stats.rerrs_sent += 1;
             out.push(Action::Broadcast(Msg::Rerr(Rerr {
                 unreachable: broken,
+                ctx,
             })));
         }
         out
@@ -383,6 +425,7 @@ impl<P: Payload> Aodv<P> {
             dest_seq,
             hop_count: 0,
             ttl,
+            ctx: d.ctx,
         }))
     }
 
@@ -399,7 +442,7 @@ impl<P: Payload> Aodv<P> {
         };
         let next_hop = route.next_hop;
         if let Some(d) = self.pending.remove(&dst) {
-            for payload in d.queue {
+            for (payload, ctx) in d.queue {
                 out.push(Action::Unicast {
                     to: next_hop,
                     msg: Msg::Data(Data {
@@ -407,6 +450,7 @@ impl<P: Payload> Aodv<P> {
                         dst,
                         hops: 0,
                         payload,
+                        ctx,
                     }),
                 });
             }
@@ -453,6 +497,7 @@ impl<P: Payload> Aodv<P> {
                     dest_seq: self.seq,
                     origin: rreq.origin,
                     hop_count: 0,
+                    ctx: rreq.ctx,
                 }),
             });
             return out;
@@ -479,6 +524,7 @@ impl<P: Payload> Aodv<P> {
                         dest_seq,
                         origin: rreq.origin,
                         hop_count,
+                        ctx: rreq.ctx,
                     }),
                 });
                 return out;
@@ -538,6 +584,7 @@ impl<P: Payload> Aodv<P> {
             self.stats.rerrs_sent += 1;
             out.push(Action::Broadcast(Msg::Rerr(Rerr {
                 unreachable: propagate,
+                ctx: rerr.ctx,
             })));
         }
         out
@@ -555,6 +602,7 @@ impl<P: Payload> Aodv<P> {
                 src: data.src,
                 hops,
                 payload: data.payload,
+                ctx: data.ctx,
             });
             return out;
         }
@@ -583,6 +631,7 @@ impl<P: Payload> Aodv<P> {
             self.stats.rerrs_sent += 1;
             out.push(Action::Broadcast(Msg::Rerr(Rerr {
                 unreachable: vec![(data.dst, seq)],
+                ctx: data.ctx,
             })));
         }
         out
@@ -618,6 +667,7 @@ impl<P: Payload> Aodv<P> {
             origin: flood.origin,
             hops,
             payload: flood.payload.clone(),
+            ctx: flood.ctx,
         });
         if flood.ttl > 1 {
             self.stats.floods_forwarded += 1;

@@ -3,8 +3,15 @@
 //! Sizes follow the RFC 3561 packet formats (RREQ 24 B, RREP 20 B, RERR
 //! 4 + 8 B per unreachable destination) plus a small link header, so the
 //! radio's serialization-delay and energy models see realistic byte counts.
+//!
+//! Every frame except HELLO additionally carries a [`TraceCtx`]: pure
+//! simulation metadata naming the query (or reconfiguration round) that
+//! caused the frame. It is deliberately **excluded from
+//! [`wire_size`](Msg::wire_size)** — a real implementation would not put
+//! it on the air — so the radio's delay and energy models, and therefore
+//! every simulation outcome, are identical whether tracing is on or off.
 
-use manet_des::NodeId;
+use manet_des::{NodeId, TraceCtx};
 
 /// Upper-layer payloads must report their encoded size for the radio model.
 pub trait Payload: Clone + std::fmt::Debug {
@@ -32,6 +39,9 @@ pub struct Rreq {
     pub hop_count: u8,
     /// Remaining time-to-live in hops (expanding-ring search).
     pub ttl: u8,
+    /// Causal context of the payload whose delivery needed this route
+    /// (simulation metadata, not wire bytes).
+    pub ctx: TraceCtx,
 }
 
 /// Route reply (unicast back along the reverse path).
@@ -45,6 +55,9 @@ pub struct Rrep {
     pub origin: NodeId,
     /// Hops from the replying point to `dest`, incremented en route.
     pub hop_count: u8,
+    /// Causal context inherited from the RREQ being answered
+    /// (simulation metadata, not wire bytes).
+    pub ctx: TraceCtx,
 }
 
 /// Route error: destinations that became unreachable, with the sequence
@@ -53,6 +66,10 @@ pub struct Rrep {
 pub struct Rerr {
     /// `(destination, its invalidated sequence number)` pairs.
     pub unreachable: Vec<(NodeId, u32)>,
+    /// Causal context of the traffic that exposed the broken route;
+    /// [`TraceCtx::NONE`] for errors raised by beacon silence
+    /// (simulation metadata, not wire bytes).
+    pub ctx: TraceCtx,
 }
 
 /// Routed application data.
@@ -66,6 +83,9 @@ pub struct Data<P> {
     pub hops: u8,
     /// The overlay payload.
     pub payload: P,
+    /// Causal context of the sending query or reconfiguration round
+    /// (simulation metadata, not wire bytes).
+    pub ctx: TraceCtx,
 }
 
 /// Controlled hop-limited broadcast — the paper's ns-2 patch. Every node
@@ -83,6 +103,9 @@ pub struct Flood<P> {
     pub hops: u8,
     /// The overlay payload.
     pub payload: P,
+    /// Causal context of the flooding query or reconfiguration round
+    /// (simulation metadata, not wire bytes).
+    pub ctx: TraceCtx,
 }
 
 /// Link-liveness beacon (RFC 3561 §6.9), enabled by
@@ -116,6 +139,33 @@ impl<P: Payload> Msg<P> {
                 Msg::Flood(f) => 16 + f.payload.wire_size(),
                 Msg::Hello(_) => 8,
             }
+    }
+
+    /// The causal context this frame carries ([`TraceCtx::NONE`] for
+    /// HELLO beacons, which are background traffic by definition).
+    pub fn ctx(&self) -> TraceCtx {
+        match self {
+            Msg::Rreq(m) => m.ctx,
+            Msg::Rrep(m) => m.ctx,
+            Msg::Rerr(m) => m.ctx,
+            Msg::Data(m) => m.ctx,
+            Msg::Flood(m) => m.ctx,
+            Msg::Hello(_) => TraceCtx::NONE,
+        }
+    }
+
+    /// Replace the carried causal context (no-op for HELLO). Used by
+    /// recording points to stamp the just-recorded span back onto the
+    /// frame before forwarding it.
+    pub fn set_ctx(&mut self, ctx: TraceCtx) {
+        match self {
+            Msg::Rreq(m) => m.ctx = ctx,
+            Msg::Rrep(m) => m.ctx = ctx,
+            Msg::Rerr(m) => m.ctx = ctx,
+            Msg::Data(m) => m.ctx = ctx,
+            Msg::Flood(m) => m.ctx = ctx,
+            Msg::Hello(_) => {}
+        }
     }
 
     /// Short tag for logging and metrics.
@@ -166,11 +216,13 @@ mod tests {
             dest_seq: None,
             hop_count: 0,
             ttl: 3,
+            ctx: TraceCtx::NONE,
         });
         assert_eq!(rreq.wire_size(), LINK_HEADER + 24);
 
         let rerr: Msg<Blob> = Msg::Rerr(Rerr {
             unreachable: vec![(NodeId(1), 5), (NodeId(2), 9)],
+            ctx: TraceCtx::NONE,
         });
         assert_eq!(rerr.wire_size(), LINK_HEADER + 4 + 16);
 
@@ -179,8 +231,14 @@ mod tests {
             dst: NodeId(2),
             hops: 0,
             payload: Blob(100),
+            ctx: TraceCtx::NONE,
         });
         assert_eq!(data.wire_size(), LINK_HEADER + 16 + 100);
+        // ctx is metadata: an active context must not change the size.
+        let mut traced = data.clone();
+        traced.set_ctx(TraceCtx::root(9, 1));
+        assert_eq!(traced.wire_size(), data.wire_size());
+        assert_eq!(traced.ctx(), TraceCtx::root(9, 1));
     }
 
     #[test]
@@ -191,8 +249,14 @@ mod tests {
             ttl: 2,
             hops: 0,
             payload: Blob(1),
+            ctx: TraceCtx::NONE,
         });
         assert_eq!(f.kind(), "flood");
+        assert_eq!(f.ctx(), TraceCtx::NONE);
+        let hello: Msg<Blob> = Msg::Hello(Hello { seq: 1 });
+        let mut hello2 = hello.clone();
+        hello2.set_ctx(TraceCtx::root(3, 1));
+        assert_eq!(hello2.ctx(), TraceCtx::NONE, "hello never carries a ctx");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use manet_des::{NodeId, SimDuration, SimTime};
+use manet_des::{NodeId, SimDuration, SimTime, TraceCtx};
 
 use crate::cfg::AodvCfg;
 use crate::machine::{Action, Aodv};
@@ -86,14 +86,14 @@ impl<P: Payload> TestNet<P> {
 
     /// Upper-layer send from `src` to `dst`; then run the network to quiescence.
     pub fn send(&mut self, src: u32, dst: u32, payload: P) {
-        let actions = self.nodes[src as usize].send(self.now, NodeId(dst), payload);
+        let actions = self.nodes[src as usize].send(self.now, NodeId(dst), payload, TraceCtx::NONE);
         self.execute(NodeId(src), actions);
         self.run();
     }
 
     /// Originate a controlled broadcast from `src`; run to quiescence.
     pub fn flood(&mut self, src: u32, ttl: u8, payload: P) {
-        let actions = self.nodes[src as usize].flood(self.now, ttl, payload);
+        let actions = self.nodes[src as usize].flood(self.now, ttl, payload, TraceCtx::NONE);
         self.execute(NodeId(src), actions);
         self.run();
     }
@@ -145,17 +145,20 @@ impl<P: Payload> TestNet<P> {
                         self.execute(at, fail);
                     }
                 }
-                Action::Deliver { src, hops, payload } => {
+                Action::Deliver {
+                    src, hops, payload, ..
+                } => {
                     self.delivered.push((at, src, hops, payload));
                 }
                 Action::DeliverFlood {
                     origin,
                     hops,
                     payload,
+                    ..
                 } => {
                     self.flood_delivered.push((at, origin, hops, payload));
                 }
-                Action::Unreachable { dst, dropped } => {
+                Action::Unreachable { dst, dropped, .. } => {
                     self.unreachable.push((at, dst, dropped));
                 }
             }

@@ -17,6 +17,10 @@
 //!   order-insensitive stream forking, so one master seed reproduces a whole
 //!   multi-threaded experiment bit-for-bit.
 //!
+//! Plus one shared piece of metadata: [`trace`] defines [`TraceCtx`], the
+//! inert causal-trace context every layer above can carry on its messages
+//! without perturbing a run.
+//!
 //! Higher layers (radio, AODV, the P2P overlay) are written as pure state
 //! machines; the only mutable shared state in a running world is this queue.
 //!
@@ -37,11 +41,13 @@ pub mod ids;
 pub mod queue;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use ids::NodeId;
 pub use queue::{EventId, EventQueue, SchedulerKind};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime, TICKS_PER_SECOND};
+pub use trace::TraceCtx;
 
 #[cfg(test)]
 mod properties {

@@ -1,0 +1,91 @@
+//! Causal trace context: the identity a traced cause carries through the
+//! simulation.
+//!
+//! A [`TraceCtx`] names one *trace* (a query or a reconfiguration round,
+//! minted where the traffic originates) and one position inside it: the
+//! span of the event that most recently happened on this causal path
+//! (`span_seq`) and the span of the event before that (`parent_id`).
+//! Recording points allocate a fresh span, link it under `span_seq` via
+//! [`child`](TraceCtx::child), and stamp the advanced context back onto
+//! whatever they forward — so every message always carries the span of the
+//! last recorded event on its own path, and the recorded events form a
+//! parent-linked tree per trace.
+//!
+//! The context is *inert metadata*: no protocol machine branches on it, it
+//! never contributes to wire sizes, and span allocation draws no
+//! randomness — a traced run is bit-identical to an untraced one.
+//! [`TraceCtx::NONE`] (all zeros) marks untraced traffic; id `0` is never
+//! allocated.
+
+/// Causal position of a message or event inside one trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// The trace (query / reconfiguration round) this belongs to; 0 = none.
+    pub trace_id: u64,
+    /// Span of the event *before* the most recent one on this path
+    /// (0 = the most recent event is the trace root).
+    pub parent_id: u64,
+    /// Span of the most recent recorded event on this path; the next
+    /// recorded event links under it.
+    pub span_seq: u64,
+}
+
+impl TraceCtx {
+    /// The untraced context (all zeros). Carried by all traffic when
+    /// tracing is disabled, and by background traffic (HELLO beacons,
+    /// silence-triggered RERRs) even when it is enabled.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        parent_id: 0,
+        span_seq: 0,
+    };
+
+    /// A root context for a freshly minted trace: `span` is the origin
+    /// event's span.
+    pub fn root(trace_id: u64, span: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id,
+            parent_id: 0,
+            span_seq: span,
+        }
+    }
+
+    /// Whether this context belongs to a live trace.
+    pub fn is_active(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// Advance the causal chain: the new event `span` is a child of the
+    /// previous most-recent event.
+    pub fn child(&self, span: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            parent_id: self.span_seq,
+            span_seq: span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_default() {
+        assert!(!TraceCtx::NONE.is_active());
+        assert_eq!(TraceCtx::default(), TraceCtx::NONE);
+    }
+
+    #[test]
+    fn child_links_spans_into_a_chain() {
+        let root = TraceCtx::root(7, 1);
+        assert!(root.is_active());
+        assert_eq!(root.parent_id, 0);
+        let hop1 = root.child(2);
+        assert_eq!(hop1.trace_id, 7);
+        assert_eq!(hop1.parent_id, 1, "links under the root span");
+        assert_eq!(hop1.span_seq, 2);
+        let hop2 = hop1.child(5);
+        assert_eq!((hop2.parent_id, hop2.span_seq), (2, 5));
+    }
+}

@@ -3,12 +3,18 @@
 //! Usage: `obs_check <dir>`. Reads every `*.jsonl` file under `<dir>`
 //! (non-recursive), asserts each line parses as standalone JSON with a
 //! `type` field, and that the core counters the instrumented run is
-//! expected to export all appear somewhere in the directory. Exits
+//! expected to export all appear somewhere in the directory. Also reads
+//! every `*.trace.json` causal-trace artifact and runs the full schema
+//! validation ([`manet_obs::causal::validate_artifact`]: trace-event
+//! quintet present, parents resolve, per-trace timestamps monotone) plus
+//! a render→parse round-trip. At least one of the two file kinds must be
+//! present; counter coverage is only required when JSONL dumps are. Exits
 //! non-zero with a message on any violation, so `ci.sh` can gate on it.
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
+use manet_obs::causal;
 use manet_obs::json::Value;
 
 const CORE_COUNTERS: [&str; 5] = [
@@ -37,9 +43,66 @@ fn main() -> ExitCode {
 
     let mut files = 0usize;
     let mut lines = 0usize;
+    let mut trace_files = 0usize;
+    let mut trace_events = 0usize;
     let mut counters_seen: BTreeSet<String> = BTreeSet::new();
     for entry in entries.flatten() {
         let path = entry.path();
+        if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".trace.json"))
+        {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("obs_check: cannot read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let doc = match Value::parse(&text) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("obs_check: {}: not valid JSON: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = causal::validate_artifact(&doc) {
+                eprintln!("obs_check: {}: invalid trace artifact: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            // Round-trip: the artifact must re-render to parseable JSON
+            // describing the same spans.
+            let back = match Value::parse(&doc.render()) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!(
+                        "obs_check: {}: artifact does not re-parse after render: {e}",
+                        path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            match (
+                causal::events_from_artifact(&doc),
+                causal::events_from_artifact(&back),
+            ) {
+                (Ok(a), Ok(b)) if a == b => trace_events += a.len(),
+                (Ok(_), Ok(_)) => {
+                    eprintln!(
+                        "obs_check: {}: spans differ after render→parse round-trip",
+                        path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("obs_check: {}: cannot read spans back: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            trace_files += 1;
+            continue;
+        }
         if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
             continue;
         }
@@ -83,21 +146,27 @@ fn main() -> ExitCode {
         }
     }
 
-    if files == 0 {
-        eprintln!("obs_check: no .jsonl files in {dir}");
+    if files == 0 && trace_files == 0 {
+        eprintln!("obs_check: no .jsonl or .trace.json files in {dir}");
         return ExitCode::FAILURE;
     }
-    let missing: Vec<&str> = CORE_COUNTERS
-        .iter()
-        .copied()
-        .filter(|c| !counters_seen.contains(*c))
-        .collect();
-    if !missing.is_empty() {
-        eprintln!(
-            "obs_check: core counters missing from {dir}: {missing:?} (saw {counters_seen:?})"
-        );
-        return ExitCode::FAILURE;
+    if files > 0 {
+        let missing: Vec<&str> = CORE_COUNTERS
+            .iter()
+            .copied()
+            .filter(|c| !counters_seen.contains(*c))
+            .collect();
+        if !missing.is_empty() {
+            eprintln!(
+                "obs_check: core counters missing from {dir}: {missing:?} (saw {counters_seen:?})"
+            );
+            return ExitCode::FAILURE;
+        }
     }
-    println!("obs_check: OK — {files} file(s), {lines} parseable line(s), {len} counter name(s), all core counters present", len = counters_seen.len());
+    println!(
+        "obs_check: OK — {files} jsonl file(s), {lines} parseable line(s), {len} counter name(s), \
+         {trace_files} trace artifact(s) with {trace_events} span(s)",
+        len = counters_seen.len()
+    );
     ExitCode::SUCCESS
 }

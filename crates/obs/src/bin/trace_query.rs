@@ -1,0 +1,135 @@
+//! Inspect a causal-trace artifact: per-query latency breakdowns.
+//!
+//! ```text
+//! trace_query <artifact.trace.json> [--trace ID]
+//! ```
+//!
+//! Without `--trace` it prints one summary row per trace (label, origin,
+//! fan-out, deliveries, dead branches) followed by aggregate
+//! route-discovery / transit / processing latency quantiles over every
+//! delivery path, in simulated microseconds. With `--trace ID` it prints
+//! the full per-path decomposition of that one trace. The breakdown is
+//! exact, not sampled: the three components of each path sum to its total
+//! end-to-end latency (see `manet_obs::causal`).
+
+use std::process::ExitCode;
+
+use manet_obs::causal::{self, TraceSummary};
+use manet_obs::json::Value;
+use manet_obs::Histogram;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: trace_query <artifact.trace.json> [--trace ID]");
+        return ExitCode::FAILURE;
+    }
+    let path = &args[0];
+    let want: Option<u64> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args[i + 1].parse().expect("--trace takes a trace id"));
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_query: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Value::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("trace_query: {path}: not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = causal::validate_artifact(&doc) {
+        eprintln!("trace_query: {path}: invalid trace artifact: {e}");
+        return ExitCode::FAILURE;
+    }
+    let events = match causal::events_from_artifact(&doc) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("trace_query: {path}: cannot read spans: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trees = causal::build_trees(&events);
+    let summaries: Vec<TraceSummary> = trees.iter().map(|t| t.summary()).collect();
+
+    if let Some(id) = want {
+        let Some(s) = summaries.iter().find(|s| s.trace_id == id) else {
+            eprintln!("trace_query: trace {id} not found in {path}");
+            return ExitCode::FAILURE;
+        };
+        print_one(s);
+        return ExitCode::SUCCESS;
+    }
+
+    println!("trace\tlabel\torigin_us\tsends\trecvs\tdeliveries\tunreachable\tdead\tmax_fanout");
+    for s in &summaries {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            s.trace_id,
+            s.label,
+            s.origin_t,
+            s.sends,
+            s.recvs,
+            s.deliveries.len(),
+            s.unreachable,
+            s.dead_branches,
+            s.max_fanout
+        );
+    }
+
+    // Aggregate latency decomposition over every delivery path.
+    let mut h_total = Histogram::default();
+    let mut h_discovery = Histogram::default();
+    let mut h_transit = Histogram::default();
+    let mut h_processing = Histogram::default();
+    let mut paths = 0u64;
+    for s in &summaries {
+        for p in &s.deliveries {
+            h_total.observe(p.total);
+            h_discovery.observe(p.discovery);
+            h_transit.observe(p.transit);
+            h_processing.observe(p.processing);
+            paths += 1;
+        }
+    }
+    println!(
+        "\n# latency decomposition over {paths} delivery path(s), simulated µs (log2 buckets)"
+    );
+    println!("component\tp50\tp95\tp99");
+    for (name, h) in [
+        ("total", &h_total),
+        ("route_discovery", &h_discovery),
+        ("transit", &h_transit),
+        ("processing", &h_processing),
+    ] {
+        println!("{name}\t{}\t{}\t{}", h.p50(), h.p95(), h.p99());
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_one(s: &TraceSummary) {
+    println!(
+        "trace {} ({}): origin at {} µs, {} send(s), {} recv(s), {} unreachable, {} dead branch(es), max fan-out {}",
+        s.trace_id,
+        s.label,
+        s.origin_t,
+        s.sends,
+        s.recvs,
+        s.unreachable,
+        s.dead_branches,
+        s.max_fanout
+    );
+    println!("node\thops\ttotal_us\troute_discovery\ttransit\tprocessing");
+    for p in &s.deliveries {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            p.node, p.hops, p.total, p.discovery, p.transit, p.processing
+        );
+    }
+}

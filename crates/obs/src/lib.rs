@@ -11,6 +11,12 @@
 //! * [`FlightRecorder`] — a severity-tagged ring buffer of protocol
 //!   occurrences, dumped as JSONL when a run fails its invariants.
 //!
+//! The [`causal`] module is the analysis half of causal query tracing:
+//! it rebuilds per-trace causal trees from the simulator's parent-linked
+//! event stream, decomposes per-query latency (route-discovery wait vs.
+//! radio transit vs. processing), and exports Chrome trace-event /
+//! Perfetto-loadable JSON artifacts.
+//!
 //! [`ObsReport`] bundles the three for one finished run and merges
 //! deterministically across replications; [`ObsConfig`] is the switch the
 //! simulation layer consults. Everything here is passive: when the sink is
@@ -23,12 +29,14 @@
 //! failure dumps are built on it, and `bench` re-exports it for
 //! `BENCH_RESULTS.json`.
 
+pub mod causal;
 pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod report;
 pub mod span;
 
+pub use causal::{CausalEvent, CausalKind, CausalTree, PathBreakdown, TraceSummary};
 pub use recorder::{FlightRecord, FlightRecorder, Severity};
 pub use registry::{CounterId, GaugeId, HistId, Histogram, Registry};
 pub use report::{ObsConfig, ObsReport};

@@ -96,6 +96,40 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
     }
 
+    /// The `q`-quantile (0 < q <= 1) as the lower bound of the bucket
+    /// holding the ceil(q·count)-th smallest observation — a conservative
+    /// estimate, exact for values 0 and 1 and within a factor of two
+    /// above. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return bucket_floor(i);
+            }
+        }
+        bucket_floor(HIST_BUCKETS - 1)
+    }
+
+    /// Median (see [`quantile`](Self::quantile)).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (see [`quantile`](Self::quantile)).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (see [`quantile`](Self::quantile)).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Non-empty buckets as `(floor, count)` pairs, ascending.
     pub fn nonzero(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -392,6 +426,36 @@ mod tests {
         assert_eq!(h.bucket(11), 1, "1024 in [1024, 2048)");
         assert_eq!(h.count(), 7);
         assert_eq!(h.sum(), 2057);
+    }
+
+    #[test]
+    fn quantiles_pin_known_inputs() {
+        // Observations 1..=100: buckets hold 1,2,4,8,16,32,37 values with
+        // floors 1,2,4,8,16,32,64; cumulative 1,3,7,15,31,63,100.
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.p50(), 32, "rank 50 lands in bucket [32,64)");
+        assert_eq!(h.p95(), 64, "rank 95 lands in bucket [64,128)");
+        assert_eq!(h.p99(), 64);
+        assert_eq!(h.quantile(1.0), 64);
+        assert_eq!(h.quantile(0.01), 1, "rank 1 is the smallest value");
+        assert_eq!(h.quantile(0.31), 16, "rank 31 closes bucket [16,32)");
+        assert_eq!(h.quantile(0.32), 32, "rank 32 opens bucket [32,64)");
+
+        // Degenerate shapes.
+        assert_eq!(Histogram::default().p50(), 0, "empty histogram");
+        let mut zeros = Histogram::default();
+        for _ in 0..10 {
+            zeros.observe(0);
+        }
+        assert_eq!((zeros.p50(), zeros.p99()), (0, 0));
+        let mut one = Histogram::default();
+        one.observe(1_000_000);
+        // 1_000_000 lies in [2^19, 2^20).
+        assert_eq!(one.p50(), 1 << 19);
+        assert_eq!(one.p99(), 1 << 19);
     }
 
     #[test]

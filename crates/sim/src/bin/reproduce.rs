@@ -2,17 +2,21 @@
 //!
 //! ```text
 //! reproduce [--nodes 50|150] [--paper] [--reps R] [--duration S] \
-//!           [--seed X] [--threads T] [--obs-out DIR] [--table1] [--table2]
+//!           [--seed X] [--threads T] [--obs-out DIR] [--trace-out DIR] \
+//!           [--table1] [--table2]
 //! ```
 //!
 //! Without `--table1`/`--table2` it runs the full matrix for the chosen
 //! node count and prints Figs 5/6a+b, 7/8, 9/10 and 11/12 as TSV blocks.
 //! With `--obs-out DIR` the runs carry the observability sink and each
-//! algorithm's merged report lands in `DIR/<algo>.jsonl`.
+//! algorithm's merged report lands in `DIR/<algo>.jsonl`. With
+//! `--trace-out DIR` the runs carry causal query tracing and each
+//! replication's Perfetto-loadable artifact lands in
+//! `DIR/<algo>_rep<k>.trace.json`.
 
 use manet_sim::experiments::{
-    cfg_from_args, fig_connects, fig_distance_answers, fig_pings, fig_queries, run_matrix,
-    summary_table, take_obs_out,
+    cfg_from_args, fig_connects, fig_distance_answers, fig_pings, fig_queries, run_matrix_traced,
+    summary_table, take_obs_out, take_trace_out,
 };
 use manet_sim::Scenario;
 use p2p_core::AlgoKind;
@@ -20,6 +24,7 @@ use p2p_core::AlgoKind;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let obs_out = take_obs_out(&mut args);
+    let trace_out = take_trace_out(&mut args);
     if args.iter().any(|a| a == "--table1") {
         println!("Table 1: topologies and their characteristics\n");
         print!("{}", p2p_core::topology::render_table_1());
@@ -39,11 +44,12 @@ fn main() {
     }
     let mut cfg = cfg_from_args(&args);
     cfg.obs = obs_out.is_some();
+    cfg.trace = trace_out.is_some();
     eprintln!(
         "# running matrix: {} nodes, {} s, {} reps, seed {:#x}, {} threads",
         cfg.n_nodes, cfg.duration_secs, cfg.reps, cfg.seed, cfg.threads
     );
-    let matrix = run_matrix(&cfg);
+    let matrix = run_matrix_traced(&cfg, trace_out.as_deref());
     if let Some(dir) = &obs_out {
         for (name, agg) in &matrix {
             let path = dir.join(format!("{name}.jsonl"));

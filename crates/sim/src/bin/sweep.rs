@@ -4,20 +4,23 @@
 //!
 //! ```text
 //! sweep --axis density|coverage|speed|mobility|churn [--duration S] [--reps R] \
-//!       [--obs-out DIR] ...
+//!       [--obs-out DIR] [--trace-out DIR] ...
 //! ```
 //!
 //! With `--obs-out DIR` every cell's merged observability report is written
-//! to `DIR/<axis>_<value>_<algo>.jsonl`.
+//! to `DIR/<axis>_<value>_<algo>.jsonl`. With `--trace-out DIR` every
+//! replication's causal-trace artifact is written to
+//! `DIR/<axis>_<value>_<algo>_rep<k>.trace.json`.
 
 use manet_des::SimDuration;
-use manet_sim::experiments::{cfg_from_args, take_obs_out};
+use manet_sim::experiments::{cfg_from_args, take_obs_out, take_trace_out, TRACE_CAPACITY};
 use manet_sim::{runner, ChurnCfg, MobilityKind, Scenario};
 use p2p_core::AlgoKind;
 
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let obs_out = take_obs_out(&mut raw);
+    let trace_out = take_trace_out(&mut raw);
     let axis = raw
         .iter()
         .position(|a| a == "--axis")
@@ -38,6 +41,7 @@ fn main() {
     };
     let mut cfg = cfg_from_args(&rest);
     cfg.obs = obs_out.is_some();
+    cfg.trace = trace_out.is_some();
     if !rest.iter().any(|a| a == "--duration") {
         cfg.duration_secs = 600; // sweeps trade duration for breadth
     }
@@ -49,7 +53,15 @@ fn main() {
                 for algo in algos {
                     let mut s = Scenario::paper(n, algo);
                     s.duration = SimDuration::from_secs(cfg.duration_secs);
-                    report("density", n as f64, algo, &s, &cfg, obs_out.as_deref());
+                    report(
+                        "density",
+                        n as f64,
+                        algo,
+                        &s,
+                        &cfg,
+                        obs_out.as_deref(),
+                        trace_out.as_deref(),
+                    );
                 }
             }
         }
@@ -59,7 +71,15 @@ fn main() {
                     let mut s = Scenario::paper(cfg.n_nodes, algo);
                     s.radio.range_m = range;
                     s.duration = SimDuration::from_secs(cfg.duration_secs);
-                    report("coverage", range, algo, &s, &cfg, obs_out.as_deref());
+                    report(
+                        "coverage",
+                        range,
+                        algo,
+                        &s,
+                        &cfg,
+                        obs_out.as_deref(),
+                        trace_out.as_deref(),
+                    );
                 }
             }
         }
@@ -72,7 +92,15 @@ fn main() {
                         max_pause: 100.0,
                     };
                     s.duration = SimDuration::from_secs(cfg.duration_secs);
-                    report("speed", speed, algo, &s, &cfg, obs_out.as_deref());
+                    report(
+                        "speed",
+                        speed,
+                        algo,
+                        &s,
+                        &cfg,
+                        obs_out.as_deref(),
+                        trace_out.as_deref(),
+                    );
                 }
             }
         }
@@ -101,7 +129,15 @@ fn main() {
                     let mut s = Scenario::paper(cfg.n_nodes, algo);
                     s.mobility = model;
                     s.duration = SimDuration::from_secs(cfg.duration_secs);
-                    report(name, ix as f64, algo, &s, &cfg, obs_out.as_deref());
+                    report(
+                        name,
+                        ix as f64,
+                        algo,
+                        &s,
+                        &cfg,
+                        obs_out.as_deref(),
+                        trace_out.as_deref(),
+                    );
                 }
             }
         }
@@ -121,6 +157,7 @@ fn main() {
                         &s,
                         &cfg,
                         obs_out.as_deref(),
+                        trace_out.as_deref(),
                     );
                 }
             }
@@ -136,10 +173,14 @@ fn report(
     s: &Scenario,
     cfg: &manet_sim::ExperimentCfg,
     obs_out: Option<&std::path::Path>,
+    trace_out: Option<&std::path::Path>,
 ) {
     let mut s = s.clone();
     if cfg.obs {
         s.obs = manet_sim::ObsConfig::enabled();
+    }
+    if cfg.trace {
+        s.trace_capacity = TRACE_CAPACITY;
     }
     let s = &s;
     let results = runner::run_replications(s, cfg.reps.min(3), cfg.seed, cfg.threads);
@@ -148,6 +189,14 @@ fn report(
         let path = dir.join(format!("{axis}_{value}_{}.jsonl", algo.name()));
         agg.obs.write_jsonl(&path).expect("write obs report");
         eprintln!("# obs report: {}", path.display());
+    }
+    if let Some(dir) = trace_out {
+        let cell = format!("{axis}_{value}_{}", algo.name());
+        let paths =
+            runner::write_trace_artifacts(dir, &cell, &results).expect("write trace artifacts");
+        for p in paths {
+            eprintln!("# trace artifact: {}", p.display());
+        }
     }
     println!(
         "{axis}\t{value}\t{}\t{:.1}\t{:.1}\t{:.2}\t{:.0}\t{:.1}",

@@ -30,7 +30,14 @@ pub struct ExperimentCfg {
     /// Enable the observability sink (metrics registry, spans, flight
     /// recorder) on every replication. Never changes results.
     pub obs: bool,
+    /// Enable causal query tracing on every replication (sets
+    /// [`Scenario::trace_capacity`]). Never changes results.
+    pub trace: bool,
 }
+
+/// Trace-ring capacity used when [`ExperimentCfg::trace`] is set: large
+/// enough that short instrumented runs retain every event.
+pub const TRACE_CAPACITY: usize = 1 << 18;
 
 impl ExperimentCfg {
     /// The paper's full campaign for a node count (33 reps, 3600 s). On a
@@ -44,6 +51,7 @@ impl ExperimentCfg {
             seed: 0x1DDF_2003,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             obs: false,
+            trace: false,
         }
     }
 
@@ -59,6 +67,7 @@ impl ExperimentCfg {
             seed: 0x1DDF_2003,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             obs: false,
+            trace: false,
         }
     }
 
@@ -69,16 +78,36 @@ impl ExperimentCfg {
         if self.obs {
             s.obs = manet_obs::ObsConfig::enabled();
         }
+        if self.trace {
+            s.trace_capacity = TRACE_CAPACITY;
+        }
         s
     }
 }
 
 /// Run all four algorithms under one experiment configuration.
 pub fn run_matrix(cfg: &ExperimentCfg) -> BTreeMap<&'static str, Aggregate> {
+    run_matrix_traced(cfg, None)
+}
+
+/// [`run_matrix`], optionally exporting one causal-trace artifact per
+/// replication into `trace_out` (named `<algo>_rep<k>.trace.json`).
+/// Requires [`ExperimentCfg::trace`] for the artifacts to be non-trivial.
+pub fn run_matrix_traced(
+    cfg: &ExperimentCfg,
+    trace_out: Option<&std::path::Path>,
+) -> BTreeMap<&'static str, Aggregate> {
     let mut out = BTreeMap::new();
     for algo in AlgoKind::ALL {
         let scenario = cfg.scenario(algo);
         let results = run_replications(&scenario, cfg.reps, cfg.seed, cfg.threads);
+        if let Some(dir) = trace_out {
+            let paths = crate::runner::write_trace_artifacts(dir, algo.name(), &results)
+                .expect("write trace artifacts");
+            for p in paths {
+                eprintln!("# trace artifact: {}", p.display());
+            }
+        }
         out.insert(
             algo.name(),
             aggregate(&results, scenario.catalog.n_files as usize),
@@ -238,6 +267,9 @@ options:
   --obs-out DIR   enable the observability sink and write one JSONL report
                   per cell into DIR (counters, histograms, time series,
                   span profile, flight-recorder records)
+  --trace-out DIR enable causal query tracing and write one Perfetto-loadable
+                  trace artifact per replication into DIR
+                  (<cell>_rep<k>.trace.json; inspect with trace_query)
   --help          print this text";
 
 /// Parse `--flag value` style arguments shared by the figure binaries.
@@ -317,6 +349,17 @@ pub fn take_obs_out(args: &mut Vec<String>) -> Option<std::path::PathBuf> {
     Some(std::path::PathBuf::from(dir))
 }
 
+/// Strip a `--trace-out DIR` pair from `args`, returning the directory
+/// when present. Binaries call this before [`cfg_from_args`] and set
+/// [`ExperimentCfg::trace`] from the result.
+pub fn take_trace_out(args: &mut Vec<String>) -> Option<std::path::PathBuf> {
+    let i = args.iter().position(|a| a == "--trace-out")?;
+    assert!(i + 1 < args.len(), "--trace-out takes a directory");
+    let dir = args.remove(i + 1);
+    args.remove(i);
+    Some(std::path::PathBuf::from(dir))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +372,7 @@ mod tests {
             seed: 3,
             threads: 1,
             obs: false,
+            trace: false,
         }
     }
 

@@ -17,9 +17,10 @@ pub mod trace;
 pub mod world;
 
 pub use errors::ScenarioError;
-pub use experiments::{run_matrix, ExperimentCfg};
+pub use experiments::{run_matrix, run_matrix_traced, ExperimentCfg};
 pub use faults::{BurstCfg, CrashEvent, FaultPlan, JitterSpikes, LinkFlaps, PacketLoss};
 pub use invariants::{check_result, check_result_dumping};
+pub use manet_des::TraceCtx;
 pub use manet_obs::{ObsConfig, ObsReport};
 pub use payload::AppMsg;
 pub use runner::{aggregate, run_replications, Aggregate};

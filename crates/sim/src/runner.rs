@@ -70,6 +70,27 @@ pub fn run_replications(
         .collect()
 }
 
+/// Write one causal-trace artifact per replication of a cell into `dir`,
+/// named `<cell>_rep<k>.trace.json` by replication index — deterministic
+/// for any thread count because `run_replications` returns results in
+/// replication order. Returns the written paths.
+pub fn write_trace_artifacts(
+    dir: &std::path::Path,
+    cell: &str,
+    results: &[RunResult],
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(results.len());
+    for (rep, r) in results.iter().enumerate() {
+        let events = r.trace.causal_events();
+        let doc = manet_obs::causal::artifact(&events);
+        let path = dir.join(format!("{cell}_rep{rep}.trace.json"));
+        std::fs::write(&path, doc.render())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
 /// Replication-aggregated metrics for one (scenario, algorithm) cell.
 pub struct Aggregate {
     /// Averaged decreasing per-node connect-message curve (Figs 7–8).

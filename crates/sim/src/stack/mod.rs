@@ -21,7 +21,7 @@ pub(crate) mod phy;
 pub(crate) mod routing;
 
 use manet_aodv::{Aodv, Msg};
-use manet_des::{NodeId, Rng, SimTime};
+use manet_des::{NodeId, Rng, SimTime, TraceCtx};
 use manet_mobility::AnyMobility;
 use manet_radio::{EnergyMeter, PhyStats};
 use p2p_content::{ContentMsg, QueryEngine};
@@ -36,12 +36,16 @@ use crate::world::WorldCore;
 // ---------------------------------------------------------------------
 
 /// phy → routing: a frame survived the medium and arrived intact.
+///
+/// The causal context rides inside `msg` (see [`Msg::ctx`]); the phy
+/// layer stamped its `Recv` span onto it before handing the frame up.
 pub(crate) struct FrameUp {
     pub(crate) from: NodeId,
     pub(crate) msg: Msg<AppMsg>,
 }
 
-/// routing → phy: put a frame on the air.
+/// routing → phy: put a frame on the air. The causal context rides
+/// inside `msg`; the phy layer records the `Send` span and re-stamps it.
 pub(crate) enum SendDown {
     /// One-hop broadcast to everyone in range.
     Broadcast(Msg<AppMsg>),
@@ -58,21 +62,40 @@ pub(crate) struct DeliverUp {
     /// Arrived via a hop-limited flood (true) or a routed unicast.
     pub(crate) flood: bool,
     pub(crate) payload: AppMsg,
+    /// Causal context the payload travelled with.
+    pub(crate) ctx: TraceCtx,
 }
 
-/// overlay → routing: send an application payload across the MANET.
+/// overlay → routing: send an application payload across the MANET under
+/// a causal context (the minting overlay event, or [`TraceCtx::NONE`]).
 pub(crate) enum OverlayDown {
     /// Hop-limited flood of a (re)configuration message.
-    Flood { ttl: u8, msg: OverlayMsg },
+    Flood {
+        ttl: u8,
+        msg: OverlayMsg,
+        ctx: TraceCtx,
+    },
     /// Routed (re)configuration unicast.
-    Send { to: NodeId, msg: OverlayMsg },
+    Send {
+        to: NodeId,
+        msg: OverlayMsg,
+        ctx: TraceCtx,
+    },
     /// Routed content (query-layer) unicast.
-    Content { to: NodeId, msg: ContentMsg },
+    Content {
+        to: NodeId,
+        msg: ContentMsg,
+        ctx: TraceCtx,
+    },
 }
 
 /// any layer → engine: earliest instant this stack needs its combined
-/// timer to fire.
-pub(crate) struct TimerReq(pub(crate) SimTime);
+/// timer to fire, and on whose causal behalf (a pending route-discovery
+/// retry names the query waiting on it; [`TraceCtx::NONE`] otherwise).
+pub(crate) struct TimerReq {
+    pub(crate) at: SimTime,
+    pub(crate) ctx: TraceCtx,
+}
 
 // ---------------------------------------------------------------------
 // Layers
@@ -129,14 +152,23 @@ impl NodeStack {
     /// The earliest wake any layer of this stack needs, as a typed
     /// [`TimerReq`]: the minimum over the routing, overlay and query
     /// timers (overlay/query only while joined).
-    pub(crate) fn timer_request(&self) -> TimerReq {
-        let mut wake = self.routing.aodv.next_wake();
+    ///
+    /// `trace_on` gates the extra scan attributing the wake to a waiting
+    /// route discovery, keeping the untraced hot path unchanged.
+    pub(crate) fn timer_request(&self, trace_on: bool) -> TimerReq {
+        let aodv_wake = self.routing.aodv.next_wake();
+        let mut wake = aodv_wake;
         if let Some(m) = &self.overlay.member {
             if m.joined {
                 wake = wake.min(m.algo.next_wake()).min(m.engine.next_wake());
             }
         }
-        TimerReq(wake)
+        let ctx = if trace_on && wake == aodv_wake {
+            self.routing.aodv.next_wake_ctx()
+        } else {
+            TraceCtx::NONE
+        };
+        TimerReq { at: wake, ctx }
     }
 }
 
@@ -163,12 +195,13 @@ pub(crate) fn node_timer(core: &mut WorldCore, now: SimTime, id: NodeId) {
 /// an earlier (or equal) timer is already pending or the wake lies past
 /// the horizon.
 pub(crate) fn resched_timer(core: &mut WorldCore, now: SimTime, id: NodeId) {
-    let TimerReq(wake) = {
+    let trace_on = core.trace.enabled();
+    let TimerReq { at: wake, ctx } = {
         let node = &core.nodes[id.index()];
         if !node.phy.up {
             return;
         }
-        node.timer_request()
+        node.timer_request(trace_on)
     };
     let horizon = core.horizon();
     if wake >= core.nodes[id.index()].routing.timer_at || wake > horizon {
@@ -177,4 +210,15 @@ pub(crate) fn resched_timer(core: &mut WorldCore, now: SimTime, id: NodeId) {
     let at = wake.max(now);
     core.engine.schedule(at, Event::NodeTimer(id));
     core.nodes[id.index()].routing.timer_at = at;
+    if ctx.is_active() {
+        let armed = ctx.child(core.trace.alloc_span());
+        core.trace.record(
+            now,
+            crate::trace::TraceEvent::TimerArm {
+                node: id,
+                ctx: armed,
+                at,
+            },
+        );
+    }
 }

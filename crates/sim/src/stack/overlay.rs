@@ -8,8 +8,9 @@
 //! half of the power lifecycle (join, power-off, power-on) shared by the
 //! churn and crash subsystems.
 
-use manet_des::{NodeId, Rng, SimTime};
+use manet_des::{NodeId, Rng, SimTime, TraceCtx};
 use manet_obs::Severity;
+use p2p_content::ContentMsg;
 use p2p_core::{build_algo, OvAction};
 
 use crate::payload::AppMsg;
@@ -34,7 +35,7 @@ pub(crate) fn join(core: &mut WorldCore, now: SimTime, id: NodeId) {
     core.obs_record(now, Severity::Info, "join", || {
         format!("{id} joined the overlay")
     });
-    exec_actions(core, now, id, actions);
+    exec_actions(core, now, id, actions, TraceCtx::NONE);
     core.trace_member_delta(now, id);
     super::resched_timer(core, now, id);
 }
@@ -52,7 +53,7 @@ pub(crate) fn tick(core: &mut WorldCore, now: SimTime, id: NodeId) {
             .expect("joined");
         member.algo.tick(now)
     };
-    exec_actions(core, now, id, ov_actions);
+    exec_actions(core, now, id, ov_actions, TraceCtx::NONE);
     let (sends, completed) = {
         let member = core.nodes[id.index()]
             .overlay
@@ -65,7 +66,7 @@ pub(crate) fn tick(core: &mut WorldCore, now: SimTime, id: NodeId) {
     if let Some(done) = completed {
         core.record_completed_query(id, &done);
     }
-    exec_content(core, now, id, sends);
+    exec_content(core, now, id, sends, TraceCtx::NONE);
     core.trace_member_delta(now, id);
 }
 
@@ -78,6 +79,7 @@ pub(crate) fn deliver_up(core: &mut WorldCore, now: SimTime, at: NodeId, verb: D
         hops,
         flood,
         payload,
+        ctx,
     } = verb;
     if !core.nodes[at.index()].is_joined() {
         return; // pure relays have no overlay presence
@@ -86,7 +88,13 @@ pub(crate) fn deliver_up(core: &mut WorldCore, now: SimTime, at: NodeId, verb: D
     if let Some(obs) = core.obs.as_deref_mut() {
         obs.registry.observe(obs.h_hops, hops as u64);
     }
+    // The delivery becomes the causal parent of everything the overlay
+    // does in response to this payload.
+    let mut cause = TraceCtx::NONE;
     if core.trace.enabled() {
+        if ctx.is_active() {
+            cause = ctx.child(core.trace.alloc_span());
+        }
         core.trace.record(
             now,
             TraceEvent::DeliverUp {
@@ -94,6 +102,7 @@ pub(crate) fn deliver_up(core: &mut WorldCore, now: SimTime, at: NodeId, verb: D
                 from: src,
                 kind: payload.kind(),
                 hops,
+                ctx: cause,
             },
         );
     }
@@ -111,7 +120,7 @@ pub(crate) fn deliver_up(core: &mut WorldCore, now: SimTime, at: NodeId, verb: D
                     m.algo.on_msg(now, src, hops, &msg)
                 }
             };
-            exec_actions(core, now, at, acts);
+            exec_actions(core, now, at, acts, cause);
         }
         AppMsg::Content(msg) => {
             let sends = {
@@ -123,7 +132,7 @@ pub(crate) fn deliver_up(core: &mut WorldCore, now: SimTime, at: NodeId, verb: D
                 let neighbors = m.algo.neighbors();
                 m.engine.on_msg(now, src, hops, &msg, &neighbors)
             };
-            exec_content(core, now, at, sends);
+            exec_content(core, now, at, sends, cause);
         }
     }
     core.trace_member_delta(now, at);
@@ -131,7 +140,14 @@ pub(crate) fn deliver_up(core: &mut WorldCore, now: SimTime, at: NodeId, verb: D
 }
 
 /// The routing layer gave up reaching `dst`: tell the overlay algorithm.
-pub(crate) fn peer_unreachable(core: &mut WorldCore, now: SimTime, at: NodeId, dst: NodeId) {
+/// `ctx` carries the causal context of the query whose traffic failed.
+pub(crate) fn peer_unreachable(
+    core: &mut WorldCore,
+    now: SimTime,
+    at: NodeId,
+    dst: NodeId,
+    ctx: TraceCtx,
+) {
     if !core.nodes[at.index()].is_joined() {
         return;
     }
@@ -143,7 +159,7 @@ pub(crate) fn peer_unreachable(core: &mut WorldCore, now: SimTime, at: NodeId, d
             .expect("joined");
         m.algo.on_unreachable(now, dst)
     };
-    exec_actions(core, now, at, acts);
+    exec_actions(core, now, at, acts, ctx);
 }
 
 /// The node's radio switches off (churn, crash): the overlay presence
@@ -188,34 +204,81 @@ pub(crate) fn power_on(core: &mut WorldCore, now: SimTime, id: NodeId) {
         None
     };
     if let Some(actions) = actions {
-        exec_actions(core, now, id, actions);
+        exec_actions(core, now, id, actions, TraceCtx::NONE);
     }
     core.trace
         .record(now, TraceEvent::PowerChange { node: id, up: true });
 }
 
+/// Mint a fresh trace root for a spontaneous origination batch: called
+/// when the overlay emits traffic with no active upstream cause (a timer
+/// tick or locally originated query). One trace covers the whole batch.
+fn mint(
+    core: &mut WorldCore,
+    now: SimTime,
+    at: NodeId,
+    cause: TraceCtx,
+    label: &'static str,
+    nonempty: bool,
+) -> TraceCtx {
+    if cause.is_active() || !nonempty || !core.trace.enabled() {
+        return cause;
+    }
+    let root = TraceCtx::root(core.trace.alloc_trace(), core.trace.alloc_span());
+    core.trace.record(
+        now,
+        TraceEvent::Origin {
+            node: at,
+            ctx: root,
+            label,
+        },
+    );
+    root
+}
+
 /// Execute a batch of overlay actions at node `at` by pushing
-/// [`OverlayDown`] verbs into the routing layer, in order.
-pub(crate) fn exec_actions(core: &mut WorldCore, now: SimTime, at: NodeId, actions: Vec<OvAction>) {
+/// [`OverlayDown`] verbs into the routing layer, in order. `cause` is the
+/// delivery (or unreachable report) that provoked the batch; when
+/// inactive and the batch is non-empty, a fresh "reconfig" trace is
+/// minted for it.
+pub(crate) fn exec_actions(
+    core: &mut WorldCore,
+    now: SimTime,
+    at: NodeId,
+    actions: Vec<OvAction>,
+    cause: TraceCtx,
+) {
+    let ctx = mint(core, now, at, cause, "reconfig", !actions.is_empty());
     for action in actions {
         match action {
             OvAction::Flood { ttl, msg } => {
-                routing::overlay_down(core, now, at, OverlayDown::Flood { ttl, msg })
+                routing::overlay_down(core, now, at, OverlayDown::Flood { ttl, msg, ctx })
             }
             OvAction::Send { to, msg } => {
-                routing::overlay_down(core, now, at, OverlayDown::Send { to, msg })
+                routing::overlay_down(core, now, at, OverlayDown::Send { to, msg, ctx })
             }
         }
     }
 }
 
-/// Execute a batch of content-layer sends at node `at`.
+/// Execute a batch of content-layer sends at node `at`, minting a trace
+/// named after the batch's leading message when there is no upstream
+/// cause (a locally originated query).
 pub(crate) fn exec_content(
     core: &mut WorldCore,
     now: SimTime,
     at: NodeId,
     sends: Vec<p2p_content::CSend>,
+    cause: TraceCtx,
 ) {
+    let label = match sends.first().map(|s| &s.msg) {
+        Some(ContentMsg::Query { .. }) => "query",
+        Some(ContentMsg::QueryHit { .. }) => "query_hit",
+        Some(ContentMsg::FetchRequest { .. }) => "fetch",
+        Some(ContentMsg::FileTransfer { .. }) => "transfer",
+        None => "content",
+    };
+    let ctx = mint(core, now, at, cause, label, !sends.is_empty());
     for send in sends {
         routing::overlay_down(
             core,
@@ -224,6 +287,7 @@ pub(crate) fn exec_content(
             OverlayDown::Content {
                 to: send.to,
                 msg: send.msg,
+                ctx,
             },
         );
     }

@@ -15,6 +15,7 @@ use manet_obs::Severity;
 use crate::engine::Event;
 use crate::payload::AppMsg;
 use crate::stack::{routing, FrameUp, SendDown};
+use crate::trace::TraceEvent;
 use crate::world::WorldCore;
 
 /// A frame finished arriving at `to`: charge reception, then hand the
@@ -55,7 +56,7 @@ pub(crate) fn send_down(core: &mut WorldCore, now: SimTime, from: NodeId, verb: 
     }
 }
 
-fn broadcast(core: &mut WorldCore, now: SimTime, from: NodeId, msg: manet_aodv::Msg<AppMsg>) {
+fn broadcast(core: &mut WorldCore, now: SimTime, from: NodeId, mut msg: manet_aodv::Msg<AppMsg>) {
     let bytes = msg.wire_size();
     {
         let cfg = core.medium.cfg();
@@ -65,6 +66,22 @@ fn broadcast(core: &mut WorldCore, now: SimTime, from: NodeId, msg: manet_aodv::
         }
         node.phy.stats.on_send(bytes);
         node.phy.energy.charge_tx(cfg, bytes);
+    }
+    // Record the Send span before the per-receiver clones, so every
+    // reception of this frame chains off the same transmission.
+    if core.trace.enabled() && msg.ctx().is_active() {
+        let send = msg.ctx().child(core.trace.alloc_span());
+        core.trace.record(
+            now,
+            TraceEvent::Send {
+                node: from,
+                ctx: send,
+                to: None,
+                frame: msg.kind(),
+                bytes,
+            },
+        );
+        msg.set_ctx(send);
     }
     let pos = core.nodes[from.index()].mobility.position(now);
     let faults = core.active_faults();
@@ -108,7 +125,7 @@ fn unicast(
     now: SimTime,
     from: NodeId,
     to: NodeId,
-    msg: manet_aodv::Msg<AppMsg>,
+    mut msg: manet_aodv::Msg<AppMsg>,
 ) {
     let bytes = msg.wire_size();
     {
@@ -119,6 +136,23 @@ fn unicast(
         }
         node.phy.stats.on_send(bytes);
         node.phy.energy.charge_tx(cfg, bytes);
+    }
+    // Stamp the Send span before fate is decided: a failed unicast hands
+    // the stamped frame to AODV, linking the RERR/rediscovery fallout
+    // under this transmission.
+    if core.trace.enabled() && msg.ctx().is_active() {
+        let send = msg.ctx().child(core.trace.alloc_span());
+        core.trace.record(
+            now,
+            TraceEvent::Send {
+                node: from,
+                ctx: send,
+                to: Some(to),
+                frame: msg.kind(),
+                bytes,
+            },
+        );
+        msg.set_ctx(send);
     }
     let pos = core.nodes[from.index()].mobility.position(now);
     // A down receiver is indistinguishable from an out-of-range one.

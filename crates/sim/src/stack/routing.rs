@@ -12,15 +12,31 @@ use manet_des::{NodeId, SimTime};
 
 use crate::payload::AppMsg;
 use crate::stack::{overlay, phy, DeliverUp, FrameUp, OverlayDown, SendDown};
+use crate::trace::TraceEvent;
 use crate::world::WorldCore;
 
 /// A frame arrived from the phy layer at node `to`: feed it to AODV and
 /// execute the resulting actions, then re-arm the node's timer.
+///
+/// If the frame carries an active causal context, a `Recv` span is
+/// recorded here and stamped back onto the frame, so every AODV effect
+/// (forwarding, RREPs, deliveries) chains off this node's reception.
 pub(crate) fn frame_up(core: &mut WorldCore, now: SimTime, to: NodeId, frame: FrameUp) {
-    let actions = core.nodes[to.index()]
-        .routing
-        .aodv
-        .on_frame(now, frame.from, frame.msg);
+    let FrameUp { from, mut msg } = frame;
+    if core.trace.enabled() && msg.ctx().is_active() {
+        let recv = msg.ctx().child(core.trace.alloc_span());
+        core.trace.record(
+            now,
+            TraceEvent::Recv {
+                node: to,
+                ctx: recv,
+                from,
+                frame: msg.kind(),
+            },
+        );
+        msg.set_ctx(recv);
+    }
+    let actions = core.nodes[to.index()].routing.aodv.on_frame(now, from, msg);
     exec(core, now, to, actions);
     super::resched_timer(core, now, to);
 }
@@ -36,9 +52,11 @@ pub(crate) fn tick(core: &mut WorldCore, now: SimTime, id: NodeId) {
 pub(crate) fn overlay_down(core: &mut WorldCore, now: SimTime, at: NodeId, verb: OverlayDown) {
     let aodv = &mut core.nodes[at.index()].routing.aodv;
     let acts = match verb {
-        OverlayDown::Flood { ttl, msg } => aodv.flood(now, ttl.max(1), AppMsg::Overlay(msg)),
-        OverlayDown::Send { to, msg } => aodv.send(now, to, AppMsg::Overlay(msg)),
-        OverlayDown::Content { to, msg } => aodv.send(now, to, AppMsg::Content(msg)),
+        OverlayDown::Flood { ttl, msg, ctx } => {
+            aodv.flood(now, ttl.max(1), AppMsg::Overlay(msg), ctx)
+        }
+        OverlayDown::Send { to, msg, ctx } => aodv.send(now, to, AppMsg::Overlay(msg), ctx),
+        OverlayDown::Content { to, msg, ctx } => aodv.send(now, to, AppMsg::Content(msg), ctx),
     };
     exec(core, now, at, acts);
 }
@@ -56,7 +74,12 @@ pub(crate) fn exec(
             AodvAction::Unicast { to, msg } => {
                 phy::send_down(core, now, at, SendDown::Unicast { to, msg })
             }
-            AodvAction::Deliver { src, hops, payload } => overlay::deliver_up(
+            AodvAction::Deliver {
+                src,
+                hops,
+                payload,
+                ctx,
+            } => overlay::deliver_up(
                 core,
                 now,
                 at,
@@ -65,12 +88,14 @@ pub(crate) fn exec(
                     hops,
                     flood: false,
                     payload,
+                    ctx,
                 },
             ),
             AodvAction::DeliverFlood {
                 origin,
                 hops,
                 payload,
+                ctx,
             } => overlay::deliver_up(
                 core,
                 now,
@@ -80,11 +105,24 @@ pub(crate) fn exec(
                     hops,
                     flood: true,
                     payload,
+                    ctx,
                 },
             ),
-            AodvAction::Unreachable { dst, dropped } => {
+            AodvAction::Unreachable { dst, dropped, ctx } => {
                 let _ = dropped; // payload loss is visible via metrics
-                overlay::peer_unreachable(core, now, at, dst);
+                let mut cause = ctx;
+                if core.trace.enabled() && ctx.is_active() {
+                    cause = ctx.child(core.trace.alloc_span());
+                    core.trace.record(
+                        now,
+                        TraceEvent::Unreachable {
+                            node: at,
+                            ctx: cause,
+                            dst,
+                        },
+                    );
+                }
+                overlay::peer_unreachable(core, now, at, dst, cause);
             }
         }
     }

@@ -6,10 +6,21 @@
 //! into it when [`Scenario::trace_capacity`](crate::Scenario) is non-zero
 //! and expose it on the [`RunResult`](crate::RunResult). Rendering is
 //! plain text, one event per line, suitable for diffing two runs.
+//!
+//! Beyond milestones (joins, connections, role changes), the log records
+//! *causal* events: every frame transmission/reception, delivery,
+//! unreachability verdict and traced timer arm carries a
+//! [`TraceCtx`] linking it to the query or reconfiguration round that
+//! caused it. [`TraceLog`] is also the span allocator —
+//! [`alloc_trace`](TraceLog::alloc_trace) / [`alloc_span`](TraceLog::alloc_span)
+//! hand out monotone non-zero ids with no randomness, so a traced run
+//! stays bit-identical to an untraced one — and
+//! [`causal_events`](TraceLog::causal_events) converts the retained ring
+//! into the flat stream `manet_obs::causal` analyzes and exports.
 
 use std::collections::VecDeque;
 
-use manet_des::{NodeId, SimTime};
+use manet_des::{NodeId, SimTime, TraceCtx};
 use manet_metrics::MsgKind;
 use p2p_core::Role;
 
@@ -31,6 +42,60 @@ pub enum TraceEvent {
         kind: MsgKind,
         /// Ad-hoc hops travelled.
         hops: u8,
+        /// Causal position ([`TraceCtx::NONE`] when causal tracing is not
+        /// active for this message).
+        ctx: TraceCtx,
+    },
+    /// A trace was minted: a query or reconfiguration round originated.
+    Origin {
+        /// The originating node.
+        node: NodeId,
+        /// The root context of the new trace.
+        ctx: TraceCtx,
+        /// What kind of activity this trace is (`"query"`, `"reconfig"`…).
+        label: &'static str,
+    },
+    /// A traced frame left a node's radio.
+    Send {
+        /// The transmitting node.
+        node: NodeId,
+        /// Causal position of this transmission.
+        ctx: TraceCtx,
+        /// Unicast receiver, or `None` for a broadcast.
+        to: Option<NodeId>,
+        /// Frame kind (`"rreq"`, `"data"`, `"flood"`, …).
+        frame: &'static str,
+        /// Frame size on the air.
+        bytes: u32,
+    },
+    /// A traced frame arrived at a node's radio.
+    Recv {
+        /// The receiving node.
+        node: NodeId,
+        /// Causal position of this reception.
+        ctx: TraceCtx,
+        /// The transmitting node.
+        from: NodeId,
+        /// Frame kind, mirroring the send.
+        frame: &'static str,
+    },
+    /// Route discovery gave up on a traced destination.
+    Unreachable {
+        /// The node whose discovery failed.
+        node: NodeId,
+        /// Causal position.
+        ctx: TraceCtx,
+        /// The destination that could not be reached.
+        dst: NodeId,
+    },
+    /// A node armed its protocol timer on behalf of a traced discovery.
+    TimerArm {
+        /// The node.
+        node: NodeId,
+        /// Causal position (the waiting discovery's context).
+        ctx: TraceCtx,
+        /// When the timer will fire.
+        at: SimTime,
     },
     /// An overlay connection reached the established state (recorded from
     /// the neighbor-set delta, so both endpoints appear).
@@ -73,6 +138,10 @@ pub struct TraceLog {
     /// Events evicted to make room — a non-zero value means the rendered
     /// trace is a suffix of the run, not the whole story.
     dropped: u64,
+    /// Next trace id to mint (ids start at 1; 0 means "no trace").
+    next_trace: u64,
+    /// Next span id to allocate (ids start at 1; 0 means "root").
+    next_span: u64,
 }
 
 impl TraceLog {
@@ -83,7 +152,26 @@ impl TraceLog {
             capacity,
             offered: 0,
             dropped: 0,
+            next_trace: 1,
+            next_span: 1,
         }
+    }
+
+    /// Mint a fresh trace id (monotone, non-zero, no randomness). Callers
+    /// must only allocate when [`enabled`](Self::enabled) — id allocation
+    /// when tracing is off would still be harmless to simulation results,
+    /// but the discipline keeps the disabled path branch-only.
+    pub fn alloc_trace(&mut self) -> u64 {
+        let id = self.next_trace;
+        self.next_trace += 1;
+        id
+    }
+
+    /// Allocate a fresh span id (monotone, non-zero, no randomness).
+    pub fn alloc_span(&mut self) -> u64 {
+        let id = self.next_span;
+        self.next_span += 1;
+        id
     }
 
     /// Whether recording is enabled.
@@ -148,7 +236,14 @@ impl TraceLog {
                     from,
                     kind,
                     hops,
-                } => format!("{at} {node} RX {} from {from} ({hops} hops)", kind.name()),
+                    ctx,
+                } => {
+                    let tag = trace_tag(ctx);
+                    format!(
+                        "{at} {node} RX {} from {from} ({hops} hops){tag}",
+                        kind.name()
+                    )
+                }
                 TraceEvent::ConnUp { node, peer } => format!("{at} {node} CONN+ {peer}"),
                 TraceEvent::ConnDown { node, peer } => format!("{at} {node} CONN- {peer}"),
                 TraceEvent::RoleChange { node, role } => {
@@ -157,11 +252,135 @@ impl TraceLog {
                 TraceEvent::PowerChange { node, up } => {
                     format!("{at} {node} {}", if *up { "UP" } else { "DOWN" })
                 }
+                TraceEvent::Origin { node, ctx, label } => {
+                    format!("{at} {node} ORIGIN {label}{}", trace_tag(ctx))
+                }
+                TraceEvent::Send {
+                    node,
+                    ctx,
+                    to,
+                    frame,
+                    bytes,
+                } => {
+                    let dest = match to {
+                        Some(to) => format!(" to {to}"),
+                        None => " bcast".to_string(),
+                    };
+                    format!("{at} {node} TX {frame}{dest} {bytes}B{}", trace_tag(ctx))
+                }
+                TraceEvent::Recv {
+                    node,
+                    ctx,
+                    from,
+                    frame,
+                } => format!("{at} {node} FRX {frame} from {from}{}", trace_tag(ctx)),
+                TraceEvent::Unreachable { node, ctx, dst } => {
+                    format!("{at} {node} UNREACHABLE {dst}{}", trace_tag(ctx))
+                }
+                TraceEvent::TimerArm { node, ctx, at: due } => {
+                    format!("{at} {node} TIMER at {due}{}", trace_tag(ctx))
+                }
             };
             s.push_str(&line);
             s.push('\n');
         }
         s
+    }
+
+    /// The causal subset of the retained ring as the flat stream
+    /// `manet_obs::causal` analyzes: every event carrying an active
+    /// [`TraceCtx`], in recording order. Milestone events (joins,
+    /// connections, role/power changes) have no causal identity and are
+    /// skipped, as are untraced deliveries.
+    pub fn causal_events(&self) -> Vec<manet_obs::CausalEvent> {
+        use manet_obs::{CausalEvent, CausalKind};
+        let mut out = Vec::new();
+        for (at, e) in &self.events {
+            let (ctx, node, kind) = match e {
+                TraceEvent::Origin { node, ctx, label } => (
+                    ctx,
+                    node,
+                    CausalKind::Origin {
+                        label: (*label).to_string(),
+                    },
+                ),
+                TraceEvent::Send {
+                    node,
+                    ctx,
+                    to,
+                    frame,
+                    bytes,
+                } => (
+                    ctx,
+                    node,
+                    CausalKind::Send {
+                        frame: (*frame).to_string(),
+                        to: to.map(|n| n.0),
+                        bytes: *bytes,
+                    },
+                ),
+                TraceEvent::Recv {
+                    node,
+                    ctx,
+                    from,
+                    frame,
+                } => (
+                    ctx,
+                    node,
+                    CausalKind::Recv {
+                        frame: (*frame).to_string(),
+                        from: from.0,
+                    },
+                ),
+                TraceEvent::DeliverUp {
+                    node,
+                    kind,
+                    hops,
+                    ctx,
+                    ..
+                } => (
+                    ctx,
+                    node,
+                    CausalKind::Deliver {
+                        kind: kind.name().to_string(),
+                        hops: *hops,
+                    },
+                ),
+                TraceEvent::Unreachable { node, ctx, dst } => {
+                    (ctx, node, CausalKind::Unreachable { dst: dst.0 })
+                }
+                TraceEvent::TimerArm { node, ctx, at: due } => {
+                    (ctx, node, CausalKind::TimerArm { at: due.ticks() })
+                }
+                TraceEvent::Join { .. }
+                | TraceEvent::ConnUp { .. }
+                | TraceEvent::ConnDown { .. }
+                | TraceEvent::RoleChange { .. }
+                | TraceEvent::PowerChange { .. } => continue,
+            };
+            if !ctx.is_active() {
+                continue;
+            }
+            out.push(CausalEvent {
+                trace_id: ctx.trace_id,
+                span: ctx.span_seq,
+                parent: ctx.parent_id,
+                t: at.ticks(),
+                node: node.0,
+                kind,
+            });
+        }
+        out
+    }
+}
+
+/// Compact ` [trace/parent>span]` suffix for traced render lines; empty
+/// for untraced events so pre-existing trace text is unchanged.
+fn trace_tag(ctx: &TraceCtx) -> String {
+    if ctx.is_active() {
+        format!(" [{}/{}>{}]", ctx.trace_id, ctx.parent_id, ctx.span_seq)
+    } else {
+        String::new()
     }
 }
 
@@ -217,6 +436,7 @@ mod tests {
                 from: NodeId(5),
                 kind: MsgKind::Ping,
                 hops: 2,
+                ctx: TraceCtx::NONE,
             },
         );
         log.record(
@@ -251,9 +471,78 @@ mod tests {
         assert_eq!(text.lines().count(), 6);
         assert!(text.contains("JOIN"));
         assert!(text.contains("RX ping from n5 (2 hops)"));
+        assert!(!text.contains('['), "untraced lines carry no trace tag");
         assert!(text.contains("CONN+ n5"));
         assert!(text.contains("CONN- n5"));
         assert!(text.contains("ROLE Master"));
         assert!(text.contains("n3 DOWN"));
+    }
+
+    #[test]
+    fn id_allocation_is_monotone_and_never_zero() {
+        let mut log = TraceLog::new(4);
+        assert_eq!(log.alloc_trace(), 1);
+        assert_eq!(log.alloc_trace(), 2);
+        assert_eq!(log.alloc_span(), 1);
+        assert_eq!(log.alloc_span(), 2);
+        assert_eq!(log.alloc_span(), 3);
+    }
+
+    #[test]
+    fn causal_events_link_parents_and_skip_milestones() {
+        let mut log = TraceLog::new(16);
+        let trace = log.alloc_trace();
+        let root = TraceCtx::root(trace, log.alloc_span());
+        log.record(t(0), TraceEvent::Join { node: NodeId(0) });
+        log.record(
+            t(1),
+            TraceEvent::Origin {
+                node: NodeId(0),
+                ctx: root,
+                label: "query",
+            },
+        );
+        let send = root.child(log.alloc_span());
+        log.record(
+            t(1),
+            TraceEvent::Send {
+                node: NodeId(0),
+                ctx: send,
+                to: None,
+                frame: "flood",
+                bytes: 40,
+            },
+        );
+        let recv = send.child(log.alloc_span());
+        log.record(
+            t(2),
+            TraceEvent::Recv {
+                node: NodeId(1),
+                ctx: recv,
+                from: NodeId(0),
+                frame: "flood",
+            },
+        );
+        // An untraced delivery must not leak into the causal stream.
+        log.record(
+            t(3),
+            TraceEvent::DeliverUp {
+                node: NodeId(1),
+                from: NodeId(0),
+                kind: MsgKind::Ping,
+                hops: 1,
+                ctx: TraceCtx::NONE,
+            },
+        );
+        let events = log.causal_events();
+        assert_eq!(events.len(), 3, "join and untraced delivery skipped");
+        assert_eq!(events[0].parent, 0, "origin is the root");
+        assert_eq!(events[1].parent, events[0].span);
+        assert_eq!(events[2].parent, events[1].span);
+        assert!(events.iter().all(|e| e.trace_id == trace));
+        // And the traced lines render with the compact tag.
+        let text = log.render();
+        assert!(text.contains("ORIGIN query [1/0>1]"), "got:\n{text}");
+        assert!(text.contains("TX flood bcast 40B [1/1>2]"));
     }
 }

@@ -1,0 +1,106 @@
+//! The causal-tracing contract: every overlay delivery appears in exactly
+//! one causal tree, per-path latency decomposes exactly, and the exported
+//! artifact survives schema validation and a render→parse round-trip.
+
+use manet_metrics::MsgKind;
+use manet_obs::causal::{self, CausalKind};
+use manet_obs::json::Value;
+use manet_sim::{Scenario, World};
+use p2p_core::AlgoKind;
+
+/// A traced run large enough to exercise discovery, floods and queries,
+/// with a ring that provably evicts nothing.
+fn traced_run(algo: AlgoKind, seed: u64) -> manet_sim::RunResult {
+    let mut s = Scenario::quick(20, algo, 300);
+    s.trace_capacity = 1 << 20;
+    let r = World::new(s, seed).run();
+    assert_eq!(r.trace.dropped(), 0, "ring must retain every event");
+    r
+}
+
+#[test]
+fn tree_deliveries_reconcile_with_node_counters() {
+    for algo in AlgoKind::ALL {
+        let r = traced_run(algo, 31);
+        let events = r.trace.causal_events();
+        let trees = causal::build_trees(&events);
+        assert!(!trees.is_empty(), "{algo}: no causal trees");
+
+        // With nothing evicted, no event can be orphaned: every tree
+        // event survives into the forest.
+        let in_trees: usize = trees.iter().map(|t| t.events.len()).sum();
+        assert_eq!(in_trees, events.len(), "{algo}: orphaned events");
+
+        // Every overlay delivery is counted once by NodeCounters and
+        // recorded once as a Deliver span in some causal tree; with a
+        // lossless ring the two censuses must agree exactly.
+        let tree_deliveries: u64 = trees
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| matches!(e.kind, CausalKind::Deliver { .. }))
+            .count() as u64;
+        let counter_total: u64 = MsgKind::ALL.iter().map(|&k| r.counters.total(k)).sum();
+        assert_eq!(
+            tree_deliveries, counter_total,
+            "{algo}: causal trees and NodeCounters disagree"
+        );
+        assert!(counter_total > 0, "{algo}: nothing was delivered");
+    }
+}
+
+#[test]
+fn per_path_breakdowns_decompose_exactly() {
+    let r = traced_run(AlgoKind::Regular, 32);
+    let events = r.trace.causal_events();
+    let trees = causal::build_trees(&events);
+    let mut paths = 0u64;
+    let mut queries = 0u64;
+    for tree in &trees {
+        let s = tree.summary();
+        if s.label == "query" {
+            queries += 1;
+        }
+        for p in &s.deliveries {
+            assert_eq!(
+                p.total,
+                p.discovery + p.transit + p.processing,
+                "trace {}: path to node {} does not decompose",
+                s.trace_id,
+                p.node
+            );
+            assert!(p.transit > 0, "radio transit takes nonzero time");
+            paths += 1;
+        }
+    }
+    assert!(paths > 0, "no delivery paths to decompose");
+    assert!(queries > 0, "no query traces minted");
+}
+
+#[test]
+fn exported_artifact_validates_and_round_trips() {
+    let r = traced_run(AlgoKind::Basic, 33);
+    let events = r.trace.causal_events();
+    let doc = causal::artifact(&events);
+    causal::validate_artifact(&doc).expect("artifact must pass schema validation");
+    assert_eq!(
+        doc.get("orphaned").and_then(Value::as_f64),
+        Some(0.0),
+        "lossless ring must orphan nothing"
+    );
+
+    let back = Value::parse(&doc.render()).expect("rendered artifact must re-parse");
+    causal::validate_artifact(&back).expect("round-tripped artifact must validate");
+    let a = causal::events_from_artifact(&doc).unwrap();
+    let b = causal::events_from_artifact(&back).unwrap();
+    assert_eq!(a, b, "spans must survive the round-trip");
+    assert_eq!(a.len(), events.len(), "artifact must carry every event");
+}
+
+#[test]
+fn traces_are_deterministic_across_reruns() {
+    let a = traced_run(AlgoKind::Hybrid, 34).trace.causal_events();
+    let b = traced_run(AlgoKind::Hybrid, 34).trace.causal_events();
+    assert_eq!(a, b, "same seed must reproduce the same causal forest");
+    let c = traced_run(AlgoKind::Hybrid, 35).trace.causal_events();
+    assert_ne!(a, c, "different seeds must differ");
+}

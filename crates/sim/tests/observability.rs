@@ -46,6 +46,24 @@ fn observed_runs_are_bit_identical_to_unobserved() {
 }
 
 #[test]
+fn traced_runs_are_bit_identical_to_untraced() {
+    for algo in AlgoKind::ALL {
+        let s = Scenario::quick(20, algo, 200);
+        let plain = World::new(s.clone(), 23).run();
+        let mut st = s.clone();
+        st.trace_capacity = 1 << 16;
+        let traced = World::new(st, 23).run();
+
+        assert_eq!(plain.fingerprint(), traced.fingerprint(), "{algo}");
+        assert_eq!(plain.events, traced.events, "{algo}");
+        assert_eq!(plain.queries_issued, traced.queries_issued, "{algo}");
+        assert_eq!(plain.answers_received, traced.answers_received, "{algo}");
+        assert!(traced.trace.offered() > 0, "{algo}: trace stayed empty");
+        assert_eq!(plain.trace.offered(), 0, "{algo}: untraced run recorded");
+    }
+}
+
+#[test]
 fn merged_obs_reports_are_thread_count_invariant() {
     let s = observed(Scenario::quick(15, AlgoKind::Regular, 120));
     let serial = run_replications(&s, 4, 5, 1);

@@ -38,6 +38,7 @@ pub use manet_geom as geom;
 pub use manet_graph as graph;
 pub use manet_metrics as metrics;
 pub use manet_mobility as mobility;
+pub use manet_obs as obs;
 pub use manet_radio as radio;
 pub use manet_sim as sim;
 pub use p2p_content as content;

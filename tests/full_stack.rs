@@ -147,6 +147,7 @@ fn experiment_matrix_produces_all_figures() {
         seed: 4,
         threads: 1,
         obs: false,
+        trace: false,
     };
     let matrix = run_matrix(&cfg);
     assert_eq!(matrix.len(), 4);

@@ -82,6 +82,7 @@ fn app_payload_sizes_propagate_to_wire() {
         dst: NodeId(1),
         hops: 0,
         payload: ping.clone(),
+        ctx: p2p_adhoc::des::TraceCtx::NONE,
     });
     assert_eq!(
         msg.wire_size(),
