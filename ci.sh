@@ -80,6 +80,18 @@ head -n 5 target/trace_smoke_summary.txt
 grep -q "route_discovery" target/trace_smoke_summary.txt \
     || { echo "trace_query produced no latency decomposition"; exit 1; }
 
+stage "corpus smoke"
+# The scenario-DSL corpus: parse and validate every checked-in .scn file,
+# then run the two cheapest end-to-end and verify their pinned aggregates
+# reproduce exactly (the full matrix runs as a tier-1 test; this guards
+# the sweep/reproduce CLI paths on the release build).
+cargo run --release -q --offline -p manet-sim --bin sweep -- \
+    --corpus corpus --check-only
+cargo run --release -q --offline -p manet-sim --bin sweep -- \
+    --corpus corpus --cheapest 2
+cargo run --release -q --offline -p manet-sim --bin reproduce -- \
+    --scenario corpus/SELFISH_MAJORITY.scn > /dev/null
+
 stage "perf gate (disabled sink)"
 # The observability sink must stay free when off: events/sec on the 200-node
 # 900 s Regular hot-path scenario within 2% of the checked-in baseline.

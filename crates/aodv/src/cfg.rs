@@ -5,7 +5,7 @@ use manet_des::SimDuration;
 /// Tunables of the routing machine. Defaults follow RFC 3561's suggested
 /// values where they exist, adapted to pedestrian mobility (longer route
 /// lifetimes: topology changes at ~1 m/s, not vehicular speeds).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AodvCfg {
     /// Lifetime granted to a route on creation or refresh.
     pub active_route_lifetime: SimDuration,

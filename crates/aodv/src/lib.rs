@@ -97,6 +97,30 @@ mod tests {
     }
 
     #[test]
+    fn overlong_rrep_is_dropped_not_forwarded() {
+        use manet_des::TraceCtx;
+        // An RREP claiming more hops than the network diameter is
+        // circulating on a malformed reverse path (RREQ-amplification
+        // builds such loops); it must be swallowed, not incremented —
+        // `hop_count + 1` on u8::MAX would abort a debug build.
+        let mut node = Aodv::<TestPayload>::new(NodeId(1), cfg());
+        let rrep = Rrep {
+            dest: NodeId(2),
+            dest_seq: 1,
+            origin: NodeId(3),
+            hop_count: u8::MAX,
+            ctx: TraceCtx::NONE,
+        };
+        let now = SimTime::from_secs(1);
+        let out = node.on_frame(now, NodeId(0), Msg::Rrep(rrep));
+        assert!(out.is_empty(), "overlong RREP must produce no actions");
+        assert!(
+            node.route_hops(NodeId(2), now).is_none(),
+            "no route may be learned from a malformed RREP"
+        );
+    }
+
+    #[test]
     fn expanding_ring_eventually_reaches_far_destination() {
         // 10 hops away: beyond ttl_start(3) and threshold(7), needs the
         // net_diameter attempt, i.e. several timer-driven retries.

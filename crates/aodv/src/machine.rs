@@ -545,6 +545,14 @@ impl<P: Payload> Aodv<P> {
 
     fn handle_rrep(&mut self, now: SimTime, from: NodeId, rrep: Rrep) -> Vec<Action<P>> {
         let mut out = Vec::new();
+        // A legitimate RREP can cross at most `net_diameter` hops; one
+        // claiming more is circulating on a malformed reverse path (the
+        // loops an RREQ-amplifying adversary builds out of duplicate
+        // requests do exactly this). Drop it before `hop_count + 1`
+        // overflows the u8.
+        if rrep.hop_count >= self.cfg.net_diameter {
+            return out;
+        }
         self.learn_neighbor(now, from);
         // Forward route to the discovered destination.
         self.table.update(

@@ -27,7 +27,7 @@ impl std::fmt::Display for FileId {
 }
 
 /// The catalogue: how many files exist and how popular each is.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Catalog {
     /// Number of distinct searchable files (paper: 20).
     pub n_files: u16,

@@ -114,7 +114,7 @@ pub struct CompletedQuery {
 }
 
 /// Engine configuration (paper values as defaults).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct QueryCfg {
     /// TTL in p2p hops (Table 2: 6).
     pub ttl: u8,

@@ -26,6 +26,7 @@
 //! assert!(!actions.is_empty()); // the first discovery probe
 //! ```
 
+pub mod adversary;
 pub mod api;
 pub mod basic;
 pub mod conn;
@@ -38,6 +39,7 @@ pub mod regular;
 pub mod testkit;
 pub mod topology;
 
+pub use adversary::AdversaryRole;
 pub use api::{Reconfigurator, Role};
 pub use basic::BasicAlgo;
 pub use conn::{CloseReason, Conn, ConnKind, ConnState, ConnStats, ConnTable};

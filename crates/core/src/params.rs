@@ -9,7 +9,7 @@
 use manet_des::SimDuration;
 
 /// Tunables shared by the Basic, Regular, Random and Hybrid algorithms.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OverlayParams {
     /// `MAXNCONN`: maximum overlay connections per node (paper: 3).
     pub max_conn: usize,

@@ -21,6 +21,7 @@ use std::collections::VecDeque;
 
 use manet_des::{NodeId, Rng, SimDuration, SimTime};
 
+use crate::adversary::AdversaryRole;
 use crate::api::Reconfigurator;
 use crate::msg::{OvAction, OverlayMsg};
 use crate::params::OverlayParams;
@@ -43,6 +44,8 @@ pub struct MiniNet {
     inbox: VecDeque<(NodeId, OvAction)>,
     /// Messages delivered to algorithm entry points so far.
     pub delivered: u64,
+    adversaries: Vec<Option<AdversaryRole>>,
+    grey_seen: Vec<u64>,
 }
 
 impl MiniNet {
@@ -73,6 +76,8 @@ impl MiniNet {
             hops: 1,
             inbox: VecDeque::new(),
             delivered: 0,
+            adversaries: vec![None; n],
+            grey_seen: vec![0; n],
         }
     }
 
@@ -161,6 +166,41 @@ impl MiniNet {
         self.up[id.index()] = false;
     }
 
+    /// Give a node an adversarial role.
+    ///
+    /// MiniNet has no routing layer, so the routing-level roles degrade to
+    /// their overlay-visible symptom: a [`AdversaryRole::BlackHole`]
+    /// swallows every message addressed to it *silently* (unlike a killed
+    /// node, senders get no unreachable bounce — the defining trait of a
+    /// black-hole), a [`AdversaryRole::GreyHole`] swallows every
+    /// `drop_nth`-th. A [`AdversaryRole::Selfish`] node still receives
+    /// everything and initiates its own traffic (start/tick actions flow),
+    /// but the responses its handlers produce are discarded — it consumes
+    /// without serving. [`AdversaryRole::RreqAmplifier`] and
+    /// [`AdversaryRole::QueryFlooder`] act below/above this layer and are
+    /// no-ops here.
+    pub fn set_adversary(&mut self, id: NodeId, role: AdversaryRole) {
+        self.adversaries[id.index()] = Some(role);
+    }
+
+    /// Should an incoming message to node `to` be swallowed? Advances the
+    /// grey-hole counter as a side effect.
+    fn swallows_incoming(&mut self, to: usize) -> bool {
+        match self.adversaries[to] {
+            Some(AdversaryRole::BlackHole) => true,
+            Some(AdversaryRole::GreyHole { drop_nth }) => {
+                self.grey_seen[to] += 1;
+                self.grey_seen[to].is_multiple_of(drop_nth as u64)
+            }
+            _ => false,
+        }
+    }
+
+    /// Are responses produced by node `i`'s message handlers discarded?
+    fn is_selfish(&self, i: usize) -> bool {
+        matches!(self.adversaries[i], Some(AdversaryRole::Selfish))
+    }
+
     /// Inject a routed message into `to` as if `from` had sent it, and
     /// settle the fallout. For stray/duplicate-message conformance tests.
     pub fn inject_msg(&mut self, from: NodeId, to: NodeId, msg: OverlayMsg) {
@@ -246,18 +286,27 @@ impl MiniNet {
                         continue;
                     }
                     for i in 0..self.algos.len() {
-                        if i == from.index() || !self.up[i] {
+                        if i == from.index() || !self.up[i] || self.swallows_incoming(i) {
                             continue;
                         }
                         let acts = self.algos[i].on_flood(self.now, from, self.hops, &msg);
                         self.delivered += 1;
+                        if self.is_selfish(i) {
+                            continue;
+                        }
                         self.enqueue(NodeId(i as u32), acts);
                     }
                 }
                 OvAction::Send { to, msg } => {
                     if self.up[to.index()] {
+                        if self.swallows_incoming(to.index()) {
+                            continue; // swallowed: no delivery, no bounce
+                        }
                         let acts = self.algos[to.index()].on_msg(self.now, from, self.hops, &msg);
                         self.delivered += 1;
+                        if self.is_selfish(to.index()) {
+                            continue;
+                        }
                         self.enqueue(to, acts);
                     } else {
                         let acts = self.algos[from.index()].on_unreachable(self.now, to);

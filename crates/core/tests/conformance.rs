@@ -175,3 +175,62 @@ fn survivors_keep_a_working_overlay_after_churn() {
         );
     }
 }
+
+#[test]
+fn overlays_survive_a_blackhole_and_a_selfish_peer() {
+    // A black-hole silently swallows everything addressed to it (no
+    // unreachable bounce, unlike a crash) and a selfish peer consumes
+    // traffic but never answers. Every algorithm must keep its contract
+    // and the honest majority must still assemble an overlay; the
+    // adversaries themselves are expected to end up isolated.
+    use p2p_core::AdversaryRole;
+    let blackhole = NodeId(3);
+    let selfish = NodeId(5);
+    for kind in AlgoKind::ALL {
+        let mut net = net(kind, 10);
+        net.set_adversary(blackhole, AdversaryRole::BlackHole);
+        net.set_adversary(selfish, AdversaryRole::Selfish);
+        net.start_all();
+        net.run_secs(300);
+        let violations = net.contract_violations();
+        assert!(violations.is_empty(), "{kind}: {violations:?}");
+        // Degradation is expected but must be bounded: the 8 honest nodes
+        // still hold a working overlay among themselves.
+        let honest_endpoints: usize = (0..net.len() as u32)
+            .map(NodeId)
+            .filter(|&id| id != blackhole && id != selfish)
+            .map(|id| {
+                net.neighbors(id)
+                    .iter()
+                    .filter(|&&nb| nb != blackhole && nb != selfish)
+                    .count()
+            })
+            .sum();
+        assert!(
+            honest_endpoints >= 6,
+            "{kind}: honest overlay collapsed ({honest_endpoints} endpoints)"
+        );
+        // The black-hole never completes a handshake: nothing reaches it.
+        assert!(
+            net.neighbors(blackhole).is_empty(),
+            "{kind}: black-hole established connections without receiving traffic"
+        );
+    }
+}
+
+#[test]
+fn greyhole_degrades_but_does_not_wedge() {
+    use p2p_core::AdversaryRole;
+    for kind in AlgoKind::ALL {
+        let mut net = net(kind, 8);
+        net.set_adversary(NodeId(2), AdversaryRole::GreyHole { drop_nth: 2 });
+        net.start_all();
+        net.run_secs(240);
+        let violations = net.contract_violations();
+        assert!(violations.is_empty(), "{kind}: {violations:?}");
+        assert!(
+            net.total_neighbor_count() > 0,
+            "{kind}: a single grey-hole destroyed the overlay"
+        );
+    }
+}

@@ -3,7 +3,7 @@
 use manet_des::SimDuration;
 
 /// Physical-layer configuration shared by all nodes of a scenario.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RadioCfg {
     /// Transmission range in metres (the paper: 10 m).
     pub range_m: f64,

@@ -55,6 +55,68 @@ pub enum ScenarioError {
     },
     /// Group mobility with zero groups.
     NoGroups,
+    /// A mobility maximum speed is zero, negative, or NaN.
+    NonPositiveSpeed {
+        /// The configured speed, m/s.
+        speed: f64,
+    },
+    /// The waypoint maximum pause is negative or NaN.
+    NegativePause {
+        /// The configured pause, seconds.
+        pause: f64,
+    },
+    /// Group mobility with a non-positive (or NaN) group radius.
+    NonPositiveGroupRadius {
+        /// The configured radius, metres.
+        radius: f64,
+    },
+    /// More mobility groups than nodes — some groups would be empty.
+    GroupsExceedNodes {
+        /// The configured group count.
+        n_groups: usize,
+        /// Nodes in the world.
+        n_nodes: usize,
+    },
+    /// The battery budget is zero, negative, or NaN.
+    NonPositiveBattery {
+        /// The configured budget, millijoules.
+        mj: f64,
+    },
+    /// An adversary names a node outside the world.
+    AdversaryOutOfRange {
+        /// The adversarial node.
+        node: u32,
+        /// Nodes in the world.
+        n_nodes: usize,
+    },
+    /// Two adversary entries name the same node.
+    DuplicateAdversary {
+        /// The node named twice.
+        node: u32,
+    },
+    /// An overlay-layer adversary (selfish, query-flooder) sits on a node
+    /// that is not a p2p member.
+    AdversaryNotMember {
+        /// The adversarial node.
+        node: u32,
+        /// Member count; member node ids are `0..n_members`.
+        n_members: usize,
+    },
+    /// A grey-hole with `drop_nth < 2` (that is a black-hole).
+    GreyHoleDropTooSmall {
+        /// The configured drop modulus.
+        drop_nth: u32,
+    },
+    /// An RREQ amplifier factor outside `2..=8`.
+    AmplifierFactorOutOfRange {
+        /// The configured factor.
+        factor: u8,
+    },
+    /// A query-flooder with a zero period.
+    FlooderPeriodZero {
+        /// The flooding node.
+        node: u32,
+    },
     /// The observability sample period is negative.
     NegativeObsSamplePeriod {
         /// The configured period, seconds.
@@ -130,6 +192,42 @@ impl std::fmt::Display for ScenarioError {
                 "churn dwell means must be positive, got up {mean_uptime} / down {mean_downtime}"
             ),
             NoGroups => write!(f, "need at least one group"),
+            NonPositiveSpeed { speed } => {
+                write!(f, "mobility max speed must be positive, got {speed}")
+            }
+            NegativePause { pause } => {
+                write!(f, "waypoint max pause must be non-negative, got {pause}")
+            }
+            NonPositiveGroupRadius { radius } => {
+                write!(f, "group radius must be positive, got {radius}")
+            }
+            GroupsExceedNodes { n_groups, n_nodes } => write!(
+                f,
+                "{n_groups} groups over {n_nodes} nodes leaves empty groups"
+            ),
+            NonPositiveBattery { mj } => {
+                write!(f, "battery budget must be positive, got {mj} mJ")
+            }
+            AdversaryOutOfRange { node, n_nodes } => {
+                write!(f, "adversary names node {node} but the world has {n_nodes}")
+            }
+            DuplicateAdversary { node } => {
+                write!(f, "node {node} has more than one adversarial role")
+            }
+            AdversaryNotMember { node, n_members } => write!(
+                f,
+                "adversary on node {node} needs p2p membership (members are 0..{n_members})"
+            ),
+            GreyHoleDropTooSmall { drop_nth } => write!(
+                f,
+                "grey-hole drop_nth must be at least 2, got {drop_nth} (use black-hole)"
+            ),
+            AmplifierFactorOutOfRange { factor } => {
+                write!(f, "rreq-amplifier factor must lie in 2..=8, got {factor}")
+            }
+            FlooderPeriodZero { node } => {
+                write!(f, "query-flooder period must be positive (node {node})")
+            }
             NegativeObsSamplePeriod { secs } => {
                 write!(f, "negative obs sample period: {secs}")
             }

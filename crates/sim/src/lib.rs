@@ -11,6 +11,7 @@ pub mod invariants;
 pub mod payload;
 pub mod runner;
 pub mod scenario;
+pub mod scn;
 pub(crate) mod stack;
 pub(crate) mod subsystems;
 pub mod trace;
@@ -22,8 +23,10 @@ pub use faults::{BurstCfg, CrashEvent, FaultPlan, JitterSpikes, LinkFlaps, Packe
 pub use invariants::{check_result, check_result_dumping};
 pub use manet_des::TraceCtx;
 pub use manet_obs::{ObsConfig, ObsReport};
+pub use p2p_core::AdversaryRole;
 pub use payload::AppMsg;
-pub use runner::{aggregate, run_replications, Aggregate};
-pub use scenario::{ChurnCfg, MobilityKind, Scenario};
+pub use runner::{aggregate, expect_of, measure_corpus, run_replications, Aggregate};
+pub use scenario::{Adversary, ChurnCfg, MobilityKind, Scenario};
+pub use scn::{parse_scn, render_expect, render_scn, Expect, ScnError, ScnErrorKind, ScnFile};
 pub use trace::{TraceEvent, TraceLog};
 pub use world::{RunResult, World};

@@ -11,6 +11,7 @@ use manet_metrics::{average_series, FileMetrics, MsgKind, Summary};
 use manet_obs::ObsReport;
 
 use crate::scenario::Scenario;
+use crate::scn::Expect;
 use crate::world::{RunResult, World};
 
 /// Derive the seed of replication `rep` from an experiment seed.
@@ -20,6 +21,35 @@ pub fn replication_seed(base: u64, rep: usize) -> u64 {
     let mut s = base ^ (rep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     s = manet_des::rng::splitmix64(&mut s);
     s
+}
+
+/// Run a corpus scenario at pinned replication count and seed and fold
+/// the aggregates a `.scn` `expect` line records: an FNV-1a fold of the
+/// per-replication fingerprints plus the summed traffic counters. The
+/// single source of truth for what `expect` means — the golden corpus
+/// test and `sweep --corpus` both compare against this.
+pub fn measure_corpus(scenario: &Scenario, reps: usize, seed: u64, threads: usize) -> Expect {
+    let results = run_replications(scenario, reps, seed, threads);
+    expect_of(&results, reps, seed)
+}
+
+/// Fold already-run replications into the [`Expect`] they pin.
+pub fn expect_of(results: &[RunResult], reps: usize, seed: u64) -> Expect {
+    let mut fingerprint = 0xcbf2_9ce4_8422_2325u64;
+    for fp in results.iter().map(|r| r.fingerprint()) {
+        for b in fp.to_le_bytes() {
+            fingerprint ^= b as u64;
+            fingerprint = fingerprint.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    Expect {
+        reps,
+        seed,
+        fingerprint,
+        queries: results.iter().map(|r| r.queries_issued).sum(),
+        answers: results.iter().map(|r| r.answers_received).sum(),
+        frames: results.iter().map(|r| r.phy_total.frames_sent).sum(),
+    }
 }
 
 /// Run `reps` replications of `scenario` on up to `threads` workers.

@@ -1,7 +1,7 @@
 //! Scenario configuration — the programmatic form of Table 2.
 
 use manet_aodv::AodvCfg;
-use manet_des::SimDuration;
+use manet_des::{NodeId, SimDuration};
 
 use crate::errors::ScenarioError;
 use crate::faults::FaultPlan;
@@ -9,7 +9,7 @@ use manet_geom::Rect;
 use manet_obs::ObsConfig;
 use manet_radio::RadioCfg;
 use p2p_content::{Catalog, QueryCfg};
-use p2p_core::{AlgoKind, OverlayParams};
+use p2p_core::{AdversaryRole, AlgoKind, OverlayParams};
 
 /// Which mobility model the scenario's nodes follow.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -52,9 +52,22 @@ pub struct ChurnCfg {
     pub mean_downtime: f64,
 }
 
+/// One misbehaving node: which node, and how it misbehaves.
+///
+/// Adversaries are deterministic (see [`AdversaryRole`]) and strictly
+/// additive: a scenario with an empty adversary list runs bit-identically
+/// to one built before the subsystem existed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Adversary {
+    /// The misbehaving node.
+    pub node: NodeId,
+    /// Its behaviour.
+    pub role: AdversaryRole,
+}
+
 /// A full experiment description. `Scenario::paper(...)` reproduces
 /// Table 2; every field can be overridden for sweeps and ablations.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
     /// Total nodes in the ad-hoc network (paper: 50 or 150).
     pub n_nodes: usize,
@@ -98,6 +111,9 @@ pub struct Scenario {
     /// Injected faults (packet-loss bursts, scripted crashes, link flaps,
     /// delay spikes); the default plan is empty and changes nothing.
     pub faults: FaultPlan,
+    /// Misbehaving nodes (black-holes, grey-holes, RREQ amplifiers, query
+    /// flooders, selfish peers); empty by default and changes nothing.
+    pub adversaries: Vec<Adversary>,
     /// Observability sink (metrics registry, spans, flight recorder).
     /// Disabled by default; enabling it never changes simulation results.
     pub obs: ObsConfig,
@@ -129,6 +145,7 @@ impl Scenario {
             smallworld_sample: None,
             trace_capacity: 0,
             faults: FaultPlan::default(),
+            adversaries: Vec::new(),
             obs: ObsConfig::default(),
         }
     }
@@ -207,15 +224,86 @@ impl Scenario {
                 });
             }
         }
-        if let MobilityKind::Groups { n_groups, .. } = self.mobility {
-            if n_groups < 1 {
-                return Err(ScenarioError::NoGroups);
+        match self.mobility {
+            MobilityKind::Waypoint {
+                max_speed,
+                max_pause,
+            } => {
+                if max_speed <= 0.0 || max_speed.is_nan() {
+                    return Err(ScenarioError::NonPositiveSpeed { speed: max_speed });
+                }
+                if max_pause < 0.0 || max_pause.is_nan() {
+                    return Err(ScenarioError::NegativePause { pause: max_pause });
+                }
+            }
+            MobilityKind::Walk { max_speed } => {
+                if max_speed <= 0.0 || max_speed.is_nan() {
+                    return Err(ScenarioError::NonPositiveSpeed { speed: max_speed });
+                }
+            }
+            MobilityKind::Groups {
+                n_groups,
+                max_speed,
+                group_radius,
+            } => {
+                if n_groups < 1 {
+                    return Err(ScenarioError::NoGroups);
+                }
+                if n_groups > self.n_nodes {
+                    return Err(ScenarioError::GroupsExceedNodes {
+                        n_groups,
+                        n_nodes: self.n_nodes,
+                    });
+                }
+                if max_speed <= 0.0 || max_speed.is_nan() {
+                    return Err(ScenarioError::NonPositiveSpeed { speed: max_speed });
+                }
+                if group_radius <= 0.0 || group_radius.is_nan() {
+                    return Err(ScenarioError::NonPositiveGroupRadius {
+                        radius: group_radius,
+                    });
+                }
+            }
+            MobilityKind::GaussMarkov | MobilityKind::Stationary => {}
+        }
+        if let Some(mj) = self.battery_mj {
+            if mj <= 0.0 || mj.is_nan() {
+                return Err(ScenarioError::NonPositiveBattery { mj });
             }
         }
         if self.obs.enabled && self.obs.sample_period_secs < 0.0 {
             return Err(ScenarioError::NegativeObsSamplePeriod {
                 secs: self.obs.sample_period_secs,
             });
+        }
+        for (i, a) in self.adversaries.iter().enumerate() {
+            if a.node.index() >= self.n_nodes {
+                return Err(ScenarioError::AdversaryOutOfRange {
+                    node: a.node.0,
+                    n_nodes: self.n_nodes,
+                });
+            }
+            if self.adversaries[..i].iter().any(|b| b.node == a.node) {
+                return Err(ScenarioError::DuplicateAdversary { node: a.node.0 });
+            }
+            if a.role.requires_membership() && a.node.index() >= self.n_members() {
+                return Err(ScenarioError::AdversaryNotMember {
+                    node: a.node.0,
+                    n_members: self.n_members(),
+                });
+            }
+            match a.role {
+                AdversaryRole::GreyHole { drop_nth } if drop_nth < 2 => {
+                    return Err(ScenarioError::GreyHoleDropTooSmall { drop_nth });
+                }
+                AdversaryRole::RreqAmplifier { factor } if !(2..=8).contains(&factor) => {
+                    return Err(ScenarioError::AmplifierFactorOutOfRange { factor });
+                }
+                AdversaryRole::QueryFlooder { period } if period.is_zero() => {
+                    return Err(ScenarioError::FlooderPeriodZero { node: a.node.0 });
+                }
+                _ => {}
+            }
         }
         self.faults.check(self.n_nodes)
     }
@@ -352,5 +440,152 @@ mod tests {
         let mut s = Scenario::paper(50, AlgoKind::Basic);
         s.n_nodes = 1;
         s.validate();
+    }
+
+    #[test]
+    fn mobility_validation_gaps_are_closed() {
+        let base = Scenario::quick(10, AlgoKind::Regular, 60);
+        let with = |mobility| Scenario {
+            mobility,
+            ..base.clone()
+        };
+        assert_eq!(
+            with(MobilityKind::Waypoint {
+                max_speed: 0.0,
+                max_pause: 100.0
+            })
+            .check(),
+            Err(ScenarioError::NonPositiveSpeed { speed: 0.0 })
+        );
+        assert!(matches!(
+            with(MobilityKind::Waypoint {
+                max_speed: f64::NAN,
+                max_pause: 100.0
+            })
+            .check(),
+            Err(ScenarioError::NonPositiveSpeed { .. })
+        ));
+        assert_eq!(
+            with(MobilityKind::Waypoint {
+                max_speed: 1.0,
+                max_pause: -1.0
+            })
+            .check(),
+            Err(ScenarioError::NegativePause { pause: -1.0 })
+        );
+        assert_eq!(
+            with(MobilityKind::Walk { max_speed: -2.0 }).check(),
+            Err(ScenarioError::NonPositiveSpeed { speed: -2.0 })
+        );
+        // Zero-member groups: more groups than nodes.
+        assert_eq!(
+            with(MobilityKind::Groups {
+                n_groups: 11,
+                max_speed: 1.0,
+                group_radius: 5.0
+            })
+            .check(),
+            Err(ScenarioError::GroupsExceedNodes {
+                n_groups: 11,
+                n_nodes: 10
+            })
+        );
+        assert_eq!(
+            with(MobilityKind::Groups {
+                n_groups: 2,
+                max_speed: 1.0,
+                group_radius: 0.0
+            })
+            .check(),
+            Err(ScenarioError::NonPositiveGroupRadius { radius: 0.0 })
+        );
+    }
+
+    #[test]
+    fn battery_must_be_positive_when_set() {
+        let mut s = Scenario::quick(10, AlgoKind::Basic, 60);
+        s.battery_mj = Some(0.0);
+        assert_eq!(
+            s.check(),
+            Err(ScenarioError::NonPositiveBattery { mj: 0.0 })
+        );
+        s.battery_mj = Some(400.0);
+        assert_eq!(s.check(), Ok(()));
+    }
+
+    #[test]
+    fn adversaries_are_validated() {
+        use manet_des::NodeId;
+        let with = |adversaries: Vec<Adversary>| Scenario {
+            adversaries,
+            ..Scenario::quick(10, AlgoKind::Regular, 60)
+        };
+        let adv = |node: u32, role| Adversary {
+            node: NodeId(node),
+            role,
+        };
+        assert_eq!(
+            with(vec![adv(10, AdversaryRole::BlackHole)]).check(),
+            Err(ScenarioError::AdversaryOutOfRange {
+                node: 10,
+                n_nodes: 10
+            })
+        );
+        assert_eq!(
+            with(vec![
+                adv(3, AdversaryRole::BlackHole),
+                adv(3, AdversaryRole::Selfish)
+            ])
+            .check(),
+            Err(ScenarioError::DuplicateAdversary { node: 3 })
+        );
+        // quick(10, ..) has 8 members (ids 0..8); node 9 is a pure relay.
+        assert_eq!(
+            with(vec![adv(9, AdversaryRole::Selfish)]).check(),
+            Err(ScenarioError::AdversaryNotMember {
+                node: 9,
+                n_members: 8
+            })
+        );
+        assert_eq!(
+            with(vec![adv(9, AdversaryRole::BlackHole)]).check(),
+            Ok(()),
+            "routing-layer roles may sit on relays"
+        );
+        assert_eq!(
+            with(vec![adv(2, AdversaryRole::GreyHole { drop_nth: 1 })]).check(),
+            Err(ScenarioError::GreyHoleDropTooSmall { drop_nth: 1 })
+        );
+        assert_eq!(
+            with(vec![adv(2, AdversaryRole::RreqAmplifier { factor: 9 })]).check(),
+            Err(ScenarioError::AmplifierFactorOutOfRange { factor: 9 })
+        );
+        assert_eq!(
+            with(vec![adv(
+                2,
+                AdversaryRole::QueryFlooder {
+                    period: SimDuration::ZERO
+                }
+            )])
+            .check(),
+            Err(ScenarioError::FlooderPeriodZero { node: 2 })
+        );
+        assert_eq!(
+            with(vec![
+                adv(0, AdversaryRole::BlackHole),
+                adv(1, AdversaryRole::GreyHole { drop_nth: 4 }),
+                adv(2, AdversaryRole::RreqAmplifier { factor: 3 }),
+                adv(
+                    3,
+                    AdversaryRole::QueryFlooder {
+                        period: SimDuration::from_secs(5)
+                    }
+                ),
+                adv(4, AdversaryRole::Selfish),
+            ])
+            .check(),
+            Ok(()),
+            "one of each role on distinct members is valid"
+        );
     }
 }

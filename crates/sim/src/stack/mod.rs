@@ -25,7 +25,7 @@ use manet_des::{NodeId, Rng, SimTime, TraceCtx};
 use manet_mobility::AnyMobility;
 use manet_radio::{EnergyMeter, PhyStats};
 use p2p_content::{ContentMsg, QueryEngine};
-use p2p_core::{BoxedAlgo, OverlayMsg, Role};
+use p2p_core::{AdversaryRole, BoxedAlgo, OverlayMsg, Role};
 
 use crate::engine::Event;
 use crate::payload::AppMsg;
@@ -134,6 +134,26 @@ pub(crate) struct OverlayLayer {
     pub(crate) member: Option<MemberState>,
 }
 
+/// Adversarial behaviour attached to one node (honest nodes carry none).
+///
+/// The role drives deterministic interception at the layer it subverts:
+/// the routing adapter consults it when executing AODV actions
+/// (black/grey-holes, RREQ amplification), the overlay adapter when
+/// delivering content payloads (selfish peers). Query flooding is driven
+/// by a dedicated subsystem and needs no per-frame state here.
+pub(crate) struct AdversaryState {
+    pub(crate) role: AdversaryRole,
+    /// Forwarded payload frames seen so far — the grey-hole's deterministic
+    /// drop counter.
+    pub(crate) fwd_seen: u64,
+}
+
+impl AdversaryState {
+    pub(crate) fn new(role: AdversaryRole) -> Self {
+        AdversaryState { role, fwd_seen: 0 }
+    }
+}
+
 /// One node's full stack, phy to overlay, plus its mobility process.
 pub(crate) struct NodeStack {
     pub(crate) mobility: AnyMobility,
@@ -141,6 +161,9 @@ pub(crate) struct NodeStack {
     pub(crate) phy: PhyLayer,
     pub(crate) routing: RoutingLayer,
     pub(crate) overlay: OverlayLayer,
+    /// `Some` only on misbehaving nodes; `None` keeps the honest path
+    /// bit-identical to a world without the adversary subsystem.
+    pub(crate) adversary: Option<AdversaryState>,
 }
 
 impl NodeStack {

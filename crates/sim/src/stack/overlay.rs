@@ -106,6 +106,24 @@ pub(crate) fn deliver_up(core: &mut WorldCore, now: SimTime, at: NodeId, verb: D
             },
         );
     }
+    // A selfish member consumes service traffic without serving: incoming
+    // queries and fetch requests are counted and traced as delivered (the
+    // frame did arrive) but never reach the engine, so no hit or transfer
+    // is ever produced. Its own queries and fetches still work.
+    if let AppMsg::Content(cmsg) = &payload {
+        let selfish = core.nodes[at.index()]
+            .adversary
+            .as_ref()
+            .is_some_and(|a| matches!(a.role, p2p_core::AdversaryRole::Selfish));
+        if selfish
+            && matches!(
+                cmsg,
+                ContentMsg::Query { .. } | ContentMsg::FetchRequest { .. }
+            )
+        {
+            return;
+        }
+    }
     match payload {
         AppMsg::Overlay(msg) => {
             let acts = {

@@ -7,8 +7,9 @@
 //! before the next action of the same batch runs — this ordering is part
 //! of the deterministic contract.
 
-use manet_aodv::Action as AodvAction;
+use manet_aodv::{Action as AodvAction, Msg};
 use manet_des::{NodeId, SimTime};
+use p2p_core::AdversaryRole;
 
 use crate::payload::AppMsg;
 use crate::stack::{overlay, phy, DeliverUp, FrameUp, OverlayDown, SendDown};
@@ -61,6 +62,67 @@ pub(crate) fn overlay_down(core: &mut WorldCore, now: SimTime, at: NodeId, verb:
     exec(core, now, at, acts);
 }
 
+/// Does this action forward a payload *on behalf of someone else* — the
+/// traffic a black/grey-hole swallows? Routed data originated elsewhere,
+/// or a flood relay. The node's own originations always pass, so the
+/// adversary keeps attracting routes instead of looking dead.
+fn forwards_foreign_payload(action: &AodvAction<AppMsg>, at: NodeId) -> bool {
+    match action {
+        AodvAction::Unicast {
+            msg: Msg::Data(d), ..
+        } => d.src != at,
+        AodvAction::Broadcast(Msg::Data(d)) => d.src != at,
+        AodvAction::Broadcast(Msg::Flood(fl)) => fl.origin != at,
+        _ => false,
+    }
+}
+
+/// Rewrite an honest action batch through node `at`'s adversarial role.
+/// Deterministic and RNG-free: honest nodes never reach this (the caller
+/// checks), and the rewrite itself draws nothing from the world's RNG
+/// streams.
+fn subvert(
+    core: &mut WorldCore,
+    at: NodeId,
+    actions: Vec<AodvAction<AppMsg>>,
+) -> Vec<AodvAction<AppMsg>> {
+    let adv = core.nodes[at.index()]
+        .adversary
+        .as_mut()
+        .expect("caller checked");
+    match adv.role {
+        AdversaryRole::BlackHole => actions
+            .into_iter()
+            .filter(|a| !forwards_foreign_payload(a, at))
+            .collect(),
+        AdversaryRole::GreyHole { drop_nth } => actions
+            .into_iter()
+            .filter(|a| {
+                if forwards_foreign_payload(a, at) {
+                    adv.fwd_seen += 1;
+                    !adv.fwd_seen.is_multiple_of(drop_nth as u64)
+                } else {
+                    true
+                }
+            })
+            .collect(),
+        AdversaryRole::RreqAmplifier { factor } => {
+            let mut out = Vec::with_capacity(actions.len());
+            for a in actions {
+                if matches!(&a, AodvAction::Broadcast(Msg::Rreq(_))) {
+                    for _ in 1..factor {
+                        out.push(a.clone());
+                    }
+                }
+                out.push(a);
+            }
+            out
+        }
+        // These roles act at the overlay/content layer, not here.
+        AdversaryRole::QueryFlooder { .. } | AdversaryRole::Selfish => actions,
+    }
+}
+
 /// Execute a batch of AODV actions at node `at`, in order, depth-first.
 pub(crate) fn exec(
     core: &mut WorldCore,
@@ -68,6 +130,11 @@ pub(crate) fn exec(
     at: NodeId,
     actions: Vec<AodvAction<AppMsg>>,
 ) {
+    let actions = if core.nodes[at.index()].adversary.is_some() {
+        subvert(core, at, actions)
+    } else {
+        actions
+    };
     for action in actions {
         match action {
             AodvAction::Broadcast(msg) => phy::send_down(core, now, at, SendDown::Broadcast(msg)),

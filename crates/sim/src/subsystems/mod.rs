@@ -7,12 +7,14 @@
 //! monolithic world, which keeps initial-event insertion order (and with
 //! it every timestamp tie-break) bit-identical.
 
+mod adversary;
 mod churn;
 mod faults;
 mod mobility;
 mod obs_tap;
 mod sampler;
 
+pub(crate) use adversary::QueryFlooderDriver;
 pub(crate) use churn::ChurnDriver;
 pub(crate) use faults::{CrashPlan, FlapDriver, JitterDriver, LossBursts};
 pub(crate) use mobility::MobilityDriver;
@@ -56,6 +58,19 @@ pub(crate) fn build(scenario: &Scenario, master: &Rng) -> Vec<Box<dyn Subsystem>
     }
     if scenario.obs.enabled {
         subs.push(Box::new(ObsSampler::new(scenario.obs)));
+    }
+    // Appended last so adversary-free scenarios keep the exact historical
+    // registration (and therefore event-insertion) order.
+    let flooders: Vec<_> = scenario
+        .adversaries
+        .iter()
+        .filter_map(|a| match a.role {
+            p2p_core::AdversaryRole::QueryFlooder { period } => Some((a.node, period)),
+            _ => None,
+        })
+        .collect();
+    if !flooders.is_empty() {
+        subs.push(Box::new(QueryFlooderDriver::new(flooders)));
     }
     subs
 }

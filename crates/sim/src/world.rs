@@ -776,7 +776,15 @@ impl World {
                     timer_at: SimTime::MAX,
                 },
                 overlay: OverlayLayer { member },
+                adversary: None,
             });
+        }
+
+        // Attach adversarial roles (validated by `check` above). Pure
+        // state assignment: no RNG draws, no events, so honest scenarios
+        // and honest nodes are untouched.
+        for a in &scenario.adversaries {
+            nodes[a.node.index()].adversary = Some(crate::stack::AdversaryState::new(a.role));
         }
 
         let mut subsystems = subsystems::build(&scenario, &master);

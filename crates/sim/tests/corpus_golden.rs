@@ -1,0 +1,155 @@
+//! The adversarial corpus and its pinned golden aggregates.
+//!
+//! Every `.scn` file under `corpus/` must (a) parse, validate and
+//! round-trip through the canonical renderer, and (b) — when it carries
+//! an `expect` line — reproduce that line's aggregates *exactly* when
+//! its replications are re-run: the FNV fold of the per-replication
+//! fingerprints plus the summed query/answer/frame counts. A mismatch
+//! means simulation behaviour changed; either the change is a bug, or
+//! the corpus must be deliberately re-pinned:
+//!
+//! ```text
+//! SCN_REPIN=1 cargo test --release -p manet-sim --test corpus_golden --offline
+//! ```
+//!
+//! Re-pinning rewrites each file's `expect` line in place (debug and
+//! release builds produce identical numbers — the simulation is pure
+//! integer-time arithmetic on both).
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+use manet_sim::{measure_corpus, parse_scn, render_expect, render_scn, Scenario, ScnFile, World};
+use p2p_core::AlgoKind;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+/// Load every corpus file, sorted by name, panicking with the file name
+/// and positioned parse error on any failure.
+fn load_corpus() -> Vec<(PathBuf, ScnFile)> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("corpus/ directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "corpus/ has no .scn files");
+    paths
+        .into_iter()
+        .map(|p| {
+            let text = fs::read_to_string(&p).expect("readable scenario file");
+            let file = parse_scn(&text).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+            (p, file)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_parses_validates_and_round_trips() {
+    for (path, file) in load_corpus() {
+        let stem = path.file_stem().unwrap().to_string_lossy();
+        assert_eq!(
+            file.name,
+            stem,
+            "{}: scenario name must match the file name",
+            path.display()
+        );
+        // Canonical render → parse is the identity on every corpus file.
+        let reparsed = parse_scn(&render_scn(&file))
+            .unwrap_or_else(|e| panic!("{}: canonical form re-parse: {e}", path.display()));
+        assert_eq!(reparsed, file, "{}: round-trip drift", path.display());
+    }
+}
+
+#[test]
+fn corpus_covers_the_adversary_taxonomy() {
+    let corpus = load_corpus();
+    assert!(
+        corpus.len() >= 10,
+        "corpus must stay broad: {} files",
+        corpus.len()
+    );
+    let roles: BTreeSet<&'static str> = corpus
+        .iter()
+        .flat_map(|(_, f)| f.scenario.adversaries.iter().map(|a| a.role.name()))
+        .collect();
+    for want in [
+        "black-hole",
+        "grey-hole",
+        "rreq-amplifier",
+        "query-flooder",
+        "selfish",
+    ] {
+        assert!(roles.contains(want), "no corpus scenario uses {want}");
+    }
+    let algos: BTreeSet<&'static str> =
+        corpus.iter().map(|(_, f)| f.scenario.algo.name()).collect();
+    assert!(algos.len() >= 3, "corpus exercises too few algorithms");
+}
+
+/// The tier-1 golden gate: every pinned `expect` line reproduces
+/// exactly. `SCN_REPIN=1` rewrites the pins instead of checking them.
+#[test]
+fn corpus_reproduces_pinned_aggregates() {
+    let repin = std::env::var_os("SCN_REPIN").is_some();
+    let mut failures = Vec::new();
+    for (path, file) in load_corpus() {
+        let (reps, seed) = file.expect.map_or((2, 7), |e| (e.reps, e.seed));
+        let got = measure_corpus(&file.scenario, reps, seed, 2);
+        if repin {
+            let text = fs::read_to_string(&path).unwrap();
+            let mut kept: String = text
+                .lines()
+                .filter(|l| !l.trim_start().starts_with("expect"))
+                .fold(String::new(), |mut s, l| {
+                    s.push_str(l);
+                    s.push('\n');
+                    s
+                });
+            kept.push_str(&render_expect(&got));
+            kept.push('\n');
+            fs::write(&path, kept).unwrap();
+            println!("re-pinned {}: {}", file.name, render_expect(&got));
+            continue;
+        }
+        let Some(want) = file.expect else {
+            panic!(
+                "{}: no expect line — pin it with \
+                 SCN_REPIN=1 cargo test --release -p manet-sim --test corpus_golden",
+                path.display()
+            );
+        };
+        if got != want {
+            failures.push(format!(
+                "{name}:\n  pinned   {p}\n  measured {m}",
+                name = file.name,
+                p = render_expect(&want),
+                m = render_expect(&got),
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus aggregates drifted:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The bit-identity bridge: the DSL is not a parallel world. The
+/// adversary-free baseline file *is* the programmatic scenario the
+/// refactor-equivalence fingerprints were captured on, and one run of it
+/// reproduces that suite's golden fingerprint.
+#[test]
+fn regular_baseline_is_bit_identical_to_programmatic_quick() {
+    let text = fs::read_to_string(corpus_dir().join("REGULAR_BASELINE.scn")).unwrap();
+    let file = parse_scn(&text).unwrap();
+    assert_eq!(file.scenario, Scenario::quick(30, AlgoKind::Regular, 240));
+    let fp = World::new(file.scenario, 7).run().fingerprint();
+    assert_eq!(
+        fp, 0xcbaafd99708ae6d9,
+        "scenario-file run diverged from the pre-refactor golden fingerprint"
+    );
+}

@@ -1,0 +1,189 @@
+//! Property tests for the `.scn` scenario DSL.
+//!
+//! Two contracts pinned over randomly generated scenario files:
+//!
+//! 1. **Round-trip identity** — for any valid [`ScnFile`],
+//!    `parse_scn(&render_scn(&f)) == Ok(f)`. The renderer writes the
+//!    canonical form and the parser reads it back bit-for-bit, including
+//!    exact `f64` values, durations at tick precision, every fault and
+//!    adversary, and the `expect` block.
+//! 2. **Positioned diagnostics** — any corruption of a rendered file
+//!    fails to parse with a 1-indexed line within the file, a column
+//!    of at least one, and a non-empty rendered message.
+
+use manet_des::{NodeId, SimDuration, SimTime};
+use manet_sim::{
+    parse_scn, render_scn, Adversary, AdversaryRole, BurstCfg, ChurnCfg, CrashEvent, Expect,
+    JitterSpikes, LinkFlaps, MobilityKind, PacketLoss, Scenario, ScnFile,
+};
+use manet_testkit::{any_u64, prop_assert, prop_assert_eq, properties, Gen, Strategy};
+use p2p_core::AlgoKind;
+
+/// Generates valid scenario files covering every directive the DSL
+/// knows. All numeric fields come from finite grids, so every generated
+/// scenario passes `Scenario::check`; the renderer/parser must then
+/// preserve each of them exactly. No shrinking — a failing file is
+/// already small enough to eyeball in rendered form.
+#[derive(Clone, Copy, Debug)]
+struct AnyScn;
+
+impl Strategy for AnyScn {
+    type Value = ScnFile;
+
+    fn generate(&self, g: &mut Gen) -> ScnFile {
+        let r = g.rng();
+        let n_nodes = 5 + r.below(30) as usize;
+        let algo = *r.choose(&AlgoKind::ALL);
+        let mut s = Scenario::paper(n_nodes, algo);
+        s.duration = SimDuration::from_secs(60 + r.below(540));
+        s.join_window = SimDuration::from_secs(5 + r.below(25));
+        // >= 0.75 keeps nodes 0..=2 members, so adversary placement below
+        // never trips the membership check.
+        s.member_fraction = (15 + r.below(6)) as f64 / 20.0;
+        s.area_side = (5 + r.below(20)) as f64 * 10.0;
+        s.qualifier_range = (1, 1 + r.below(200) as u32);
+        let speed = (1 + r.below(40)) as f64 / 4.0;
+        s.mobility = match r.below(5) {
+            0 => MobilityKind::Waypoint {
+                max_speed: speed,
+                max_pause: r.below(120) as f64,
+            },
+            1 => MobilityKind::Walk { max_speed: speed },
+            2 => MobilityKind::GaussMarkov,
+            3 => MobilityKind::Groups {
+                n_groups: 1 + r.below(4) as usize,
+                max_speed: speed,
+                group_radius: (1 + r.below(10)) as f64,
+            },
+            _ => MobilityKind::Stationary,
+        };
+        if r.chance(0.3) {
+            s.battery_mj = Some((100 + r.below(900)) as f64);
+        }
+        if r.chance(0.3) {
+            s.churn = Some(ChurnCfg {
+                mean_uptime: (30 + r.below(90)) as f64,
+                mean_downtime: (10 + r.below(50)) as f64,
+            });
+        }
+        if r.chance(0.25) {
+            s.smallworld_sample = Some(SimDuration::from_secs(30 + r.below(90)));
+        }
+        s.radio.loss_prob = r.below(30) as f64 / 100.0;
+        s.radio.fuzz = r.below(40) as f64 / 100.0;
+        s.query.ttl = 1 + r.below(10) as u8;
+        if r.chance(0.3) {
+            s.query.fetch_bytes = Some(256 * (1 + r.below(16)) as u32);
+        }
+        if r.chance(0.3) {
+            s.aodv.hello_interval = Some(SimDuration::from_secs(1 + r.below(5)));
+        }
+        if r.chance(0.3) {
+            let burst = r.chance(0.5).then(|| BurstCfg {
+                mean_quiet: (20 + r.below(60)) as f64,
+                mean_burst: (5 + r.below(20)) as f64,
+                burst_loss: (30 + r.below(60)) as f64 / 100.0,
+            });
+            s.faults.loss = Some(PacketLoss {
+                base: r.below(20) as f64 / 100.0,
+                burst,
+            });
+        }
+        for i in 0..r.below(3) as u32 {
+            s.faults.crashes.push(CrashEvent {
+                node: NodeId(i),
+                at: SimTime::from_secs(10 + 7 * i as u64),
+                restart_after: r
+                    .chance(0.5)
+                    .then(|| SimDuration::from_secs(10 + r.below(50))),
+            });
+        }
+        if r.chance(0.25) {
+            s.faults.link_flaps = Some(LinkFlaps {
+                period: SimDuration::from_secs(30 + r.below(60)),
+                down: SimDuration::from_secs(1 + r.below(10)),
+            });
+        }
+        if r.chance(0.25) {
+            s.faults.jitter = Some(JitterSpikes {
+                period: SimDuration::from_secs(30 + r.below(60)),
+                width: SimDuration::from_secs(1 + r.below(10)),
+                extra_delay: SimDuration::from_millis(5 + r.below(100)),
+            });
+        }
+        for node in 0..r.below(4) as u32 {
+            let role = match r.below(5) {
+                0 => AdversaryRole::BlackHole,
+                1 => AdversaryRole::GreyHole {
+                    drop_nth: 2 + r.below(6) as u32,
+                },
+                2 => AdversaryRole::RreqAmplifier {
+                    factor: 2 + r.below(7) as u8,
+                },
+                3 => AdversaryRole::QueryFlooder {
+                    period: SimDuration::from_secs(1 + r.below(20)),
+                },
+                _ => AdversaryRole::Selfish,
+            };
+            s.adversaries.push(Adversary {
+                node: NodeId(node),
+                role,
+            });
+        }
+        if r.chance(0.25) {
+            s.obs.enabled = true;
+            s.obs.sample_period_secs = (1 + r.below(20)) as f64;
+            s.obs.recorder_capacity = 64 * (1 + r.below(63)) as usize;
+        }
+        let expect = r.chance(0.5).then(|| Expect {
+            reps: 1 + r.below(4) as usize,
+            seed: r.next_u64(),
+            fingerprint: r.next_u64(),
+            queries: r.below(100_000),
+            answers: r.below(100_000),
+            frames: r.below(10_000_000),
+        });
+        let name = format!("PROP_{}", r.below(1_000_000));
+        ScnFile {
+            name,
+            scenario: s,
+            expect,
+        }
+    }
+}
+
+properties! {
+    config = manet_testkit::Config::cases(64);
+
+    /// Rendering and re-parsing any valid scenario file is the identity.
+    fn render_parse_round_trip(file in AnyScn) {
+        let text = render_scn(&file);
+        let reparsed = parse_scn(&text);
+        prop_assert_eq!(reparsed, Ok(file.clone()), "canonical text:\n{}", text);
+    }
+
+    /// Corrupting a valid file always fails with an in-bounds 1-indexed
+    /// line, a positive column, and a non-empty positioned message.
+    fn parse_errors_carry_positions(file in AnyScn, pick in any_u64()) {
+        let text = render_scn(&file);
+        let n_lines = text.lines().count();
+        prop_assert!(n_lines >= 6, "canonical render is never this short");
+
+        // Corruption 1: splice in an unknown directive.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.insert(pick as usize % (n_lines + 1), "frobnicate all the things");
+        let e = parse_scn(&lines.join("\n")).unwrap_err();
+        prop_assert!(e.line >= 1 && e.line <= n_lines + 1, "line {} of {}", e.line, n_lines + 1);
+        prop_assert!(e.col >= 1);
+        prop_assert!(e.to_string().starts_with("line "), "got: {}", e);
+
+        // Corruption 2: garble the head token of an existing line.
+        let at = pick as usize % n_lines;
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[at] = format!("bogus-{}", lines[at]);
+        let e = parse_scn(&lines.join("\n")).unwrap_err();
+        prop_assert!(e.line >= 1 && e.line <= n_lines);
+        prop_assert!(e.col >= 1);
+        prop_assert!(!e.to_string().is_empty());
+    }
+}

@@ -218,6 +218,38 @@ impl<S: Strategy> Strategy for OptionStrategy<S> {
     }
 }
 
+/// A uniform choice among a fixed list of values; shrinks toward the
+/// front of the list.
+#[derive(Clone, Debug)]
+pub struct ElemOf<T> {
+    items: Vec<T>,
+}
+
+/// Strategy that picks one of `items`. Order the list simplest-first:
+/// shrinking walks a failing choice toward index 0.
+pub fn elem_of<T: Clone + std::fmt::Debug + PartialEq>(items: Vec<T>) -> ElemOf<T> {
+    assert!(!items.is_empty(), "empty choice strategy");
+    ElemOf { items }
+}
+
+impl<T: Clone + std::fmt::Debug + PartialEq> Strategy for ElemOf<T> {
+    type Value = T;
+
+    fn generate(&self, g: &mut Gen) -> T {
+        let i = g.rng().below(self.items.len() as u64) as usize;
+        self.items[i].clone()
+    }
+
+    fn shrink(&self, v: &T) -> Vec<T> {
+        // Every item earlier in the list than the failing one, simplest
+        // first, so greedy descent bottoms out at index 0.
+        match self.items.iter().position(|x| x == v) {
+            Some(i) => self.items[..i].to_vec(),
+            None => Vec::new(),
+        }
+    }
+}
+
 macro_rules! tuple_strategy {
     ($(($($s:ident / $v:ident / $ix:tt),+);)*) => {$(
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {
@@ -303,6 +335,21 @@ mod tests {
         assert_eq!(shrunk[0], None);
         assert!(shrunk[1..].iter().all(|c| matches!(c, Some(x) if *x < 30)));
         assert!(strat.shrink(&None).is_empty());
+    }
+
+    #[test]
+    fn elem_of_picks_listed_values_and_shrinks_to_front() {
+        let strat = elem_of(vec!["a", "b", "c", "d"]);
+        let mut g = Gen::new(19);
+        for _ in 0..50 {
+            assert!(["a", "b", "c", "d"].contains(&strat.generate(&mut g)));
+        }
+        assert_eq!(strat.shrink(&"d"), vec!["a", "b", "c"]);
+        assert!(strat.shrink(&"a").is_empty());
+        assert!(
+            strat.shrink(&"zzz").is_empty(),
+            "unknown values are minimal"
+        );
     }
 
     #[test]

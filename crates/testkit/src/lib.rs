@@ -50,8 +50,8 @@ pub mod gen;
 pub mod runner;
 
 pub use gen::{
-    any_bool, any_u64, option_of, vec_of, AnyBool, AnyU64, Gen, OptionStrategy, Strategy,
-    VecStrategy,
+    any_bool, any_u64, elem_of, option_of, vec_of, AnyBool, AnyU64, ElemOf, Gen, OptionStrategy,
+    Strategy, VecStrategy,
 };
 pub use runner::{check, CaseError, CaseResult, Config};
 
