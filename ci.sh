@@ -92,10 +92,26 @@ cargo run --release -q --offline -p manet-sim --bin sweep -- \
 cargo run --release -q --offline -p manet-sim --bin reproduce -- \
     --scenario corpus/SELFISH_MAJORITY.scn > /dev/null
 
+stage "shard smoke"
+# The sharded executor: a corpus scenario at --shards 4 must reproduce the
+# traffic aggregates of its own single-shard reference run (the reproduce
+# bin performs that comparison and exits non-zero on drift), and the city
+# bench binary must complete at a shrunken scale on both paths.
+cargo run --release -q --offline -p manet-sim --bin reproduce -- \
+    --scenario corpus/REGULAR_BASELINE.scn --shards 4 \
+    | grep -q "sharded traffic aggregates match" \
+    || { echo "shard smoke: sharded aggregates diverged"; exit 1; }
+CITY_NODES=300 CITY_SECS=20 BENCH_ITERS=1 BENCH_JSON="$BENCH_SMOKE_JSON" \
+    cargo run --release -q --offline -p bench --bin city_10k > /dev/null
+
 stage "perf gate (disabled sink)"
 # The observability sink must stay free when off: events/sec on the 200-node
-# 900 s Regular hot-path scenario within 2% of the checked-in baseline.
-cargo run --release -q --offline -p bench --bin perf_gate
+# 900 s Regular hot-path scenario within 2% of the checked-in baseline. The
+# gate also times one sharded run of the same scenario — recorded into the
+# smoke scratch file (the checked-in baseline stays untouched), not gated:
+# sharded speedup is core-count-bound.
+PERF_GATE_SHARDED_JSON="$BENCH_SMOKE_JSON" \
+    cargo run --release -q --offline -p bench --bin perf_gate
 
 stage_end
 echo

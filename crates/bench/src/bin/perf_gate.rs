@@ -28,6 +28,14 @@
 //! and both must match the baseline record's event count (workload drift
 //! guard).
 //!
+//! After the gate passes, one sharded run of the same scenario
+//! (`PERF_GATE_SHARDS` regions, default 4) is timed and *recorded* — not
+//! yet gated on: speedup is core-count-bound, so a wall-clock floor would
+//! gate the hardware, not the code. The record merges into the file named
+//! by `PERF_GATE_SHARDED_JSON` (default: the `BENCH_JSON` results file;
+//! CI points it at the smoke scratch file to keep the checked-in baseline
+//! clean). `PERF_GATE_SHARDS=0` skips the sharded measurement.
+//!
 //! Knobs: `BENCH_HOT_NODES` / `BENCH_HOT_SECS` shrink the workload (the
 //! baseline records for that shape must exist), `PERF_GATE_ITERS` caps
 //! the measurement pairs (early exit on pass; default 4), `PERF_GATE_TOL`
@@ -39,7 +47,7 @@ use std::time::Instant;
 
 use bench::{bench_scenario, env_u64, json::Value, run_result};
 use manet_des::SchedulerKind;
-use manet_sim::RunResult;
+use manet_sim::{RunResult, ShardedWorld};
 use p2p_core::AlgoKind;
 
 fn env_f64(name: &str, default: f64) -> f64 {
@@ -63,6 +71,61 @@ fn timed_run(nodes: usize, secs: u64, observed: bool) -> (f64, RunResult) {
     let r = run_result(scenario, 7, SchedulerKind::Calendar);
     let eps = r.events as f64 / t0.elapsed().as_secs_f64();
     (eps, r)
+}
+
+/// Time one sharded run of the gate scenario and merge the measurement
+/// into the sharded-results file — recorded for the perf trajectory, not
+/// gated on: the speedup is core-count-bound, and this may be a 1-core
+/// box running the shard rounds in lockstep.
+fn record_sharded(nodes: usize, secs: u64, shape: &str, bench_json: &str) {
+    let shards = env_u64("PERF_GATE_SHARDS", 4) as usize;
+    if shards == 0 {
+        return;
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let scenario = bench_scenario(nodes, AlgoKind::Regular, secs);
+    let t0 = Instant::now();
+    let r = ShardedWorld::new(scenario, 7, shards).run(threads);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let eps = r.events as f64 / (ms / 1e3);
+    println!(
+        "perf_gate: sharded_{shards} (recorded, not gated): {ms:.0} ms, \
+         {eps:.0} events/sec on {threads} worker(s)"
+    );
+    let path = std::env::var("PERF_GATE_SHARDED_JSON").unwrap_or_else(|_| bench_json.to_string());
+    let name = format!("sharded_{shards}/{shape}");
+    let mut records: Vec<Value> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| Value::parse(&text).ok())
+        .and_then(|doc| {
+            doc.get("records")
+                .and_then(Value::as_arr)
+                .map(<[_]>::to_vec)
+        })
+        .unwrap_or_default();
+    records.retain(|old| {
+        !(old.get("suite").and_then(Value::as_str) == Some("perf_gate")
+            && old.get("name").and_then(Value::as_str) == Some(name.as_str()))
+    });
+    records.push(Value::Obj(vec![
+        ("suite".into(), Value::Str("perf_gate".into())),
+        ("name".into(), Value::Str(name)),
+        ("min_ms".into(), Value::Num(ms)),
+        ("mean_ms".into(), Value::Num(ms)),
+        ("max_ms".into(), Value::Num(ms)),
+        ("iters".into(), Value::Num(1.0)),
+        ("nodes".into(), Value::Num(nodes as f64)),
+        ("sim_secs".into(), Value::Num(secs as f64)),
+        ("shards".into(), Value::Num(shards as f64)),
+        ("threads".into(), Value::Num(threads as f64)),
+        ("events".into(), Value::Num(r.events as f64)),
+        ("events_per_sec".into(), Value::Num(eps)),
+    ]));
+    let doc = Value::Obj(vec![("records".into(), Value::Arr(records))]);
+    match std::fs::write(&path, doc.render()) {
+        Ok(()) => println!("perf_gate: sharded record merged into {path}"),
+        Err(e) => eprintln!("perf_gate: failed to write {path}: {e}"),
+    }
 }
 
 fn main() -> ExitCode {
@@ -142,6 +205,7 @@ fn main() -> ExitCode {
                 "perf_gate: OK — disabled sink at {:+.2}% of the speed-adjusted baseline",
                 (eps / (base_eps * speed) - 1.0) * 100.0
             );
+            record_sharded(nodes, secs, &shape, &path);
             return ExitCode::SUCCESS;
         }
         eprintln!("perf_gate: pair {}/{iters} below floor, retrying", i + 1);

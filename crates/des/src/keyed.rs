@@ -1,0 +1,297 @@
+//! A key-ordered future-event list for conservative parallel simulation.
+//!
+//! The sequential [`EventQueue`](crate::queue::EventQueue) breaks
+//! timestamp ties by *insertion sequence* — exactly one legal execution,
+//! but one that depends on the global order every event was scheduled in.
+//! A spatially sharded world has no global insertion order: each shard
+//! schedules its own events and absorbs cross-shard messages at barrier
+//! points, so two different partitions of the same world interleave their
+//! `schedule` calls differently.
+//!
+//! [`KeyedQueue`] restores determinism by breaking ties with an
+//! *intrinsic* [`EventKey`] instead: a total order derived from what the
+//! event **is** (its class, the nodes involved, the sender's transmission
+//! sequence) rather than when it was scheduled. Any shard that ends up
+//! holding the same set of `(time, key)` events pops them in the same
+//! order, whatever route they arrived by — the property the sharded
+//! world's partition-invariance rests on.
+//!
+//! The insertion sequence is kept only as a final fallback so the order
+//! is total even for key collisions; well-formed worlds never produce
+//! two distinct simultaneous events with equal keys (see the key
+//! construction rules in `manet-sim`).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// The physically justified synchronization slack of a conservative
+/// parallel simulation: no message sent at time `t` can affect another
+/// shard before `t + lookahead`, so every shard may safely advance to
+/// `min(global next event) + lookahead` between barriers.
+///
+/// For a radio medium this is the minimum over-the-air latency: the
+/// serialization delay of the smallest possible frame plus the
+/// propagation (hop) latency. `manet-radio` derives it from a `RadioCfg`
+/// (`RadioCfg::lookahead`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Lookahead(pub SimDuration);
+
+impl Lookahead {
+    /// The slack in ticks.
+    pub fn ticks(self) -> u64 {
+        self.0.ticks()
+    }
+
+    /// A conservative window is only useful if it is non-empty: a zero
+    /// lookahead means messages can arrive in the instant they are sent
+    /// and shards could never advance past one another.
+    pub fn is_usable(self) -> bool {
+        self.0.ticks() >= 1
+    }
+}
+
+/// An intrinsic total order over simultaneous events.
+///
+/// Compared lexicographically as `(class, k1, k2)`. The producer assigns
+/// `class` per event kind and packs identifying state into `k1`/`k2`
+/// (node ids, subsystem ids, per-sender transmission sequence numbers) —
+/// anything derived from the event itself, never from scheduling order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct EventKey {
+    /// Event-kind rank (producer-defined).
+    pub class: u8,
+    /// Primary discriminator (e.g. node id, sender/receiver pair).
+    pub k1: u64,
+    /// Secondary discriminator (e.g. per-sender transmission sequence).
+    pub k2: u64,
+}
+
+impl EventKey {
+    /// The smallest key: sorts before every other key of the same class 0.
+    pub const MIN: EventKey = EventKey {
+        class: 0,
+        k1: 0,
+        k2: 0,
+    };
+}
+
+struct KeyedEntry<E> {
+    at: SimTime,
+    key: EventKey,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for KeyedEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.key == other.key && self.seq == other.seq
+    }
+}
+impl<E> Eq for KeyedEntry<E> {}
+impl<E> PartialOrd for KeyedEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for KeyedEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, the earliest entry must win.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.key.cmp(&self.key))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list ordered by `(time, key)` with a per-queue
+/// insertion sequence as the final tie-break. No cancellation — the
+/// sharded world re-checks liveness at dispatch instead — which keeps
+/// entries small and the hot path branch-free.
+pub struct KeyedQueue<E> {
+    heap: BinaryHeap<KeyedEntry<E>>,
+    now: SimTime,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for KeyedQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> KeyedQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        KeyedQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedule `payload` at `at` under `key`. Panics if `at` is in the
+    /// queue's past — the same contract as the sequential queue.
+    pub fn schedule(&mut self, at: SimTime, key: EventKey, payload: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.heap.push(KeyedEntry {
+            at,
+            key,
+            seq: self.next_seq,
+            payload,
+        });
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+    }
+
+    /// Timestamp of the earliest pending event, if any. O(1).
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest event if its timestamp is `<= limit`, advancing
+    /// the queue clock to it.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.peek().is_some_and(|e| e.at <= limit) {
+            let e = self.heap.pop().expect("peeked");
+            self.now = e.at;
+            Some((e.at, e.payload))
+        } else {
+            None
+        }
+    }
+
+    /// The queue clock: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Events ever scheduled (a workload measure; never decreases).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Remove and return every pending event matching `pred`, preserving
+    /// each survivor's original insertion sequence (relative order under
+    /// equal `(time, key)` is unchanged). O(n) rebuild — used only at
+    /// shard-migration boundaries, never on the hot path.
+    pub fn drain_matching(
+        &mut self,
+        mut pred: impl FnMut(&E) -> bool,
+    ) -> Vec<(SimTime, EventKey, E)> {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let mut drained = Vec::new();
+        let mut kept = Vec::with_capacity(entries.len());
+        for e in entries {
+            if pred(&e.payload) {
+                drained.push((e.at, e.key, e.payload));
+            } else {
+                kept.push(e);
+            }
+        }
+        self.heap = BinaryHeap::from(kept);
+        // Deterministic hand-off order: by (time, key), not heap layout.
+        drained.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(class: u8, k1: u64, k2: u64) -> EventKey {
+        EventKey { class, k1, k2 }
+    }
+
+    #[test]
+    fn pops_by_time_then_key_not_insertion_order() {
+        let mut q = KeyedQueue::new();
+        let t = SimTime::from_ticks(100);
+        // Inserted in reverse key order: key order must still win.
+        q.schedule(t, key(2, 7, 1), "c");
+        q.schedule(t, key(1, 9, 0), "b");
+        q.schedule(t, key(1, 2, 0), "a");
+        q.schedule(SimTime::from_ticks(50), key(9, 0, 0), "first");
+        let mut got = Vec::new();
+        while let Some((_, p)) = q.pop_before(SimTime::MAX) {
+            got.push(p);
+        }
+        assert_eq!(got, vec!["first", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant_for_distinct_keys() {
+        let t = SimTime::from_ticks(5);
+        let keys = [key(0, 3, 0), key(1, 1, 4), key(1, 1, 2), key(2, 0, 0)];
+        let mut forward = KeyedQueue::new();
+        let mut backward = KeyedQueue::new();
+        for (i, &k) in keys.iter().enumerate() {
+            forward.schedule(t, k, i);
+        }
+        for (i, &k) in keys.iter().enumerate().rev() {
+            backward.schedule(t, k, i);
+        }
+        let drain = |mut q: KeyedQueue<usize>| {
+            let mut v = Vec::new();
+            while let Some((_, p)) = q.pop_before(SimTime::MAX) {
+                v.push(p);
+            }
+            v
+        };
+        assert_eq!(drain(forward), drain(backward));
+    }
+
+    #[test]
+    fn pop_before_respects_the_horizon() {
+        let mut q = KeyedQueue::new();
+        q.schedule(SimTime::from_ticks(10), EventKey::MIN, "early");
+        q.schedule(SimTime::from_ticks(20), EventKey::MIN, "late");
+        assert_eq!(
+            q.pop_before(SimTime::from_ticks(15)),
+            Some((SimTime::from_ticks(10), "early"))
+        );
+        assert_eq!(q.pop_before(SimTime::from_ticks(15)), None);
+        assert_eq!(q.next_time(), Some(SimTime::from_ticks(20)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn drain_matching_splits_exactly() {
+        let mut q = KeyedQueue::new();
+        for i in 0..10u64 {
+            q.schedule(SimTime::from_ticks(i), key(0, i, 0), i);
+        }
+        let drained = q.drain_matching(|&v| v % 2 == 0);
+        assert_eq!(drained.len(), 5);
+        // Drained events come back sorted by (time, key).
+        assert!(drained
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));
+        let mut rest = Vec::new();
+        while let Some((_, v)) = q.pop_before(SimTime::MAX) {
+            rest.push(v);
+        }
+        assert_eq!(rest, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn lookahead_usability() {
+        assert!(!Lookahead(SimDuration::from_ticks(0)).is_usable());
+        assert!(Lookahead(SimDuration::from_ticks(1)).is_usable());
+    }
+}

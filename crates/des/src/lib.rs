@@ -17,6 +17,11 @@
 //!   order-insensitive stream forking, so one master seed reproduces a whole
 //!   multi-threaded experiment bit-for-bit.
 //!
+//! A fourth piece serves the sharded parallel world: [`keyed`] provides
+//! [`KeyedQueue`], a future-event list that breaks timestamp ties with an
+//! intrinsic [`EventKey`] instead of insertion order, and [`Lookahead`],
+//! the conservative synchronization slack.
+//!
 //! Plus one shared piece of metadata: [`trace`] defines [`TraceCtx`], the
 //! inert causal-trace context every layer above can carry on its messages
 //! without perturbing a run.
@@ -38,12 +43,14 @@
 
 mod calendar;
 pub mod ids;
+pub mod keyed;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use ids::NodeId;
+pub use keyed::{EventKey, KeyedQueue, Lookahead};
 pub use queue::{EventId, EventQueue, SchedulerKind};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime, TICKS_PER_SECOND};

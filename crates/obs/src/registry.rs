@@ -50,7 +50,12 @@ impl Default for Histogram {
 }
 
 /// The bucket index a value falls into.
-pub fn bucket_of(v: u64) -> usize {
+///
+/// Branch-free: a single `lzcnt`/`clz` and a subtract, no comparisons.
+/// `record()` sits on the simulator's hot path (every frame, every queue
+/// sample), so the bucketing must not cost a mispredictable branch.
+#[inline]
+pub const fn bucket_of(v: u64) -> usize {
     // 0 -> 0; otherwise 1 + floor(log2(v)): 1->1, 2..4->2, 4..8->3, ...
     (u64::BITS - v.leading_zeros()) as usize
 }
@@ -395,6 +400,55 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The obvious branchy specification of log2 bucketing, kept only as
+    /// a test oracle for the `leading_zeros` hot path.
+    fn bucket_of_reference(v: u64) -> usize {
+        if v == 0 {
+            return 0;
+        }
+        let mut k = 1;
+        while k < 64 && v >= (1u64 << k) {
+            k += 1;
+        }
+        k
+    }
+
+    #[test]
+    fn branch_free_bucketing_matches_the_branchy_oracle() {
+        // Exhaustive around every power-of-two boundary: 2^k - 1, 2^k,
+        // 2^k + 1 for all 64 boundaries, plus the extremes. Any change to
+        // the lzcnt expression that shifts a single assignment fails here.
+        for k in 0..64u32 {
+            let p = 1u64 << k;
+            for v in [p.wrapping_sub(1), p, p.saturating_add(1)] {
+                assert_eq!(bucket_of(v), bucket_of_reference(v), "value {v}");
+            }
+        }
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Pinned assignments — the serialized bucket layout is part of the
+        // obs report format, so these indices must never drift.
+        let pinned: [(u64, usize); 12] = [
+            (0, 0),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (100, 7),
+            (128, 8),
+            (1000, 10),
+            (1024, 11),
+            (65_535, 16),
+            (1 << 32, 33),
+            (u64::MAX, 64),
+        ];
+        for (v, want) in pinned {
+            assert_eq!(bucket_of(v), want, "pinned bucket of {v}");
+        }
+        // const-evaluable: usable in array sizes and static tables.
+        const AT_1024: usize = bucket_of(1024);
+        assert_eq!(AT_1024, 11);
+    }
 
     #[test]
     fn histogram_bucket_boundaries() {

@@ -4,7 +4,8 @@
 //! reproduce [--nodes 50|150] [--paper] [--reps R] [--duration S] \
 //!           [--seed X] [--threads T] [--obs-out DIR] [--trace-out DIR] \
 //!           [--table1] [--table2]
-//! reproduce --scenario FILE.scn [--reps R] [--seed X] [--threads T]
+//! reproduce --scenario FILE.scn [--reps R] [--seed X] [--threads T] \
+//!           [--shards N]
 //! ```
 //!
 //! `--scenario FILE` runs one declarative scenario file instead of the
@@ -37,7 +38,7 @@ fn run_scenario_file(path: &str, args: &[String]) -> i32 {
             return 2;
         }
     };
-    let file = match parse_scn(&text) {
+    let mut file = match parse_scn(&text) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("{path}: {e}");
@@ -60,6 +61,14 @@ fn run_scenario_file(path: &str, args: &[String]) -> i32 {
     let threads = flag("--threads")
         .map(|v| v.parse().expect("--threads count"))
         .unwrap_or_else(|| reps.min(4));
+    if let Some(n) = flag("--shards") {
+        file.scenario.shards = n.parse().expect("--shards count");
+        if let Err(e) = file.scenario.check() {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    }
+    let sharded = file.scenario.shards > 1;
     eprintln!(
         "# scenario {}: {} nodes, {} adversaries, {} reps, seed {seed:#x}",
         file.name,
@@ -79,6 +88,36 @@ fn run_scenario_file(path: &str, args: &[String]) -> i32 {
         agg.frames_sent.mean,
         agg.energy_mj.mean
     );
+    if sharded {
+        // Sharded runs define partition-invariant semantics of their own
+        // (per-sender radio RNG streams, intrinsic event keys) — close to
+        // but not bit-equal to the sequential path, whose shared radio RNG
+        // draws in global pop order. The gate is therefore a single-shard
+        // reference run: whatever the shard count, the traffic aggregates
+        // must match R=1 exactly.
+        let reference: Vec<_> = (0..reps)
+            .map(|rep| {
+                let rep_seed = runner::replication_seed(seed, rep);
+                manet_sim::ShardedWorld::new(file.scenario.clone(), rep_seed, 1).run(1)
+            })
+            .collect();
+        let want = manet_sim::expect_of(&reference, reps, seed);
+        println!("single-shard reference {}", render_expect(&want));
+        return if (got.queries, got.answers, got.frames)
+            == (want.queries, want.answers, want.frames)
+        {
+            println!("sharded traffic aggregates match the single-shard reference");
+            0
+        } else {
+            eprintln!(
+                "{}: sharding broke partition invariance\n  1-shard  {}\n  measured {}",
+                file.name,
+                render_expect(&want),
+                render_expect(&got)
+            );
+            1
+        };
+    }
     match file.expect {
         // Pins only bind at their own replication count and seed.
         Some(want) if (want.reps, want.seed) == (reps, seed) && got != want => {

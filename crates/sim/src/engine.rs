@@ -1,7 +1,7 @@
 //! The simulation engine: virtual clock, future-event list, and typed
 //! event routing.
 //!
-//! [`Engine`] is deliberately slim — it owns the [`EventQueue`], the
+//! [`Engine`] is deliberately slim — it owns the future-event list, the
 //! processed-event counter and the peak-depth gauge, and nothing else.
 //! Everything that *reacts* to events lives either in the per-node layer
 //! stack (`crate::stack`) or in a registered [`Subsystem`]
@@ -13,15 +13,61 @@
 //! samplers) schedules [`SubEvent`]s in its own namespace — the
 //! [`SubsystemId`] it was registered under. Adding a new subsystem
 //! therefore never touches the [`Event`] enum.
+//!
+//! Two queue backends sit behind the same `schedule`/`pop_before`
+//! surface: the sequential [`EventQueue`] (insertion-order tie-breaks,
+//! the default, bit-identical to every pinned fingerprint) and the
+//! [`KeyedQueue`] used by the sharded world, which breaks ties with an
+//! intrinsic [`EventKey`] derived from the event itself so any partition
+//! of the same world pops simultaneous events identically.
 
 use manet_aodv::Msg;
-use manet_des::{EventQueue, NodeId, SchedulerKind, SimTime};
+use manet_des::{EventKey, EventQueue, KeyedQueue, NodeId, SchedulerKind, SimTime};
 
 use crate::payload::AppMsg;
 use crate::world::WorldCore;
 
 /// Index of a registered subsystem; doubles as its event namespace.
 pub(crate) type SubsystemId = u16;
+
+/// A subsystem event compacted into one word: owner id (16 bits), event
+/// shape (8 bits) and node id (32 bits). Keeps the `Event::Sub` arm at
+/// payload-free size — the future-event list is dominated by these plus
+/// node timers, so the hot path copies no more than it must.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct SubKey(u64);
+
+const SUB_TICK: u64 = 0;
+const SUB_NODE: u64 = 1;
+const SUB_NODE_ALT: u64 = 2;
+
+impl SubKey {
+    pub(crate) fn pack(owner: SubsystemId, ev: SubEvent) -> Self {
+        let (kind, node) = match ev {
+            SubEvent::Tick => (SUB_TICK, 0u64),
+            SubEvent::Node(n) => (SUB_NODE, n.0 as u64),
+            SubEvent::NodeAlt(n) => (SUB_NODE_ALT, n.0 as u64),
+        };
+        SubKey(((owner as u64) << 40) | (kind << 32) | node)
+    }
+
+    pub(crate) fn owner(self) -> SubsystemId {
+        (self.0 >> 40) as SubsystemId
+    }
+
+    pub(crate) fn event(self) -> SubEvent {
+        match (self.0 >> 32) & 0xff {
+            SUB_TICK => SubEvent::Tick,
+            SUB_NODE => SubEvent::Node(NodeId(self.0 as u32)),
+            _ => SubEvent::NodeAlt(NodeId(self.0 as u32)),
+        }
+    }
+
+    /// The shape-and-node half (low 40 bits), for intrinsic keying.
+    fn discriminant(self) -> u64 {
+        self.0 & 0xff_ffff_ffff
+    }
+}
 
 /// Everything scheduled in the future-event list.
 pub(crate) enum Event {
@@ -35,8 +81,54 @@ pub(crate) enum Event {
     NodeTimer(NodeId),
     /// A member joins the overlay.
     Join(NodeId),
-    /// A subsystem-namespaced event, routed to `subsystems[id]`.
-    Sub(SubsystemId, SubEvent),
+    /// A subsystem-namespaced event, routed to `subsystems[key.owner()]`.
+    Sub(SubKey),
+}
+
+/// Event-class ranks of the intrinsic [`EventKey`] order (sharded mode).
+pub(crate) mod key_class {
+    pub const JOIN: u8 = 0;
+    pub const NODE_TIMER: u8 = 1;
+    pub const DELIVER: u8 = 2;
+    pub const SUB: u8 = 3;
+}
+
+/// The intrinsic key of a frame delivery: sender/receiver pair plus the
+/// sender's transmission sequence number. Unique per reception, and
+/// derived from what the frame *is* — never from scheduling order — so
+/// every partition of a sharded world agrees on it.
+pub(crate) fn deliver_key(from: NodeId, to: NodeId, tx_seq: u64) -> EventKey {
+    EventKey {
+        class: key_class::DELIVER,
+        k1: ((from.0 as u64) << 32) | to.0 as u64,
+        k2: tx_seq,
+    }
+}
+
+/// The intrinsic key of every event except `Deliver` (whose key needs the
+/// sender's transmission sequence, supplied at the phy layer via
+/// [`Engine::schedule_keyed`]).
+fn intrinsic_key(ev: &Event) -> EventKey {
+    match ev {
+        Event::Join(n) => EventKey {
+            class: key_class::JOIN,
+            k1: n.0 as u64,
+            k2: 0,
+        },
+        Event::NodeTimer(n) => EventKey {
+            class: key_class::NODE_TIMER,
+            k1: n.0 as u64,
+            k2: 0,
+        },
+        Event::Sub(key) => EventKey {
+            class: key_class::SUB,
+            k1: key.owner() as u64,
+            k2: key.discriminant(),
+        },
+        Event::Deliver { .. } => {
+            panic!("Deliver events need an explicit per-sender key (schedule_keyed)")
+        }
+    }
 }
 
 /// An event inside one subsystem's private namespace.
@@ -55,9 +147,17 @@ pub(crate) enum SubEvent {
     NodeAlt(NodeId),
 }
 
-/// The clock and future-event list of one replication.
+enum Backend {
+    /// Insertion-order tie-breaks: the sequential world's exact semantics.
+    Seq(EventQueue<Event>),
+    /// Intrinsic-key tie-breaks: the sharded world's partition-invariant
+    /// semantics.
+    Keyed(KeyedQueue<Event>),
+}
+
+/// The clock and future-event list of one replication (or one shard).
 pub(crate) struct Engine {
-    queue: EventQueue<Event>,
+    backend: Backend,
     /// Events the loop has processed.
     pub(crate) events: u64,
     /// Deepest the future-event list has been (live events).
@@ -67,40 +167,115 @@ pub(crate) struct Engine {
 impl Engine {
     pub(crate) fn with_scheduler(kind: SchedulerKind) -> Self {
         Engine {
-            queue: EventQueue::with_scheduler(kind),
+            backend: Backend::Seq(EventQueue::with_scheduler(kind)),
             events: 0,
             peak_queue: 0,
         }
     }
 
-    /// Schedule `ev` at absolute time `at`.
+    /// An engine on the key-ordered backend, for one shard of a sharded
+    /// world.
+    pub(crate) fn keyed() -> Self {
+        Engine {
+            backend: Backend::Keyed(KeyedQueue::new()),
+            events: 0,
+            peak_queue: 0,
+        }
+    }
+
+    /// Schedule `ev` at absolute time `at`. On the keyed backend the
+    /// intrinsic key is derived from the event (`Deliver` must go through
+    /// [`schedule_keyed`](Engine::schedule_keyed) instead).
     pub(crate) fn schedule(&mut self, at: SimTime, ev: Event) {
-        self.queue.schedule(at, ev);
+        match &mut self.backend {
+            Backend::Seq(q) => {
+                q.schedule(at, ev);
+            }
+            Backend::Keyed(q) => {
+                let key = intrinsic_key(&ev);
+                q.schedule(at, key, ev);
+            }
+        }
+    }
+
+    /// Schedule with an explicit intrinsic key (keyed backend only; the
+    /// phy layer uses this for frame deliveries, and shard barriers use
+    /// it to absorb cross-shard messages under their original keys).
+    pub(crate) fn schedule_keyed(&mut self, at: SimTime, key: EventKey, ev: Event) {
+        match &mut self.backend {
+            Backend::Keyed(q) => q.schedule(at, key, ev),
+            Backend::Seq(_) => panic!("schedule_keyed on the sequential backend"),
+        }
     }
 
     /// Pop the next event at or before `horizon`, updating the peak-depth
     /// gauge (before the pop, so the popped event still counts as live)
     /// and the processed-event counter.
     pub(crate) fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, Event)> {
-        self.peak_queue = self.peak_queue.max(self.queue.len());
-        let popped = self.queue.pop_before(horizon)?;
+        let popped = match &mut self.backend {
+            Backend::Seq(q) => {
+                self.peak_queue = self.peak_queue.max(q.len());
+                q.pop_before(horizon)?
+            }
+            Backend::Keyed(q) => {
+                self.peak_queue = self.peak_queue.max(q.len());
+                q.pop_before(horizon)?
+            }
+        };
         self.events += 1;
         Some(popped)
     }
 
+    /// Timestamp of the earliest pending event, if any.
+    pub(crate) fn next_time(&self) -> Option<SimTime> {
+        match &self.backend {
+            Backend::Seq(q) => q.peek_time(),
+            Backend::Keyed(q) => q.next_time(),
+        }
+    }
+
+    /// Remove every pending event matching `pred` (keyed backend only;
+    /// used when a node migrates between shards).
+    pub(crate) fn drain_matching(
+        &mut self,
+        pred: impl FnMut(&Event) -> bool,
+    ) -> Vec<(SimTime, EventKey, Event)> {
+        match &mut self.backend {
+            Backend::Keyed(q) => q.drain_matching(pred),
+            Backend::Seq(_) => panic!("drain_matching on the sequential backend"),
+        }
+    }
+
     /// The current virtual time (time of the last popped event).
     pub(crate) fn now(&self) -> SimTime {
-        self.queue.now()
+        match &self.backend {
+            Backend::Seq(q) => q.now(),
+            Backend::Keyed(q) => q.now(),
+        }
     }
 
     /// Live events in the future-event list.
     pub(crate) fn len(&self) -> usize {
-        self.queue.len()
+        match &self.backend {
+            Backend::Seq(q) => q.len(),
+            Backend::Keyed(q) => q.len(),
+        }
     }
 
-    /// Read access to the underlying queue (scheduler statistics).
-    pub(crate) fn queue(&self) -> &EventQueue<Event> {
-        &self.queue
+    /// Events ever scheduled (a workload measure).
+    pub(crate) fn scheduled_total(&self) -> u64 {
+        match &self.backend {
+            Backend::Seq(q) => q.scheduled_total(),
+            Backend::Keyed(q) => q.scheduled_total(),
+        }
+    }
+
+    /// Calendar-scheduler statistics, when that backend is in use.
+    pub(crate) fn calendar_stats(&self) -> Option<[u64; 7]> {
+        match &self.backend {
+            Backend::Seq(q) => q.calendar_stats(),
+            Backend::Keyed(_) => None,
+        }
     }
 }
 
@@ -122,7 +297,10 @@ impl Engine {
 ///    a passive tap that must not schedule events or draw randomness;
 /// 5. [`on_finish`](Subsystem::on_finish) — once when the world is
 ///    finished, before the result is assembled.
-pub(crate) trait Subsystem {
+///
+/// `Send` is part of the contract: the sharded world runs each shard's
+/// subsystem replicas on its own OS thread.
+pub(crate) trait Subsystem: Send {
     /// Per-node seeding during world construction.
     fn seed_node(&mut self, ctx: &mut SubCtx<'_>, id: NodeId) {
         let _ = (ctx, id);
@@ -169,6 +347,39 @@ pub(crate) struct SubCtx<'a> {
 impl SubCtx<'_> {
     /// Schedule `ev` in the owning subsystem's namespace at time `at`.
     pub(crate) fn schedule(&mut self, at: SimTime, ev: SubEvent) {
-        self.core.engine.schedule(at, Event::Sub(self.owner, ev));
+        self.core
+            .engine
+            .schedule(at, Event::Sub(SubKey::pack(self.owner, ev)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_key_round_trips_every_shape() {
+        for owner in [0u16, 1, 7, u16::MAX] {
+            for ev in [
+                SubEvent::Tick,
+                SubEvent::Node(NodeId(0)),
+                SubEvent::Node(NodeId(u32::MAX)),
+                SubEvent::NodeAlt(NodeId(42)),
+            ] {
+                let key = SubKey::pack(owner, ev);
+                assert_eq!(key.owner(), owner);
+                match (ev, key.event()) {
+                    (SubEvent::Tick, SubEvent::Tick) => {}
+                    (SubEvent::Node(a), SubEvent::Node(b)) => assert_eq!(a, b),
+                    (SubEvent::NodeAlt(a), SubEvent::NodeAlt(b)) => assert_eq!(a, b),
+                    (a, b) => panic!("shape changed: {a:?} -> {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_arm_is_one_word() {
+        assert_eq!(std::mem::size_of::<SubKey>(), 8);
     }
 }

@@ -33,6 +33,8 @@ pub struct ExperimentCfg {
     /// Enable causal query tracing on every replication (sets
     /// [`Scenario::trace_capacity`]). Never changes results.
     pub trace: bool,
+    /// Spatial shards per run (1 = the bit-identical sequential path).
+    pub shards: usize,
 }
 
 /// Trace-ring capacity used when [`ExperimentCfg::trace`] is set: large
@@ -52,6 +54,7 @@ impl ExperimentCfg {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             obs: false,
             trace: false,
+            shards: 1,
         }
     }
 
@@ -68,6 +71,7 @@ impl ExperimentCfg {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             obs: false,
             trace: false,
+            shards: 1,
         }
     }
 
@@ -81,6 +85,7 @@ impl ExperimentCfg {
         if self.trace {
             s.trace_capacity = TRACE_CAPACITY;
         }
+        s.shards = self.shards;
         s
     }
 }
@@ -264,6 +269,9 @@ options:
   --reps R        replications per cell
   --seed X        experiment seed (u64)
   --threads T     worker threads
+  --shards N      spatial shards per run (default 1 = sequential path;
+                  N > 1 runs each replication as a sharded world and uses
+                  --threads as the shard-worker count)
   --obs-out DIR   enable the observability sink and write one JSONL report
                   per cell into DIR (counters, histograms, time series,
                   span profile, flight-recorder records)
@@ -284,6 +292,7 @@ pub fn cfg_from_args(args: &[String]) -> ExperimentCfg {
     let mut reps = None;
     let mut seed = None;
     let mut threads = None;
+    let mut shards = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -311,6 +320,10 @@ pub fn cfg_from_args(args: &[String]) -> ExperimentCfg {
                 threads = Some(args[i + 1].parse().expect("--threads count"));
                 i += 2;
             }
+            "--shards" => {
+                shards = Some(args[i + 1].parse().expect("--shards count"));
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -334,6 +347,9 @@ pub fn cfg_from_args(args: &[String]) -> ExperimentCfg {
     }
     if let Some(t) = threads {
         cfg.threads = t;
+    }
+    if let Some(r) = shards {
+        cfg.shards = r;
     }
     cfg
 }
@@ -373,6 +389,7 @@ mod tests {
             threads: 1,
             obs: false,
             trace: false,
+            shards: 1,
         }
     }
 

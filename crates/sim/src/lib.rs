@@ -12,6 +12,7 @@ pub mod payload;
 pub mod runner;
 pub mod scenario;
 pub mod scn;
+pub mod sharded;
 pub(crate) mod stack;
 pub(crate) mod subsystems;
 pub mod trace;
@@ -28,5 +29,6 @@ pub use payload::AppMsg;
 pub use runner::{aggregate, expect_of, measure_corpus, run_replications, Aggregate};
 pub use scenario::{Adversary, ChurnCfg, MobilityKind, Scenario};
 pub use scn::{parse_scn, render_expect, render_scn, Expect, ScnError, ScnErrorKind, ScnFile};
+pub use sharded::ShardedWorld;
 pub use trace::{TraceEvent, TraceLog};
 pub use world::{RunResult, World};

@@ -12,6 +12,7 @@ use manet_obs::ObsReport;
 
 use crate::scenario::Scenario;
 use crate::scn::Expect;
+use crate::sharded::ShardedWorld;
 use crate::world::{RunResult, World};
 
 /// Derive the seed of replication `rep` from an experiment seed.
@@ -58,11 +59,18 @@ pub fn expect_of(results: &[RunResult], reps: usize, seed: u64) -> Expect {
 /// worker finished first, and are identical for any thread count: each
 /// replication's seed depends only on its index.
 ///
+/// With `scenario.shards > 1` the parallelism budget moves *inside* each
+/// run: replications execute one after another as [`ShardedWorld`]s, and
+/// `threads` becomes the shard-worker count per run. Fanning replications
+/// *and* shards out at once would oversubscribe the machine.
+///
 /// Lock-free by construction: worker `w` statically owns replications
 /// `w, w + threads, w + 2·threads, …` and returns its results through its
 /// join handle — no shared mutable state, no `Mutex` on the result path.
 /// Static striding costs nothing here because replications of one scenario
 /// take near-identical time, so work-stealing had nothing to steal.
+/// Workers are only spawned for non-empty strides (`threads` is clamped to
+/// `reps`), so `reps < threads` never parks idle OS threads.
 pub fn run_replications(
     scenario: &Scenario,
     reps: usize,
@@ -70,6 +78,17 @@ pub fn run_replications(
     threads: usize,
 ) -> Vec<RunResult> {
     assert!(reps >= 1, "need at least one replication");
+    if scenario.shards > 1 {
+        return (0..reps)
+            .map(|rep| {
+                let seed = replication_seed(base_seed, rep);
+                ShardedWorld::new(scenario.clone(), seed, scenario.shards).run(threads)
+            })
+            .collect();
+    }
+    // Every spawned worker gets a non-empty stride: worker w < threads
+    // owns rep w at least. The pre-clamp `threads` plays no further role,
+    // so reps=1, threads=8 spawns exactly one worker, not eight.
     let threads = threads.max(1).min(reps);
 
     let mut per_worker: Vec<Vec<RunResult>> = std::thread::scope(|scope| {
@@ -223,6 +242,41 @@ mod tests {
         for (a, b) in one_thread.iter().zip(&many_threads) {
             assert_eq!(a.events, b.events, "thread count must not matter");
             assert_eq!(a.queries_issued, b.queries_issued);
+        }
+    }
+
+    #[test]
+    fn stride_fairness_at_awkward_rep_counts() {
+        // reps below, at, and above the worker count: every shape must
+        // return exactly `reps` results in replication order, equal to the
+        // single-threaded reference elementwise. reps=1 at threads=4 is the
+        // degenerate case that used to spawn three empty-stride workers.
+        let s = Scenario::quick(12, AlgoKind::Regular, 45);
+        let threads = 4;
+        for reps in [1, threads - 1, threads + 1] {
+            let reference = run_replications(&s, reps, 77, 1);
+            let striped = run_replications(&s, reps, 77, threads);
+            assert_eq!(striped.len(), reps, "wrong result count for reps={reps}");
+            for (rep, (a, b)) in reference.iter().zip(&striped).enumerate() {
+                assert_eq!(
+                    a.fingerprint(),
+                    b.fingerprint(),
+                    "rep {rep} out of order or diverged at reps={reps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_scenarios_dispatch_through_the_same_api() {
+        let mut sharded = Scenario::quick(20, AlgoKind::Regular, 60);
+        sharded.shards = 2;
+        let results = run_replications(&sharded, 2, 3, 1);
+        assert_eq!(results.len(), 2);
+        // Same seeds, same partition-invariant semantics on reruns.
+        let again = run_replications(&sharded, 2, 3, 2);
+        for (a, b) in results.iter().zip(&again) {
+            assert_eq!(a.fingerprint(), b.fingerprint());
         }
     }
 

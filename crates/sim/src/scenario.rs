@@ -117,6 +117,13 @@ pub struct Scenario {
     /// Observability sink (metrics registry, spans, flight recorder).
     /// Disabled by default; enabling it never changes simulation results.
     pub obs: ObsConfig,
+    /// Spatial shards for conservative-parallel execution (1 = the
+    /// default sequential path, bit-identical to every pinned
+    /// fingerprint). With more than one shard the run goes through
+    /// [`ShardedWorld`](crate::sharded::ShardedWorld): aggregate metrics
+    /// are identical for every shard/thread count, but per-event
+    /// observability, tracing and small-world sampling are unsupported.
+    pub shards: usize,
 }
 
 impl Scenario {
@@ -147,6 +154,7 @@ impl Scenario {
             faults: FaultPlan::default(),
             adversaries: Vec::new(),
             obs: ObsConfig::default(),
+            shards: 1,
         }
     }
 
@@ -305,7 +313,39 @@ impl Scenario {
                 _ => {}
             }
         }
-        self.faults.check(self.n_nodes)
+        self.faults.check(self.n_nodes)?;
+        if self.shards == 0 {
+            return Err(ScenarioError::Sharding("shards must be at least 1".into()));
+        }
+        if self.shards > 1 {
+            if self.shards > 256 {
+                return Err(ScenarioError::Sharding(format!(
+                    "at most 256 shards, got {}",
+                    self.shards
+                )));
+            }
+            if self.obs.enabled {
+                return Err(ScenarioError::Sharding(
+                    "observability needs the sequential path".into(),
+                ));
+            }
+            if self.trace_capacity > 0 {
+                return Err(ScenarioError::Sharding(
+                    "causal tracing needs the sequential path".into(),
+                ));
+            }
+            if self.smallworld_sample.is_some() {
+                return Err(ScenarioError::Sharding(
+                    "small-world sampling needs the sequential path".into(),
+                ));
+            }
+            if !self.radio.lookahead().is_usable() {
+                return Err(ScenarioError::Sharding(
+                    "radio model has zero lookahead (no propagation or serialization delay)".into(),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Panics if the configuration is out of domain (the message is the

@@ -21,8 +21,7 @@ pub(crate) mod phy;
 pub(crate) mod routing;
 
 use manet_aodv::{Aodv, Msg};
-use manet_des::{NodeId, Rng, SimTime, TraceCtx};
-use manet_mobility::AnyMobility;
+use manet_des::{NodeId, SimTime, TraceCtx};
 use manet_radio::{EnergyMeter, PhyStats};
 use p2p_content::{ContentMsg, QueryEngine};
 use p2p_core::{AdversaryRole, BoxedAlgo, OverlayMsg, Role};
@@ -154,10 +153,11 @@ impl AdversaryState {
     }
 }
 
-/// One node's full stack, phy to overlay, plus its mobility process.
+/// One node's full stack, phy to overlay. The node's mobility process and
+/// its RNG stream live in `WorldCore`'s SoA arrays (`mobility`,
+/// `mob_rngs`): hot, replicated-in-every-shard state, unlike the
+/// owner-only protocol state here.
 pub(crate) struct NodeStack {
-    pub(crate) mobility: AnyMobility,
-    pub(crate) mob_rng: Rng,
     pub(crate) phy: PhyLayer,
     pub(crate) routing: RoutingLayer,
     pub(crate) overlay: OverlayLayer,

@@ -52,7 +52,9 @@ impl Subsystem for ChurnDriver {
                     .obs_record(now, Severity::Info, "churn", || format!("{id} churned up"));
                 let up = self.rng.exponential(self.cfg.mean_uptime);
                 ctx.schedule(now + SimDuration::from_secs_f64(up), SubEvent::Node(id));
-                stack::resched_timer(ctx.core, now, id);
+                if ctx.core.owns(id) {
+                    stack::resched_timer(ctx.core, now, id);
+                }
             }
             SubEvent::Tick => {}
         }

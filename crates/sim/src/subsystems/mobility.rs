@@ -18,11 +18,11 @@ impl Subsystem for MobilityDriver {
     fn handle(&mut self, ctx: &mut SubCtx<'_>, now: SimTime, ev: SubEvent) {
         let SubEvent::Node(id) = ev else { return };
         let pos = {
-            let node = &mut ctx.core.nodes[id.index()];
-            if node.mobility.epoch_end() <= now {
-                node.mobility.advance(now, &mut node.mob_rng);
+            let m = &mut ctx.core.mobility[id.index()];
+            if m.epoch_end() <= now {
+                m.advance(now, &mut ctx.core.mob_rngs[id.index()]);
             }
-            node.mobility.position(now)
+            m.position(now)
         };
         ctx.core.grid.upsert(id.0, pos);
         schedule_next(ctx, id, now);
@@ -33,13 +33,13 @@ impl Subsystem for MobilityDriver {
 /// periodic refresh while the node is actually moving.
 fn schedule_next(ctx: &mut SubCtx<'_>, id: NodeId, now: SimTime) {
     let at = {
-        let node = &ctx.core.nodes[id.index()];
-        let epoch_end = node.mobility.epoch_end();
+        let m = &ctx.core.mobility[id.index()];
+        let epoch_end = m.epoch_end();
         if epoch_end == SimTime::MAX {
             return; // stationary forever
         }
         let refresh = now + ctx.core.scenario.position_refresh;
-        let moving = node.mobility.position(now) != node.mobility.position(refresh.min(epoch_end));
+        let moving = m.position(now) != m.position(refresh.min(epoch_end));
         if moving {
             refresh.min(epoch_end)
         } else {

@@ -248,6 +248,22 @@ pub(crate) struct WorldCore {
     pub(crate) medium: Medium,
     pub(crate) radio_rng: Rng,
     pub(crate) nodes: Vec<NodeStack>,
+    /// SoA hot per-node state: the mobility process, its RNG stream, and
+    /// the administrative radio liveness, indexed by node id. Split out
+    /// of [`NodeStack`] so the position/liveness reads the radio hot path
+    /// makes stay in a few dense arrays — and so the sharded world can
+    /// replicate exactly this state in every shard while the (cold,
+    /// owner-only) protocol stacks stay sharded.
+    pub(crate) mobility: Vec<AnyMobility>,
+    pub(crate) mob_rngs: Vec<Rng>,
+    /// Administrative up/down per node. In the sequential world this
+    /// mirrors `phy.up` exactly (churn, crashes *and* battery depletion).
+    /// In a sharded world it carries only the replicated churn/crash
+    /// toggles — depletion is owner-local knowledge — so every shard
+    /// reads the same value whatever the partition.
+    pub(crate) hot_up: Vec<bool>,
+    /// Sharded-execution context; `None` on the sequential path.
+    pub(crate) shard: Option<Box<crate::sharded::ShardCtx>>,
     pub(crate) members: Vec<NodeId>,
     pub(crate) holders_by_file: Vec<Vec<NodeId>>,
     pub(crate) counters: NodeCounters,
@@ -269,6 +285,16 @@ impl WorldCore {
     /// The scenario horizon as an absolute time.
     pub(crate) fn horizon(&self) -> SimTime {
         SimTime::ZERO + self.scenario.duration
+    }
+
+    /// Does this world (or this shard of it) own node `id`'s protocol
+    /// stack? Always true sequentially; a shard owns exactly the nodes
+    /// its region currently claims.
+    pub(crate) fn owns(&self, id: NodeId) -> bool {
+        match &self.shard {
+            None => true,
+            Some(sh) => sh.owners[id.index()] as usize == sh.index,
+        }
     }
 
     /// The impairment in force for a transmission planned right now,
@@ -302,8 +328,8 @@ impl WorldCore {
         };
         obs.registry.set(obs.c_events, self.engine.events);
         obs.registry
-            .set(obs.c_scheduled, self.engine.queue().scheduled_total());
-        if let Some(stats) = self.engine.queue().calendar_stats() {
+            .set(obs.c_scheduled, self.engine.scheduled_total());
+        if let Some(stats) = self.engine.calendar_stats() {
             obs.registry.set(obs.c_retunes, stats[3]);
         }
         obs.registry
@@ -375,7 +401,7 @@ impl WorldCore {
         }
         let targets: Vec<u32> = holders
             .iter()
-            .filter(|h| self.nodes[h.index()].phy.up)
+            .filter(|h| self.hot_up[h.index()])
             .map(|h| h.0)
             .collect();
         let graph = self.connectivity_graph();
@@ -389,12 +415,12 @@ impl WorldCore {
         let range = self.medium.cfg().range_m;
         let mut buf = Vec::new();
         for (id, pos) in self.grid.iter() {
-            if !self.nodes[id as usize].phy.up {
+            if !self.hot_up[id as usize] {
                 continue;
             }
             self.grid.query_range(pos, range, id, &mut buf);
             for &nb in &buf {
-                if nb > id && self.nodes[nb as usize].phy.up {
+                if nb > id && self.hot_up[nb as usize] {
                     g.add_edge(id, nb);
                 }
             }
@@ -601,8 +627,8 @@ impl WorldCore {
 /// One replication of a [`Scenario`]: the shared crate-private core plus
 /// the registered subsystems and the post-dispatch tap list.
 pub struct World {
-    core: WorldCore,
-    subsystems: Vec<Box<dyn Subsystem>>,
+    pub(crate) core: WorldCore,
+    pub(crate) subsystems: Vec<Box<dyn Subsystem>>,
     /// Indices of subsystems that opted into the post-dispatch tap.
     post_hooks: Vec<SubsystemId>,
 }
@@ -635,6 +661,17 @@ impl World {
         seed: u64,
         scheduler: SchedulerKind,
     ) -> Result<Self, ScenarioError> {
+        World::try_build(scenario, seed, Some(scheduler))
+    }
+
+    /// The full constructor. `scheduler` picks the sequential backend;
+    /// `None` builds the world on the key-ordered backend instead (one
+    /// shard replica of a sharded run — see `crate::sharded`).
+    pub(crate) fn try_build(
+        scenario: Scenario,
+        seed: u64,
+        scheduler: Option<SchedulerKind>,
+    ) -> Result<Self, ScenarioError> {
         scenario.check()?;
         let master = Rng::new(seed);
         let area = scenario.area();
@@ -663,6 +700,8 @@ impl World {
         let mut placement_rng = master.fork(labels::PLACEMENT);
 
         let mut nodes = Vec::with_capacity(n);
+        let mut mobility_soa = Vec::with_capacity(n);
+        let mut mob_rngs = Vec::with_capacity(n);
         // Indexed loop: `i` names the node id and (for members) its slot in
         // `holdings`; an enumerate over holdings would stop at n_members.
         #[allow(clippy::needless_range_loop)]
@@ -760,9 +799,9 @@ impl World {
                 None
             };
 
+            mobility_soa.push(mobility);
+            mob_rngs.push(mob_rng);
             nodes.push(NodeStack {
-                mobility,
-                mob_rng,
                 phy: PhyLayer {
                     stats: PhyStats::default(),
                     energy: match scenario.battery_mj {
@@ -801,9 +840,16 @@ impl World {
             smallworld: Vec::new(),
             radio_rng: master.fork(labels::RADIO),
             link_state: LinkState::default(),
-            engine: Engine::with_scheduler(scheduler),
+            engine: match scheduler {
+                Some(kind) => Engine::with_scheduler(kind),
+                None => Engine::keyed(),
+            },
             grid,
             medium,
+            mobility: mobility_soa,
+            mob_rngs,
+            hot_up: vec![true; n],
+            shard: None,
             nodes,
             members,
             holders_by_file,
@@ -898,25 +944,25 @@ impl World {
 
     /// Route one event: node-stack traffic to the layer adapters,
     /// namespaced events to their owning subsystem.
-    fn dispatch(&mut self, now: SimTime, event: Event) {
+    pub(crate) fn dispatch(&mut self, now: SimTime, event: Event) {
         match event {
             Event::Deliver { to, from, msg } => {
                 crate::stack::phy::frame_arrival(&mut self.core, now, to, FrameUp { from, msg })
             }
             Event::NodeTimer(id) => crate::stack::node_timer(&mut self.core, now, id),
             Event::Join(id) => crate::stack::overlay::join(&mut self.core, now, id),
-            Event::Sub(owner, ev) => self.subsystems[owner as usize].handle(
+            Event::Sub(key) => self.subsystems[key.owner() as usize].handle(
                 &mut SubCtx {
                     core: &mut self.core,
-                    owner,
+                    owner: key.owner(),
                 },
                 now,
-                ev,
+                key.event(),
             ),
         }
     }
 
-    fn run_post_hooks(&mut self, now: SimTime) {
+    pub(crate) fn run_post_hooks(&mut self, now: SimTime) {
         for &k in &self.post_hooks {
             self.subsystems[k as usize].after_event(&mut self.core, now);
         }
@@ -1064,7 +1110,7 @@ mod tests {
         let mut next_dump = 0u64;
         while let Some(now) = w.step() {
             if now.ticks() >= next_dump {
-                if let Some(s) = w.core.engine.queue().calendar_stats() {
+                if let Some(s) = w.core.engine.calendar_stats() {
                     eprintln!(
                         "t={:>4}s pops={} winvisits={} fallbacks={} rebuilds={} width={} buckets={} items={}",
                         now.ticks() / 1_000_000, s[0], s[1], s[2], s[3], s[4], s[5], s[6]

@@ -1,0 +1,104 @@
+//! Sharded-execution determinism gates.
+//!
+//! The sharded path defines partition-invariant semantics (per-sender
+//! radio RNG streams, intrinsic event keys, replicated subsystem state):
+//! the *aggregate metrics* of a run must be identical whatever the shard
+//! count and whatever the thread count. `events` and `peak_queue_depth`
+//! are execution measures (replicated subsystem events count once per
+//! shard) and are excluded from cross-shard-count comparison, but must
+//! still be identical for reruns at a fixed shard count.
+
+use manet_des::{NodeId, SimDuration};
+use manet_sim::{Adversary, AdversaryRole, ChurnCfg, RunResult, Scenario, ShardedWorld};
+use p2p_core::AlgoKind;
+
+/// Everything partition-invariant about a run, collapsed for comparison.
+fn semantic_digest(r: &RunResult) -> (u64, u64, u64, Vec<u64>, [usize; 5], u64, u64, u64) {
+    use manet_metrics::MsgKind;
+    let mut counters = Vec::new();
+    for kind in MsgKind::ALL {
+        counters.extend(r.counters.column(kind));
+    }
+    (
+        r.queries_issued,
+        r.answers_received,
+        r.phy_total.frames_sent,
+        counters,
+        r.roles,
+        r.conns_established,
+        r.conns_closed,
+        r.energy_mj
+            .iter()
+            .map(|e| e.to_bits())
+            .fold(0u64, |a, b| (a ^ b).wrapping_mul(0x0000_0100_0000_01b3)),
+    )
+}
+
+#[test]
+fn sharded_runs_are_reproducible() {
+    let s = Scenario::quick(24, AlgoKind::Regular, 120);
+    let a = ShardedWorld::new(s.clone(), 11, 2).run(1);
+    let b = ShardedWorld::new(s, 11, 2).run(1);
+    assert_eq!(a.fingerprint(), b.fingerprint(), "rerun diverged");
+    assert!(a.events > 0);
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let s = Scenario::quick(24, AlgoKind::Regular, 120);
+    let lockstep = ShardedWorld::new(s.clone(), 5, 4).run(1);
+    let threaded = ShardedWorld::new(s, 5, 4).run(4);
+    assert_eq!(
+        lockstep.fingerprint(),
+        threaded.fingerprint(),
+        "thread count changed a sharded run"
+    );
+}
+
+#[test]
+fn shard_count_preserves_aggregate_metrics() {
+    let s = Scenario::quick(30, AlgoKind::Regular, 180);
+    let runs: Vec<RunResult> = [1usize, 2, 4]
+        .iter()
+        .map(|&r| ShardedWorld::new(s.clone(), 7, r).run(1))
+        .collect();
+    assert!(runs[0].queries_issued > 0, "no traffic to compare");
+    assert!(runs[0].phy_total.frames_sent > 0);
+    let reference = semantic_digest(&runs[0]);
+    for (i, r) in runs.iter().enumerate().skip(1) {
+        assert_eq!(
+            semantic_digest(r),
+            reference,
+            "shard count {} diverged from single-shard semantics",
+            [1, 2, 4][i]
+        );
+    }
+}
+
+#[test]
+fn shard_count_preserves_aggregates_under_churn_and_adversaries() {
+    let mut s = Scenario::quick(30, AlgoKind::Hybrid, 180);
+    s.churn = Some(ChurnCfg {
+        mean_uptime: 60.0,
+        mean_downtime: 20.0,
+    });
+    s.adversaries = vec![
+        Adversary {
+            node: NodeId(2),
+            role: AdversaryRole::BlackHole,
+        },
+        Adversary {
+            node: NodeId(4),
+            role: AdversaryRole::QueryFlooder {
+                period: SimDuration::from_secs(10),
+            },
+        },
+    ];
+    let one = ShardedWorld::new(s.clone(), 13, 1).run(1);
+    let four = ShardedWorld::new(s, 13, 4).run(1);
+    assert_eq!(
+        semantic_digest(&one),
+        semantic_digest(&four),
+        "churn + adversaries broke partition invariance"
+    );
+}
