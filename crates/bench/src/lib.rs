@@ -33,10 +33,15 @@ pub use manet_obs::json;
 
 use json::Value;
 
-/// A bench-sized paper scenario: full Table 2 shape, short clock.
+/// A bench-sized paper scenario: full Table 2 shape, short clock. The
+/// observability sink — on by default at the scenario level — is pinned
+/// *off* here, so every bench record means "bare hot path"; observed
+/// variants (micro's `calendar_obs`, the perf gate's enabled runs) opt
+/// back in explicitly.
 pub fn bench_scenario(n_nodes: usize, algo: AlgoKind, secs: u64) -> Scenario {
     let mut s = Scenario::quick(n_nodes, algo, secs);
     s.join_window = SimDuration::from_secs(5);
+    s.obs = manet_obs::ObsConfig::disabled();
     s
 }
 

@@ -17,12 +17,19 @@
 //! radio transit vs. processing), and exports Chrome trace-event /
 //! Perfetto-loadable JSON artifacts.
 //!
+//! The [`slab`] module is the hot-path half of the registry: plain
+//! per-subsystem counter/histogram slabs whose per-event cost is a single
+//! unsynchronized slot bump, folded into the registry at sample points.
+//!
 //! [`ObsReport`] bundles the three for one finished run and merges
-//! deterministically across replications; [`ObsConfig`] is the switch the
-//! simulation layer consults. Everything here is passive: when the sink is
-//! disabled the instrumented code takes a single `Option` branch and does
-//! no work, so enabling observability never changes simulation results —
-//! only wall-clock.
+//! deterministically across replications (and owner-gated across shards
+//! via [`ObsReport::merge_shard`]); [`ObsConfig`] is the switch the
+//! simulation layer consults — on by default, since the observed hot path
+//! is held within a few percent of the bare one by the perf gate.
+//! Everything here is passive: when the sink is disabled the instrumented
+//! code dispatches to a precomputed no-op sink and does no work, so
+//! toggling observability never changes simulation results — only
+//! wall-clock.
 //!
 //! The [`json`] module is the workspace's hand-rolled JSON reader/writer
 //! (promoted from the bench harness); [`ObsReport::to_jsonl`] and the
@@ -34,10 +41,12 @@ pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod report;
+pub mod slab;
 pub mod span;
 
 pub use causal::{CausalEvent, CausalKind, CausalTree, PathBreakdown, TraceSummary};
 pub use recorder::{FlightRecord, FlightRecorder, Severity};
 pub use registry::{CounterId, GaugeId, HistId, Histogram, Registry};
 pub use report::{ObsConfig, ObsReport};
+pub use slab::{HistSlab, HistSlotId, Slab, SlotId};
 pub use span::{SpanId, SpanProfile};

@@ -255,6 +255,14 @@ impl Registry {
         &self.hists[id.0]
     }
 
+    /// Overwrite a histogram with an externally maintained one (for
+    /// histograms accumulated in a hot-path slab — see [`crate::slab`] —
+    /// and folded into the registry at sample points; overwrite semantics
+    /// keep repeated folds idempotent).
+    pub fn set_hist(&mut self, id: HistId, h: &Histogram) {
+        self.hists[id.0] = h.clone();
+    }
+
     /// Append one time-series point: the current value of every counter
     /// and gauge, stamped `t_secs` of simulated time.
     pub fn sample(&mut self, t_secs: f64) {

@@ -16,9 +16,11 @@ use crate::span::SpanProfile;
 /// The observability sink configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ObsConfig {
-    /// Master switch. Off (the default) means instrumented code takes one
-    /// branch per event and does nothing else — results and the perf gate
-    /// are untouched.
+    /// Master switch. On by default: the observed hot path is within the
+    /// perf gate's obs-tax bound of the bare one, so every run ships with
+    /// metrics and flight-recorder context. Off means instrumented code
+    /// dispatches to a precomputed no-op sink and does nothing else —
+    /// results are untouched either way (obs is fingerprint-excluded).
     pub enabled: bool,
     /// Sim-time sampling cadence for counter/gauge time series, in
     /// simulated seconds (0 disables series sampling).
@@ -30,7 +32,7 @@ pub struct ObsConfig {
 impl Default for ObsConfig {
     fn default() -> Self {
         ObsConfig {
-            enabled: false,
+            enabled: true,
             sample_period_secs: 10.0,
             recorder_capacity: 4096,
         }
@@ -42,6 +44,15 @@ impl ObsConfig {
     pub fn enabled() -> Self {
         ObsConfig {
             enabled: true,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// The disabled configuration: the no-op sink, for bare-perf baselines
+    /// and callers that opt out of observability.
+    pub fn disabled() -> Self {
+        ObsConfig {
+            enabled: false,
             ..ObsConfig::default()
         }
     }
@@ -76,6 +87,22 @@ impl ObsReport {
         self.spans.merge(&other.spans);
         self.recorder.merge(&other.recorder);
         self.runs += other.runs;
+    }
+
+    /// Fold one shard's report of the *same* run into this one.
+    ///
+    /// Shards partition a single run, so `runs` takes the maximum instead
+    /// of summing — the merged report still describes one run. Counters
+    /// sum (each shard owner-gates its bumps, so per-name totals partition
+    /// across shards), gauges keep maxima, series merge pointwise by
+    /// sample index (shards sample at identical logical points — see
+    /// `ShardedWorld`). Always fold in shard order: the result is then
+    /// identical whatever worker count executed the shards.
+    pub fn merge_shard(&mut self, other: &ObsReport) {
+        self.registry.merge(&other.registry);
+        self.spans.merge(&other.spans);
+        self.recorder.merge(&other.recorder);
+        self.runs = self.runs.max(other.runs);
     }
 
     /// The full report as JSONL: a header line, one line per counter,

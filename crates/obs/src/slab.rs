@@ -1,0 +1,166 @@
+//! Hot-path metric slabs: plain per-subsystem counter and histogram
+//! storage, folded into the [`Registry`] at sample points.
+//!
+//! The registry is the reporting surface — it owns names, time series and
+//! merge semantics — which makes it the wrong thing to touch on the event
+//! hot path: a bump through the registry drags the sample vectors and name
+//! tables into cache for no reason. A slab is the hot half split off: a
+//! bare `Vec<u64>` (or `Vec<Histogram>`) whose slots are resolved to dense
+//! indices once at registration, so the per-event cost is a single
+//! unsynchronized slot bump with no registry indirection. Each subsystem
+//! or stack layer owns its own slab (per-`SubsystemId` sharding), and
+//! [`Slab::fold_into`]/[`HistSlab::fold_into`] copy the totals into the
+//! registry at sample points — overwrite semantics, so repeated folds are
+//! idempotent and the fold can run at every series sample and once more at
+//! the horizon.
+
+use crate::registry::{Histogram, Registry};
+
+/// Handle to a counter slot in a [`Slab`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotId(usize);
+
+/// A named set of plain `u64` counter slots.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Slab {
+    names: Vec<&'static str>,
+    slots: Vec<u64>,
+}
+
+impl Slab {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab::default()
+    }
+
+    /// Register (or look up) a counter slot by name. The name is the
+    /// registry counter the slot folds into.
+    pub fn slot(&mut self, name: &'static str) -> SlotId {
+        match self.names.iter().position(|&n| n == name) {
+            Some(i) => SlotId(i),
+            None => {
+                self.names.push(name);
+                self.slots.push(0);
+                SlotId(self.names.len() - 1)
+            }
+        }
+    }
+
+    /// Add `n` to a slot. This is the hot path: one indexed add.
+    #[inline]
+    pub fn bump(&mut self, id: SlotId, n: u64) {
+        self.slots[id.0] += n;
+    }
+
+    /// Current value of a slot.
+    pub fn value(&self, id: SlotId) -> u64 {
+        self.slots[id.0]
+    }
+
+    /// Copy every slot's running total into the registry (overwrite
+    /// semantics via [`Registry::set`], so folding twice is harmless).
+    pub fn fold_into(&self, reg: &mut Registry) {
+        for (&name, &v) in self.names.iter().zip(&self.slots) {
+            let id = reg.counter(name);
+            reg.set(id, v);
+        }
+    }
+}
+
+/// Handle to a histogram slot in a [`HistSlab`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistSlotId(usize);
+
+/// A named set of log-bucketed histograms kept outside the registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistSlab {
+    names: Vec<&'static str>,
+    hists: Vec<Histogram>,
+}
+
+impl HistSlab {
+    /// An empty slab.
+    pub fn new() -> Self {
+        HistSlab::default()
+    }
+
+    /// Register (or look up) a histogram slot by name.
+    pub fn slot(&mut self, name: &'static str) -> HistSlotId {
+        match self.names.iter().position(|&n| n == name) {
+            Some(i) => HistSlotId(i),
+            None => {
+                self.names.push(name);
+                self.hists.push(Histogram::default());
+                HistSlotId(self.names.len() - 1)
+            }
+        }
+    }
+
+    /// Record one observation: branch-free bucketing on a slab-local
+    /// histogram, no registry involved.
+    #[inline]
+    pub fn observe(&mut self, id: HistSlotId, v: u64) {
+        self.hists[id.0].observe(v);
+    }
+
+    /// The histogram behind a handle.
+    pub fn hist(&self, id: HistSlotId) -> &Histogram {
+        &self.hists[id.0]
+    }
+
+    /// Copy every histogram into the registry (overwrite semantics via
+    /// [`Registry::set_hist`], so folding twice is harmless).
+    pub fn fold_into(&self, reg: &mut Registry) {
+        for (&name, h) in self.names.iter().zip(&self.hists) {
+            let id = reg.hist(name);
+            reg.set_hist(id, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_bumps_and_folds_idempotently() {
+        let mut slab = Slab::new();
+        let tx = slab.slot("radio.tx_planned");
+        assert_eq!(tx, slab.slot("radio.tx_planned"), "idempotent slots");
+        slab.bump(tx, 3);
+        slab.bump(tx, 4);
+        assert_eq!(slab.value(tx), 7);
+
+        let mut reg = Registry::new();
+        slab.fold_into(&mut reg);
+        slab.fold_into(&mut reg);
+        assert_eq!(
+            reg.counter_by_name("radio.tx_planned"),
+            Some(7),
+            "double fold must not double count"
+        );
+        slab.bump(tx, 1);
+        slab.fold_into(&mut reg);
+        assert_eq!(reg.counter_by_name("radio.tx_planned"), Some(8));
+    }
+
+    #[test]
+    fn hist_slab_observes_and_folds_idempotently() {
+        let mut slab = HistSlab::new();
+        let fanout = slab.slot("radio.broadcast_fanout");
+        for v in [2u64, 5, 9] {
+            slab.observe(fanout, v);
+        }
+        assert_eq!(slab.hist(fanout).count(), 3);
+        assert_eq!(slab.hist(fanout).sum(), 16);
+
+        let mut reg = Registry::new();
+        slab.fold_into(&mut reg);
+        slab.fold_into(&mut reg);
+        let id = reg.hist("radio.broadcast_fanout");
+        assert_eq!(reg.hist_value(id).count(), 3, "fold overwrites, not sums");
+        slab.observe(fanout, 1);
+        slab.fold_into(&mut reg);
+        assert_eq!(reg.hist_value(id).count(), 4);
+    }
+}

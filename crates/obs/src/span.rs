@@ -60,6 +60,18 @@ impl SpanProfile {
         self.entries[id.0] += 1;
     }
 
+    /// Account `weight` traversals from one sampled timing.
+    ///
+    /// Stride-sampled instrumentation times one traversal out of every
+    /// `weight` and extrapolates: the profile stays an unbiased estimate
+    /// of total wall-clock while the hot path pays for a timestamp pair
+    /// only once per stride.
+    #[inline]
+    pub fn add_weighted(&mut self, id: SpanId, elapsed: Duration, weight: u64) {
+        self.nanos[id.0] += (elapsed.as_nanos() as u64).saturating_mul(weight);
+        self.entries[id.0] += weight;
+    }
+
     /// Total wall-clock nanoseconds spent in a span.
     pub fn nanos(&self, id: SpanId) -> u64 {
         self.nanos[id.0]

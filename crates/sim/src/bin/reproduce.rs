@@ -5,7 +5,7 @@
 //!           [--seed X] [--threads T] [--obs-out DIR] [--trace-out DIR] \
 //!           [--table1] [--table2]
 //! reproduce --scenario FILE.scn [--reps R] [--seed X] [--threads T] \
-//!           [--shards N]
+//!           [--shards N] [--obs-out DIR] [--trace-out DIR]
 //! ```
 //!
 //! `--scenario FILE` runs one declarative scenario file instead of the
@@ -29,8 +29,17 @@ use manet_sim::{parse_scn, render_expect, runner, Scenario};
 use p2p_core::AlgoKind;
 
 /// Run one `.scn` file: simulate at the pinned (or overridden) reps and
-/// seed, print the aggregate summary, and verify any `expect` line.
-fn run_scenario_file(path: &str, args: &[String]) -> i32 {
+/// seed, print the aggregate summary, and verify any `expect` line. With
+/// `--obs-out DIR` the merged observability report (replication-merged,
+/// and shard-merged when `--shards N` is in play) lands in
+/// `DIR/<name>.jsonl`; with `--trace-out DIR`, one causal artifact per
+/// replication lands in `DIR/<name>_rep<k>.trace.json`.
+fn run_scenario_file(
+    path: &str,
+    args: &[String],
+    obs_out: Option<&std::path::Path>,
+    trace_out: Option<&std::path::Path>,
+) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -79,6 +88,23 @@ fn run_scenario_file(path: &str, args: &[String]) -> i32 {
     let results = runner::run_replications(&file.scenario, reps, seed, threads);
     let got = manet_sim::expect_of(&results, reps, seed);
     let agg = runner::aggregate(&results, file.scenario.catalog.n_files as usize);
+    if let Some(dir) = obs_out {
+        if agg.obs.enabled() {
+            std::fs::create_dir_all(dir).expect("create obs dir");
+            let out = dir.join(format!("{}.jsonl", file.name));
+            agg.obs.write_jsonl(&out).expect("write obs report");
+            eprintln!("# obs report: {}", out.display());
+        } else {
+            eprintln!("# --obs-out ignored: the scenario opts out (obs off)");
+        }
+    }
+    if let Some(dir) = trace_out {
+        let paths = runner::write_trace_artifacts(dir, &file.name, &results)
+            .expect("write trace artifacts");
+        for p in paths {
+            eprintln!("# trace artifact: {}", p.display());
+        }
+    }
     println!("measured {}", render_expect(&got));
     println!(
         "queries/rep {:.1}  answers/rep {:.1}  avg_conns {:.2}  frames/rep {:.0}  energy_mJ {:.1}",
@@ -147,7 +173,12 @@ fn main() {
             std::process::exit(2);
         });
         args.drain(i..i + 2);
-        std::process::exit(run_scenario_file(&path, &args));
+        std::process::exit(run_scenario_file(
+            &path,
+            &args,
+            obs_out.as_deref(),
+            trace_out.as_deref(),
+        ));
     }
     if args.iter().any(|a| a == "--table1") {
         println!("Table 1: topologies and their characteristics\n");

@@ -27,8 +27,10 @@ pub struct ExperimentCfg {
     pub seed: u64,
     /// Worker threads.
     pub threads: usize,
-    /// Enable the observability sink (metrics registry, spans, flight
-    /// recorder) on every replication. Never changes results.
+    /// Force the observability sink (metrics registry, spans, flight
+    /// recorder) on for every replication. The sink is on by default at
+    /// the scenario level, so this only matters for configs derived from
+    /// an opted-out scenario. Never changes results.
     pub obs: bool,
     /// Enable causal query tracing on every replication (sets
     /// [`Scenario::trace_capacity`]). Never changes results.
@@ -272,9 +274,10 @@ options:
   --shards N      spatial shards per run (default 1 = sequential path;
                   N > 1 runs each replication as a sharded world and uses
                   --threads as the shard-worker count)
-  --obs-out DIR   enable the observability sink and write one JSONL report
-                  per cell into DIR (counters, histograms, time series,
-                  span profile, flight-recorder records)
+  --obs-out DIR   write one JSONL observability report per cell into DIR
+                  (counters, histograms, time series, span profile,
+                  flight-recorder records; the sink itself is always on
+                  unless the scenario says `obs off`)
   --trace-out DIR enable causal query tracing and write one Perfetto-loadable
                   trace artifact per replication into DIR
                   (<cell>_rep<k>.trace.json; inspect with trace_query)

@@ -422,17 +422,22 @@ pub fn parse_scn(text: &str) -> Result<ScnFile, ScnError> {
             }
             "fault" => parse_fault(line, head, rest, &mut s)?,
             "adversary" => s.adversaries.push(parse_adversary(line, head, rest)?),
-            "obs" => {
-                s.obs.enabled = true;
-                for &t in rest {
-                    let (k, v) = kv(line, t)?;
-                    match k {
-                        "sample" => s.obs.sample_period_secs = num_f64(line, v)?,
-                        "recorder" => s.obs.recorder_capacity = num_usize(line, v)?,
-                        _ => return Err(err(line, t.col, ScnErrorKind::UnknownKey(k.into()))),
+            "obs" => match rest {
+                // `obs off` opts out of the default-on sink (the world
+                // then dispatches to the precomputed no-op sink).
+                [t] if t.s == "off" => s.obs = manet_obs::ObsConfig::disabled(),
+                _ => {
+                    s.obs.enabled = true;
+                    for &t in rest {
+                        let (k, v) = kv(line, t)?;
+                        match k {
+                            "sample" => s.obs.sample_period_secs = num_f64(line, v)?,
+                            "recorder" => s.obs.recorder_capacity = num_usize(line, v)?,
+                            _ => return Err(err(line, t.col, ScnErrorKind::UnknownKey(k.into()))),
+                        }
                     }
                 }
-            }
+            },
             "expect" => {
                 if expect.is_some() {
                     return Err(err(
@@ -1011,6 +1016,10 @@ pub fn render_scn(file: &ScnFile) -> String {
             flt(s.obs.sample_period_secs),
             s.obs.recorder_capacity
         ));
+    } else {
+        // Observability is on by default, so the opt-out must be explicit
+        // for the render/parse inverse to hold.
+        line("obs off".into());
     }
     if let Some(e) = &file.expect {
         line(render_expect(e));
@@ -1150,9 +1159,8 @@ mod tests {
 
     #[test]
     fn shards_directive_round_trips() {
-        // Kept out of the kitchen sink: obs and sharding are mutually
-        // exclusive at validation time, so the sharded round-trip gets
-        // its own plain scenario.
+        // Sharded scenarios keep the default-on obs sink (the merged
+        // report is shard-count invariant), so no opt-out here.
         let mut s = Scenario::quick(40, AlgoKind::Regular, 120);
         s.shards = 4;
         let file = ScnFile {
@@ -1172,6 +1180,30 @@ mod tests {
             expect: None,
         };
         assert!(!render_scn(&plain).contains("shards"));
+    }
+
+    #[test]
+    fn obs_off_round_trips() {
+        let mut s = Scenario::quick(20, AlgoKind::Regular, 60);
+        s.obs = manet_obs::ObsConfig::disabled();
+        let file = ScnFile {
+            name: "QUIET".into(),
+            scenario: s,
+            expect: None,
+        };
+        let text = render_scn(&file);
+        assert!(text.contains("obs off"), "missing opt-out:\n{text}");
+        let parsed = parse_scn(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert_eq!(parsed, file);
+        // The default-on sink renders as an explicit obs line instead.
+        let default = ScnFile {
+            name: "DEFAULT".into(),
+            scenario: Scenario::quick(20, AlgoKind::Regular, 60),
+            expect: None,
+        };
+        let text = render_scn(&default);
+        assert!(text.contains("obs sample="), "default renders on:\n{text}");
+        assert!(!text.contains("obs off"));
     }
 
     #[test]

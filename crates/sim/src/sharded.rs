@@ -141,8 +141,10 @@ impl ShardedWorld {
 
     /// Build `shards` region replicas of `scenario` from one seed. The
     /// scenario is validated with its `shards` field forced to the given
-    /// count, so sharding-incompatible features (observability, tracing,
-    /// small-world sampling) are rejected up front.
+    /// count, so sharding-incompatible features (small-world sampling,
+    /// zero-lookahead radio models) are rejected up front. Observability
+    /// and causal tracing shard cleanly: each replica keeps an owner-gated
+    /// sink and the per-shard reports fold at merge time.
     pub fn try_new(scenario: Scenario, seed: u64, shards: usize) -> Result<Self, ScenarioError> {
         let mut scenario = scenario;
         scenario.shards = shards.max(1);
@@ -169,6 +171,14 @@ impl ShardedWorld {
                 tx_seq: vec![0; n],
                 outbox: Vec::new(),
             }));
+            // Subsystem (`Sub`) events are replicated in every shard; only
+            // shard 0 counts them, so the merged `des.events_popped` sums
+            // to a partition-invariant total.
+            if i > 0 {
+                if let Some(obs) = w.core.obs.on_mut() {
+                    obs.count_sub = false;
+                }
+            }
             worlds.push(w);
         }
         Ok(ShardedWorld {
@@ -355,10 +365,22 @@ fn absorb(w: &mut World, mut mail: Vec<CrossFrame>) {
 }
 
 /// Pop and dispatch everything at or before `limit`.
+///
+/// Series sampling piggybacks on `Sub` events: subsystem events are
+/// replicated with identical `(time, key)` pairs in every shard and each
+/// shard pops in `(time, key)` order, so "the first `Sub` at or past a
+/// cadence boundary" is the *same logical cut* in every shard, whatever
+/// the shard or thread count. Sampling there (instead of after every
+/// event, as the sequential path does) keeps the merged per-sample series
+/// partition-invariant.
 fn pop_window(w: &mut World, limit: SimTime) {
     while let Some((now, ev)) = w.core.engine.pop_before(limit) {
+        let is_sub = matches!(ev, Event::Sub(_));
         w.dispatch(now, ev);
         w.run_post_hooks(now);
+        if is_sub {
+            w.core.obs_series_tick(now);
+        }
     }
 }
 
@@ -453,14 +475,19 @@ fn huskify_non_owned(w: &mut World) {
 }
 
 /// Merge per-shard partial results (owned-node metrics each) into the
-/// global result. Additive metrics sum; `members`/`smallworld`/`trace`
-/// come from shard 0 (identical or empty everywhere); `events` sums and
+/// global result. Additive metrics sum; `members`/`smallworld` come from
+/// shard 0 (identical or empty everywhere); `events` sums and
 /// `peak_queue_depth` maxes — both execution measures that legitimately
-/// depend on the shard count.
+/// depend on the shard count. Obs reports fold owner-gated counters and
+/// identically-cut series ([`ObsReport::merge_shard`]); trace logs fold
+/// with id offsetting ([`TraceLog::merge_offset`]) — both in shard index
+/// order, so the merged artifacts are thread-count invariant.
 fn merge_results(results: Vec<RunResult>) -> RunResult {
     let mut it = results.into_iter();
     let mut acc = it.next().expect("at least one shard");
     for r in it {
+        acc.obs.merge_shard(&r.obs);
+        acc.trace.merge_offset(&r.trace);
         acc.counters.merge(&r.counters);
         acc.file_metrics.merge(&r.file_metrics);
         acc.phy_total.merge(&r.phy_total);
@@ -497,25 +524,28 @@ mod tests {
     }
 
     #[test]
-    fn sharding_rejects_observability_and_tracing() {
+    fn sharding_accepts_obs_and_tracing_but_not_smallworld() {
         let mut s = Scenario::quick(20, AlgoKind::Regular, 60);
         s.obs.enabled = true;
-        assert!(matches!(
-            ShardedWorld::try_new(s, 1, 2),
-            Err(ScenarioError::Sharding(_))
-        ));
-        let mut s = Scenario::quick(20, AlgoKind::Regular, 60);
         s.trace_capacity = 100;
-        assert!(matches!(
-            ShardedWorld::try_new(s, 1, 2),
-            Err(ScenarioError::Sharding(_))
-        ));
+        assert!(ShardedWorld::try_new(s, 1, 2).is_ok());
         let mut s = Scenario::quick(20, AlgoKind::Regular, 60);
         s.smallworld_sample = Some(manet_des::SimDuration::from_secs(10));
         assert!(matches!(
             ShardedWorld::try_new(s, 1, 2),
             Err(ScenarioError::Sharding(_))
         ));
+    }
+
+    #[test]
+    fn only_shard_zero_counts_replicated_sub_events() {
+        let mut s = Scenario::quick(20, AlgoKind::Regular, 60);
+        s.obs.enabled = true;
+        let sharded = ShardedWorld::new(s, 7, 3);
+        for (i, w) in sharded.shards.iter().enumerate() {
+            let obs = w.core.obs.get().expect("obs on");
+            assert_eq!(obs.count_sub, i == 0, "shard {i}");
+        }
     }
 
     #[test]

@@ -85,8 +85,8 @@ pub(crate) fn deliver_up(core: &mut WorldCore, now: SimTime, at: NodeId, verb: D
         return; // pure relays have no overlay presence
     }
     core.counters.record(at, payload.kind());
-    if let Some(obs) = core.obs.as_deref_mut() {
-        obs.registry.observe(obs.h_hops, hops as u64);
+    if let Some(obs) = core.obs.on_mut() {
+        obs.hists.observe(obs.hs_hops, hops as u64);
     }
     // The delivery becomes the causal parent of everything the overlay
     // does in response to this payload.

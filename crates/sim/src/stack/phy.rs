@@ -16,7 +16,7 @@ use crate::engine::Event;
 use crate::payload::AppMsg;
 use crate::stack::{routing, FrameUp, SendDown};
 use crate::trace::TraceEvent;
-use crate::world::WorldCore;
+use crate::world::{WorldCore, SPAN_STRIDE};
 
 /// A frame finished arriving at `to`: charge reception, then hand the
 /// frame up to the routing layer (unless the radio is off or the battery
@@ -107,6 +107,13 @@ fn broadcast(core: &mut WorldCore, now: SimTime, from: NodeId, mut msg: manet_ao
             faults,
             &mut core.scratch,
         );
+        // Fanout is planned by the sender's owning shard only, so the
+        // merged histogram is partition-invariant. No span timing here:
+        // wall-clock spans are a sequential-path profile.
+        let fanout = core.scratch.receptions.len() as u64;
+        if let Some(obs) = core.obs.on_mut() {
+            obs.hists.observe(obs.hs_fanout, fanout);
+        }
         let seq = sh.tx_seq[from.index()];
         sh.tx_seq[from.index()] += 1;
         for i in 0..core.scratch.receptions.len() {
@@ -139,7 +146,10 @@ fn broadcast(core: &mut WorldCore, now: SimTime, from: NodeId, mut msg: manet_ao
         core.shard = Some(sh);
         return;
     }
-    let t0 = core.obs.is_some().then(Instant::now);
+    // Stride-sampled span timing: only 1 in SPAN_STRIDE plans pays for an
+    // `Instant` pair; the sample is extrapolated by its stride weight.
+    let timed = core.obs.on_mut().is_some_and(|obs| obs.plan_timed());
+    let t0 = timed.then(Instant::now);
     core.medium.plan_broadcast(
         &core.grid,
         from,
@@ -149,11 +159,13 @@ fn broadcast(core: &mut WorldCore, now: SimTime, from: NodeId, mut msg: manet_ao
         faults,
         &mut core.scratch,
     );
-    if let Some(t0) = t0 {
-        let fanout = core.scratch.receptions.len() as u64;
-        let obs = core.obs.as_deref_mut().expect("timed");
-        obs.spans.add(obs.s_plan, t0.elapsed());
-        obs.registry.observe(obs.h_fanout, fanout);
+    let elapsed = t0.map(|t0| t0.elapsed());
+    let fanout = core.scratch.receptions.len() as u64;
+    if let Some(obs) = core.obs.on_mut() {
+        obs.hists.observe(obs.hs_fanout, fanout);
+        if let Some(elapsed) = elapsed {
+            obs.spans.add_weighted(obs.s_plan, elapsed, SPAN_STRIDE);
+        }
     }
     // Indexed loop: the scratch buffer must stay borrowable while the
     // nodes and the queue are mutated (Reception is Copy).

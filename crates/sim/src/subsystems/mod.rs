@@ -11,14 +11,12 @@ mod adversary;
 mod churn;
 mod faults;
 mod mobility;
-mod obs_tap;
 mod sampler;
 
 pub(crate) use adversary::QueryFlooderDriver;
 pub(crate) use churn::ChurnDriver;
 pub(crate) use faults::{CrashPlan, FlapDriver, JitterDriver, LossBursts};
 pub(crate) use mobility::MobilityDriver;
-pub(crate) use obs_tap::ObsSampler;
 pub(crate) use sampler::SmallWorldSampler;
 
 use manet_des::Rng;
@@ -56,9 +54,10 @@ pub(crate) fn build(scenario: &Scenario, master: &Rng) -> Vec<Box<dyn Subsystem>
     if let Some(jitter) = scenario.faults.jitter {
         subs.push(Box::new(JitterDriver::new(jitter)));
     }
-    if scenario.obs.enabled {
-        subs.push(Box::new(ObsSampler::new(scenario.obs)));
-    }
+    // Observability series sampling is no longer a subsystem: the cadence
+    // check is inlined into the event loop (`World::step_observed`,
+    // `sharded::pop_window`), so the subsystem roster — and with it every
+    // packed `Sub` event key — is identical whether obs is on or off.
     // Appended last so adversary-free scenarios keep the exact historical
     // registration (and therefore event-insertion) order.
     let flooders: Vec<_> = scenario

@@ -13,12 +13,30 @@
 //! [`TraceCtx`] linking it to the query or reconfiguration round that
 //! caused it. [`TraceLog`] is also the span allocator —
 //! [`alloc_trace`](TraceLog::alloc_trace) / [`alloc_span`](TraceLog::alloc_span)
-//! hand out monotone non-zero ids with no randomness, so a traced run
-//! stays bit-identical to an untraced one — and
+//! hand out monotone non-zero ids with no simulation randomness, so a
+//! traced run stays bit-identical to an untraced one — and
 //! [`causal_events`](TraceLog::causal_events) converts the retained ring
 //! into the flat stream `manet_obs::causal` analyzes and exports.
-
-use std::collections::VecDeque;
+//!
+//! Two mechanisms bound the cost of always-on capture:
+//!
+//! * **Arena ring.** Events live in a flat preallocated `Vec` written
+//!   round-robin — no per-span allocation, no deque growth on the hot
+//!   path.
+//! * **Whole-trace reservoir sampling.** Instead of recording every span
+//!   of every trace and letting the ring keep an arbitrary suffix, the
+//!   log admits whole traces into a seeded Algorithm-R reservoir at mint
+//!   time; spans of non-admitted traces are skipped entirely. Sampling
+//!   whole traces (not individual spans) keeps every admitted causal tree
+//!   complete. The sampler RNG is private to the log — simulation streams
+//!   are never touched, so traced runs stay bit-identical to untraced
+//!   ones. Milestone events (joins, connections, role/power changes) have
+//!   no trace identity and are always recorded.
+//!
+//! Sharded runs keep one log per shard (each allocates ids from 1);
+//! [`merge_offset`](TraceLog::merge_offset) folds them into one log by
+//! offsetting the ids of the folded log past the accumulator's, so merged
+//! traces stay causally linked and collision-free.
 
 use manet_des::{NodeId, SimTime, TraceCtx};
 use manet_metrics::MsgKind;
@@ -128,42 +146,128 @@ pub enum TraceEvent {
     },
 }
 
+/// Reservoir slots per ring slot: a trace averages well over a handful of
+/// spans, so tying the trace budget to the ring capacity this way keeps
+/// admitted traces comfortably inside the ring.
+const TRACES_PER_CAPACITY: usize = 16;
+
+/// Floor on the reservoir size, so small rings still capture every trace
+/// of a short run (the common unit-test and smoke-run shape).
+const MIN_RESERVOIR: usize = 1024;
+
 /// A bounded event trace.
 #[derive(Clone, Debug, Default)]
 pub struct TraceLog {
-    events: VecDeque<(SimTime, TraceEvent)>,
+    /// The arena: a flat ring written round-robin once full. `head` is
+    /// the oldest entry (and the next overwrite target) when the arena is
+    /// at capacity; while filling, entries are in order from index 0.
+    arena: Vec<(SimTime, TraceEvent)>,
+    head: usize,
     capacity: usize,
-    /// Total events offered, including those evicted from the ring.
+    /// Total events offered, including those evicted from the ring (but
+    /// not spans skipped by the trace reservoir).
     offered: u64,
     /// Events evicted to make room — a non-zero value means the rendered
     /// trace is a suffix of the run, not the whole story.
     dropped: u64,
+    /// Spans skipped because their trace was not in the reservoir.
+    sampled_out: u64,
     /// Next trace id to mint (ids start at 1; 0 means "no trace").
     next_trace: u64,
     /// Next span id to allocate (ids start at 1; 0 means "root").
     next_span: u64,
+    /// Admission verdict per minted trace, indexed by `trace_id - 1`.
+    /// A verdict can flip to `false` when Algorithm R replaces the trace;
+    /// its already-recorded spans then age out of the ring normally.
+    admit: Vec<bool>,
+    /// The trace ids currently in the reservoir.
+    live: Vec<u64>,
+    /// Reservoir size (0 disables sampling: every trace admitted).
+    reservoir_cap: usize,
+    /// Traces offered to the reservoir so far.
+    traces_seen: u64,
+    /// xorshift64 state for the reservoir — seeded, deterministic, and
+    /// private to the log so simulation RNG streams are never perturbed.
+    sampler_state: u64,
 }
 
 impl TraceLog {
-    /// A log keeping at most `capacity` events (0 disables recording).
+    /// A log keeping at most `capacity` events (0 disables recording),
+    /// with the default sampler seed.
     pub fn new(capacity: usize) -> Self {
+        TraceLog::with_seed(capacity, 0)
+    }
+
+    /// A log whose trace reservoir is seeded from `seed` (worlds pass the
+    /// replication seed, so reruns sample identically).
+    pub fn with_seed(capacity: usize, seed: u64) -> Self {
         TraceLog {
-            events: VecDeque::with_capacity(capacity.min(4096)),
+            // One up-front allocation: the ring never grows on the hot
+            // path (capped so absurd capacities still construct).
+            arena: Vec::with_capacity(capacity.min(1 << 20)),
+            head: 0,
             capacity,
             offered: 0,
             dropped: 0,
+            sampled_out: 0,
             next_trace: 1,
             next_span: 1,
+            admit: Vec::new(),
+            live: Vec::new(),
+            reservoir_cap: if capacity == 0 {
+                0
+            } else {
+                MIN_RESERVOIR.max(capacity / TRACES_PER_CAPACITY)
+            },
+            traces_seen: 0,
+            // Mix in a fixed odd constant so seed 0 still works.
+            sampler_state: seed ^ 0x9e37_79b9_7f4a_7c15,
         }
     }
 
-    /// Mint a fresh trace id (monotone, non-zero, no randomness). Callers
-    /// must only allocate when [`enabled`](Self::enabled) — id allocation
-    /// when tracing is off would still be harmless to simulation results,
-    /// but the discipline keeps the disabled path branch-only.
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.sampler_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.sampler_state = x;
+        x
+    }
+
+    /// Algorithm R admission for a freshly minted trace: the first
+    /// `reservoir_cap` traces enter outright; afterwards trace `n` enters
+    /// with probability `cap / n`, replacing a uniformly chosen resident
+    /// (whose remaining spans are then skipped).
+    fn reserve(&mut self, id: u64) -> bool {
+        if self.reservoir_cap == 0 {
+            return true;
+        }
+        self.traces_seen += 1;
+        if self.live.len() < self.reservoir_cap {
+            self.live.push(id);
+            return true;
+        }
+        let j = self.next_rand() % self.traces_seen;
+        if (j as usize) < self.reservoir_cap {
+            let victim = self.live[j as usize];
+            self.admit[(victim - 1) as usize] = false;
+            self.live[j as usize] = id;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mint a fresh trace id (monotone, non-zero, no simulation
+    /// randomness) and decide its reservoir admission. Callers must only
+    /// allocate when [`enabled`](Self::enabled) — id allocation when
+    /// tracing is off would still be harmless to simulation results, but
+    /// the discipline keeps the disabled path branch-only.
     pub fn alloc_trace(&mut self) -> u64 {
         let id = self.next_trace;
         self.next_trace += 1;
+        let admitted = self.reserve(id);
+        self.admit.push(admitted);
         id
     }
 
@@ -179,35 +283,70 @@ impl TraceLog {
         self.capacity > 0
     }
 
-    /// Record an event (drops the oldest when full; no-op when disabled).
+    /// The trace an event belongs to (0 for milestones and untraced
+    /// events).
+    fn trace_of(event: &TraceEvent) -> u64 {
+        match event {
+            TraceEvent::DeliverUp { ctx, .. }
+            | TraceEvent::Origin { ctx, .. }
+            | TraceEvent::Send { ctx, .. }
+            | TraceEvent::Recv { ctx, .. }
+            | TraceEvent::Unreachable { ctx, .. }
+            | TraceEvent::TimerArm { ctx, .. } => ctx.trace_id,
+            TraceEvent::Join { .. }
+            | TraceEvent::ConnUp { .. }
+            | TraceEvent::ConnDown { .. }
+            | TraceEvent::RoleChange { .. }
+            | TraceEvent::PowerChange { .. } => 0,
+        }
+    }
+
+    /// Record an event (skips spans of non-admitted traces, overwrites
+    /// the oldest ring slot when full; no-op when disabled).
     pub fn record(&mut self, at: SimTime, event: TraceEvent) {
         if self.capacity == 0 {
             return;
         }
+        let trace = Self::trace_of(&event);
+        if trace != 0
+            && !self
+                .admit
+                .get((trace - 1) as usize)
+                .copied()
+                .unwrap_or(true)
+        {
+            self.sampled_out += 1;
+            return;
+        }
         self.offered += 1;
-        if self.events.len() == self.capacity {
-            self.events.pop_front();
+        if self.arena.len() < self.capacity {
+            self.arena.push((at, event));
+        } else {
+            self.arena[self.head] = (at, event);
+            self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
         }
-        self.events.push_back((at, event));
     }
 
     /// Events currently retained, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &(SimTime, TraceEvent)> {
-        self.events.iter()
+        self.arena[self.head..]
+            .iter()
+            .chain(self.arena[..self.head].iter())
     }
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.arena.len()
     }
 
     /// True when nothing is retained.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.arena.is_empty()
     }
 
-    /// Total events seen (retained + evicted).
+    /// Total events seen (retained + evicted; reservoir-skipped spans are
+    /// counted by [`sampled_out`](Self::sampled_out) instead).
     pub fn offered(&self) -> u64 {
         self.offered
     }
@@ -215,6 +354,74 @@ impl TraceLog {
     /// Events evicted from the ring (0 means the trace is complete).
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Spans skipped because their trace lost its reservoir slot. Zero
+    /// whenever a run minted no more traces than the reservoir holds —
+    /// i.e. the sampled trace is the complete trace.
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out
+    }
+
+    /// Fold another log (a different shard of the same run) into this
+    /// one, offsetting the folded log's trace and span ids past this
+    /// log's so ids stay collision-free and causal links intact. Events
+    /// re-sort by time (stable: same-time events keep fold order, so
+    /// folding shards in index order is thread-count invariant).
+    pub fn merge_offset(&mut self, other: &TraceLog) {
+        let t_off = self.next_trace - 1;
+        let s_off = self.next_span - 1;
+        let remap = |ctx: &TraceCtx| -> TraceCtx {
+            TraceCtx {
+                trace_id: if ctx.trace_id == 0 {
+                    0
+                } else {
+                    ctx.trace_id + t_off
+                },
+                parent_id: if ctx.parent_id == 0 {
+                    0
+                } else {
+                    ctx.parent_id + s_off
+                },
+                span_seq: if ctx.span_seq == 0 {
+                    0
+                } else {
+                    ctx.span_seq + s_off
+                },
+            }
+        };
+        let mut all: Vec<(SimTime, TraceEvent)> = self.events().cloned().collect();
+        for (at, e) in other.events() {
+            let mut e = e.clone();
+            match &mut e {
+                TraceEvent::DeliverUp { ctx, .. }
+                | TraceEvent::Origin { ctx, .. }
+                | TraceEvent::Send { ctx, .. }
+                | TraceEvent::Recv { ctx, .. }
+                | TraceEvent::Unreachable { ctx, .. }
+                | TraceEvent::TimerArm { ctx, .. } => *ctx = remap(ctx),
+                TraceEvent::Join { .. }
+                | TraceEvent::ConnUp { .. }
+                | TraceEvent::ConnDown { .. }
+                | TraceEvent::RoleChange { .. }
+                | TraceEvent::PowerChange { .. } => {}
+            }
+            all.push((*at, e));
+        }
+        all.sort_by_key(|(at, _)| *at);
+        self.capacity = self.capacity.max(other.capacity);
+        self.offered += other.offered;
+        self.dropped += other.dropped;
+        self.sampled_out += other.sampled_out;
+        let excess = all.len().saturating_sub(self.capacity);
+        if excess > 0 {
+            all.drain(..excess);
+            self.dropped += excess as u64;
+        }
+        self.arena = all;
+        self.head = 0;
+        self.next_trace += other.next_trace - 1;
+        self.next_span += other.next_span - 1;
     }
 
     /// Render the retained events as text, one per line. A truncated trace
@@ -228,7 +435,7 @@ impl TraceLog {
                 self.dropped, self.offered, self.capacity
             ));
         }
-        for (at, e) in &self.events {
+        for (at, e) in self.events() {
             let line = match e {
                 TraceEvent::Join { node } => format!("{at} {node} JOIN"),
                 TraceEvent::DeliverUp {
@@ -295,7 +502,7 @@ impl TraceLog {
     pub fn causal_events(&self) -> Vec<manet_obs::CausalEvent> {
         use manet_obs::{CausalEvent, CausalKind};
         let mut out = Vec::new();
-        for (at, e) in &self.events {
+        for (at, e) in self.events() {
             let (ctx, node, kind) = match e {
                 TraceEvent::Origin { node, ctx, label } => (
                     ctx,
@@ -544,5 +751,142 @@ mod tests {
         let text = log.render();
         assert!(text.contains("ORIGIN query [1/0>1]"), "got:\n{text}");
         assert!(text.contains("TX flood bcast 40B [1/1>2]"));
+    }
+
+    /// A log with a tiny forced reservoir: mint `n_traces` traces first
+    /// (letting Algorithm R settle its admissions), then record one span
+    /// per trace — spans of evicted traces are skipped at record time.
+    fn reservoir_log(seed: u64, cap: usize, n_traces: usize) -> TraceLog {
+        let mut log = TraceLog::with_seed(1024, seed);
+        log.reservoir_cap = cap;
+        let ctxs: Vec<TraceCtx> = (0..n_traces)
+            .map(|_| {
+                let trace = log.alloc_trace();
+                TraceCtx::root(trace, log.alloc_span())
+            })
+            .collect();
+        for ctx in ctxs {
+            log.record(
+                t(ctx.trace_id),
+                TraceEvent::Origin {
+                    node: NodeId(0),
+                    ctx,
+                    label: "query",
+                },
+            );
+        }
+        log
+    }
+
+    #[test]
+    fn reservoir_bounds_distinct_traces_and_is_seed_deterministic() {
+        let log = reservoir_log(7, 4, 100);
+        let distinct: std::collections::BTreeSet<u64> =
+            log.events().map(|(_, e)| TraceLog::trace_of(e)).collect();
+        assert_eq!(
+            distinct.len(),
+            4,
+            "exactly the reservoir's traces survive recording"
+        );
+        assert_eq!(log.sampled_out(), 96, "96 traces must have been thinned");
+        // Same seed, same admissions; different seed, (almost surely)
+        // different ones.
+        let again = reservoir_log(7, 4, 100);
+        assert_eq!(log.admit, again.admit);
+        let other = reservoir_log(8, 4, 100);
+        assert_ne!(log.admit, other.admit, "seed must steer the reservoir");
+    }
+
+    #[test]
+    fn small_runs_admit_every_trace() {
+        // Below the reservoir floor nothing is thinned: the sampled trace
+        // is the complete trace.
+        let log = reservoir_log(7, MIN_RESERVOIR, 500);
+        assert_eq!(log.sampled_out(), 0);
+        assert_eq!(log.len(), 500);
+    }
+
+    #[test]
+    fn merge_offset_remaps_ids_and_keeps_causal_links() {
+        let mut a = TraceLog::new(64);
+        let ta = a.alloc_trace();
+        let root_a = TraceCtx::root(ta, a.alloc_span());
+        a.record(
+            t(1),
+            TraceEvent::Origin {
+                node: NodeId(0),
+                ctx: root_a,
+                label: "query",
+            },
+        );
+        let mut b = TraceLog::new(64);
+        let tb = b.alloc_trace();
+        let root_b = TraceCtx::root(tb, b.alloc_span());
+        b.record(
+            t(1),
+            TraceEvent::Origin {
+                node: NodeId(9),
+                ctx: root_b,
+                label: "query",
+            },
+        );
+        let send_b = root_b.child(b.alloc_span());
+        b.record(
+            t(2),
+            TraceEvent::Send {
+                node: NodeId(9),
+                ctx: send_b,
+                to: None,
+                frame: "flood",
+                bytes: 40,
+            },
+        );
+        a.merge_offset(&b);
+        let events = a.causal_events();
+        assert_eq!(events.len(), 3);
+        let traces: std::collections::BTreeSet<u64> = events.iter().map(|e| e.trace_id).collect();
+        assert_eq!(
+            traces.len(),
+            2,
+            "merged traces must not collide: {events:?}"
+        );
+        // b's chain survives the remap: its send still links under its
+        // origin.
+        let origin_b = events
+            .iter()
+            .find(|e| e.node == 9 && e.parent == 0)
+            .expect("remapped origin");
+        let send = events
+            .iter()
+            .find(|e| e.node == 9 && e.parent != 0)
+            .unwrap();
+        assert_eq!(send.parent, origin_b.span);
+        assert_eq!(send.trace_id, origin_b.trace_id);
+        // Fresh ids minted after the merge keep ascending past both logs.
+        assert_eq!(a.alloc_trace(), 3);
+        assert!(a.alloc_span() > 3);
+    }
+
+    #[test]
+    fn merge_offset_sorts_by_time_and_respects_capacity() {
+        let mut a = TraceLog::new(3);
+        a.record(t(5), TraceEvent::Join { node: NodeId(0) });
+        let mut b = TraceLog::new(3);
+        b.record(t(1), TraceEvent::Join { node: NodeId(1) });
+        b.record(t(9), TraceEvent::Join { node: NodeId(2) });
+        b.record(t(2), TraceEvent::Join { node: NodeId(3) });
+        a.merge_offset(&b);
+        let order: Vec<u32> = a
+            .events()
+            .map(|(_, e)| match e {
+                TraceEvent::Join { node } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        // Combined timeline is n1@1, n3@2, n0@5, n2@9; capacity 3 drops
+        // the oldest.
+        assert_eq!(order, vec![3, 0, 2]);
+        assert_eq!(a.dropped(), 1);
+        assert_eq!(a.offered(), 4);
     }
 }

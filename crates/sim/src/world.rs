@@ -19,7 +19,7 @@
 //! `refactor_equivalence` test pins fingerprints captured on the
 //! pre-refactor monolith.
 
-use manet_des::{NodeId, Rng, SchedulerKind, SimTime};
+use manet_des::{NodeId, Rng, SchedulerKind, SimDuration, SimTime};
 use manet_geom::{Point, SpatialGrid};
 use manet_graph::{Graph, SmallWorld};
 use manet_metrics::{FileMetrics, NodeCounters};
@@ -28,7 +28,8 @@ use manet_mobility::{
     RandomWaypointCfg, Rpgm, RpgmCfg, Stationary,
 };
 use manet_obs::{
-    CounterId, FlightRecorder, GaugeId, HistId, ObsReport, Registry, Severity, SpanId, SpanProfile,
+    CounterId, FlightRecorder, GaugeId, HistSlab, HistSlotId, ObsReport, Registry, Severity, Slab,
+    SlotId, SpanId, SpanProfile,
 };
 use manet_radio::{EnergyMeter, LinkFaults, Medium, PhyStats, TxScratch};
 use p2p_content::{CompletedQuery, QueryEngine};
@@ -60,20 +61,55 @@ pub(crate) mod labels {
     pub const ALGO_BASE: u64 = 3_000_000;
 }
 
+/// One wall-clock timing per this many traversals of an instrumented
+/// region. Stride-sampled span timing is what killed the observability
+/// tax: the old per-event `Instant::now()` pairs cost ~25% of the hot
+/// path, the sampled pair costs 1/64 of that and
+/// [`SpanProfile::add_weighted`] extrapolates the profile back to an
+/// unbiased total.
+pub(crate) const SPAN_STRIDE: u64 = 64;
+
 /// Observability sink state for one world: the metrics registry with its
-/// pre-resolved metric ids, the span profile and the flight recorder.
+/// pre-resolved metric ids, the hot-path slabs, the span profile and the
+/// flight recorder.
 ///
-/// Lives behind `Option<Box<_>>` on [`WorldCore`] so the disabled
-/// configuration costs one pointer-null branch per event and nothing else.
+/// Lives inside [`ObsSink`] on [`WorldCore`]; the disabled sink is the
+/// precomputed [`ObsSink::Off`] variant, so toggling costs one
+/// discriminant test per instrumentation site and nothing else.
 /// Everything recorded here is derived from simulation state the world
 /// maintains anyway — enabling observability never draws randomness,
 /// schedules events, or otherwise perturbs a run (the fingerprint tests
-/// hold it to that). Series cadence lives in the
-/// [`ObsSampler`](crate::subsystems::ObsSampler) subsystem.
+/// hold it to that). Series cadence is inlined into the event loop
+/// (`step_observed` sequentially, `pop_window` on the sharded path).
 pub(crate) struct ObsState {
     pub(crate) registry: Registry,
     pub(crate) spans: SpanProfile,
     pub(crate) recorder: FlightRecorder,
+    /// Per-event-class dispatch counters: the hot half of the registry, a
+    /// plain slot bump per event, folded at sample points.
+    slab: Slab,
+    sl_deliver: SlotId,
+    sl_timer: SlotId,
+    sl_join: SlotId,
+    sl_sub: SlotId,
+    /// Hot-path histograms (broadcast fan-out, delivery hops), likewise
+    /// folded at sample points.
+    pub(crate) hists: HistSlab,
+    pub(crate) hs_fanout: HistSlotId,
+    pub(crate) hs_hops: HistSlotId,
+    /// Count replicated `Sub` dispatches? True sequentially and on shard
+    /// 0; other shards skip them so the merged per-shard totals partition
+    /// the run's true event count (see `ShardedWorld`).
+    pub(crate) count_sub: bool,
+    /// Series cadence (zero disables series sampling; the final
+    /// at-horizon counter mirror still happens).
+    sample_period: SimDuration,
+    /// When the next series sample is due.
+    next_sample: SimTime,
+    /// Countdown to the next timed scheduler-pop/dispatch pair.
+    pop_stride_left: u32,
+    /// Countdown to the next timed broadcast-planning call.
+    plan_stride_left: u32,
     c_events: CounterId,
     c_scheduled: CounterId,
     c_retunes: CounterId,
@@ -85,8 +121,6 @@ pub(crate) struct ObsState {
     c_queries: CounterId,
     c_answers: CounterId,
     g_queue: GaugeId,
-    pub(crate) h_fanout: HistId,
-    pub(crate) h_hops: HistId,
     s_pop: SpanId,
     s_dispatch: SpanId,
     pub(crate) s_plan: SpanId,
@@ -96,6 +130,14 @@ impl ObsState {
     fn new(cfg: manet_obs::ObsConfig) -> Self {
         let mut registry = Registry::default();
         let mut spans = SpanProfile::new();
+        let mut slab = Slab::new();
+        let mut hists = HistSlab::new();
+        // Histogram names are registered up front so the registry's
+        // registration order (part of the report format) does not depend
+        // on when the first fold happens.
+        registry.hist("radio.broadcast_fanout");
+        registry.hist("sim.deliver_hops");
+        let period = SimDuration::from_secs_f64(cfg.sample_period_secs.max(0.0));
         ObsState {
             c_events: registry.counter("des.events_popped"),
             c_scheduled: registry.counter("des.events_scheduled"),
@@ -108,15 +150,106 @@ impl ObsState {
             c_queries: registry.counter("sim.queries_issued"),
             c_answers: registry.counter("sim.answers_received"),
             g_queue: registry.gauge("des.queue_depth"),
-            h_fanout: registry.hist("radio.broadcast_fanout"),
-            h_hops: registry.hist("sim.deliver_hops"),
             s_pop: spans.register("des.pop"),
             s_dispatch: spans.register("sim.dispatch"),
             s_plan: spans.register("radio.plan_broadcast"),
+            sl_deliver: slab.slot("des.dispatch.deliver"),
+            sl_timer: slab.slot("des.dispatch.node_timer"),
+            sl_join: slab.slot("des.dispatch.join"),
+            sl_sub: slab.slot("des.dispatch.sub"),
+            hs_fanout: hists.slot("radio.broadcast_fanout"),
+            hs_hops: hists.slot("sim.deliver_hops"),
+            count_sub: true,
+            sample_period: period,
+            next_sample: SimTime::ZERO + period,
+            pop_stride_left: 0,
+            plan_stride_left: 0,
             registry,
             spans,
+            slab,
+            hists,
             recorder: FlightRecorder::new(cfg.recorder_capacity),
         }
+    }
+
+    /// Should this traversal of the pop/dispatch region be wall-clock
+    /// timed? True once per [`SPAN_STRIDE`] calls.
+    #[inline]
+    fn pop_timed(&mut self) -> bool {
+        if self.pop_stride_left == 0 {
+            self.pop_stride_left = SPAN_STRIDE as u32 - 1;
+            true
+        } else {
+            self.pop_stride_left -= 1;
+            false
+        }
+    }
+
+    /// Should this broadcast-planning call be wall-clock timed?
+    #[inline]
+    pub(crate) fn plan_timed(&mut self) -> bool {
+        if self.plan_stride_left == 0 {
+            self.plan_stride_left = SPAN_STRIDE as u32 - 1;
+            true
+        } else {
+            self.plan_stride_left -= 1;
+            false
+        }
+    }
+
+    /// Is a series sample due at `now`?
+    #[inline]
+    fn series_due(&self, now: SimTime) -> bool {
+        !self.sample_period.is_zero() && now >= self.next_sample
+    }
+
+    fn advance_sample(&mut self, now: SimTime) {
+        while self.next_sample <= now {
+            self.next_sample += self.sample_period;
+        }
+    }
+}
+
+/// The observability sink, precomputed at `World` construction: either
+/// the no-op [`Off`](ObsSink::Off) variant — every instrumentation site
+/// reduces to one discriminant test, which the perf gate's disabled-sink
+/// stage holds to a hard bound — or the live state.
+pub(crate) enum ObsSink {
+    Off,
+    On(Box<ObsState>),
+}
+
+impl ObsSink {
+    fn new(cfg: manet_obs::ObsConfig) -> Self {
+        if cfg.enabled {
+            ObsSink::On(Box::new(ObsState::new(cfg)))
+        } else {
+            ObsSink::Off
+        }
+    }
+
+    /// The live state, if the sink is on.
+    #[inline]
+    pub(crate) fn on_mut(&mut self) -> Option<&mut ObsState> {
+        match self {
+            ObsSink::On(o) => Some(o),
+            ObsSink::Off => None,
+        }
+    }
+
+    /// Shared view of the live state, if the sink is on.
+    #[inline]
+    pub(crate) fn get(&self) -> Option<&ObsState> {
+        match self {
+            ObsSink::On(o) => Some(o),
+            ObsSink::Off => None,
+        }
+    }
+
+    /// Whether the sink is on.
+    #[inline]
+    pub(crate) fn is_on(&self) -> bool {
+        matches!(self, ObsSink::On(_))
     }
 }
 
@@ -276,9 +409,9 @@ pub(crate) struct WorldCore {
     pub(crate) trace: TraceLog,
     /// Replication seed (kept for observability dump labels).
     pub(crate) seed: u64,
-    /// Observability sink; `None` (the default) keeps the hot path to a
-    /// single branch per event.
-    pub(crate) obs: Option<Box<ObsState>>,
+    /// Observability sink, precomputed at construction; the `Off` variant
+    /// keeps the hot path to a single discriminant test per site.
+    pub(crate) obs: ObsSink,
 }
 
 impl WorldCore {
@@ -320,17 +453,46 @@ impl WorldCore {
         f
     }
 
-    /// Mirror the world's always-on counters into the registry and (when
-    /// `push_series`) append a time-series sample at `now`.
+    /// Mirror the world's always-on counters into the registry, fold the
+    /// hot-path slabs, and (when `push_series`) append a time-series
+    /// sample at `now`.
+    ///
+    /// On the sharded path every mirror here is owner-gated: protocol
+    /// stacks live only on their owning shard (husks elsewhere carry zero
+    /// stats), transmissions are planned by the sender's owner, and the
+    /// event count comes from the dispatch slab's owned classes — so
+    /// summing the per-shard registries reproduces the sequential totals
+    /// for any shard count.
     pub(crate) fn obs_sample(&mut self, now: SimTime, push_series: bool) {
-        let Some(mut obs) = self.obs.take() else {
+        let ObsSink::On(mut obs) = std::mem::replace(&mut self.obs, ObsSink::Off) else {
             return;
         };
-        obs.registry.set(obs.c_events, self.engine.events);
-        obs.registry
-            .set(obs.c_scheduled, self.engine.scheduled_total());
-        if let Some(stats) = self.engine.calendar_stats() {
-            obs.registry.set(obs.c_retunes, stats[3]);
+        obs.slab.fold_into(&mut obs.registry);
+        obs.hists.fold_into(&mut obs.registry);
+        match &self.shard {
+            None => {
+                obs.registry.set(obs.c_events, self.engine.events);
+                obs.registry
+                    .set(obs.c_scheduled, self.engine.scheduled_total());
+                if let Some(stats) = self.engine.calendar_stats() {
+                    obs.registry.set(obs.c_retunes, stats[3]);
+                }
+                obs.registry
+                    .set_gauge(obs.g_queue, self.engine.len() as f64);
+            }
+            Some(_) => {
+                // A shard's engine counts replicated Sub events too; the
+                // dispatch slab already decomposes pops into owned classes
+                // plus (shard 0 only) the shared Sub stream, so its total
+                // partitions the true event count across shards. Queue
+                // depth and scheduling totals are per-shard artifacts and
+                // stay 0.
+                let events = obs.slab.value(obs.sl_deliver)
+                    + obs.slab.value(obs.sl_timer)
+                    + obs.slab.value(obs.sl_join)
+                    + obs.slab.value(obs.sl_sub);
+                obs.registry.set(obs.c_events, events);
+            }
         }
         obs.registry
             .set(obs.c_tx_planned, self.scratch.planned_total);
@@ -353,12 +515,50 @@ impl WorldCore {
         }
         obs.registry.set(obs.c_queries, queries);
         obs.registry.set(obs.c_answers, self.answers_received);
-        obs.registry
-            .set_gauge(obs.g_queue, self.engine.len() as f64);
         if push_series {
             obs.registry.sample(now.as_secs_f64());
         }
-        self.obs = Some(obs);
+        self.obs = ObsSink::On(obs);
+    }
+
+    /// Take a cadence-due series sample at `now`, advancing the cadence.
+    ///
+    /// Called after every event on the sequential path. On the sharded
+    /// path it runs only after `Sub` events: those are replicated with
+    /// identical times and keys in every shard, and within a shard events
+    /// execute in `(time, key)` order — so by the time a given `Sub`
+    /// dispatches, a shard has processed exactly the owned events ordered
+    /// before that `(time, key)` point. Every shard therefore samples at
+    /// the same logical cut, and the merged series is
+    /// partition-invariant.
+    #[inline]
+    pub(crate) fn obs_series_tick(&mut self, now: SimTime) {
+        let due = match &mut self.obs {
+            ObsSink::On(o) => {
+                if o.series_due(now) {
+                    o.advance_sample(now);
+                    true
+                } else {
+                    false
+                }
+            }
+            ObsSink::Off => false,
+        };
+        if due {
+            self.obs_sample(now, true);
+        }
+    }
+
+    /// The final at-horizon sample every enabled sink gets, so counter
+    /// totals in the report match the run's end state even with series
+    /// sampling off.
+    pub(crate) fn obs_final_sample(&mut self) {
+        let push = match &self.obs {
+            ObsSink::On(o) => !o.sample_period.is_zero(),
+            ObsSink::Off => return,
+        };
+        let horizon = self.horizon();
+        self.obs_sample(horizon, push);
     }
 
     /// Append a flight-recorder entry. The message closure only runs when
@@ -371,7 +571,7 @@ impl WorldCore {
         tag: &'static str,
         msg: impl FnOnce() -> String,
     ) {
-        if let Some(obs) = self.obs.as_deref_mut() {
+        if let Some(obs) = self.obs.on_mut() {
             if obs.recorder.enabled() {
                 obs.recorder.record(now.as_secs_f64(), severity, tag, msg());
             }
@@ -562,15 +762,15 @@ impl WorldCore {
     }
 
     /// Consume the core and assemble the [`RunResult`].
-    fn finish_result(mut self) -> RunResult {
-        let obs = match self.obs.take() {
-            Some(o) => ObsReport {
+    fn finish_result(self) -> RunResult {
+        let obs = match self.obs {
+            ObsSink::On(o) => ObsReport {
                 registry: o.registry,
                 spans: o.spans,
                 recorder: o.recorder,
                 runs: 1,
             },
-            None => ObsReport::default(),
+            ObsSink::Off => ObsReport::default(),
         };
         let mut roles = [0usize; 5];
         let mut established = 0;
@@ -855,12 +1055,9 @@ impl World {
             holders_by_file,
             answers_received: 0,
             scratch: TxScratch::default(),
-            trace: TraceLog::new(scenario.trace_capacity),
+            trace: TraceLog::with_seed(scenario.trace_capacity, seed),
             seed,
-            obs: scenario
-                .obs
-                .enabled
-                .then(|| Box::new(ObsState::new(scenario.obs))),
+            obs: ObsSink::new(scenario.obs),
             scenario,
         };
 
@@ -910,7 +1107,7 @@ impl World {
     /// with execution; [`run`](World::run) is the plain loop over it.
     pub fn step(&mut self) -> Option<SimTime> {
         let horizon = self.core.horizon();
-        if self.core.obs.is_some() {
+        if self.core.obs.is_on() {
             return self.step_observed(horizon);
         }
         let (now, event) = self.core.engine.pop_before(horizon)?;
@@ -919,32 +1116,57 @@ impl World {
         Some(now)
     }
 
-    /// The instrumented twin of [`step`](World::step): identical simulation
-    /// behaviour, plus span timing around the scheduler pop and the event
-    /// dispatch. The post-dispatch taps (series sampling) only read state —
-    /// they never schedule events or draw randomness — so observed and
-    /// unobserved runs stay bit-identical.
+    /// The instrumented twin of [`step`](World::step): identical
+    /// simulation behaviour, plus stride-sampled span timing around the
+    /// scheduler pop and the event dispatch (one timestamp pair per
+    /// [`SPAN_STRIDE`] events, extrapolated) and the inlined series-cadence
+    /// check. The instrumentation only reads state — it never schedules
+    /// events or draws randomness — so observed and unobserved runs stay
+    /// bit-identical.
     fn step_observed(&mut self, horizon: SimTime) -> Option<SimTime> {
-        let t0 = Instant::now();
-        let popped = self.core.engine.pop_before(horizon);
-        {
-            let obs = self.core.obs.as_mut().expect("observed step");
-            obs.spans.add(obs.s_pop, t0.elapsed());
+        let timed = self.core.obs.on_mut().expect("observed step").pop_timed();
+        if timed {
+            let t0 = Instant::now();
+            let popped = self.core.engine.pop_before(horizon);
+            let pop_elapsed = t0.elapsed();
+            let Some((now, event)) = popped else {
+                let obs = self.core.obs.on_mut().expect("observed step");
+                obs.spans.add_weighted(obs.s_pop, pop_elapsed, SPAN_STRIDE);
+                return None;
+            };
+            let t1 = Instant::now();
+            self.dispatch(now, event);
+            let dispatch_elapsed = t1.elapsed();
+            let obs = self.core.obs.on_mut().expect("observed step");
+            obs.spans.add_weighted(obs.s_pop, pop_elapsed, SPAN_STRIDE);
+            obs.spans
+                .add_weighted(obs.s_dispatch, dispatch_elapsed, SPAN_STRIDE);
+            self.run_post_hooks(now);
+            self.core.obs_series_tick(now);
+            Some(now)
+        } else {
+            let (now, event) = self.core.engine.pop_before(horizon)?;
+            self.dispatch(now, event);
+            self.run_post_hooks(now);
+            self.core.obs_series_tick(now);
+            Some(now)
         }
-        let (now, event) = popped?;
-        let t1 = Instant::now();
-        self.dispatch(now, event);
-        {
-            let obs = self.core.obs.as_mut().expect("observed step");
-            obs.spans.add(obs.s_dispatch, t1.elapsed());
-        }
-        self.run_post_hooks(now);
-        Some(now)
     }
 
     /// Route one event: node-stack traffic to the layer adapters,
     /// namespaced events to their owning subsystem.
     pub(crate) fn dispatch(&mut self, now: SimTime, event: Event) {
+        if let ObsSink::On(obs) = &mut self.core.obs {
+            let slot = match &event {
+                Event::Deliver { .. } => Some(obs.sl_deliver),
+                Event::NodeTimer(_) => Some(obs.sl_timer),
+                Event::Join(_) => Some(obs.sl_join),
+                Event::Sub(_) => obs.count_sub.then_some(obs.sl_sub),
+            };
+            if let Some(slot) = slot {
+                obs.slab.bump(slot, 1);
+            }
+        }
         match event {
             Event::Deliver { to, from, msg } => {
                 crate::stack::phy::frame_arrival(&mut self.core, now, to, FrameUp { from, msg })
@@ -995,7 +1217,7 @@ impl World {
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".into());
             let now = self.core.engine.now();
-            if let Some(obs) = self.core.obs.as_deref_mut() {
+            if let Some(obs) = self.core.obs.on_mut() {
                 obs.recorder
                     .record(now.as_secs_f64(), Severity::Error, "panic", msg.clone());
             }
@@ -1005,7 +1227,7 @@ impl World {
         let now = self.core.engine.now();
         let mut violations = self.check_invariants(now);
         if !violations.is_empty() {
-            if let Some(obs) = self.core.obs.as_deref_mut() {
+            if let Some(obs) = self.core.obs.on_mut() {
                 for v in &violations {
                     obs.recorder
                         .record(now.as_secs_f64(), Severity::Error, "invariant", v.clone());
@@ -1032,10 +1254,10 @@ impl World {
     /// `dir`. Returns the path written, or `None` when the sink is
     /// disabled (or the write failed).
     pub fn dump_obs(&mut self, dir: &Path, label: &str, violations: &[String]) -> Option<PathBuf> {
-        self.core.obs.as_ref()?;
+        self.core.obs.get()?;
         let now = self.core.engine.now();
         self.core.obs_sample(now, true);
-        let o = self.core.obs.as_ref().expect("sink enabled");
+        let o = self.core.obs.get().expect("sink enabled");
         let report = ObsReport {
             registry: o.registry.clone(),
             spans: o.spans.clone(),
@@ -1047,11 +1269,12 @@ impl World {
 
     /// Consume the world and report. Harnesses driving [`step`](World::step)
     /// themselves call this once `step` returns `None`. Subsystem finish
-    /// hooks (the sink's final at-horizon sample) run first.
+    /// hooks run first, then the sink's final at-horizon sample.
     pub fn finish(mut self) -> RunResult {
         for sub in &mut self.subsystems {
             sub.on_finish(&mut self.core);
         }
+        self.core.obs_final_sample();
         self.core.finish_result()
     }
 

@@ -11,6 +11,11 @@ fn observed(mut s: Scenario) -> Scenario {
     s
 }
 
+fn unobserved(mut s: Scenario) -> Scenario {
+    s.obs = ObsConfig::disabled();
+    s
+}
+
 fn scratch_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("obs_it_{tag}_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -20,8 +25,9 @@ fn scratch_dir(tag: &str) -> std::path::PathBuf {
 #[test]
 fn observed_runs_are_bit_identical_to_unobserved() {
     for algo in [AlgoKind::Basic, AlgoKind::Regular] {
+        // Obs is on by default; the bare baseline is the one that opts out.
         let s = Scenario::quick(20, algo, 200);
-        let plain = World::new(s.clone(), 17).run();
+        let plain = World::new(unobserved(s.clone()), 17).run();
         let seen = World::new(observed(s), 17).run();
 
         assert_eq!(plain.fingerprint(), seen.fingerprint(), "{algo}");

@@ -130,8 +130,10 @@ impl Strategy for AnyScn {
                 role,
             });
         }
-        if r.chance(0.25) {
-            s.obs.enabled = true;
+        if r.chance(0.2) {
+            // The opt-out form: must round-trip through `obs off` exactly.
+            s.obs = manet_obs::ObsConfig::disabled();
+        } else if r.chance(0.25) {
             s.obs.sample_period_secs = (1 + r.below(20)) as f64;
             s.obs.recorder_capacity = 64 * (1 + r.below(63)) as usize;
         }

@@ -9,8 +9,31 @@
 //! still be identical for reruns at a fixed shard count.
 
 use manet_des::{NodeId, SimDuration};
-use manet_sim::{Adversary, AdversaryRole, ChurnCfg, RunResult, Scenario, ShardedWorld};
+use manet_sim::{Adversary, AdversaryRole, ChurnCfg, ObsConfig, RunResult, Scenario, ShardedWorld};
 use p2p_core::AlgoKind;
+
+/// The churn + adversary stress shape shared by the partition-invariance
+/// tests: Hybrid overlay, a black hole, and a query flooder.
+fn churn_adversary_scenario() -> Scenario {
+    let mut s = Scenario::quick(30, AlgoKind::Hybrid, 180);
+    s.churn = Some(ChurnCfg {
+        mean_uptime: 60.0,
+        mean_downtime: 20.0,
+    });
+    s.adversaries = vec![
+        Adversary {
+            node: NodeId(2),
+            role: AdversaryRole::BlackHole,
+        },
+        Adversary {
+            node: NodeId(4),
+            role: AdversaryRole::QueryFlooder {
+                period: SimDuration::from_secs(10),
+            },
+        },
+    ];
+    s
+}
 
 /// Everything partition-invariant about a run, collapsed for comparison.
 fn semantic_digest(r: &RunResult) -> (u64, u64, u64, Vec<u64>, [usize; 5], u64, u64, u64) {
@@ -77,23 +100,7 @@ fn shard_count_preserves_aggregate_metrics() {
 
 #[test]
 fn shard_count_preserves_aggregates_under_churn_and_adversaries() {
-    let mut s = Scenario::quick(30, AlgoKind::Hybrid, 180);
-    s.churn = Some(ChurnCfg {
-        mean_uptime: 60.0,
-        mean_downtime: 20.0,
-    });
-    s.adversaries = vec![
-        Adversary {
-            node: NodeId(2),
-            role: AdversaryRole::BlackHole,
-        },
-        Adversary {
-            node: NodeId(4),
-            role: AdversaryRole::QueryFlooder {
-                period: SimDuration::from_secs(10),
-            },
-        },
-    ];
+    let s = churn_adversary_scenario();
     let one = ShardedWorld::new(s.clone(), 13, 1).run(1);
     let four = ShardedWorld::new(s, 13, 4).run(1);
     assert_eq!(
@@ -101,4 +108,50 @@ fn shard_count_preserves_aggregates_under_churn_and_adversaries() {
         semantic_digest(&four),
         "churn + adversaries broke partition invariance"
     );
+}
+
+#[test]
+fn merged_obs_registries_are_shard_and_thread_count_invariant() {
+    // Sub events are replicated with identical (time, key) in every shard
+    // and pops are (time, key)-ordered, so every shard cuts its series at
+    // the same logical boundary; counters are owner-gated (the replicated
+    // Sub dispatch slot counts only on shard 0). The merged registry must
+    // therefore be byte-identical whatever the partitioning or threading.
+    let s = churn_adversary_scenario();
+    assert!(s.obs.enabled, "obs is on by default");
+    let reference = ShardedWorld::new(s.clone(), 13, 1).run(1).obs;
+    assert!(
+        reference
+            .registry
+            .counter_by_name("des.events_popped")
+            .unwrap_or(0)
+            > 0,
+        "no observed work to compare"
+    );
+    for shards in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            let r = ShardedWorld::new(s.clone(), 13, shards).run(threads);
+            assert_eq!(
+                r.obs.registry, reference.registry,
+                "merged registry diverged at shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_observed_runs_are_bit_identical_to_unobserved() {
+    let on = Scenario::quick(24, AlgoKind::Regular, 120);
+    let mut off = on.clone();
+    off.obs = ObsConfig::disabled();
+    let seen = ShardedWorld::new(on, 11, 4).run(1);
+    let plain = ShardedWorld::new(off, 11, 4).run(1);
+    assert_eq!(
+        plain.fingerprint(),
+        seen.fingerprint(),
+        "enabling the sink changed a sharded run"
+    );
+    assert_eq!(plain.events, seen.events);
+    assert!(seen.obs.enabled(), "merged report missing");
+    assert!(!plain.obs.enabled(), "disabled sink must leave no report");
 }
