@@ -110,6 +110,17 @@ cargo run --release -q --offline -p manet-obs --bin obs_check -- "$OBS_SMOKE_SHA
 CITY_NODES=300 CITY_SECS=20 BENCH_ITERS=1 BENCH_JSON="$BENCH_SMOKE_JSON" \
     cargo run --release -q --offline -p bench --bin city_10k > /dev/null
 
+stage "swarm-smoke"
+# The real-time substrate end-to-end: an 8-process loopback swarm runs the
+# Regular algorithm over real UDP sockets for a few wall-seconds and must
+# answer at least one query with every child exiting cleanly (the swarm
+# bin asserts both and retries a bounded number of times before failing).
+cargo run --release -q --offline -p manet-rt --bin swarm -- \
+    --nodes 8 --algo regular --duration-ms 4000 --seed 1 \
+    --min-answered 1 --retries 2 \
+    | grep -q "SWARM OK" \
+    || { echo "swarm smoke: no answered query or unclean exit"; exit 1; }
+
 stage "perf gate (obs tax)"
 # Three throughput gates on the 200-node 900 s Regular hot-path scenario:
 # the disabled sink within 1% of the checked-in baseline (observability

@@ -31,11 +31,13 @@ pub mod machine;
 pub mod msg;
 pub mod table;
 pub mod testkit;
+pub mod wire;
 
 pub use cfg::AodvCfg;
 pub use machine::{Action, Aodv, AodvStats};
 pub use msg::{Data, Flood, Msg, Payload, Rerr, Rrep, Rreq};
 pub use table::{RouteEntry, RouteTable};
+pub use wire::{decode_msg, encode_msg, WirePayload};
 
 #[cfg(test)]
 mod tests {

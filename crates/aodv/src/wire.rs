@@ -1,0 +1,308 @@
+//! Byte-exact codec for [`Msg`], generic over the payload.
+//!
+//! The DES never serializes — frames travel as structs and only
+//! [`Msg::wire_size`] matters to the radio model. The real-time substrate
+//! puts frames on actual UDP sockets, so here is the real encoding:
+//! little-endian fields in declaration order, one leading tag byte per
+//! variant, and the [`TraceCtx`](manet_des::TraceCtx) as a
+//! presence-flagged trailer (one byte
+//! when absent — tracing stays cheap on the wire too).
+//!
+//! The encoded length is deliberately **not** [`Msg::wire_size`]: that
+//! number models an idealized RFC 3561 packet for the radio's delay and
+//! energy accounting, while this codec favours simplicity and explicit
+//! validation. Nothing compares the two.
+//!
+//! Decoding a corrupted buffer returns a typed [`WireError`] — truncation,
+//! unknown tags and trailing garbage are expected inputs on a socket,
+//! never panics.
+
+use manet_des::wire::{put_ctx, put_u16, put_u32, put_u8, read_ctx};
+use manet_des::{NodeId, WireError, WireReader};
+
+use crate::msg::{Data, Flood, Hello, Msg, Payload, Rerr, Rrep, Rreq};
+
+/// A payload that can cross a real wire, not just report its modelled
+/// size. Implemented by the stack-level payload union; kept separate from
+/// [`Payload`] so DES-only payload types (test blobs, instrumentation
+/// stand-ins) need no codec.
+pub trait WirePayload: Payload {
+    /// Append the encoded payload.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decode a payload written by [`encode`](WirePayload::encode). The
+    /// payload must be self-delimiting: the frame's trace-context trailer
+    /// follows it directly.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>
+    where
+        Self: Sized;
+}
+
+const TAG_RREQ: u8 = 1;
+const TAG_RREP: u8 = 2;
+const TAG_RERR: u8 = 3;
+const TAG_DATA: u8 = 4;
+const TAG_FLOOD: u8 = 5;
+const TAG_HELLO: u8 = 6;
+
+/// Append the encoded frame (tag byte, fields, trace-context trailer).
+pub fn encode_msg<P: WirePayload>(msg: &Msg<P>, buf: &mut Vec<u8>) {
+    match msg {
+        Msg::Rreq(m) => {
+            put_u8(buf, TAG_RREQ);
+            put_u32(buf, m.origin.0);
+            put_u32(buf, m.origin_seq);
+            put_u32(buf, m.rreq_id);
+            put_u32(buf, m.dest.0);
+            match m.dest_seq {
+                Some(seq) => {
+                    put_u8(buf, 1);
+                    put_u32(buf, seq);
+                }
+                None => put_u8(buf, 0),
+            }
+            put_u8(buf, m.hop_count);
+            put_u8(buf, m.ttl);
+            put_ctx(buf, m.ctx);
+        }
+        Msg::Rrep(m) => {
+            put_u8(buf, TAG_RREP);
+            put_u32(buf, m.dest.0);
+            put_u32(buf, m.dest_seq);
+            put_u32(buf, m.origin.0);
+            put_u8(buf, m.hop_count);
+            put_ctx(buf, m.ctx);
+        }
+        Msg::Rerr(m) => {
+            put_u8(buf, TAG_RERR);
+            put_u16(buf, m.unreachable.len() as u16);
+            for &(node, seq) in &m.unreachable {
+                put_u32(buf, node.0);
+                put_u32(buf, seq);
+            }
+            put_ctx(buf, m.ctx);
+        }
+        Msg::Data(m) => {
+            put_u8(buf, TAG_DATA);
+            put_u32(buf, m.src.0);
+            put_u32(buf, m.dst.0);
+            put_u8(buf, m.hops);
+            m.payload.encode(buf);
+            put_ctx(buf, m.ctx);
+        }
+        Msg::Flood(m) => {
+            put_u8(buf, TAG_FLOOD);
+            put_u32(buf, m.origin.0);
+            put_u32(buf, m.flood_id);
+            put_u8(buf, m.ttl);
+            put_u8(buf, m.hops);
+            m.payload.encode(buf);
+            put_ctx(buf, m.ctx);
+        }
+        Msg::Hello(m) => {
+            put_u8(buf, TAG_HELLO);
+            put_u32(buf, m.seq);
+        }
+    }
+}
+
+/// Decode one frame written by [`encode_msg`]. Does not require the
+/// reader to be exhausted — the caller owning the enclosing frame calls
+/// [`WireReader::finish`].
+pub fn decode_msg<P: WirePayload>(r: &mut WireReader<'_>) -> Result<Msg<P>, WireError> {
+    match r.u8()? {
+        TAG_RREQ => {
+            let origin = NodeId(r.u32()?);
+            let origin_seq = r.u32()?;
+            let rreq_id = r.u32()?;
+            let dest = NodeId(r.u32()?);
+            let dest_seq = if r.flag("rreq dest_seq presence")? {
+                Some(r.u32()?)
+            } else {
+                None
+            };
+            let hop_count = r.u8()?;
+            let ttl = r.u8()?;
+            let ctx = read_ctx(r)?;
+            Ok(Msg::Rreq(Rreq {
+                origin,
+                origin_seq,
+                rreq_id,
+                dest,
+                dest_seq,
+                hop_count,
+                ttl,
+                ctx,
+            }))
+        }
+        TAG_RREP => Ok(Msg::Rrep(Rrep {
+            dest: NodeId(r.u32()?),
+            dest_seq: r.u32()?,
+            origin: NodeId(r.u32()?),
+            hop_count: r.u8()?,
+            ctx: read_ctx(r)?,
+        })),
+        TAG_RERR => {
+            let n = r.u16()? as usize;
+            let mut unreachable = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                let node = NodeId(r.u32()?);
+                let seq = r.u32()?;
+                unreachable.push((node, seq));
+            }
+            let ctx = read_ctx(r)?;
+            Ok(Msg::Rerr(Rerr { unreachable, ctx }))
+        }
+        TAG_DATA => {
+            let src = NodeId(r.u32()?);
+            let dst = NodeId(r.u32()?);
+            let hops = r.u8()?;
+            let payload = P::decode(r)?;
+            let ctx = read_ctx(r)?;
+            Ok(Msg::Data(Data {
+                src,
+                dst,
+                hops,
+                payload,
+                ctx,
+            }))
+        }
+        TAG_FLOOD => {
+            let origin = NodeId(r.u32()?);
+            let flood_id = r.u32()?;
+            let ttl = r.u8()?;
+            let hops = r.u8()?;
+            let payload = P::decode(r)?;
+            let ctx = read_ctx(r)?;
+            Ok(Msg::Flood(Flood {
+                origin,
+                flood_id,
+                ttl,
+                hops,
+                payload,
+                ctx,
+            }))
+        }
+        TAG_HELLO => Ok(Msg::Hello(Hello { seq: r.u32()? })),
+        tag => Err(WireError::BadTag {
+            what: "aodv frame",
+            tag,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_des::TraceCtx;
+
+    /// A minimal self-delimiting payload for codec tests.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Blob(u32);
+
+    impl Payload for Blob {
+        fn wire_size(&self) -> u32 {
+            4
+        }
+    }
+
+    impl WirePayload for Blob {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            put_u32(buf, self.0);
+        }
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            Ok(Blob(r.u32()?))
+        }
+    }
+
+    fn round_trip(msg: Msg<Blob>) {
+        let mut buf = Vec::new();
+        encode_msg(&msg, &mut buf);
+        let mut r = WireReader::new(&buf);
+        let back = decode_msg::<Blob>(&mut r).expect("decodes");
+        r.finish().expect("fully consumed");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        round_trip(Msg::Rreq(Rreq {
+            origin: NodeId(1),
+            origin_seq: 9,
+            rreq_id: 4,
+            dest: NodeId(2),
+            dest_seq: Some(17),
+            hop_count: 3,
+            ttl: 7,
+            ctx: TraceCtx::root(5, 1),
+        }));
+        round_trip(Msg::Rreq(Rreq {
+            origin: NodeId(1),
+            origin_seq: 0,
+            rreq_id: 0,
+            dest: NodeId(2),
+            dest_seq: None,
+            hop_count: 0,
+            ttl: 1,
+            ctx: TraceCtx::NONE,
+        }));
+        round_trip(Msg::Rrep(Rrep {
+            dest: NodeId(2),
+            dest_seq: 11,
+            origin: NodeId(1),
+            hop_count: 2,
+            ctx: TraceCtx::root(8, 2).child(3),
+        }));
+        round_trip(Msg::Rerr(Rerr {
+            unreachable: vec![(NodeId(3), 1), (NodeId(9), u32::MAX)],
+            ctx: TraceCtx::NONE,
+        }));
+        round_trip(Msg::Data(Data {
+            src: NodeId(0),
+            dst: NodeId(7),
+            hops: 4,
+            payload: Blob(0xFACE),
+            ctx: TraceCtx::root(1, 1),
+        }));
+        round_trip(Msg::Flood(Flood {
+            origin: NodeId(5),
+            flood_id: 77,
+            ttl: 6,
+            hops: 1,
+            payload: Blob(12),
+            ctx: TraceCtx::NONE,
+        }));
+        round_trip(Msg::Hello(Hello { seq: 123 }));
+    }
+
+    #[test]
+    fn unknown_tag_is_typed() {
+        let mut r = WireReader::new(&[0x7F]);
+        assert_eq!(
+            decode_msg::<Blob>(&mut r),
+            Err(WireError::BadTag {
+                what: "aodv frame",
+                tag: 0x7F
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly() {
+        let msg = Msg::Data(Data {
+            src: NodeId(0),
+            dst: NodeId(7),
+            hops: 4,
+            payload: Blob(9),
+            ctx: TraceCtx::root(2, 2),
+        });
+        let mut buf = Vec::new();
+        encode_msg(&msg, &mut buf);
+        // Every proper prefix must fail with a typed error, never panic.
+        for cut in 0..buf.len() {
+            let mut r = WireReader::new(&buf[..cut]);
+            let got = decode_msg::<Blob>(&mut r).and_then(|_| r.finish());
+            assert!(got.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+}

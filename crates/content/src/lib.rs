@@ -13,8 +13,10 @@
 
 pub mod catalog;
 pub mod query;
+pub mod wire;
 
 pub use catalog::{Catalog, FileId};
 pub use query::{
     Answer, CSend, CompletedQuery, ContentMsg, QueryCfg, QueryEngine, QueryId, QueryStats,
 };
+pub use wire::{decode_content, encode_content};

@@ -38,6 +38,7 @@ pub mod random;
 pub mod regular;
 pub mod testkit;
 pub mod topology;
+pub mod wire;
 
 pub use adversary::AdversaryRole;
 pub use api::{Reconfigurator, Role};
@@ -49,6 +50,7 @@ pub use msg::{MsgCategory, OvAction, OverlayMsg, ProbeKind};
 pub use params::OverlayParams;
 pub use random::RandomAlgo;
 pub use regular::RegularAlgo;
+pub use wire::{decode_overlay, encode_overlay};
 
 /// A boxed algorithm, for worlds mixing node behaviours.
 pub type BoxedAlgo = Box<dyn Reconfigurator + Send>;

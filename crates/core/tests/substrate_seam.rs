@@ -1,0 +1,68 @@
+//! The substrate seam, pinned at compile-review level.
+//!
+//! The overlay algorithms run on two substrates: the DES (virtual clock)
+//! and the real-time driver (wall clock). That only works if the crate
+//! takes *every* notion of time as a [`manet_des::SimTime`] argument
+//! through the typed verbs and never reads a clock of its own, and if it
+//! never grows a dependency on a simulator crate. These tests scan the
+//! crate's own sources and manifest, so a leak fails CI with the
+//! offending file and line in the message rather than surfacing as a
+//! Heisenbug on one substrate only.
+
+use std::fs;
+use std::path::Path;
+
+/// Wall-clock APIs that must never appear in substrate-neutral protocol
+/// code: any hit means the crate tells time behind the substrate's back.
+const FORBIDDEN: &[&str] = &[
+    "std::time",
+    "Instant::now",
+    "SystemTime",
+    "elapsed()",
+    "coarsetime",
+];
+
+fn scan_dir(dir: &Path, hits: &mut Vec<String>) {
+    for entry in fs::read_dir(dir).expect("readable source dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            scan_dir(&path, hits);
+            continue;
+        }
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).expect("readable source file");
+        for (i, line) in text.lines().enumerate() {
+            for pat in FORBIDDEN {
+                if line.contains(pat) {
+                    hits.push(format!("{}:{}: {}", path.display(), i + 1, line.trim()));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn no_wall_clock_reads_in_protocol_sources() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut hits = Vec::new();
+    scan_dir(&src, &mut hits);
+    assert!(
+        hits.is_empty(),
+        "substrate-neutral code reads a wall clock:\n{}",
+        hits.join("\n")
+    );
+}
+
+#[test]
+fn manifest_depends_on_no_substrate() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    let text = fs::read_to_string(manifest).expect("readable manifest");
+    for dep in ["manet-sim", "manet-rt"] {
+        assert!(
+            !text.contains(dep),
+            "protocol crate must not depend on substrate crate {dep}"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! The substrate seam: what a protocol stack may ask of whatever is
+//! executing it.
+//!
+//! A *substrate* is the thing that owns time and timers for a set of
+//! protocol stacks. Two exist in this workspace:
+//!
+//! * the DES — `manet-sim`'s engine, where "now" is the virtual clock of
+//!   the future-event list and an armed timer is a `NodeTimer` event;
+//! * the real-time driver — `manet-rt`'s epoll loop, where "now" is
+//!   elapsed wall-clock microseconds and an armed timer is the next
+//!   `epoll_wait` deadline.
+//!
+//! The protocol machines themselves (AODV, the reconfiguration
+//! algorithms, the query engine) never see this trait: they are pure
+//! state machines taking `now` as an argument and *requesting* wakes by
+//! reporting `next_wake()`. The trait is the contract for the layer that
+//! hosts them — everything a host may do about time is read the clock and
+//! arm one combined timer per node, so a stack runs identically on either
+//! substrate.
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+
+/// Time and timer service a substrate provides to the stacks it hosts.
+///
+/// `SimTime` is the common currency: one tick is one microsecond on both
+/// substrates ([`TICKS_PER_SECOND`](crate::TICKS_PER_SECOND) = 10⁶). The
+/// DES interprets it as virtual time; the real-time driver anchors tick 0
+/// at loop start and converts deadlines to `epoll_wait` timeouts.
+pub trait Substrate {
+    /// The current instant on this substrate's clock.
+    fn now(&self) -> SimTime;
+
+    /// Arm node `node`'s combined protocol timer to fire at `at`.
+    ///
+    /// Implementations need not dedup: callers are expected to hold the
+    /// earliest-pending-wake guard (the DES keeps a per-node `timer_at`
+    /// slot, the real-time loop keeps a single next-deadline), so a call
+    /// always tightens the pending deadline.
+    fn arm_timer(&mut self, node: NodeId, at: SimTime);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A substrate is object-safe and trivially mockable: the protocol
+    /// side of the seam compiles against `&mut dyn Substrate` alone.
+    struct Manual {
+        now: SimTime,
+        armed: Vec<(NodeId, SimTime)>,
+    }
+
+    impl Substrate for Manual {
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn arm_timer(&mut self, node: NodeId, at: SimTime) {
+            self.armed.push((node, at));
+        }
+    }
+
+    #[test]
+    fn object_safe_and_mockable() {
+        let mut m = Manual {
+            now: SimTime::from_secs(2),
+            armed: Vec::new(),
+        };
+        let sub: &mut dyn Substrate = &mut m;
+        let wake = sub.now() + crate::SimDuration::from_millis(5);
+        sub.arm_timer(NodeId(3), wake);
+        assert_eq!(m.armed, vec![(NodeId(3), SimTime::from_ticks(2_005_000))]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Byte-exact wire primitives shared by every protocol codec.
+//!
+//! The DES carries messages as in-memory structs; the real-time substrate
+//! puts them on UDP sockets, which needs an actual encoding. This module
+//! owns the pieces every layer's codec builds on: little-endian integer
+//! writers, a bounds-checked [`WireReader`], the typed [`WireError`] (a
+//! corrupted frame must decode to an error, never a panic), and the codec
+//! for the one type this crate defines that crosses the wire —
+//! [`TraceCtx`], encoded as a presence flag plus its three ids so untraced
+//! traffic pays a single byte.
+
+use crate::trace::TraceCtx;
+
+/// Why a buffer failed to decode. Every decoder in the workspace returns
+/// this instead of panicking: a malformed datagram is an expected input on
+/// a real socket, not a bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before a field: `need` more bytes, `have` left.
+    Truncated {
+        /// Bytes the next field needs.
+        need: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// A discriminant byte has no defined meaning.
+    BadTag {
+        /// Which field rejected it (a static codec label).
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// The buffer decoded cleanly but `extra` bytes were left over.
+    Trailing {
+        /// Undecoded bytes at the end.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated frame: need {need} more bytes, have {have}")
+            }
+            WireError::BadTag { what, tag } => write!(f, "bad {what} tag {tag:#04x}"),
+            WireError::Trailing { extra } => write!(f, "{extra} trailing bytes after frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append `v` as one byte.
+#[inline]
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Append `v` little-endian.
+#[inline]
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append `v` little-endian.
+#[inline]
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append `v` little-endian.
+#[inline]
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a [`TraceCtx`]: a presence byte, then the three ids only when
+/// the context is active. Matches [`read_ctx`].
+pub fn put_ctx(buf: &mut Vec<u8>, ctx: TraceCtx) {
+    if ctx.is_active() {
+        put_u8(buf, 1);
+        put_u64(buf, ctx.trace_id);
+        put_u64(buf, ctx.parent_id);
+        put_u64(buf, ctx.span_seq);
+    } else {
+        put_u8(buf, 0);
+    }
+}
+
+/// A bounds-checked cursor over an incoming datagram. Every read is
+/// checked; running out of bytes yields [`WireError::Truncated`].
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over the whole buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Read a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Read a presence flag that must be 0 or 1.
+    pub fn flag(&mut self, what: &'static str) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { what, tag }),
+        }
+    }
+
+    /// Assert the buffer is fully consumed (frame-level decoders call this
+    /// last, so a datagram with garbage appended is rejected, not
+    /// silently accepted).
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Trailing {
+                extra: self.remaining(),
+            })
+        }
+    }
+}
+
+/// Read a [`TraceCtx`] written by [`put_ctx`].
+pub fn read_ctx(r: &mut WireReader<'_>) -> Result<TraceCtx, WireError> {
+    if r.flag("trace ctx presence")? {
+        Ok(TraceCtx {
+            trace_id: r.u64()?,
+            parent_id: r.u64()?,
+            span_seq: r.u64()?,
+        })
+    } else {
+        Ok(TraceCtx::NONE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_round_trip_little_endian() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0xAB);
+        put_u16(&mut buf, 0x1234);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, 0x0102_0304_0506_0708);
+        assert_eq!(buf[1..3], [0x34, 0x12], "u16 is little-endian");
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0102_0304_0506_0708);
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut r = WireReader::new(&[1, 2]);
+        assert_eq!(
+            r.u32(),
+            Err(WireError::Truncated { need: 4, have: 2 }),
+            "reads past the end are typed errors"
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut r = WireReader::new(&[7, 8]);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.finish(), Err(WireError::Trailing { extra: 1 }));
+    }
+
+    #[test]
+    fn ctx_costs_one_byte_when_absent() {
+        let mut buf = Vec::new();
+        put_ctx(&mut buf, TraceCtx::NONE);
+        assert_eq!(buf, [0]);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(read_ctx(&mut r).unwrap(), TraceCtx::NONE);
+    }
+
+    #[test]
+    fn active_ctx_round_trips() {
+        let ctx = TraceCtx {
+            trace_id: 7,
+            parent_id: 3,
+            span_seq: 9,
+        };
+        let mut buf = Vec::new();
+        put_ctx(&mut buf, ctx);
+        assert_eq!(buf.len(), 1 + 24);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(read_ctx(&mut r).unwrap(), ctx);
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn ctx_presence_flag_validated() {
+        let mut r = WireReader::new(&[2]);
+        assert_eq!(
+            read_ctx(&mut r),
+            Err(WireError::BadTag {
+                what: "trace ctx presence",
+                tag: 2
+            })
+        );
+    }
+}

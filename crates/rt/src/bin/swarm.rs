@@ -1,0 +1,347 @@
+//! A multi-process loopback swarm: N OS processes, each hosting one
+//! [`p2p_stack::StackMachine`] on its own UDP socket, running a
+//! (re)configuration algorithm and the query workload end-to-end over
+//! real datagrams.
+//!
+//! Process model: the parent re-executes itself with `--child` for each
+//! node. A child binds `127.0.0.1:0` (the kernel hands out a free port —
+//! no coordination, no collisions), advertises the address on stdout as
+//! `ADDR <addr>`, and blocks until the parent distributes the full
+//! address book on stdin as one `PEERS <addr0> <addr1> …` line. Each
+//! child then joins with an id-proportional delay (staggered joins, as
+//! the DES's arrival process provides) and runs for the configured wall
+//! duration, finishing with a `RESULT key=value…` line the parent
+//! aggregates.
+//!
+//! File placement is deterministic: every child derives the *entire*
+//! swarm's Zipf assignment from the shared `--seed` via
+//! [`Catalog::assign`] and keeps its own slot, exactly how the DES
+//! scenario seeds holdings — no placement traffic needed.
+//!
+//! Exit status: `0` iff every child exited cleanly and the swarm
+//! answered at least `--min-answered` queries (after bounded
+//! `--retries`). The CI smoke stage runs `--nodes 8` for a few seconds.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, UdpSocket};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use manet_aodv::AodvCfg;
+use manet_des::{NodeId, Rng, SimDuration};
+use manet_rt::{FaultShim, RtNode};
+use manet_sim::FaultPlan;
+use p2p_content::{Catalog, QueryCfg, QueryEngine};
+use p2p_core::{build_algo, AlgoKind, OverlayParams};
+use p2p_stack::StackMachine;
+
+/// Per-node join stagger; also the reason short runs still converge.
+const JOIN_STAGGER_MS: u64 = 150;
+
+struct Opts {
+    nodes: u32,
+    algo: AlgoKind,
+    duration_ms: u64,
+    seed: u64,
+    min_answered: u64,
+    retries: u32,
+    child_id: Option<u32>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: swarm [--nodes N] [--algo basic|regular|random|hybrid] \
+         [--duration-ms MS] [--seed S] [--min-answered K] [--retries R]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        nodes: 8,
+        algo: AlgoKind::Regular,
+        duration_ms: 5_000,
+        seed: 1,
+        min_answered: 1,
+        retries: 2,
+        child_id: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            match args.get(*i) {
+                Some(v) => v.clone(),
+                None => usage(),
+            }
+        };
+        match args[i].as_str() {
+            "--nodes" => opts.nodes = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--algo" => {
+                let name = value(&mut i);
+                opts.algo = AlgoKind::ALL
+                    .into_iter()
+                    .find(|k| k.name().eq_ignore_ascii_case(&name))
+                    .unwrap_or_else(|| usage());
+            }
+            "--duration-ms" => opts.duration_ms = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--min-answered" => {
+                opts.min_answered = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--retries" => opts.retries = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--child" => opts.child_id = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if opts.nodes < 2 {
+        eprintln!("--nodes must be at least 2");
+        usage();
+    }
+    opts
+}
+
+/// Overlay timers shrunk from paper scale (tens of seconds) to smoke
+/// scale (seconds); ratios preserved.
+fn swarm_params() -> OverlayParams {
+    OverlayParams {
+        timer_initial: SimDuration::from_millis(500),
+        max_timer: SimDuration::from_secs(4),
+        basic_timer: SimDuration::from_millis(800),
+        ping_interval: SimDuration::from_secs(2),
+        pong_timeout: SimDuration::from_secs(1),
+        handshake_timeout: SimDuration::from_millis(1_500),
+        random_response_wait: SimDuration::from_millis(500),
+        ..OverlayParams::default()
+    }
+}
+
+/// Query workload shrunk the same way: think 0.5–1.5 s, 1.5 s windows.
+fn swarm_query_cfg() -> QueryCfg {
+    QueryCfg {
+        think_min: SimDuration::from_millis(500),
+        think_max: SimDuration::from_millis(1_500),
+        response_wait: SimDuration::from_millis(1_500),
+        ..QueryCfg::default()
+    }
+}
+
+fn child_main(id: u32, opts: &Opts) -> std::io::Result<()> {
+    let socket = UdpSocket::bind("127.0.0.1:0")?;
+    println!("ADDR {}", socket.local_addr()?);
+    std::io::stdout().flush()?;
+
+    let mut line = String::new();
+    BufReader::new(std::io::stdin()).read_line(&mut line)?;
+    let mut words = line.split_whitespace();
+    if words.next() != Some("PEERS") {
+        eprintln!("child {id}: expected PEERS line, got {line:?}");
+        std::process::exit(3);
+    }
+    let addrs: Vec<SocketAddr> = words
+        .map(|w| w.parse().expect("well-formed peer address"))
+        .collect();
+    assert_eq!(addrs.len(), opts.nodes as usize, "one address per node");
+    let peers: Vec<(NodeId, SocketAddr)> = addrs
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i as u32 != id)
+        .map(|(i, &a)| (NodeId(i as u32), a))
+        .collect();
+
+    // The whole swarm's holdings from the shared seed; keep our slot.
+    let catalog = Catalog::default();
+    let mut assign_rng = Rng::new(opts.seed).fork(0xF11E5);
+    let files = catalog
+        .assign(opts.nodes as usize, &mut assign_rng)
+        .swap_remove(id as usize);
+
+    let node = NodeId(id);
+    let algo = build_algo(
+        opts.algo,
+        node,
+        swarm_params(),
+        0,
+        Rng::new(opts.seed).fork(1_000 + id as u64),
+    );
+    let engine = QueryEngine::new(
+        node,
+        swarm_query_cfg(),
+        catalog,
+        files,
+        Rng::new(opts.seed).fork(2_000 + id as u64),
+    );
+    let machine = StackMachine::new(node, AodvCfg::default(), algo, engine);
+    let shim = FaultShim::new(&FaultPlan::default(), opts.seed);
+
+    let mut rt = RtNode::new(machine, socket, peers, shim)?;
+    let report = rt.run(
+        Duration::from_millis(opts.duration_ms),
+        Duration::from_millis(id as u64 * JOIN_STAGGER_MS),
+    )?;
+
+    println!(
+        "RESULT id={id} issued={} answered={} hits={} sent={} recv={} decode_err={}",
+        report.issued,
+        report.answered,
+        report.hits_served,
+        report.frames_sent,
+        report.frames_received,
+        report.decode_errors,
+    );
+    Ok(())
+}
+
+#[derive(Default)]
+struct Totals {
+    issued: u64,
+    answered: u64,
+    hits: u64,
+    sent: u64,
+    recv: u64,
+    decode_err: u64,
+}
+
+/// One full swarm round; `Ok` carries the aggregated child results.
+fn run_swarm(opts: &Opts) -> Result<Totals, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut children = Vec::new();
+    for id in 0..opts.nodes {
+        let child = Command::new(&exe)
+            .args([
+                "--child",
+                &id.to_string(),
+                "--nodes",
+                &opts.nodes.to_string(),
+                "--algo",
+                opts.algo.name(),
+                "--duration-ms",
+                &opts.duration_ms.to_string(),
+                "--seed",
+                &opts.seed.to_string(),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawn child {id}: {e}"))?;
+        children.push(child);
+    }
+
+    // Collect every child's self-assigned address, in id order.
+    let mut addrs = Vec::new();
+    let mut outs = Vec::new();
+    for (id, child) in children.iter_mut().enumerate() {
+        let mut reader = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read ADDR from child {id}: {e}"))?;
+        let addr = line
+            .strip_prefix("ADDR ")
+            .ok_or_else(|| format!("child {id} spoke {line:?}, expected ADDR"))?
+            .trim()
+            .to_string();
+        addrs.push(addr);
+        outs.push(reader);
+    }
+
+    // Distribute the address book; the swarm starts on receipt.
+    let book = format!("PEERS {}\n", addrs.join(" "));
+    for (id, child) in children.iter_mut().enumerate() {
+        child
+            .stdin
+            .take()
+            .expect("piped stdin")
+            .write_all(book.as_bytes())
+            .map_err(|e| format!("send PEERS to child {id}: {e}"))?;
+    }
+
+    // Harvest RESULT lines and exit statuses.
+    let mut totals = Totals::default();
+    for (id, (mut child, mut reader)) in children.into_iter().zip(outs).enumerate() {
+        let mut result_line = None;
+        for line in (&mut reader).lines() {
+            let line = line.map_err(|e| format!("read from child {id}: {e}"))?;
+            if line.starts_with("RESULT ") {
+                result_line = Some(line);
+            }
+        }
+        let status = child
+            .wait()
+            .map_err(|e| format!("wait for child {id}: {e}"))?;
+        if !status.success() {
+            return Err(format!("child {id} exited with {status}"));
+        }
+        let line = result_line.ok_or_else(|| format!("child {id} printed no RESULT"))?;
+        for field in line.split_whitespace().skip(1) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("malformed RESULT field {field:?}"))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|_| format!("non-numeric RESULT field {field:?}"))?;
+            match key {
+                "issued" => totals.issued += value,
+                "answered" => totals.answered += value,
+                "hits" => totals.hits += value,
+                "sent" => totals.sent += value,
+                "recv" => totals.recv += value,
+                "decode_err" => totals.decode_err += value,
+                "id" => {}
+                _ => return Err(format!("unknown RESULT field {field:?}")),
+            }
+        }
+    }
+    Ok(totals)
+}
+
+fn main() {
+    let opts = parse_opts();
+    if let Some(id) = opts.child_id {
+        if let Err(e) = child_main(id, &opts) {
+            eprintln!("child {id}: {e}");
+            std::process::exit(3);
+        }
+        return;
+    }
+
+    let attempts = 1 + opts.retries;
+    for attempt in 1..=attempts {
+        match run_swarm(&opts) {
+            Ok(t) => {
+                println!(
+                    "SWARM nodes={} algo={} duration_ms={} attempt={} \
+                     issued={} answered={} hits={} frames_sent={} frames_recv={} decode_err={}",
+                    opts.nodes,
+                    opts.algo.name(),
+                    opts.duration_ms,
+                    attempt,
+                    t.issued,
+                    t.answered,
+                    t.hits,
+                    t.sent,
+                    t.recv,
+                    t.decode_err,
+                );
+                if t.decode_err > 0 {
+                    eprintln!("swarm: {} undecodable datagrams", t.decode_err);
+                    std::process::exit(1);
+                }
+                if t.answered >= opts.min_answered {
+                    println!("SWARM OK");
+                    return;
+                }
+                eprintln!(
+                    "swarm attempt {attempt}/{attempts}: answered {} < required {}",
+                    t.answered, opts.min_answered
+                );
+            }
+            Err(e) => eprintln!("swarm attempt {attempt}/{attempts}: {e}"),
+        }
+    }
+    eprintln!("SWARM FAILED after {attempts} attempts");
+    std::process::exit(1);
+}

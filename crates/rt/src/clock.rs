@@ -1,0 +1,83 @@
+//! Reconciling the protocol clock with the wall clock.
+//!
+//! The protocol crates measure time as [`SimTime`] — integer microseconds
+//! since t = 0 — with no opinion about what advances it. The DES advances
+//! it by popping events; this substrate advances it by *living through*
+//! it: [`Clock::now`] is the wall-clock microseconds elapsed since
+//! [`Clock::start`], so one tick is one real microsecond and every
+//! protocol constant (hello intervals, RREQ backoff, query think times)
+//! means exactly what it means in simulation.
+//!
+//! The other direction — turning a protocol deadline back into "how long
+//! may I sleep" — is [`Clock::timeout_until`], which feeds the event
+//! loop's poll timeout. It rounds *up* to the poller's millisecond
+//! granularity so a wake never lands before its deadline (the loop would
+//! spin); firing a few hundred microseconds late is harmless, exactly as
+//! late timer pops are in any real stack.
+
+use std::time::{Duration, Instant};
+
+use manet_des::SimTime;
+
+/// A monotonic run clock mapping wall time onto the [`SimTime`] axis.
+pub struct Clock {
+    epoch: Instant,
+}
+
+impl Clock {
+    /// Start the clock: this instant becomes [`SimTime::ZERO`].
+    pub fn start() -> Clock {
+        Clock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Wall-clock microseconds elapsed since start, as protocol time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_ticks(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// How long the event loop may sleep before `deadline`.
+    ///
+    /// `None` means forever (nothing pending — [`SimTime::MAX`]); a zero
+    /// duration means the deadline already passed. Rounded up to whole
+    /// milliseconds for the poller.
+    pub fn timeout_until(&self, deadline: SimTime) -> Option<Duration> {
+        if deadline == SimTime::MAX {
+            return None;
+        }
+        let now = self.now();
+        let left = deadline.saturating_since(now).ticks();
+        Some(Duration::from_millis(left.div_ceil(1_000)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let clock = Clock::start();
+        let a = clock.now();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = clock.now();
+        assert!(b > a, "wall time advances protocol time");
+        assert!(b.ticks() >= 2_000, "at least the slept microseconds");
+    }
+
+    #[test]
+    fn timeout_rounds_up_and_handles_sentinels() {
+        let clock = Clock::start();
+        assert_eq!(clock.timeout_until(SimTime::MAX), None, "nothing pending");
+        assert_eq!(
+            clock.timeout_until(SimTime::ZERO),
+            Some(Duration::ZERO),
+            "past deadlines poll without sleeping"
+        );
+        let far = clock.now() + manet_des::SimDuration::from_secs(5);
+        let t = clock.timeout_until(far).unwrap();
+        assert!(t <= Duration::from_secs(5));
+        assert!(t >= Duration::from_secs(4), "no gross undersleep");
+    }
+}

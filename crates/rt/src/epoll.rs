@@ -1,0 +1,198 @@
+//! Readiness polling with zero external dependencies.
+//!
+//! On Linux this is a hand-rolled `epoll` binding — three syscalls
+//! declared over the libc that `std` already links, one level-triggered
+//! interest registered at construction. The event loop only ever watches
+//! a single UDP socket, so the full mio machinery (tokens, interest sets,
+//! reregistration) collapses to "is the socket readable before my next
+//! timer deadline" — which is exactly the [`Poller::wait`] contract.
+//!
+//! Elsewhere the same contract is met portably with a blocking
+//! `peek`-with-timeout on the socket itself; the socket is flipped back
+//! to non-blocking before returning so the caller's drain loop behaves
+//! identically on both paths.
+
+use std::io;
+use std::net::UdpSocket;
+use std::time::Duration;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::os::raw::c_int;
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLLIN: u32 = 0x1;
+
+    /// Kernel epoll event record. Packed on x86 ABIs, naturally aligned
+    /// elsewhere — mirrors the kernel UAPI headers.
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// Waits for one UDP socket to become readable, bounded by a deadline.
+pub struct Poller {
+    #[cfg(target_os = "linux")]
+    epfd: std::os::raw::c_int,
+    #[cfg(not(target_os = "linux"))]
+    _portable: (),
+}
+
+impl Poller {
+    /// A poller watching `socket` for readability. The socket is put in
+    /// non-blocking mode — the event loop drains it with `recv_from`
+    /// until `WouldBlock` after every readiness signal.
+    #[cfg(target_os = "linux")]
+    pub fn new(socket: &UdpSocket) -> io::Result<Poller> {
+        use std::os::fd::AsRawFd;
+        socket.set_nonblocking(true)?;
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let mut ev = sys::EpollEvent {
+            events: sys::EPOLLIN,
+            data: 0,
+        };
+        let rc = unsafe { sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, socket.as_raw_fd(), &mut ev) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            unsafe { sys::close(epfd) };
+            return Err(err);
+        }
+        Ok(Poller { epfd })
+    }
+
+    /// Portable fallback constructor (no registration needed).
+    #[cfg(not(target_os = "linux"))]
+    pub fn new(socket: &UdpSocket) -> io::Result<Poller> {
+        socket.set_nonblocking(true)?;
+        Ok(Poller { _portable: () })
+    }
+
+    /// Block until `socket` is readable or `timeout` elapses; `None`
+    /// sleeps until readable. Returns whether the socket is readable.
+    #[cfg(target_os = "linux")]
+    pub fn wait(&self, _socket: &UdpSocket, timeout: Option<Duration>) -> io::Result<bool> {
+        let ms: std::os::raw::c_int = match timeout {
+            None => -1,
+            Some(t) => t.as_millis().min(i32::MAX as u128) as std::os::raw::c_int,
+        };
+        let mut ev = sys::EpollEvent { events: 0, data: 0 };
+        loop {
+            let n = unsafe { sys::epoll_wait(self.epfd, &mut ev, 1, ms) };
+            if n >= 0 {
+                return Ok(n > 0);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    /// Portable fallback: a blocking 1-byte `peek` with a read timeout,
+    /// restoring non-blocking mode before returning.
+    #[cfg(not(target_os = "linux"))]
+    pub fn wait(&self, socket: &UdpSocket, timeout: Option<Duration>) -> io::Result<bool> {
+        if timeout == Some(Duration::ZERO) {
+            let mut byte = [0u8; 1];
+            return match socket.peek_from(&mut byte) {
+                Ok(_) => Ok(true),
+                Err(e) if would_block(&e) => Ok(false),
+                Err(e) => Err(e),
+            };
+        }
+        socket.set_nonblocking(false)?;
+        // A zero read timeout means "no timeout" to the OS; clamp up.
+        socket.set_read_timeout(timeout.map(|t| t.max(Duration::from_millis(1))))?;
+        let mut byte = [0u8; 1];
+        let readable = match socket.peek_from(&mut byte) {
+            Ok(_) => Ok(true),
+            Err(e) if would_block(&e) => Ok(false),
+            Err(e) => Err(e),
+        };
+        socket.set_nonblocking(true)?;
+        readable
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn would_block(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn pair() -> (UdpSocket, UdpSocket) {
+        let a = UdpSocket::bind("127.0.0.1:0").expect("bind a");
+        let b = UdpSocket::bind("127.0.0.1:0").expect("bind b");
+        (a, b)
+    }
+
+    #[test]
+    fn timeout_expires_without_traffic() {
+        let (a, _b) = pair();
+        let poller = Poller::new(&a).expect("poller");
+        let t0 = Instant::now();
+        let readable = poller
+            .wait(&a, Some(Duration::from_millis(30)))
+            .expect("wait");
+        assert!(!readable, "no datagram was sent");
+        assert!(t0.elapsed() >= Duration::from_millis(25), "slept the bound");
+    }
+
+    #[test]
+    fn readiness_reports_pending_datagram() {
+        let (a, b) = pair();
+        let poller = Poller::new(&a).expect("poller");
+        b.send_to(b"ping", a.local_addr().unwrap()).expect("send");
+        let readable = poller
+            .wait(&a, Some(Duration::from_millis(500)))
+            .expect("wait");
+        assert!(readable, "datagram is pending");
+        let mut buf = [0u8; 16];
+        let (n, _) = a.recv_from(&mut buf).expect("recv");
+        assert_eq!(&buf[..n], b"ping");
+    }
+
+    #[test]
+    fn zero_timeout_is_a_nonblocking_probe() {
+        let (a, _b) = pair();
+        let poller = Poller::new(&a).expect("poller");
+        let t0 = Instant::now();
+        let readable = poller.wait(&a, Some(Duration::ZERO)).expect("wait");
+        assert!(!readable);
+        assert!(t0.elapsed() < Duration::from_millis(50), "did not sleep");
+    }
+}

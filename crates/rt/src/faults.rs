@@ -1,0 +1,309 @@
+//! The scenario's [`FaultPlan`] at the socket, instead of the modelled
+//! radio.
+//!
+//! The DES injects faults where the medium is modelled: the world reads
+//! the active impairment on every planned transmission and biases the
+//! delivery draw. This substrate has a real medium (the loopback
+//! interface) that never misbehaves, so the *same plan semantics* are
+//! applied at the only place the substrate owns — the socket shim every
+//! outgoing datagram passes through:
+//!
+//! * [`PacketLoss`] — iid drop with probability `base`, raised to
+//!   `burst_loss` while the two-state (Gilbert-style) burst process is in
+//!   its burst state; dwell times are exponential draws from a dedicated
+//!   [`Rng`] stream, advanced lazily against the run clock;
+//! * [`LinkFlaps`] — every datagram sent inside a flap window
+//!   `[k·period, k·period + down)`, `k ≥ 1`, is dropped — the DES's
+//!   whole-medium outage, which on a full-mesh swarm partitions
+//!   everybody from everybody exactly as it does in simulation;
+//! * [`JitterSpikes`] — datagrams sent inside a spike window are held
+//!   for `extra_delay` before hitting the wire, preserving send order
+//!   via a `(due, seq)` heap the event loop drains.
+//!
+//! Crashes are not ported: on this substrate a crash is a process you
+//! kill, not a flag you set.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::net::SocketAddr;
+
+use manet_des::{Rng, SimDuration, SimTime};
+use manet_sim::{FaultPlan, JitterSpikes, LinkFlaps, PacketLoss};
+
+/// What the shim decided for one outgoing datagram.
+#[derive(Debug, PartialEq)]
+pub enum SendVerdict {
+    /// Put it on the wire now.
+    Now,
+    /// Lose it (loss draw or flap window).
+    Drop,
+    /// Hold it until the given instant (jitter spike).
+    DelayUntil(SimTime),
+}
+
+/// Two-state burst process, advanced lazily against the run clock.
+struct BurstState {
+    on: bool,
+    next_toggle: SimTime,
+    mean_quiet: f64,
+    mean_burst: f64,
+    burst_loss: f64,
+}
+
+/// A parked datagram: `(due, seq)` orders the release heap, `seq`
+/// preserving send order within one spike.
+type HeldDatagram = (SimTime, u64, SocketAddr, Vec<u8>);
+
+/// Socket-level adapter for a scenario [`FaultPlan`].
+pub struct FaultShim {
+    loss: Option<PacketLoss>,
+    burst: Option<BurstState>,
+    flaps: Option<LinkFlaps>,
+    jitter: Option<JitterSpikes>,
+    rng: Rng,
+    /// Held datagrams, earliest due first.
+    held: BinaryHeap<Reverse<HeldDatagram>>,
+    seq: u64,
+    /// Datagrams dropped by the shim (loss + flaps), for reporting.
+    pub dropped: u64,
+    /// Datagrams delayed by the shim, for reporting.
+    pub delayed: u64,
+}
+
+impl FaultShim {
+    /// A shim applying `plan`'s medium impairments. Crash entries are
+    /// ignored (see module docs). `seed` feeds the dedicated fault
+    /// stream, mirroring the DES's per-world fault RNG.
+    pub fn new(plan: &FaultPlan, seed: u64) -> FaultShim {
+        let mut rng = Rng::new(seed).fork(0xFA17);
+        let burst = plan.loss.as_ref().and_then(|l| l.burst).map(|b| {
+            let first = rng.exponential(b.mean_quiet);
+            BurstState {
+                on: false,
+                next_toggle: SimTime::from_secs_f64(first),
+                mean_quiet: b.mean_quiet,
+                mean_burst: b.mean_burst,
+                burst_loss: b.burst_loss,
+            }
+        });
+        FaultShim {
+            loss: plan.loss,
+            burst,
+            flaps: plan.link_flaps,
+            jitter: plan.jitter,
+            rng,
+            held: BinaryHeap::new(),
+            seq: 0,
+            dropped: 0,
+            delayed: 0,
+        }
+    }
+
+    /// True when the plan impairs nothing at the socket (the common
+    /// case; lets the event loop skip the shim entirely).
+    pub fn is_transparent(&self) -> bool {
+        self.loss.is_none() && self.flaps.is_none() && self.jitter.is_none()
+    }
+
+    /// Decide the fate of a datagram sent at `now`. On
+    /// [`SendVerdict::DelayUntil`] the caller hands the bytes to
+    /// [`hold`](FaultShim::hold) and drains them when due.
+    pub fn on_send(&mut self, now: SimTime) -> SendVerdict {
+        if in_window(now, self.flaps.map(|f| (f.period, f.down))) {
+            self.dropped += 1;
+            return SendVerdict::Drop;
+        }
+        if let Some(loss) = &self.loss {
+            let mut p = loss.base;
+            if let Some(burst) = &mut self.burst {
+                burst.advance(now, &mut self.rng);
+                if burst.on {
+                    p = p.max(burst.burst_loss);
+                }
+            }
+            if self.rng.chance(p) {
+                self.dropped += 1;
+                return SendVerdict::Drop;
+            }
+        }
+        if let Some(j) = &self.jitter {
+            if in_window(now, Some((j.period, j.width))) {
+                self.delayed += 1;
+                return SendVerdict::DelayUntil(now + j.extra_delay);
+            }
+        }
+        SendVerdict::Now
+    }
+
+    /// Park a delayed datagram until `due`.
+    pub fn hold(&mut self, due: SimTime, to: SocketAddr, bytes: Vec<u8>) {
+        self.held.push(Reverse((due, self.seq, to, bytes)));
+        self.seq += 1;
+    }
+
+    /// Earliest instant a held datagram becomes due, if any — folded
+    /// into the event loop's poll deadline.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.held.peek().map(|Reverse((due, ..))| *due)
+    }
+
+    /// Pop every held datagram due at or before `now`, in `(due, seq)`
+    /// order.
+    pub fn take_due(&mut self, now: SimTime) -> Vec<(SocketAddr, Vec<u8>)> {
+        let mut out = Vec::new();
+        while let Some(Reverse((due, ..))) = self.held.peek() {
+            if *due > now {
+                break;
+            }
+            let Reverse((_, _, to, bytes)) = self.held.pop().expect("peeked");
+            out.push((to, bytes));
+        }
+        out
+    }
+}
+
+impl BurstState {
+    /// Catch the two-state process up to `now`, drawing dwell times in
+    /// sequence exactly as the DES subsystem does at its toggle events.
+    fn advance(&mut self, now: SimTime, rng: &mut Rng) {
+        while self.next_toggle <= now {
+            self.on = !self.on;
+            let mean = if self.on {
+                self.mean_burst
+            } else {
+                self.mean_quiet
+            };
+            let dwell = rng.exponential(mean);
+            self.next_toggle += SimDuration::from_secs_f64(dwell);
+        }
+    }
+}
+
+/// Is `now` inside a periodic window `[k·period, k·period + width)` for
+/// some `k ≥ 1`? Mirrors the DES drivers, whose first window opens one
+/// full period into the run.
+fn in_window(now: SimTime, cfg: Option<(SimDuration, SimDuration)>) -> bool {
+    let Some((period, width)) = cfg else {
+        return false;
+    };
+    let t = now.ticks();
+    let p = period.ticks();
+    t >= p && t % p < width.ticks()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> SocketAddr {
+        "127.0.0.1:9".parse().unwrap()
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let mut shim = FaultShim::new(&FaultPlan::default(), 7);
+        assert!(shim.is_transparent());
+        for ms in [0u64, 5, 500, 50_000] {
+            assert_eq!(
+                shim.on_send(SimTime::from_ticks(ms * 1_000)),
+                SendVerdict::Now
+            );
+        }
+        assert_eq!(shim.dropped, 0);
+    }
+
+    #[test]
+    fn certain_loss_drops_everything() {
+        let plan = FaultPlan {
+            loss: Some(PacketLoss {
+                base: 1.0,
+                burst: None,
+            }),
+            ..Default::default()
+        };
+        let mut shim = FaultShim::new(&plan, 7);
+        for s in 0..20 {
+            assert_eq!(shim.on_send(SimTime::from_secs(s)), SendVerdict::Drop);
+        }
+        assert_eq!(shim.dropped, 20);
+    }
+
+    #[test]
+    fn flap_windows_match_the_des_schedule() {
+        let plan = FaultPlan {
+            link_flaps: Some(LinkFlaps {
+                period: SimDuration::from_secs(10),
+                down: SimDuration::from_secs(2),
+            }),
+            ..Default::default()
+        };
+        let mut shim = FaultShim::new(&plan, 7);
+        // Before the first period: up (the DES arms its first flap at t=period).
+        assert_eq!(shim.on_send(SimTime::from_secs(1)), SendVerdict::Now);
+        // Inside [10, 12): down.
+        assert_eq!(shim.on_send(SimTime::from_secs(10)), SendVerdict::Drop);
+        assert_eq!(shim.on_send(SimTime::from_secs(11)), SendVerdict::Drop);
+        // Back up at 12, down again at [20, 22).
+        assert_eq!(shim.on_send(SimTime::from_secs(12)), SendVerdict::Now);
+        assert_eq!(shim.on_send(SimTime::from_secs(21)), SendVerdict::Drop);
+    }
+
+    #[test]
+    fn jitter_delays_inside_spikes_and_heap_orders_releases() {
+        let plan = FaultPlan {
+            jitter: Some(JitterSpikes {
+                period: SimDuration::from_secs(5),
+                width: SimDuration::from_secs(1),
+                extra_delay: SimDuration::from_millis(250),
+            }),
+            ..Default::default()
+        };
+        let mut shim = FaultShim::new(&plan, 7);
+        assert_eq!(shim.on_send(SimTime::from_secs(1)), SendVerdict::Now);
+        let t = SimTime::from_secs(5) + SimDuration::from_millis(100);
+        let SendVerdict::DelayUntil(due) = shim.on_send(t) else {
+            panic!("spike window must delay");
+        };
+        assert_eq!(due, t + SimDuration::from_millis(250));
+        shim.hold(due, addr(), vec![1]);
+        shim.hold(due, addr(), vec![2]);
+        assert_eq!(shim.next_due(), Some(due));
+        assert!(shim.take_due(t).is_empty(), "not due yet");
+        let released = shim.take_due(due);
+        assert_eq!(
+            released.iter().map(|(_, b)| b[0]).collect::<Vec<_>>(),
+            vec![1, 2],
+            "send order preserved within a spike"
+        );
+        assert_eq!(shim.next_due(), None);
+    }
+
+    #[test]
+    fn burst_process_raises_loss_only_while_bursting() {
+        let plan = FaultPlan {
+            loss: Some(PacketLoss {
+                base: 0.0,
+                burst: Some(manet_sim::BurstCfg {
+                    mean_quiet: 1.0,
+                    mean_burst: 1.0,
+                    burst_loss: 1.0,
+                }),
+            }),
+            ..Default::default()
+        };
+        let mut shim = FaultShim::new(&plan, 7);
+        // Sample a long stretch: with base 0 and burst loss 1, a datagram
+        // is dropped iff the two-state process is bursting — both states
+        // must be visited over many mean dwell times.
+        let (mut drops, mut passes) = (0u32, 0u32);
+        for ms in (0..60_000).step_by(100) {
+            match shim.on_send(SimTime::from_ticks(ms * 1_000)) {
+                SendVerdict::Drop => drops += 1,
+                SendVerdict::Now => passes += 1,
+                v => panic!("unexpected verdict {v:?}"),
+            }
+        }
+        assert!(drops > 0, "burst state never entered");
+        assert!(passes > 0, "quiet state never re-entered");
+    }
+}

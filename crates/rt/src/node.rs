@@ -1,0 +1,337 @@
+//! One OS process hosting one [`StackMachine`] on one UDP socket.
+//!
+//! The event loop is the real-time analogue of the DES dispatch loop,
+//! with the future-event list replaced by the kernel:
+//!
+//! * the node's combined protocol timer becomes the poll *deadline* —
+//!   [`Substrate::arm_timer`] records the earliest wake, and
+//!   [`Clock::timeout_until`] turns it into how long `epoll_wait` may
+//!   sleep;
+//! * the modelled radio becomes the socket — a [`SendDown`] broadcast is
+//!   a `sendto` to every peer (the loopback full mesh realizes the
+//!   single-hop broadcast domain of a dense MANET), a unicast is one
+//!   `sendto`;
+//! * frame arrival becomes readability — every drained datagram is
+//!   decoded by [`p2p_stack::decode_frame`] and handed up as the same
+//!   [`FrameUp`](p2p_stack::FrameUp) verb the DES phy layer produces;
+//!   undecodable datagrams
+//!   are counted, never fatal: a real socket receives whatever the
+//!   network felt like delivering.
+//!
+//! The protocol machine itself is byte-for-byte the one the simulator
+//! hosts; nothing in this module looks inside it.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+use manet_des::{NodeId, SimTime, Substrate};
+use p2p_stack::{decode_frame, encode_frame, SendDown, StackMachine, StackOutput};
+
+use crate::clock::Clock;
+use crate::epoll::Poller;
+use crate::faults::{FaultShim, SendVerdict};
+
+/// Largest datagram the codec may produce; loopback MTU is far larger.
+const MAX_DATAGRAM: usize = 2048;
+
+/// What one node observed over its run, for the swarm's RESULT line.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RtReport {
+    /// Datagrams put on the wire.
+    pub frames_sent: u64,
+    /// Datagrams received and decoded.
+    pub frames_received: u64,
+    /// Datagrams that failed to decode (counted, dropped).
+    pub decode_errors: u64,
+    /// Queries this node issued.
+    pub issued: u64,
+    /// Issued queries that closed with at least one answer.
+    pub answered: u64,
+    /// QueryHits this node served as a holder.
+    pub hits_served: u64,
+    /// Datagrams the fault shim dropped.
+    pub shim_dropped: u64,
+    /// Datagrams the fault shim delayed.
+    pub shim_delayed: u64,
+}
+
+/// The deadline register of the real-time substrate: where the DES
+/// schedules a `NodeTimer` event, this records the earliest requested
+/// wake and the event loop sleeps no longer than that.
+struct DeadlineReg {
+    clock: Clock,
+    next: SimTime,
+}
+
+impl Substrate for DeadlineReg {
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    fn arm_timer(&mut self, _node: NodeId, at: SimTime) {
+        self.next = self.next.min(at);
+    }
+}
+
+/// A protocol stack bound to a socket, plus the loop that drives it.
+pub struct RtNode {
+    machine: StackMachine,
+    socket: UdpSocket,
+    poller: Poller,
+    /// Peer address book (this node excluded). Broadcast sends to all.
+    peers: Vec<(NodeId, SocketAddr)>,
+    by_id: HashMap<NodeId, SocketAddr>,
+    shim: FaultShim,
+    report: RtReport,
+}
+
+impl RtNode {
+    /// Bind `machine` to `socket`. `peers` maps every *other* node to
+    /// its address; `shim` carries the scenario's medium impairments
+    /// (use an empty plan for a clean medium).
+    pub fn new(
+        machine: StackMachine,
+        socket: UdpSocket,
+        peers: Vec<(NodeId, SocketAddr)>,
+        shim: FaultShim,
+    ) -> io::Result<RtNode> {
+        let poller = Poller::new(&socket)?;
+        let by_id = peers.iter().copied().collect();
+        Ok(RtNode {
+            machine,
+            socket,
+            poller,
+            peers,
+            by_id,
+            shim,
+            report: RtReport::default(),
+        })
+    }
+
+    /// The local socket address (what a child advertises to the parent).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Join the overlay after `join_delay`, then run the event loop for
+    /// `duration` total wall time.
+    ///
+    /// Staggering joins matters: two nodes that probe at the same
+    /// instant each open an outgoing connection toward the other, and
+    /// the crossing Offers collide with the pending opposite-direction
+    /// entries and are rejected — a simultaneous-open glitch the DES
+    /// never exhibits because its arrival process staggers joins. The
+    /// swarm gives each node an id-proportional delay for the same
+    /// effect; before joining, the node still relays frames (AODV runs
+    /// from the first datagram).
+    pub fn run(
+        &mut self,
+        duration: std::time::Duration,
+        join_delay: std::time::Duration,
+    ) -> io::Result<RtReport> {
+        let mut sub = DeadlineReg {
+            clock: Clock::start(),
+            next: SimTime::MAX,
+        };
+        let end = SimTime::from_ticks(duration.as_micros() as u64);
+        let join_at = SimTime::from_ticks(join_delay.as_micros() as u64).min(end);
+
+        loop {
+            let mut deadline = sub.next.min(end);
+            if !self.machine.is_joined() {
+                deadline = deadline.min(join_at);
+            }
+            if let Some(due) = self.shim.next_due() {
+                deadline = deadline.min(due);
+            }
+            let timeout = sub.clock.timeout_until(deadline);
+            let readable = self.poller.wait(&self.socket, timeout)?;
+
+            if readable {
+                self.drain(&sub)?;
+            }
+            let now = sub.now();
+            if !self.machine.is_joined() && now >= join_at {
+                let out = self.machine.join(now);
+                self.emit(now, out);
+            }
+            if sub.next <= now {
+                sub.next = SimTime::MAX;
+                let out = self.machine.tick(now);
+                self.emit(now, out);
+            }
+            for (to, bytes) in self.shim.take_due(now) {
+                self.socket.send_to(&bytes, to)?;
+                self.report.frames_sent += 1;
+            }
+            self.rearm(&mut sub);
+            if sub.now() >= end {
+                break;
+            }
+        }
+
+        let qs = self.machine.query_stats();
+        self.report.issued = qs.issued;
+        self.report.hits_served = qs.hits_served;
+        self.report.shim_dropped = self.shim.dropped;
+        self.report.shim_delayed = self.shim.delayed;
+        Ok(self.report)
+    }
+
+    /// Ask the machine for its combined timer and record it in the
+    /// deadline register — the same `resched_timer` dance the DES does,
+    /// against the other substrate.
+    fn rearm(&self, sub: &mut DeadlineReg) {
+        let req = self.machine.timer_request();
+        let id = self.machine.id();
+        sub.arm_timer(id, req.at);
+    }
+
+    /// Drain every pending datagram and hand each up as a frame.
+    fn drain(&mut self, sub: &DeadlineReg) -> io::Result<()> {
+        let mut buf = [0u8; MAX_DATAGRAM];
+        loop {
+            match self.socket.recv_from(&mut buf) {
+                Ok((len, _addr)) => match decode_frame(&buf[..len]) {
+                    Ok(frame) => {
+                        self.report.frames_received += 1;
+                        let now = sub.now();
+                        let out = self.machine.on_frame(now, frame);
+                        self.emit(now, out);
+                    }
+                    Err(_) => self.report.decode_errors += 1,
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Execute a machine output against the socket: encode frames, pass
+    /// them through the fault shim, tally completions.
+    fn emit(&mut self, now: SimTime, out: StackOutput) {
+        for frame in out.frames {
+            match frame {
+                SendDown::Broadcast(msg) => {
+                    let bytes = encode_frame(self.machine.id(), &msg);
+                    for i in 0..self.peers.len() {
+                        let to = self.peers[i].1;
+                        self.transmit(now, to, bytes.clone());
+                    }
+                }
+                SendDown::Unicast { to, msg } => {
+                    if let Some(&addr) = self.by_id.get(&to) {
+                        let bytes = encode_frame(self.machine.id(), &msg);
+                        self.transmit(now, addr, bytes);
+                    }
+                }
+            }
+        }
+        for done in &out.completed {
+            if !done.answers.is_empty() {
+                self.report.answered += 1;
+            }
+        }
+    }
+
+    /// One datagram through the fault shim and (maybe) onto the wire.
+    ///
+    /// The shim draws per *datagram*: a broadcast that fans out to N
+    /// peers takes N independent draws, the socket-level analogue of the
+    /// modelled radio drawing per receiver.
+    fn transmit(&mut self, now: SimTime, to: SocketAddr, bytes: Vec<u8>) {
+        match self.shim.on_send(now) {
+            SendVerdict::Now => {
+                if self.socket.send_to(&bytes, to).is_ok() {
+                    self.report.frames_sent += 1;
+                }
+            }
+            SendVerdict::Drop => {}
+            SendVerdict::DelayUntil(due) => self.shim.hold(due, to, bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_aodv::AodvCfg;
+    use manet_des::Rng;
+    use manet_sim::FaultPlan;
+    use p2p_content::{Catalog, FileId, QueryCfg, QueryEngine};
+    use p2p_core::{build_algo, AlgoKind, OverlayParams};
+    use std::time::Duration;
+
+    fn machine(id: u32, files: Vec<u16>) -> StackMachine {
+        let node = NodeId(id);
+        let query = QueryCfg {
+            think_min: manet_des::SimDuration::from_millis(200),
+            think_max: manet_des::SimDuration::from_millis(500),
+            response_wait: manet_des::SimDuration::from_millis(600),
+            ..QueryCfg::default()
+        };
+        let algo = build_algo(
+            AlgoKind::Regular,
+            node,
+            OverlayParams::default(),
+            0,
+            Rng::new(40 + id as u64),
+        );
+        let engine = QueryEngine::new(
+            node,
+            query,
+            Catalog::default(),
+            files.into_iter().map(FileId).collect(),
+            Rng::new(80 + id as u64),
+        );
+        StackMachine::new(node, AodvCfg::default(), algo, engine)
+    }
+
+    /// Two in-process nodes on real loopback sockets: the overlay forms
+    /// and at least one query is answered — the smallest possible
+    /// sim-to-real demo, run as threads instead of processes.
+    #[test]
+    fn two_nodes_over_loopback_answer_a_query() {
+        let sock_a = UdpSocket::bind("127.0.0.1:0").expect("bind a");
+        let sock_b = UdpSocket::bind("127.0.0.1:0").expect("bind b");
+        let addr_a = sock_a.local_addr().unwrap();
+        let addr_b = sock_b.local_addr().unwrap();
+
+        // Node 0 holds nothing and node 1 holds the whole catalogue, so
+        // every query node 0 issues has exactly one possible answerer.
+        let mut node_a = RtNode::new(
+            machine(0, vec![]),
+            sock_a,
+            vec![(NodeId(1), addr_b)],
+            FaultShim::new(&FaultPlan::default(), 1),
+        )
+        .expect("node a");
+        let mut node_b = RtNode::new(
+            machine(1, (0..20).collect()),
+            sock_b,
+            vec![(NodeId(0), addr_a)],
+            FaultShim::new(&FaultPlan::default(), 2),
+        )
+        .expect("node b");
+
+        let run = Duration::from_millis(2_500);
+        let t = std::thread::spawn(move || {
+            node_b.run(run, Duration::from_millis(300)).expect("b runs")
+        });
+        let ra = node_a.run(run, Duration::ZERO).expect("a runs");
+        let rb = t.join().expect("join b");
+
+        assert!(ra.frames_sent > 0 && rb.frames_sent > 0, "traffic flowed");
+        assert_eq!(ra.decode_errors + rb.decode_errors, 0, "codec clean");
+        assert!(
+            ra.issued + rb.issued > 0,
+            "some query issued ({ra:?} {rb:?})"
+        );
+        assert!(
+            ra.answered + rb.answered > 0,
+            "some query answered ({ra:?} {rb:?})"
+        );
+    }
+}

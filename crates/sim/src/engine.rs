@@ -22,7 +22,7 @@
 //! of the same world pops simultaneous events identically.
 
 use manet_aodv::Msg;
-use manet_des::{EventKey, EventQueue, KeyedQueue, NodeId, SchedulerKind, SimTime};
+use manet_des::{EventKey, EventQueue, KeyedQueue, NodeId, SchedulerKind, SimTime, Substrate};
 
 use crate::payload::AppMsg;
 use crate::world::WorldCore;
@@ -276,6 +276,21 @@ impl Engine {
             Backend::Seq(q) => q.calendar_stats(),
             Backend::Keyed(_) => None,
         }
+    }
+}
+
+/// The DES engine is one of the two [`Substrate`]s (the real-time driver
+/// in `manet-rt` is the other): "now" is the virtual clock and arming a
+/// node's combined timer schedules a [`Event::NodeTimer`] on the
+/// future-event list — the exact call path `resched_timer` always used,
+/// now named by the trait.
+impl Substrate for Engine {
+    fn now(&self) -> SimTime {
+        Engine::now(self)
+    }
+
+    fn arm_timer(&mut self, node: NodeId, at: SimTime) {
+        self.schedule(at, Event::NodeTimer(node));
     }
 }
 

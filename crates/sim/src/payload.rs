@@ -1,98 +1,7 @@
 //! The unified application payload carried by the routing layer.
 //!
-//! The overlay ((re)configuration) and the content (query) layers each
-//! define their own messages; the routing layer carries one payload type.
-//! [`AppMsg`] is that union, and classifies every message into the paper's
-//! figure categories.
+//! [`AppMsg`] moved to the substrate-neutral `p2p-stack` crate so the
+//! real-time driver can carry the identical payload type; this module
+//! keeps the historical `manet_sim::AppMsg` path alive as a re-export.
 
-use manet_aodv::Payload;
-use manet_metrics::MsgKind;
-use p2p_content::ContentMsg;
-use p2p_core::{MsgCategory, OverlayMsg};
-
-/// Any application-level message crossing the MANET.
-#[derive(Clone, Debug, PartialEq)]
-pub enum AppMsg {
-    /// A (re)configuration-protocol message.
-    Overlay(OverlayMsg),
-    /// A search-protocol message.
-    Content(ContentMsg),
-}
-
-impl AppMsg {
-    /// The figure category this message counts toward.
-    pub fn kind(&self) -> MsgKind {
-        match self {
-            AppMsg::Overlay(m) => match m.category() {
-                MsgCategory::Connect => MsgKind::Connect,
-                MsgCategory::Ping => MsgKind::Ping,
-                MsgCategory::Pong => MsgKind::Pong,
-            },
-            AppMsg::Content(ContentMsg::Query { .. }) => MsgKind::Query,
-            AppMsg::Content(ContentMsg::QueryHit { .. }) => MsgKind::QueryHit,
-            AppMsg::Content(ContentMsg::FetchRequest { .. }) => MsgKind::Fetch,
-            AppMsg::Content(ContentMsg::FileTransfer { .. }) => MsgKind::Transfer,
-        }
-    }
-}
-
-impl Payload for AppMsg {
-    fn wire_size(&self) -> u32 {
-        1 + match self {
-            AppMsg::Overlay(m) => m.wire_size(),
-            AppMsg::Content(m) => m.wire_size(),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use manet_des::NodeId;
-    use p2p_content::{FileId, QueryId};
-    use p2p_core::ProbeKind;
-
-    #[test]
-    fn kinds_map_to_figure_categories() {
-        assert_eq!(
-            AppMsg::Overlay(OverlayMsg::Probe {
-                kind: ProbeKind::Basic
-            })
-            .kind(),
-            MsgKind::Connect
-        );
-        assert_eq!(
-            AppMsg::Overlay(OverlayMsg::Ping { token: 1 }).kind(),
-            MsgKind::Ping
-        );
-        assert_eq!(
-            AppMsg::Overlay(OverlayMsg::Capture { qualifier: 3 }).kind(),
-            MsgKind::Connect
-        );
-        let q = AppMsg::Content(ContentMsg::Query {
-            id: QueryId {
-                origin: NodeId(0),
-                seq: 0,
-            },
-            file: FileId(0),
-            ttl: 6,
-            p2p_hops: 0,
-        });
-        assert_eq!(q.kind(), MsgKind::Query);
-        let hit = AppMsg::Content(ContentMsg::QueryHit {
-            id: QueryId {
-                origin: NodeId(0),
-                seq: 0,
-            },
-            file: FileId(0),
-            p2p_hops: 2,
-        });
-        assert_eq!(hit.kind(), MsgKind::QueryHit);
-    }
-
-    #[test]
-    fn wire_size_adds_discriminant() {
-        let m = AppMsg::Overlay(OverlayMsg::Confirm);
-        assert_eq!(m.wire_size(), 1 + OverlayMsg::Confirm.wire_size());
-    }
-}
+pub use p2p_stack::AppMsg;

@@ -20,81 +20,22 @@ pub(crate) mod overlay;
 pub(crate) mod phy;
 pub(crate) mod routing;
 
-use manet_aodv::{Aodv, Msg};
-use manet_des::{NodeId, SimTime, TraceCtx};
+use manet_aodv::Aodv;
+use manet_des::{NodeId, SimTime, Substrate, TraceCtx};
 use manet_radio::{EnergyMeter, PhyStats};
-use p2p_content::{ContentMsg, QueryEngine};
-use p2p_core::{AdversaryRole, BoxedAlgo, OverlayMsg, Role};
+use p2p_content::QueryEngine;
+use p2p_core::{AdversaryRole, BoxedAlgo, Role};
 
-use crate::engine::Event;
 use crate::payload::AppMsg;
 use crate::world::WorldCore;
 
 // ---------------------------------------------------------------------
 // Inter-layer verbs
 // ---------------------------------------------------------------------
-
-/// phy → routing: a frame survived the medium and arrived intact.
-///
-/// The causal context rides inside `msg` (see [`Msg::ctx`]); the phy
-/// layer stamped its `Recv` span onto it before handing the frame up.
-pub(crate) struct FrameUp {
-    pub(crate) from: NodeId,
-    pub(crate) msg: Msg<AppMsg>,
-}
-
-/// routing → phy: put a frame on the air. The causal context rides
-/// inside `msg`; the phy layer records the `Send` span and re-stamps it.
-pub(crate) enum SendDown {
-    /// One-hop broadcast to everyone in range.
-    Broadcast(Msg<AppMsg>),
-    /// One-hop unicast to a specific neighbor.
-    Unicast { to: NodeId, msg: Msg<AppMsg> },
-}
-
-/// routing → overlay: an application payload reached its destination.
-pub(crate) struct DeliverUp {
-    /// Originator of the payload.
-    pub(crate) src: NodeId,
-    /// Ad-hoc hops travelled.
-    pub(crate) hops: u8,
-    /// Arrived via a hop-limited flood (true) or a routed unicast.
-    pub(crate) flood: bool,
-    pub(crate) payload: AppMsg,
-    /// Causal context the payload travelled with.
-    pub(crate) ctx: TraceCtx,
-}
-
-/// overlay → routing: send an application payload across the MANET under
-/// a causal context (the minting overlay event, or [`TraceCtx::NONE`]).
-pub(crate) enum OverlayDown {
-    /// Hop-limited flood of a (re)configuration message.
-    Flood {
-        ttl: u8,
-        msg: OverlayMsg,
-        ctx: TraceCtx,
-    },
-    /// Routed (re)configuration unicast.
-    Send {
-        to: NodeId,
-        msg: OverlayMsg,
-        ctx: TraceCtx,
-    },
-    /// Routed content (query-layer) unicast.
-    Content {
-        to: NodeId,
-        msg: ContentMsg,
-        ctx: TraceCtx,
-    },
-}
-
-/// any layer → engine: earliest instant this stack needs its combined
-/// timer to fire, and on whose causal behalf (a pending route-discovery
-/// retry names the query waiting on it; [`TraceCtx::NONE`] otherwise).
-pub(crate) struct TimerReq {
-    pub(crate) at: SimTime,
-    pub(crate) ctx: TraceCtx,
-}
+// The verbs themselves live in the substrate-neutral `p2p-stack` crate —
+// they are the *only* boundary either substrate (this DES or the
+// real-time driver) may cross, so both hosts import the same types.
+pub(crate) use p2p_stack::{DeliverUp, FrameUp, OverlayDown, SendDown, TimerReq};
 
 // ---------------------------------------------------------------------
 // Layers
@@ -231,7 +172,7 @@ pub(crate) fn resched_timer(core: &mut WorldCore, now: SimTime, id: NodeId) {
         return;
     }
     let at = wake.max(now);
-    core.engine.schedule(at, Event::NodeTimer(id));
+    core.engine.arm_timer(id, at);
     core.nodes[id.index()].routing.timer_at = at;
     if ctx.is_active() {
         let armed = ctx.child(core.trace.alloc_span());

@@ -1,0 +1,32 @@
+//! # p2p-stack — the substrate-neutral node stack
+//!
+//! Everything a per-node protocol stack is, minus any opinion about what
+//! executes it. The same types and the same machine run on both of the
+//! workspace's substrates (see [`manet_des::Substrate`]):
+//!
+//! * the DES (`manet-sim`), where frames travel as in-memory structs over
+//!   a modelled radio and "now" is virtual;
+//! * the real-time driver (`manet-rt`), where frames are UDP datagrams
+//!   and "now" is elapsed wall-clock microseconds.
+//!
+//! Four pieces:
+//!
+//! * [`payload`] — [`AppMsg`], the union of overlay and content messages
+//!   the routing layer carries;
+//! * [`verbs`] — the five typed verbs ([`FrameUp`], [`SendDown`],
+//!   [`DeliverUp`], [`OverlayDown`], [`TimerReq`]) that are the *only*
+//!   boundary either substrate may cross;
+//! * [`wire`] — the byte-exact frame codec turning a [`FrameUp`] into a
+//!   datagram and back;
+//! * [`machine`] — [`StackMachine`], the AODV + reconfigurator + query
+//!   engine composition, pure over `(now, verb)`.
+
+pub mod machine;
+pub mod payload;
+pub mod verbs;
+pub mod wire;
+
+pub use machine::{StackMachine, StackOutput};
+pub use payload::AppMsg;
+pub use verbs::{DeliverUp, FrameUp, OverlayDown, SendDown, TimerReq};
+pub use wire::{decode_frame, encode_frame};

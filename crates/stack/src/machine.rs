@@ -1,0 +1,488 @@
+//! The substrate-neutral protocol machine: one node's routing + overlay
+//! + query layers composed behind the verb boundary.
+//!
+//! [`StackMachine`] is what a substrate hosts. It owns the AODV instance,
+//! the (re)configuration algorithm and the query engine, and exposes
+//! exactly four entry points — [`join`](StackMachine::join),
+//! [`on_frame`](StackMachine::on_frame), [`tick`](StackMachine::tick) and
+//! [`timer_request`](StackMachine::timer_request) — all pure over
+//! `(now, input)`. Each entry point runs the same depth-first action
+//! cascade the DES adapters run (an AODV delivery feeds the overlay,
+//! whose replies feed back into AODV, until the cascade bottoms out in
+//! frames) and returns everything that escaped the node as a
+//! [`StackOutput`]: frames for the phy to transmit, deliveries and
+//! completed queries for observation.
+//!
+//! The DES keeps its own specialized adapters (`manet-sim`'s stack
+//! module) because it interleaves tracing, observability counters and
+//! adversarial interception at every hop of the cascade; this machine is
+//! the clean-room composition the real-time substrate hosts, built from
+//! the *same* protocol crates and the same verbs.
+
+use manet_aodv::{Action, Aodv, AodvCfg, AodvStats};
+use manet_des::{NodeId, SimTime, TraceCtx};
+use p2p_content::{CSend, CompletedQuery, QueryEngine, QueryStats};
+use p2p_core::{BoxedAlgo, OvAction, Role};
+
+use crate::payload::AppMsg;
+use crate::verbs::{DeliverUp, FrameUp, OverlayDown, SendDown, TimerReq};
+
+/// Everything one entry point caused to leave (or surface at) the node.
+#[derive(Default)]
+pub struct StackOutput {
+    /// Frames for the phy layer to transmit, in cascade order.
+    pub frames: Vec<SendDown>,
+    /// Payloads that reached this node's overlay, for observation.
+    pub delivered: Vec<DeliverUp>,
+    /// Queries whose response window closed during this entry point.
+    pub completed: Vec<CompletedQuery>,
+    /// Destinations the routing layer gave up reaching.
+    pub unreachable: Vec<NodeId>,
+}
+
+/// One node's full protocol stack above the phy layer.
+pub struct StackMachine {
+    id: NodeId,
+    aodv: Aodv<AppMsg>,
+    algo: BoxedAlgo,
+    engine: QueryEngine,
+    joined: bool,
+}
+
+impl StackMachine {
+    /// A stack for node `id`. The algorithm and engine arrive
+    /// pre-seeded; nothing runs until [`join`](StackMachine::join).
+    pub fn new(id: NodeId, aodv: AodvCfg, algo: BoxedAlgo, engine: QueryEngine) -> Self {
+        StackMachine {
+            id,
+            aodv: Aodv::new(id, aodv),
+            algo,
+            engine,
+            joined: false,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether [`join`](StackMachine::join) has run.
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    /// Current overlay reference list (sorted by node id).
+    pub fn neighbors(&self) -> Vec<NodeId> {
+        self.algo.neighbors()
+    }
+
+    /// The node's current overlay role.
+    pub fn role(&self) -> Role {
+        self.algo.role()
+    }
+
+    /// Query-layer counters.
+    pub fn query_stats(&self) -> &QueryStats {
+        self.engine.stats()
+    }
+
+    /// Routing-layer counters.
+    pub fn aodv_stats(&self) -> &AodvStats {
+        self.aodv.stats()
+    }
+
+    /// The earliest wake any layer needs, as a typed [`TimerReq`].
+    /// Mirrors the DES stack's combined single timer per node.
+    pub fn timer_request(&self) -> TimerReq {
+        let mut wake = self.aodv.next_wake();
+        if self.joined {
+            wake = wake.min(self.algo.next_wake()).min(self.engine.next_wake());
+        }
+        TimerReq {
+            at: wake,
+            ctx: TraceCtx::NONE,
+        }
+    }
+
+    /// The node joins the overlay: start the algorithm and the query
+    /// engine, then execute the first discovery traffic.
+    pub fn join(&mut self, now: SimTime) -> StackOutput {
+        let mut out = StackOutput::default();
+        self.joined = true;
+        let actions = self.algo.start(now);
+        self.engine.start(now);
+        self.exec_overlay(now, actions, &mut out);
+        out
+    }
+
+    /// A frame arrived from the phy layer.
+    pub fn on_frame(&mut self, now: SimTime, frame: FrameUp) -> StackOutput {
+        let mut out = StackOutput::default();
+        let actions = self.aodv.on_frame(now, frame.from, frame.msg);
+        self.exec(now, actions, &mut out);
+        out
+    }
+
+    /// The combined protocol timer fired: tick routing, then (once
+    /// joined) the overlay and query layers.
+    pub fn tick(&mut self, now: SimTime) -> StackOutput {
+        let mut out = StackOutput::default();
+        let actions = self.aodv.tick(now);
+        self.exec(now, actions, &mut out);
+        if self.joined {
+            let actions = self.algo.tick(now);
+            self.exec_overlay(now, actions, &mut out);
+            let neighbors = self.algo.neighbors();
+            let (sends, completed) = self.engine.tick(now, &neighbors);
+            out.completed.extend(completed);
+            self.exec_content(now, sends, &mut out);
+        }
+        out
+    }
+
+    /// Depth-first AODV action cascade: each action completes (including
+    /// every overlay reaction it provokes) before the next one runs —
+    /// the same ordering contract the DES adapters keep.
+    fn exec(&mut self, now: SimTime, actions: Vec<Action<AppMsg>>, out: &mut StackOutput) {
+        for action in actions {
+            match action {
+                Action::Broadcast(msg) => out.frames.push(SendDown::Broadcast(msg)),
+                Action::Unicast { to, msg } => out.frames.push(SendDown::Unicast { to, msg }),
+                Action::Deliver {
+                    src,
+                    hops,
+                    payload,
+                    ctx,
+                } => self.deliver(
+                    now,
+                    DeliverUp {
+                        src,
+                        hops,
+                        flood: false,
+                        payload,
+                        ctx,
+                    },
+                    out,
+                ),
+                Action::DeliverFlood {
+                    origin,
+                    hops,
+                    payload,
+                    ctx,
+                } => self.deliver(
+                    now,
+                    DeliverUp {
+                        src: origin,
+                        hops,
+                        flood: true,
+                        payload,
+                        ctx,
+                    },
+                    out,
+                ),
+                Action::Unreachable { dst, .. } => {
+                    out.unreachable.push(dst);
+                    if self.joined {
+                        let actions = self.algo.on_unreachable(now, dst);
+                        self.exec_overlay(now, actions, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A payload surfaced at this node: record it and hand it to the
+    /// overlay algorithm or the query engine.
+    fn deliver(&mut self, now: SimTime, verb: DeliverUp, out: &mut StackOutput) {
+        out.delivered.push(verb.clone());
+        if !self.joined {
+            return; // pure relays have no overlay presence
+        }
+        let DeliverUp {
+            src,
+            hops,
+            flood,
+            payload,
+            ..
+        } = verb;
+        match payload {
+            AppMsg::Overlay(msg) => {
+                let actions = if flood {
+                    self.algo.on_flood(now, src, hops, &msg)
+                } else {
+                    self.algo.on_msg(now, src, hops, &msg)
+                };
+                self.exec_overlay(now, actions, out);
+            }
+            AppMsg::Content(msg) => {
+                let neighbors = self.algo.neighbors();
+                let sends = self.engine.on_msg(now, src, hops, &msg, &neighbors);
+                self.exec_content(now, sends, out);
+            }
+        }
+    }
+
+    /// Push overlay actions down into AODV as [`OverlayDown`] verbs.
+    fn exec_overlay(&mut self, now: SimTime, actions: Vec<OvAction>, out: &mut StackOutput) {
+        for action in actions {
+            let verb = match action {
+                OvAction::Flood { ttl, msg } => OverlayDown::Flood {
+                    ttl,
+                    msg,
+                    ctx: TraceCtx::NONE,
+                },
+                OvAction::Send { to, msg } => OverlayDown::Send {
+                    to,
+                    msg,
+                    ctx: TraceCtx::NONE,
+                },
+            };
+            self.overlay_down(now, verb, out);
+        }
+    }
+
+    /// Push content-layer sends down into AODV as [`OverlayDown`] verbs.
+    fn exec_content(&mut self, now: SimTime, sends: Vec<CSend>, out: &mut StackOutput) {
+        for send in sends {
+            self.overlay_down(
+                now,
+                OverlayDown::Content {
+                    to: send.to,
+                    msg: send.msg,
+                    ctx: TraceCtx::NONE,
+                },
+                out,
+            );
+        }
+    }
+
+    /// Execute one [`OverlayDown`] verb (the routing adapter's core).
+    fn overlay_down(&mut self, now: SimTime, verb: OverlayDown, out: &mut StackOutput) {
+        let actions = match verb {
+            OverlayDown::Flood { ttl, msg, ctx } => {
+                self.aodv.flood(now, ttl.max(1), AppMsg::Overlay(msg), ctx)
+            }
+            OverlayDown::Send { to, msg, ctx } => {
+                self.aodv.send(now, to, AppMsg::Overlay(msg), ctx)
+            }
+            OverlayDown::Content { to, msg, ctx } => {
+                self.aodv.send(now, to, AppMsg::Content(msg), ctx)
+            }
+        };
+        self.exec(now, actions, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_des::{Rng, SimDuration};
+    use p2p_content::{Catalog, ContentMsg, FileId, QueryCfg};
+    use p2p_core::{build_algo, AlgoKind, OverlayParams};
+    use std::collections::BTreeSet;
+    use std::collections::VecDeque;
+
+    /// A deliberately tiny in-memory substrate: a lossless full mesh
+    /// where every node is one radio hop from every other — the same
+    /// topology the loopback swarm realizes with UDP sockets.
+    struct Mesh {
+        nodes: Vec<StackMachine>,
+        answered: usize,
+        issued: usize,
+    }
+
+    impl Mesh {
+        fn new(n: u32, files_of: impl Fn(u32) -> Vec<u16>) -> Mesh {
+            let query = QueryCfg {
+                response_wait: SimDuration::from_secs(2),
+                think_min: SimDuration::from_millis(500),
+                think_max: SimDuration::from_millis(1500),
+                ..QueryCfg::default()
+            };
+            let nodes = (0..n)
+                .map(|i| {
+                    let id = NodeId(i);
+                    let algo = build_algo(
+                        AlgoKind::Regular,
+                        id,
+                        OverlayParams::default(),
+                        0,
+                        Rng::new(100 + i as u64),
+                    );
+                    let engine = QueryEngine::new(
+                        id,
+                        query,
+                        Catalog::default(),
+                        files_of(i).into_iter().map(FileId).collect(),
+                        Rng::new(200 + i as u64),
+                    );
+                    StackMachine::new(id, AodvCfg::default(), algo, engine)
+                })
+                .collect();
+            Mesh {
+                nodes,
+                answered: 0,
+                issued: 0,
+            }
+        }
+
+        /// Deliver every frame in `out` instantly, cascading.
+        fn route(&mut self, from: usize, out: StackOutput, now: SimTime) {
+            let mut pending: VecDeque<(usize, StackOutput)> = VecDeque::new();
+            pending.push_back((from, out));
+            while let Some((src, out)) = pending.pop_front() {
+                for done in &out.completed {
+                    self.issued += 1;
+                    if !done.answers.is_empty() {
+                        self.answered += 1;
+                    }
+                }
+                for frame in out.frames {
+                    match frame {
+                        SendDown::Broadcast(msg) => {
+                            for to in 0..self.nodes.len() {
+                                if to != src {
+                                    let up = FrameUp {
+                                        from: NodeId(src as u32),
+                                        msg: msg.clone(),
+                                    };
+                                    let o = self.nodes[to].on_frame(now, up);
+                                    pending.push_back((to, o));
+                                }
+                            }
+                        }
+                        SendDown::Unicast { to, msg } => {
+                            let to = to.0 as usize;
+                            let up = FrameUp {
+                                from: NodeId(src as u32),
+                                msg,
+                            };
+                            let o = self.nodes[to].on_frame(now, up);
+                            pending.push_back((to, o));
+                        }
+                    }
+                }
+            }
+        }
+
+        fn run(&mut self, until: SimTime) {
+            let mut now = SimTime::ZERO;
+            for i in 0..self.nodes.len() {
+                let out = self.nodes[i].join(now);
+                self.route(i, out, now);
+            }
+            loop {
+                let (i, at) = (0..self.nodes.len())
+                    .map(|i| (i, self.nodes[i].timer_request().at))
+                    .min_by_key(|&(_, at)| at)
+                    .expect("nonempty");
+                if at > until {
+                    break;
+                }
+                now = at.max(now);
+                let out = self.nodes[i].tick(now);
+                self.route(i, out, now);
+            }
+        }
+    }
+
+    /// The full composition answers queries end-to-end over an
+    /// instantaneous mesh: overlay forms, queries fan out with TTL, a
+    /// holder hits back, the window closes with ≥1 answer.
+    #[test]
+    fn mesh_answers_queries_end_to_end() {
+        // Node 0 holds nothing; the rest share the catalogue's head so
+        // every query target has a holder.
+        let mut mesh = Mesh::new(4, |i| if i == 0 { vec![] } else { vec![0, 1, 2, 3] });
+        mesh.run(SimTime::from_secs(20));
+        assert!(
+            mesh.nodes.iter().any(|n| !n.neighbors().is_empty()),
+            "overlay never formed"
+        );
+        assert!(mesh.issued > 0, "no query ever issued");
+        assert!(
+            mesh.answered > 0,
+            "no query answered (issued {})",
+            mesh.issued
+        );
+    }
+
+    /// Frames reaching a node that never joined are relayed by AODV but
+    /// surface no overlay traffic — the DES's "pure relay" semantics.
+    #[test]
+    fn unjoined_node_is_a_pure_relay() {
+        let mut m = {
+            let id = NodeId(9);
+            let algo = build_algo(
+                AlgoKind::Regular,
+                id,
+                OverlayParams::default(),
+                0,
+                Rng::new(1),
+            );
+            let engine = QueryEngine::new(
+                id,
+                QueryCfg::default(),
+                Catalog::default(),
+                BTreeSet::new(),
+                Rng::new(2),
+            );
+            StackMachine::new(id, AodvCfg::default(), algo, engine)
+        };
+        assert!(!m.is_joined());
+        let msg = manet_aodv::Msg::Data(manet_aodv::Data {
+            src: NodeId(1),
+            dst: NodeId(9),
+            hops: 1,
+            payload: AppMsg::Content(ContentMsg::QueryHit {
+                id: p2p_content::QueryId {
+                    origin: NodeId(9),
+                    seq: 0,
+                },
+                file: FileId(0),
+                p2p_hops: 1,
+            }),
+            ctx: TraceCtx::NONE,
+        });
+        let out = m.on_frame(
+            SimTime::from_secs(1),
+            FrameUp {
+                from: NodeId(1),
+                msg,
+            },
+        );
+        assert_eq!(out.delivered.len(), 1, "delivery still surfaces");
+        assert!(out.frames.is_empty(), "no overlay reaction");
+    }
+
+    /// The combined timer is the min over all three layers, exactly as
+    /// the DES stack computes it.
+    #[test]
+    fn timer_is_combined_min() {
+        let id = NodeId(0);
+        let algo = build_algo(
+            AlgoKind::Regular,
+            id,
+            OverlayParams::default(),
+            0,
+            Rng::new(3),
+        );
+        let engine = QueryEngine::new(
+            id,
+            QueryCfg::default(),
+            Catalog::default(),
+            BTreeSet::new(),
+            Rng::new(4),
+        );
+        let mut m = StackMachine::new(id, AodvCfg::default(), algo, engine);
+        let before = m.timer_request().at;
+        let _ = m.join(SimTime::ZERO);
+        let after = m.timer_request().at;
+        assert!(after < SimTime::MAX, "join arms discovery/query timers");
+        assert!(
+            after <= before,
+            "combined timer folds the overlay/query wakes in: {after:?} vs {before:?}"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! The five inter-layer verbs — the only boundary a substrate may cross.
+//!
+//! ```text
+//!   overlay   Reconfigurator + QueryEngine
+//!      ↑ DeliverUp            ↓ OverlayDown
+//!   routing   AODV state machine
+//!      ↑ FrameUp              ↓ SendDown
+//!   phy       modelled radio (DES) · UDP socket (real-time)
+//! ```
+//!
+//! Layers communicate exclusively through these typed verbs; no layer
+//! reaches into another's fields. The DES executes them against its
+//! modelled radio and future-event list, the real-time driver against a
+//! socket and an epoll deadline — everything above the phy layer is
+//! shared, so "the same stack on both substrates" is a type-level fact,
+//! not a convention.
+
+use manet_aodv::Msg;
+use manet_des::{NodeId, SimTime, TraceCtx};
+use p2p_content::ContentMsg;
+use p2p_core::OverlayMsg;
+
+use crate::payload::AppMsg;
+
+/// phy → routing: a frame survived the medium and arrived intact.
+///
+/// The causal context rides inside `msg` (see [`Msg::ctx`]); a tracing
+/// substrate stamps its `Recv` span onto it before handing the frame up.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrameUp {
+    /// The transmitting (previous-hop) node.
+    pub from: NodeId,
+    /// The frame itself.
+    pub msg: Msg<AppMsg>,
+}
+
+/// routing → phy: put a frame on the air. The causal context rides
+/// inside `msg`; a tracing substrate records the `Send` span and
+/// re-stamps it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SendDown {
+    /// One-hop broadcast to everyone in range.
+    Broadcast(Msg<AppMsg>),
+    /// One-hop unicast to a specific neighbor.
+    Unicast {
+        /// The next-hop neighbor.
+        to: NodeId,
+        /// The frame itself.
+        msg: Msg<AppMsg>,
+    },
+}
+
+/// routing → overlay: an application payload reached its destination.
+#[derive(Clone, Debug)]
+pub struct DeliverUp {
+    /// Originator of the payload.
+    pub src: NodeId,
+    /// Ad-hoc hops travelled.
+    pub hops: u8,
+    /// Arrived via a hop-limited flood (true) or a routed unicast.
+    pub flood: bool,
+    /// The payload itself.
+    pub payload: AppMsg,
+    /// Causal context the payload travelled with.
+    pub ctx: TraceCtx,
+}
+
+/// overlay → routing: send an application payload across the MANET under
+/// a causal context (the minting overlay event, or [`TraceCtx::NONE`]).
+#[derive(Clone, Debug)]
+pub enum OverlayDown {
+    /// Hop-limited flood of a (re)configuration message.
+    Flood {
+        /// Ad-hoc hop radius.
+        ttl: u8,
+        /// The message to flood.
+        msg: OverlayMsg,
+        /// Causal context of the minting event.
+        ctx: TraceCtx,
+    },
+    /// Routed (re)configuration unicast.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message to deliver.
+        msg: OverlayMsg,
+        /// Causal context of the minting event.
+        ctx: TraceCtx,
+    },
+    /// Routed content (query-layer) unicast.
+    Content {
+        /// Destination node.
+        to: NodeId,
+        /// The message to deliver.
+        msg: ContentMsg,
+        /// Causal context of the minting event.
+        ctx: TraceCtx,
+    },
+}
+
+/// any layer → substrate: earliest instant this stack needs its combined
+/// timer to fire, and on whose causal behalf (a pending route-discovery
+/// retry names the query waiting on it; [`TraceCtx::NONE`] otherwise).
+#[derive(Clone, Copy, Debug)]
+pub struct TimerReq {
+    /// The requested wake instant ([`SimTime::MAX`] = nothing pending).
+    pub at: SimTime,
+    /// Causal context of the wake, for tracing substrates.
+    pub ctx: TraceCtx,
+}

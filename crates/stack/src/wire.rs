@@ -1,0 +1,172 @@
+//! The datagram codec: a [`FrameUp`] verb as bytes.
+//!
+//! A frame on the wire is a fixed header — two magic bytes, a version
+//! byte, the sender's node id — followed by the AODV message encoded by
+//! [`manet_aodv::wire`], with [`AppMsg`] as the payload (one tag byte
+//! selecting overlay vs content, then the layer's own codec). The sender
+//! id travels in the header because UDP source addresses identify
+//! *sockets*, not protocol nodes; carrying the id keeps the mapping
+//! byte-exact and address-scheme independent.
+//!
+//! [`decode_frame`] validates everything — magic, version, every tag,
+//! exact length — and returns a typed [`WireError`] on any corruption. A
+//! real socket receives attacker-controlled bytes; panicking is not an
+//! acceptable parse result.
+
+use manet_aodv::wire::{decode_msg, encode_msg, WirePayload};
+use manet_aodv::Msg;
+use manet_des::wire::{put_u32, put_u8};
+use manet_des::{NodeId, WireError, WireReader};
+use p2p_content::{decode_content, encode_content};
+use p2p_core::{decode_overlay, encode_overlay};
+
+use crate::payload::AppMsg;
+use crate::verbs::FrameUp;
+
+/// Leading bytes of every datagram; anything else is rejected up front.
+pub const FRAME_MAGIC: [u8; 2] = [0xAD, 0x0C];
+
+/// Codec version; bumped on any layout change.
+pub const FRAME_VERSION: u8 = 1;
+
+const TAG_OVERLAY: u8 = 1;
+const TAG_CONTENT: u8 = 2;
+
+impl WirePayload for AppMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            AppMsg::Overlay(m) => {
+                put_u8(buf, TAG_OVERLAY);
+                encode_overlay(m, buf);
+            }
+            AppMsg::Content(m) => {
+                put_u8(buf, TAG_CONTENT);
+                encode_content(m, buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            TAG_OVERLAY => Ok(AppMsg::Overlay(decode_overlay(r)?)),
+            TAG_CONTENT => Ok(AppMsg::Content(decode_content(r)?)),
+            tag => Err(WireError::BadTag {
+                what: "app payload",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Encode a frame from `from` into a fresh datagram buffer.
+pub fn encode_frame(from: NodeId, msg: &Msg<AppMsg>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&FRAME_MAGIC);
+    put_u8(&mut buf, FRAME_VERSION);
+    put_u32(&mut buf, from.0);
+    encode_msg(msg, &mut buf);
+    buf
+}
+
+/// Decode a datagram written by [`encode_frame`] into the [`FrameUp`]
+/// verb it carries. The whole buffer must be consumed.
+pub fn decode_frame(buf: &[u8]) -> Result<FrameUp, WireError> {
+    let mut r = WireReader::new(buf);
+    for expect in FRAME_MAGIC {
+        let got = r.u8()?;
+        if got != expect {
+            return Err(WireError::BadTag {
+                what: "frame magic",
+                tag: got,
+            });
+        }
+    }
+    let version = r.u8()?;
+    if version != FRAME_VERSION {
+        return Err(WireError::BadTag {
+            what: "frame version",
+            tag: version,
+        });
+    }
+    let from = NodeId(r.u32()?);
+    let msg = decode_msg::<AppMsg>(&mut r)?;
+    r.finish()?;
+    Ok(FrameUp { from, msg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_aodv::{Data, Flood};
+    use manet_des::TraceCtx;
+    use p2p_content::{ContentMsg, FileId, QueryId};
+    use p2p_core::{OverlayMsg, ProbeKind};
+
+    fn sample_frame() -> Msg<AppMsg> {
+        Msg::Flood(Flood {
+            origin: NodeId(3),
+            flood_id: 8,
+            ttl: 2,
+            hops: 1,
+            payload: AppMsg::Overlay(OverlayMsg::Probe {
+                kind: ProbeKind::Regular,
+            }),
+            ctx: TraceCtx::NONE,
+        })
+    }
+
+    #[test]
+    fn frame_round_trips_header_and_sender() {
+        let msg = sample_frame();
+        let buf = encode_frame(NodeId(42), &msg);
+        let up = decode_frame(&buf).expect("decodes");
+        assert_eq!(up.from, NodeId(42));
+        assert_eq!(up.msg, msg);
+    }
+
+    #[test]
+    fn content_payload_round_trips() {
+        let msg = Msg::Data(Data {
+            src: NodeId(1),
+            dst: NodeId(2),
+            hops: 3,
+            payload: AppMsg::Content(ContentMsg::Query {
+                id: QueryId {
+                    origin: NodeId(1),
+                    seq: 5,
+                },
+                file: FileId(9),
+                ttl: 6,
+                p2p_hops: 0,
+            }),
+            ctx: TraceCtx::root(4, 4),
+        });
+        let up = decode_frame(&encode_frame(NodeId(1), &msg)).expect("decodes");
+        assert_eq!(up.msg, msg);
+    }
+
+    #[test]
+    fn wrong_magic_version_and_trailing_bytes_rejected() {
+        let mut buf = encode_frame(NodeId(0), &sample_frame());
+        let mut bad_magic = buf.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(
+            decode_frame(&bad_magic),
+            Err(WireError::BadTag {
+                what: "frame magic",
+                tag: 0xAD ^ 0xFF
+            })
+        );
+        let mut bad_version = buf.clone();
+        bad_version[2] = 99;
+        assert_eq!(
+            decode_frame(&bad_version),
+            Err(WireError::BadTag {
+                what: "frame version",
+                tag: 99
+            })
+        );
+        buf.push(0);
+        assert_eq!(decode_frame(&buf), Err(WireError::Trailing { extra: 1 }));
+    }
+}

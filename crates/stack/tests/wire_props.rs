@@ -1,0 +1,239 @@
+//! Property suite for the byte-exact frame codec.
+//!
+//! Three contracts pinned over randomly generated frames:
+//!
+//! 1. **Round-trip identity** — for any [`Msg<AppMsg>`] (every routing
+//!    variant, every overlay and content payload, trace context present
+//!    or absent), `decode_frame(&encode_frame(from, &msg))` returns the
+//!    identical `(from, msg)`.
+//! 2. **Typed corruption** — flipping any single byte, truncating at any
+//!    prefix, or appending trailing bytes yields `Ok` with a benignly
+//!    altered frame or a typed [`WireError`] — never a panic and never
+//!    an out-of-domain value. A real socket feeds the decoder
+//!    attacker-controlled bytes.
+//! 3. **Model agreement** — the overlay codec's encoded size never
+//!    exceeds the analytic [`wire_size`](manet_aodv::Payload::wire_size)
+//!    the simulator charges the radio for (it is exactly equal; pinned
+//!    exactly in `p2p-core`'s unit tests).
+
+use manet_aodv::msg::Hello;
+use manet_aodv::{Data, Flood, Msg, Rerr, Rrep, Rreq};
+use manet_des::{NodeId, TraceCtx, WireError};
+use manet_testkit::{prop_assert, prop_assert_eq, properties, Gen, Strategy};
+use p2p_content::{ContentMsg, FileId, QueryId};
+use p2p_core::{OverlayMsg, ProbeKind};
+use p2p_stack::{decode_frame, encode_frame, AppMsg};
+
+/// Any trace context: absent half the time, active with random ids.
+fn any_ctx(g: &mut Gen) -> TraceCtx {
+    let r = g.rng();
+    if r.chance(0.5) {
+        TraceCtx::NONE
+    } else {
+        TraceCtx::root(r.next_u64(), r.next_u64()).child(r.next_u64())
+    }
+}
+
+fn any_overlay(g: &mut Gen) -> OverlayMsg {
+    let kind = *g.rng().choose(&[
+        ProbeKind::Basic,
+        ProbeKind::Regular,
+        ProbeKind::Random,
+        ProbeKind::Master,
+    ]);
+    let r = g.rng();
+    match r.below(12) {
+        0 => OverlayMsg::Probe { kind },
+        1 => OverlayMsg::Offer { kind },
+        2 => OverlayMsg::Accept { kind },
+        3 => OverlayMsg::Confirm,
+        4 => OverlayMsg::Reject,
+        5 => OverlayMsg::Ping {
+            token: r.next_u32(),
+        },
+        6 => OverlayMsg::Pong {
+            token: r.next_u32(),
+        },
+        7 => OverlayMsg::Capture {
+            qualifier: r.next_u32(),
+        },
+        8 => OverlayMsg::CaptureReply {
+            qualifier: r.next_u32(),
+        },
+        9 => OverlayMsg::SlaveRequest,
+        10 => OverlayMsg::SlaveAccept { ok: r.chance(0.5) },
+        _ => OverlayMsg::SlaveConfirm,
+    }
+}
+
+fn any_content(g: &mut Gen) -> ContentMsg {
+    let r = g.rng();
+    let id = QueryId {
+        origin: NodeId(r.next_u32()),
+        seq: r.next_u32(),
+    };
+    let file = FileId(r.below(1 << 16) as u16);
+    match r.below(4) {
+        0 => ContentMsg::Query {
+            id,
+            file,
+            ttl: r.below(256) as u8,
+            p2p_hops: r.below(256) as u8,
+        },
+        1 => ContentMsg::QueryHit {
+            id,
+            file,
+            p2p_hops: r.below(256) as u8,
+        },
+        2 => ContentMsg::FetchRequest { id, file },
+        _ => ContentMsg::FileTransfer {
+            id,
+            file,
+            bytes: r.next_u32(),
+        },
+    }
+}
+
+fn any_payload(g: &mut Gen) -> AppMsg {
+    if g.rng().chance(0.5) {
+        AppMsg::Overlay(any_overlay(g))
+    } else {
+        AppMsg::Content(any_content(g))
+    }
+}
+
+/// Any routing-layer frame: every `Msg` variant with random fields.
+#[derive(Clone, Copy, Debug)]
+struct AnyFrame;
+
+impl Strategy for AnyFrame {
+    type Value = Msg<AppMsg>;
+
+    fn generate(&self, g: &mut Gen) -> Msg<AppMsg> {
+        match g.rng().below(6) {
+            0 => {
+                let ctx = any_ctx(g);
+                let r = g.rng();
+                Msg::Rreq(Rreq {
+                    origin: NodeId(r.next_u32()),
+                    origin_seq: r.next_u32(),
+                    rreq_id: r.next_u32(),
+                    dest: NodeId(r.next_u32()),
+                    dest_seq: r.chance(0.5).then(|| r.next_u32()),
+                    hop_count: r.below(256) as u8,
+                    ttl: r.below(256) as u8,
+                    ctx,
+                })
+            }
+            1 => {
+                let ctx = any_ctx(g);
+                let r = g.rng();
+                Msg::Rrep(Rrep {
+                    dest: NodeId(r.next_u32()),
+                    dest_seq: r.next_u32(),
+                    origin: NodeId(r.next_u32()),
+                    hop_count: r.below(256) as u8,
+                    ctx,
+                })
+            }
+            2 => {
+                let ctx = any_ctx(g);
+                let r = g.rng();
+                let n = r.below(5) as usize;
+                Msg::Rerr(Rerr {
+                    unreachable: (0..n)
+                        .map(|_| (NodeId(r.next_u32()), r.next_u32()))
+                        .collect(),
+                    ctx,
+                })
+            }
+            3 => {
+                let payload = any_payload(g);
+                let ctx = any_ctx(g);
+                let r = g.rng();
+                Msg::Data(Data {
+                    src: NodeId(r.next_u32()),
+                    dst: NodeId(r.next_u32()),
+                    hops: r.below(256) as u8,
+                    payload,
+                    ctx,
+                })
+            }
+            4 => {
+                let payload = any_payload(g);
+                let ctx = any_ctx(g);
+                let r = g.rng();
+                Msg::Flood(Flood {
+                    origin: NodeId(r.next_u32()),
+                    flood_id: r.next_u32(),
+                    ttl: r.below(256) as u8,
+                    hops: r.below(256) as u8,
+                    payload,
+                    ctx,
+                })
+            }
+            _ => Msg::Hello(Hello {
+                seq: g.rng().next_u32(),
+            }),
+        }
+    }
+}
+
+properties! {
+    config = manet_testkit::Config::cases(256);
+
+    /// Any frame survives the wire byte-exactly, sender id included.
+    fn frame_round_trip_identity(msg in AnyFrame, from in manet_testkit::any_u64()) {
+        let from = NodeId(from as u32);
+        let buf = encode_frame(from, &msg);
+        let up = decode_frame(&buf);
+        match up {
+            Ok(up) => {
+                prop_assert_eq!(up.from, from);
+                prop_assert_eq!(up.msg, msg.clone(), "frame bytes: {:?}", buf);
+            }
+            Err(e) => prop_assert!(false, "decode failed: {e} on {:?}", msg),
+        }
+    }
+
+    /// Every truncation of a valid frame decodes to a typed error — the
+    /// decoder never panics and never fabricates a frame from a prefix.
+    fn every_truncation_is_a_typed_error(msg in AnyFrame) {
+        let buf = encode_frame(NodeId(77), &msg);
+        for len in 0..buf.len() {
+            let r = decode_frame(&buf[..len]);
+            prop_assert!(r.is_err(), "prefix of {} bytes decoded: {:?}", len, r);
+        }
+    }
+
+    /// Trailing garbage after a valid frame is always rejected whole.
+    fn trailing_bytes_rejected(msg in AnyFrame, extra in manet_testkit::any_u64()) {
+        let mut buf = encode_frame(NodeId(3), &msg);
+        let n = 1 + (extra as usize % 7);
+        buf.extend(std::iter::repeat_n(0xEE, n));
+        prop_assert_eq!(decode_frame(&buf), Err(WireError::Trailing { extra: n }));
+    }
+
+    /// Flipping any single byte never panics: the result is either a
+    /// typed error or a well-formed (differently-valued) frame.
+    fn single_byte_corruption_never_panics(msg in AnyFrame, pick in manet_testkit::any_u64()) {
+        let buf = encode_frame(NodeId(5), &msg);
+        let at = pick as usize % buf.len();
+        let mut bad = buf.clone();
+        bad[at] ^= 0x5A;
+        // Decoding must terminate without panicking; both outcomes are
+        // legal (a flipped numeric field still parses).
+        let _ = decode_frame(&bad);
+    }
+
+    /// The overlay codec never writes more bytes than the analytic
+    /// wire-size model charges the simulated radio for.
+    fn overlay_encoding_matches_size_model(msg in AnyFrame) {
+        if let Msg::Data(Data { payload: AppMsg::Overlay(m), .. })
+        | Msg::Flood(Flood { payload: AppMsg::Overlay(m), .. }) = &msg {
+            let mut buf = Vec::new();
+            p2p_core::encode_overlay(m, &mut buf);
+            prop_assert_eq!(buf.len() as u32, m.wire_size(), "variant {:?}", m);
+        }
+    }
+}

@@ -40,9 +40,11 @@ pub use manet_metrics as metrics;
 pub use manet_mobility as mobility;
 pub use manet_obs as obs;
 pub use manet_radio as radio;
+pub use manet_rt as rt;
 pub use manet_sim as sim;
 pub use p2p_content as content;
 pub use p2p_core as core;
+pub use p2p_stack as stack;
 
 /// The most common imports in one place.
 pub mod prelude {
