@@ -120,6 +120,20 @@ cargo run --release -q --offline -p manet-rt --bin swarm -- \
     --min-answered 1 --retries 2 \
     | grep -q "SWARM OK" \
     || { echo "swarm smoke: no answered query or unclean exit"; exit 1; }
+# The same swarm with observability on: every child ships telemetry frames
+# over stdout, the parent merges them into one ObsReport (counters must
+# reconcile exactly with the RESULT lines — the swarm bin asserts that) and
+# one clock-stitched Perfetto artifact with at least one causal tree
+# spanning two or more OS processes. obs_check then validates the merged
+# artifacts like any other obs output directory.
+SWARM_OBS_DIR="target/obs_swarm"
+rm -rf "$SWARM_OBS_DIR"
+cargo run --release -q --offline -p manet-rt --bin swarm -- \
+    --nodes 8 --algo regular --duration-ms 4000 --seed 1 \
+    --min-answered 1 --retries 2 --obs --obs-dir "$SWARM_OBS_DIR" \
+    | grep -q "SWARM OK" \
+    || { echo "swarm smoke (obs): merge, reconcile, or stitch failed"; exit 1; }
+cargo run --release -q --offline -p manet-obs --bin obs_check -- "$SWARM_OBS_DIR"
 
 stage "perf gate (obs tax)"
 # Three throughput gates on the 200-node 900 s Regular hot-path scenario:

@@ -17,12 +17,24 @@ use std::process::ExitCode;
 use manet_obs::causal;
 use manet_obs::json::Value;
 
+/// Core counters a DES (simulated-substrate) run always exports.
 const CORE_COUNTERS: [&str; 5] = [
     "des.events_popped",
     "des.calendar.retunes",
     "radio.tx_planned",
     "aodv.rreq_dup_dropped",
     "sim.queries_issued",
+];
+
+/// Core counters a real-time (swarm) run always exports instead. A dump
+/// directory passes counter coverage if *either* substrate's full set is
+/// present — swarm dumps carry no DES scheduler counters and vice versa.
+const RT_CORE_COUNTERS: [&str; 5] = [
+    "rt.dgram_rx",
+    "rt.dgram_tx",
+    "rt.epoll_wakeups",
+    "stack.queries_issued",
+    "aodv.rreq_dup_dropped",
 ];
 
 fn main() -> ExitCode {
@@ -151,14 +163,18 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if files > 0 {
-        let missing: Vec<&str> = CORE_COUNTERS
-            .iter()
-            .copied()
-            .filter(|c| !counters_seen.contains(*c))
-            .collect();
-        if !missing.is_empty() {
+        let missing_from = |set: &[&'static str]| -> Vec<&'static str> {
+            set.iter()
+                .copied()
+                .filter(|c| !counters_seen.contains(*c))
+                .collect()
+        };
+        let missing_des = missing_from(&CORE_COUNTERS);
+        let missing_rt = missing_from(&RT_CORE_COUNTERS);
+        if !missing_des.is_empty() && !missing_rt.is_empty() {
             eprintln!(
-                "obs_check: core counters missing from {dir}: {missing:?} (saw {counters_seen:?})"
+                "obs_check: core counters missing from {dir}: DES set lacks {missing_des:?}, \
+                 RT set lacks {missing_rt:?} (saw {counters_seen:?})"
             );
             return ExitCode::FAILURE;
         }

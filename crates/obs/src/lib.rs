@@ -37,6 +37,7 @@
 //! `BENCH_RESULTS.json`.
 
 pub mod causal;
+pub mod intern;
 pub mod json;
 pub mod recorder;
 pub mod registry;
@@ -45,6 +46,7 @@ pub mod slab;
 pub mod span;
 
 pub use causal::{CausalEvent, CausalKind, CausalTree, PathBreakdown, TraceSummary};
+pub use intern::intern;
 pub use recorder::{FlightRecord, FlightRecorder, Severity};
 pub use registry::{CounterId, GaugeId, HistId, Histogram, Registry};
 pub use report::{ObsConfig, ObsReport};

@@ -36,6 +36,17 @@ impl Severity {
             Severity::Error => "error",
         }
     }
+
+    /// The severity a [`name`](Self::name) maps back to (decode side).
+    pub fn from_name(name: &str) -> Option<Severity> {
+        match name {
+            "debug" => Some(Severity::Debug),
+            "info" => Some(Severity::Info),
+            "warn" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
 }
 
 /// One recorded occurrence.
@@ -87,6 +98,29 @@ impl FlightRecorder {
     /// Whether recording is enabled.
     pub fn enabled(&self) -> bool {
         self.capacity > 0
+    }
+
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rebuild a recorder from its serialized shape (decode half of the
+    /// telemetry codec). `records` must already respect `capacity` —
+    /// extra records are *not* evicted here, they were accounted on the
+    /// recording side where `offered`/`dropped` were maintained.
+    pub fn from_parts(
+        capacity: usize,
+        offered: u64,
+        dropped: u64,
+        records: Vec<FlightRecord>,
+    ) -> FlightRecorder {
+        FlightRecorder {
+            ring: records.into(),
+            capacity,
+            offered,
+            dropped,
+        }
     }
 
     /// Record an occurrence (evicts the oldest when full; no-op when

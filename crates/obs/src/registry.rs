@@ -135,6 +135,24 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// Rebuild a histogram from its serialized shape: `(floor, count)`
+    /// pairs (see [`nonzero`](Self::nonzero)) plus the saturating sum.
+    /// The count is implied — it is the sum of the pair counts. This is
+    /// the decode half of the telemetry codec: the bucket layout *is*
+    /// the wire format, so `from_parts(h.nonzero(), h.sum()) == h`.
+    /// Counts saturate — a corrupted frame may carry pair counts that
+    /// sum past `u64::MAX`, and the decode contract is no-panic.
+    pub fn from_parts(pairs: &[(u64, u64)], sum: u64) -> Histogram {
+        let mut h = Histogram::default();
+        for &(floor, c) in pairs {
+            let b = bucket_of(floor);
+            h.buckets[b] = h.buckets[b].saturating_add(c);
+            h.count = h.count.saturating_add(c);
+        }
+        h.sum = sum;
+        h
+    }
+
     /// Non-empty buckets as `(floor, count)` pairs, ascending.
     pub fn nonzero(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -276,6 +294,28 @@ impl Registry {
     /// Number of time-series points taken.
     pub fn n_samples(&self) -> usize {
         self.samples.len()
+    }
+
+    /// The time-series points as `(t_secs, counters, gauges)` rows, in
+    /// sample order; value slices are indexed like the registration
+    /// order. Encode half of the telemetry codec.
+    pub fn samples(&self) -> impl Iterator<Item = (f64, &[u64], &[f64])> + '_ {
+        self.samples
+            .iter()
+            .map(|s| (s.t_secs, s.counters.as_slice(), s.gauges.as_slice()))
+    }
+
+    /// Append one pre-built time-series point, bypassing the live
+    /// counter/gauge values. Decode half of the telemetry codec: a
+    /// deserialized registry replays its sample rows through here. Value
+    /// vectors must be indexed like the registration order of the
+    /// counters/gauges they snapshot.
+    pub fn push_sample(&mut self, t_secs: f64, counters: Vec<u64>, gauges: Vec<f64>) {
+        self.samples.push(Sample {
+            t_secs,
+            counters,
+            gauges,
+        });
     }
 
     /// Registered counter names with their final values, in registration

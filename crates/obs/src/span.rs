@@ -72,6 +72,16 @@ impl SpanProfile {
         self.entries[id.0] += weight;
     }
 
+    /// Account a pre-aggregated `(nanos, entries)` total in one call —
+    /// the decode half of the telemetry codec, where a serialized row
+    /// arrives already summed. Saturating: a corrupted frame can repeat
+    /// a span name with near-`u64::MAX` totals, and decode must not
+    /// panic.
+    pub fn add_total(&mut self, id: SpanId, nanos: u64, entries: u64) {
+        self.nanos[id.0] = self.nanos[id.0].saturating_add(nanos);
+        self.entries[id.0] = self.entries[id.0].saturating_add(entries);
+    }
+
     /// Total wall-clock nanoseconds spent in a span.
     pub fn nanos(&self, id: SpanId) -> u64 {
         self.nanos[id.0]

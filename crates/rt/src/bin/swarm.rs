@@ -18,25 +18,56 @@
 //! [`Catalog::assign`] and keeps its own slot, exactly how the DES
 //! scenario seeds holdings — no placement traffic needed.
 //!
+//! With `--obs` the swarm additionally runs the distributed
+//! observability pipeline end-to-end. Each child arms the machine's
+//! [`p2p_stack::ObsSink`], so the event loop records the same counters,
+//! spans and causal traces the DES adapters record; at a wall-clock
+//! cadence it ships a small `TELEM <hex>` heartbeat frame (running
+//! counters, no trace) on the same stdout the RESULT line uses, and at
+//! shutdown one full frame carrying the causal trace. The parent keeps
+//! the *last* frame per child (snapshots are running totals), merges the
+//! reports with [`manet_obs::ObsReport::merge`] and the traces with
+//! `TraceLog::merge_offset` (per-node id namespaces keep span ids
+//! disjoint), stitches per-process clocks
+//! ([`p2p_stack::stitch_clocks`]), and writes `swarm_report.jsonl` plus
+//! a Perfetto-loadable `swarm.trace.json` into `--obs-dir`. A child that
+//! panics or errors out dumps its flight recorder as `failure_*.jsonl`
+//! into the same directory; the parent surfaces any such dumps in its
+//! failure summary. Attempt/retry bookkeeping lands in the merged report
+//! as `swarm.attempts` / `swarm.retries` counters.
+//!
 //! Exit status: `0` iff every child exited cleanly and the swarm
 //! answered at least `--min-answered` queries (after bounded
-//! `--retries`). The CI smoke stage runs `--nodes 8` for a few seconds.
+//! `--retries`); with `--obs`, additionally iff the merged counters
+//! reconcile with the RESULT lines and at least one causal tree spans
+//! two OS processes.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, UdpSocket};
+use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::time::Duration;
 
 use manet_aodv::AodvCfg;
 use manet_des::{NodeId, Rng, SimDuration};
+use manet_obs::report::dump_failure;
+use manet_obs::{causal, ObsConfig, ObsReport};
 use manet_rt::{FaultShim, RtNode};
 use manet_sim::FaultPlan;
 use p2p_content::{Catalog, QueryCfg, QueryEngine};
 use p2p_core::{build_algo, AlgoKind, OverlayParams};
-use p2p_stack::StackMachine;
+use p2p_stack::{decode_telemetry, from_hex, stitch_clocks, ObsSink, StackMachine, TraceLog};
 
 /// Per-node join stagger; also the reason short runs still converge.
 const JOIN_STAGGER_MS: u64 = 150;
+
+/// Per-child causal-trace capacity (events). The merged log gets
+/// `nodes ×` this, so nothing a child retained is evicted by the merge.
+const TRACE_CAPACITY: usize = 4096;
+
+/// Wall-clock milliseconds between `TELEM` heartbeat frames.
+const TELEM_PERIOD_MS: u64 = 1_000;
 
 struct Opts {
     nodes: u32,
@@ -45,13 +76,16 @@ struct Opts {
     seed: u64,
     min_answered: u64,
     retries: u32,
+    obs: bool,
+    obs_dir: PathBuf,
     child_id: Option<u32>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: swarm [--nodes N] [--algo basic|regular|random|hybrid] \
-         [--duration-ms MS] [--seed S] [--min-answered K] [--retries R]"
+         [--duration-ms MS] [--seed S] [--min-answered K] [--retries R] \
+         [--obs] [--obs-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -64,6 +98,8 @@ fn parse_opts() -> Opts {
         seed: 1,
         min_answered: 1,
         retries: 2,
+        obs: false,
+        obs_dir: PathBuf::from("target/obs-swarm"),
         child_id: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,6 +127,8 @@ fn parse_opts() -> Opts {
                 opts.min_answered = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--retries" => opts.retries = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--obs" => opts.obs = true,
+            "--obs-dir" => opts.obs_dir = PathBuf::from(value(&mut i)),
             "--child" => opts.child_id = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
@@ -173,15 +211,52 @@ fn child_main(id: u32, opts: &Opts) -> std::io::Result<()> {
         files,
         Rng::new(opts.seed).fork(2_000 + id as u64),
     );
-    let machine = StackMachine::new(node, AodvCfg::default(), algo, engine);
+    let mut machine = StackMachine::new(node, AodvCfg::default(), algo, engine);
+    if opts.obs {
+        machine.set_obs(ObsSink::armed(
+            id,
+            &ObsConfig::default(),
+            TRACE_CAPACITY,
+            opts.seed,
+        ));
+    }
     let shim = FaultShim::new(&FaultPlan::default(), opts.seed);
 
     let mut rt = RtNode::new(machine, socket, peers, shim)?;
-    let report = rt.run(
-        Duration::from_millis(opts.duration_ms),
-        Duration::from_millis(id as u64 * JOIN_STAGGER_MS),
-    )?;
+    if opts.obs {
+        rt.set_telemetry_period(Duration::from_millis(TELEM_PERIOD_MS));
+    }
 
+    // The flight recorder is armed around the event loop: a panic or an
+    // I/O error inside `run` dumps the node's report (counters, last
+    // flight records) as `failure_*.jsonl` for the parent to collect.
+    let duration = Duration::from_millis(opts.duration_ms);
+    let join_delay = Duration::from_millis(id as u64 * JOIN_STAGGER_MS);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.run(duration, join_delay)
+    }));
+    let report = match outcome {
+        Ok(Ok(report)) => report,
+        Ok(Err(e)) => {
+            dump_child_failure(&mut rt, id, &opts.obs_dir, format!("event loop: {e}"));
+            return Err(e);
+        }
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            dump_child_failure(&mut rt, id, &opts.obs_dir, format!("panic: {msg}"));
+            std::process::exit(3);
+        }
+    };
+
+    // Final full-trace telemetry frame *before* RESULT: the parent keeps
+    // the last frame per child, and this one carries the causal trace.
+    if let Some(hex) = rt.telemetry_hex(true) {
+        println!("TELEM {hex}");
+    }
     println!(
         "RESULT id={id} issued={} answered={} hits={} sent={} recv={} decode_err={}",
         report.issued,
@@ -194,6 +269,19 @@ fn child_main(id: u32, opts: &Opts) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Dump a dying child's observability report (if armed) so the parent
+/// finds a `failure_node<id>*.jsonl` post-mortem in the obs directory.
+fn dump_child_failure(rt: &mut RtNode, id: u32, dir: &Path, why: String) {
+    eprintln!("child {id}: {why}");
+    if let Some(report) = rt.obs_report() {
+        let report = report.clone();
+        match dump_failure(dir, &format!("node{id}"), &[why], &report) {
+            Ok(path) => eprintln!("child {id}: dumped {}", path.display()),
+            Err(e) => eprintln!("child {id}: failure dump failed: {e}"),
+        }
+    }
+}
+
 #[derive(Default)]
 struct Totals {
     issued: u64,
@@ -204,24 +292,40 @@ struct Totals {
     decode_err: u64,
 }
 
-/// One full swarm round; `Ok` carries the aggregated child results.
-fn run_swarm(opts: &Opts) -> Result<Totals, String> {
+/// What the parent distilled from the children's telemetry frames: the
+/// merged report and stitched trace land on disk (see
+/// [`merge_telemetry`]); the summary carries what the success criteria
+/// need.
+struct ObsMerged {
+    /// Causal trees whose spans come from at least two OS processes.
+    cross_process_traces: usize,
+}
+
+/// One full swarm round; `Ok` carries the aggregated child results and,
+/// with `--obs`, the merged telemetry summary.
+fn run_swarm(opts: &Opts, attempt: u32) -> Result<(Totals, Option<ObsMerged>), String> {
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let mut children = Vec::new();
     for id in 0..opts.nodes {
-        let child = Command::new(&exe)
-            .args([
-                "--child",
-                &id.to_string(),
-                "--nodes",
-                &opts.nodes.to_string(),
-                "--algo",
-                opts.algo.name(),
-                "--duration-ms",
-                &opts.duration_ms.to_string(),
-                "--seed",
-                &opts.seed.to_string(),
-            ])
+        let mut cmd = Command::new(&exe);
+        cmd.args([
+            "--child",
+            &id.to_string(),
+            "--nodes",
+            &opts.nodes.to_string(),
+            "--algo",
+            opts.algo.name(),
+            "--duration-ms",
+            &opts.duration_ms.to_string(),
+            "--seed",
+            &opts.seed.to_string(),
+        ]);
+        if opts.obs {
+            cmd.arg("--obs");
+            cmd.arg("--obs-dir");
+            cmd.arg(&opts.obs_dir);
+        }
+        let child = cmd
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
@@ -259,13 +363,21 @@ fn run_swarm(opts: &Opts) -> Result<Totals, String> {
             .map_err(|e| format!("send PEERS to child {id}: {e}"))?;
     }
 
-    // Harvest RESULT lines and exit statuses.
+    // Harvest TELEM and RESULT lines plus exit statuses. Telemetry
+    // frames are running totals, so only the last one per child counts —
+    // a child that died mid-run leaves its last heartbeat as a partial
+    // post-mortem, which still merges.
     let mut totals = Totals::default();
+    let mut last_telem: Vec<Option<String>> = vec![None; opts.nodes as usize];
     for (id, (mut child, mut reader)) in children.into_iter().zip(outs).enumerate() {
         let mut result_line = None;
         for line in (&mut reader).lines() {
             let line = line.map_err(|e| format!("read from child {id}: {e}"))?;
-            if line.starts_with("RESULT ") {
+            if let Some(hex) = line.strip_prefix("TELEM ") {
+                last_telem[id] = Some(hex.to_string());
+            } else if line.starts_with("RESULT ") {
+                // Surface each child's own tally in the parent summary.
+                println!("{line}");
                 result_line = Some(line);
             }
         }
@@ -273,7 +385,10 @@ fn run_swarm(opts: &Opts) -> Result<Totals, String> {
             .wait()
             .map_err(|e| format!("wait for child {id}: {e}"))?;
         if !status.success() {
-            return Err(format!("child {id} exited with {status}"));
+            return Err(format!(
+                "child {id} exited with {status}{}",
+                failure_dump_summary(opts)
+            ));
         }
         let line = result_line.ok_or_else(|| format!("child {id} printed no RESULT"))?;
         for field in line.split_whitespace().skip(1) {
@@ -295,7 +410,129 @@ fn run_swarm(opts: &Opts) -> Result<Totals, String> {
             }
         }
     }
-    Ok(totals)
+
+    if !opts.obs {
+        return Ok((totals, None));
+    }
+    let merged = merge_telemetry(opts, attempt, &last_telem, &totals)?;
+    Ok((totals, Some(merged)))
+}
+
+/// Decode every child's last telemetry frame, fold reports and traces,
+/// stitch clocks, verify counter reconciliation, and write the merged
+/// artifacts into the obs directory.
+fn merge_telemetry(
+    opts: &Opts,
+    attempt: u32,
+    last_telem: &[Option<String>],
+    totals: &Totals,
+) -> Result<ObsMerged, String> {
+    let mut report = ObsReport::default();
+    let mut trace = TraceLog::new(TRACE_CAPACITY * opts.nodes as usize);
+    for (id, hex) in last_telem.iter().enumerate() {
+        let hex = hex
+            .as_ref()
+            .ok_or_else(|| format!("child {id} shipped no telemetry frame"))?;
+        let bytes = from_hex(hex).map_err(|e| format!("child {id} telemetry hex: {e}"))?;
+        let telem =
+            decode_telemetry(&bytes).map_err(|e| format!("child {id} telemetry frame: {e}"))?;
+        if telem.node != id as u32 {
+            return Err(format!("child {id} telemetry claims node {}", telem.node));
+        }
+        report.merge(&telem.report);
+        trace.merge_offset(&telem.trace);
+    }
+
+    // The bounded-retry bookkeeping becomes part of the merged report.
+    let c_attempts = report.registry.counter("swarm.attempts");
+    report.registry.set(c_attempts, attempt as u64);
+    let c_retries = report.registry.counter("swarm.retries");
+    report.registry.set(c_retries, (attempt - 1) as u64);
+    let c_nodes = report.registry.counter("swarm.nodes");
+    report.registry.set(c_nodes, opts.nodes as u64);
+
+    // Reconciliation: the merged protocol counters must agree *exactly*
+    // with the sum of the children's RESULT lines — both sides read the
+    // same totals at the same shutdown sync point, so any difference
+    // means frames were lost or merged wrong.
+    let merged_issued = report
+        .registry
+        .counter_by_name("stack.queries_issued")
+        .unwrap_or(0);
+    if merged_issued != totals.issued {
+        return Err(format!(
+            "merged stack.queries_issued={merged_issued} but RESULT lines sum to {}",
+            totals.issued
+        ));
+    }
+    if totals.answered > totals.issued {
+        return Err(format!(
+            "answered {} exceeds issued {}",
+            totals.answered, totals.issued
+        ));
+    }
+
+    // Stitch per-process clocks and count trees spanning >= 2 processes.
+    let stitched = stitch_clocks(trace.causal_events());
+    let mut nodes_by_trace: HashMap<u64, std::collections::HashSet<u32>> = HashMap::new();
+    for e in &stitched {
+        nodes_by_trace.entry(e.trace_id).or_default().insert(e.node);
+    }
+    let cross_process_traces = nodes_by_trace.values().filter(|n| n.len() >= 2).count();
+
+    std::fs::create_dir_all(&opts.obs_dir)
+        .map_err(|e| format!("create {}: {e}", opts.obs_dir.display()))?;
+    let report_path = opts.obs_dir.join("swarm_report.jsonl");
+    report
+        .write_jsonl(&report_path)
+        .map_err(|e| format!("write {}: {e}", report_path.display()))?;
+    let artifact = causal::artifact(&stitched);
+    let trace_path = opts.obs_dir.join("swarm.trace.json");
+    std::fs::write(&trace_path, artifact.render())
+        .map_err(|e| format!("write {}: {e}", trace_path.display()))?;
+    causal::validate_artifact(&artifact)
+        .map_err(|e| format!("merged artifact failed validation: {e}"))?;
+
+    println!(
+        "OBS nodes={} merged_runs={} issued={merged_issued} traces={} cross_process_traces={} \
+         report={} trace={}",
+        opts.nodes,
+        report.runs,
+        nodes_by_trace.len(),
+        cross_process_traces,
+        report_path.display(),
+        trace_path.display(),
+    );
+    Ok(ObsMerged {
+        cross_process_traces,
+    })
+}
+
+/// A one-line inventory of `failure_*.jsonl` dumps left by dead
+/// children, appended to the parent's error diagnostics.
+fn failure_dump_summary(opts: &Opts) -> String {
+    if !opts.obs {
+        return String::new();
+    }
+    let mut dumps = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&opts.obs_dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("failure_") && name.ends_with(".jsonl") {
+                dumps.push(name);
+            }
+        }
+    }
+    dumps.sort();
+    if dumps.is_empty() {
+        format!("; no failure dumps in {}", opts.obs_dir.display())
+    } else {
+        format!(
+            "; failure dumps in {}: {}",
+            opts.obs_dir.display(),
+            dumps.join(", ")
+        )
+    }
 }
 
 fn main() {
@@ -310,8 +547,8 @@ fn main() {
 
     let attempts = 1 + opts.retries;
     for attempt in 1..=attempts {
-        match run_swarm(&opts) {
-            Ok(t) => {
+        match run_swarm(&opts, attempt) {
+            Ok((t, obs)) => {
                 println!(
                     "SWARM nodes={} algo={} duration_ms={} attempt={} \
                      issued={} answered={} hits={} frames_sent={} frames_recv={} decode_err={}",
@@ -330,14 +567,25 @@ fn main() {
                     eprintln!("swarm: {} undecodable datagrams", t.decode_err);
                     std::process::exit(1);
                 }
-                if t.answered >= opts.min_answered {
+                let obs_ok = match &obs {
+                    None => true,
+                    Some(m) => m.cross_process_traces >= 1,
+                };
+                if t.answered >= opts.min_answered && obs_ok {
                     println!("SWARM OK");
                     return;
                 }
-                eprintln!(
-                    "swarm attempt {attempt}/{attempts}: answered {} < required {}",
-                    t.answered, opts.min_answered
-                );
+                if t.answered < opts.min_answered {
+                    eprintln!(
+                        "swarm attempt {attempt}/{attempts}: answered {} < required {}",
+                        t.answered, opts.min_answered
+                    );
+                }
+                if !obs_ok {
+                    eprintln!(
+                        "swarm attempt {attempt}/{attempts}: no causal tree spans two processes"
+                    );
+                }
             }
             Err(e) => eprintln!("swarm attempt {attempt}/{attempts}: {e}"),
         }

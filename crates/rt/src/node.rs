@@ -24,9 +24,14 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
+use std::time::Instant;
 
 use manet_des::{NodeId, SimTime, Substrate};
-use p2p_stack::{decode_frame, encode_frame, SendDown, StackMachine, StackOutput};
+use manet_obs::{CounterId, ObsReport, Severity, SpanId};
+use p2p_stack::{
+    decode_frame, encode_frame, encode_telemetry, to_hex, SendDown, StackMachine, StackOutput,
+    TraceLog,
+};
 
 use crate::clock::Clock;
 use crate::epoll::Poller;
@@ -34,6 +39,11 @@ use crate::faults::{FaultShim, SendVerdict};
 
 /// Largest datagram the codec may produce; loopback MTU is far larger.
 const MAX_DATAGRAM: usize = 2048;
+
+/// One wall-clock span timing per this many loop iterations: the profile
+/// stays an unbiased estimate while the hot path pays for a timestamp
+/// pair only once per stride (see `SpanProfile::add_weighted`).
+const SPAN_STRIDE: u64 = 64;
 
 /// What one node observed over its run, for the swarm's RESULT line.
 #[derive(Clone, Copy, Debug, Default)]
@@ -74,6 +84,29 @@ impl Substrate for DeadlineReg {
     }
 }
 
+/// The substrate's registered observability handles, resolved once at
+/// construction when the hosted machine's [`p2p_stack::ObsSink`] is
+/// armed. Every event-loop site then pays one `Option` branch plus a
+/// slab-indexed increment — the same discipline as the DES adapters.
+struct RtObsIds {
+    /// `epoll_wait` returned readable.
+    c_epoll_wakeups: CounterId,
+    /// `epoll_wait` returned by deadline.
+    c_epoll_timeouts: CounterId,
+    /// Datagrams received and decoded.
+    c_dgram_rx: CounterId,
+    /// Datagrams put on the wire.
+    c_dgram_tx: CounterId,
+    /// Datagrams that failed to decode.
+    c_decode_errors: CounterId,
+    /// Datagrams the fault shim dropped.
+    c_shim_dropped: CounterId,
+    /// Datagrams the fault shim delayed.
+    c_shim_delayed: CounterId,
+    /// Stride-sampled wall-clock cost of one loop body past the poll.
+    s_loop: SpanId,
+}
+
 /// A protocol stack bound to a socket, plus the loop that drives it.
 pub struct RtNode {
     machine: StackMachine,
@@ -84,6 +117,11 @@ pub struct RtNode {
     by_id: HashMap<NodeId, SocketAddr>,
     shim: FaultShim,
     report: RtReport,
+    obs: Option<RtObsIds>,
+    /// Wall-clock period between `TELEM` stdout frames (`None` disables
+    /// periodic telemetry; the final frame is always available through
+    /// [`RtNode::telemetry_hex`]).
+    telem_period: Option<std::time::Duration>,
 }
 
 impl RtNode {
@@ -98,6 +136,17 @@ impl RtNode {
     ) -> io::Result<RtNode> {
         let poller = Poller::new(&socket)?;
         let by_id = peers.iter().copied().collect();
+        let mut machine = machine;
+        let obs = machine.obs_mut().on_mut().map(|o| RtObsIds {
+            c_epoll_wakeups: o.counter("rt.epoll_wakeups"),
+            c_epoll_timeouts: o.counter("rt.epoll_timeouts"),
+            c_dgram_rx: o.counter("rt.dgram_rx"),
+            c_dgram_tx: o.counter("rt.dgram_tx"),
+            c_decode_errors: o.counter("rt.decode_errors"),
+            c_shim_dropped: o.counter("rt.shim_dropped"),
+            c_shim_delayed: o.counter("rt.shim_delayed"),
+            s_loop: o.report.spans.register("rt.loop"),
+        });
         Ok(RtNode {
             machine,
             socket,
@@ -106,12 +155,54 @@ impl RtNode {
             by_id,
             shim,
             report: RtReport::default(),
+            obs,
+            telem_period: None,
         })
     }
 
     /// The local socket address (what a child advertises to the parent).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.socket.local_addr()
+    }
+
+    /// Emit a `TELEM <hex>` line on stdout every `period` of wall time
+    /// while the loop runs. Periodic frames carry the running report but
+    /// an *empty* trace — they are the crash-forensics heartbeat (small
+    /// enough never to back up the parent's pipe mid-run); the full
+    /// trace ships once, in the final [`RtNode::telemetry_hex`] frame.
+    pub fn set_telemetry_period(&mut self, period: std::time::Duration) {
+        self.telem_period = Some(period);
+    }
+
+    /// Bump a registered substrate counter if the sink is armed.
+    #[inline]
+    fn obs_inc(&mut self, pick: impl FnOnce(&RtObsIds) -> CounterId) {
+        if let Some(ids) = &self.obs {
+            let id = pick(ids);
+            if let Some(o) = self.machine.obs_mut().on_mut() {
+                o.inc(id, 1);
+            }
+        }
+    }
+
+    /// Mirror the protocol totals and return the current telemetry frame
+    /// hex-armored for the stdio channel, if the sink is armed. With
+    /// `full_trace` the frame carries the whole causal trace (the final,
+    /// at-shutdown snapshot); without it the trace section is empty (the
+    /// periodic heartbeat).
+    pub fn telemetry_hex(&mut self, full_trace: bool) -> Option<String> {
+        self.machine.sync_obs();
+        let node = self.machine.id().0;
+        let obs = self.machine.obs().on()?;
+        let empty = TraceLog::new(0);
+        let trace = if full_trace { &obs.trace } else { &empty };
+        Some(to_hex(&encode_telemetry(node, &obs.report, trace)))
+    }
+
+    /// The armed report (for failure dumps), synced first.
+    pub fn obs_report(&mut self) -> Option<&ObsReport> {
+        self.machine.sync_obs();
+        self.machine.obs().on().map(|o| &o.report)
     }
 
     /// Join the overlay after `join_delay`, then run the event loop for
@@ -136,9 +227,15 @@ impl RtNode {
         };
         let end = SimTime::from_ticks(duration.as_micros() as u64);
         let join_at = SimTime::from_ticks(join_delay.as_micros() as u64).min(end);
+        let telem_ticks = self
+            .telem_period
+            .filter(|_| self.obs.is_some())
+            .map(|p| (p.as_micros() as u64).max(1));
+        let mut next_telem = telem_ticks.map_or(SimTime::MAX, SimTime::from_ticks);
+        let mut iters: u64 = 0;
 
         loop {
-            let mut deadline = sub.next.min(end);
+            let mut deadline = sub.next.min(end).min(next_telem);
             if !self.machine.is_joined() {
                 deadline = deadline.min(join_at);
             }
@@ -147,6 +244,18 @@ impl RtNode {
             }
             let timeout = sub.clock.timeout_until(deadline);
             let readable = self.poller.wait(&self.socket, timeout)?;
+            self.obs_inc(|ids| {
+                if readable {
+                    ids.c_epoll_wakeups
+                } else {
+                    ids.c_epoll_timeouts
+                }
+            });
+            // Stride-sampled wall-clock span over the post-poll loop
+            // body: one timestamp pair per SPAN_STRIDE wakeups.
+            iters += 1;
+            let timed = self.obs.is_some() && iters.is_multiple_of(SPAN_STRIDE);
+            let t0 = timed.then(Instant::now);
 
             if readable {
                 self.drain(&sub)?;
@@ -164,8 +273,30 @@ impl RtNode {
             for (to, bytes) in self.shim.take_due(now) {
                 self.socket.send_to(&bytes, to)?;
                 self.report.frames_sent += 1;
+                self.obs_inc(|ids| ids.c_dgram_tx);
             }
             self.rearm(&mut sub);
+            if let Some(o) = self.machine.obs_mut().on_mut() {
+                o.maybe_sample(now);
+            }
+            if let (Some(t0), Some(ids)) = (t0, &self.obs) {
+                let s_loop = ids.s_loop;
+                if let Some(o) = self.machine.obs_mut().on_mut() {
+                    o.report
+                        .spans
+                        .add_weighted(s_loop, t0.elapsed(), SPAN_STRIDE);
+                }
+            }
+            if now >= next_telem {
+                if let Some(period) = telem_ticks {
+                    while next_telem <= now {
+                        next_telem = SimTime::from_ticks(next_telem.ticks() + period);
+                    }
+                    if let Some(hex) = self.telemetry_hex(false) {
+                        println!("TELEM {hex}");
+                    }
+                }
+            }
             if sub.now() >= end {
                 break;
             }
@@ -176,6 +307,7 @@ impl RtNode {
         self.report.hits_served = qs.hits_served;
         self.report.shim_dropped = self.shim.dropped;
         self.report.shim_delayed = self.shim.delayed;
+        self.machine.sync_obs();
         Ok(self.report)
     }
 
@@ -196,11 +328,24 @@ impl RtNode {
                 Ok((len, _addr)) => match decode_frame(&buf[..len]) {
                     Ok(frame) => {
                         self.report.frames_received += 1;
+                        self.obs_inc(|ids| ids.c_dgram_rx);
                         let now = sub.now();
                         let out = self.machine.on_frame(now, frame);
                         self.emit(now, out);
                     }
-                    Err(_) => self.report.decode_errors += 1,
+                    Err(e) => {
+                        self.report.decode_errors += 1;
+                        self.obs_inc(|ids| ids.c_decode_errors);
+                        let now = sub.now();
+                        if let Some(o) = self.machine.obs_mut().on_mut() {
+                            o.flight(
+                                now,
+                                Severity::Warn,
+                                "decode_error",
+                                format!("{len}-byte datagram rejected: {e}"),
+                            );
+                        }
+                    }
                 },
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -246,10 +391,14 @@ impl RtNode {
             SendVerdict::Now => {
                 if self.socket.send_to(&bytes, to).is_ok() {
                     self.report.frames_sent += 1;
+                    self.obs_inc(|ids| ids.c_dgram_tx);
                 }
             }
-            SendVerdict::Drop => {}
-            SendVerdict::DelayUntil(due) => self.shim.hold(due, to, bytes),
+            SendVerdict::Drop => self.obs_inc(|ids| ids.c_shim_dropped),
+            SendVerdict::DelayUntil(due) => {
+                self.shim.hold(due, to, bytes);
+                self.obs_inc(|ids| ids.c_shim_delayed);
+            }
         }
     }
 }
@@ -333,5 +482,70 @@ mod tests {
             ra.answered + rb.answered > 0,
             "some query answered ({ra:?} {rb:?})"
         );
+    }
+
+    /// The same two-node exchange with the observability seam armed: the
+    /// substrate counters must agree exactly with the `RtReport` tallies,
+    /// and the final telemetry frame must round-trip through the codec.
+    #[test]
+    fn armed_node_counters_reconcile_with_its_report() {
+        use manet_obs::ObsConfig;
+        use p2p_stack::{decode_telemetry, from_hex, ObsSink};
+
+        let sock_a = UdpSocket::bind("127.0.0.1:0").expect("bind a");
+        let sock_b = UdpSocket::bind("127.0.0.1:0").expect("bind b");
+        let addr_a = sock_a.local_addr().unwrap();
+        let addr_b = sock_b.local_addr().unwrap();
+
+        let mut m_a = machine(0, vec![]);
+        m_a.set_obs(ObsSink::armed(0, &ObsConfig::default(), 1024, 7));
+        let mut m_b = machine(1, (0..20).collect());
+        m_b.set_obs(ObsSink::armed(1, &ObsConfig::default(), 1024, 7));
+
+        let mut node_a = RtNode::new(
+            m_a,
+            sock_a,
+            vec![(NodeId(1), addr_b)],
+            FaultShim::new(&FaultPlan::default(), 1),
+        )
+        .expect("node a");
+        let mut node_b = RtNode::new(
+            m_b,
+            sock_b,
+            vec![(NodeId(0), addr_a)],
+            FaultShim::new(&FaultPlan::default(), 2),
+        )
+        .expect("node b");
+
+        let run = Duration::from_millis(2_000);
+        let t = std::thread::spawn(move || {
+            let r = node_b.run(run, Duration::from_millis(300)).expect("b runs");
+            (r, node_b.telemetry_hex(true).expect("armed"))
+        });
+        let ra = node_a.run(run, Duration::ZERO).expect("a runs");
+        let hex_a = node_a.telemetry_hex(true).expect("armed");
+        let (rb, hex_b) = t.join().expect("join b");
+
+        for (report, hex, node) in [(ra, hex_a, 0u32), (rb, hex_b, 1u32)] {
+            let telem = decode_telemetry(&from_hex(&hex).expect("hex")).expect("frame");
+            assert_eq!(telem.node, node);
+            let reg = &telem.report.registry;
+            assert_eq!(
+                reg.counter_by_name("rt.dgram_rx"),
+                Some(report.frames_received),
+                "rx counter reconciles with the RESULT tally"
+            );
+            assert_eq!(reg.counter_by_name("rt.dgram_tx"), Some(report.frames_sent));
+            assert_eq!(
+                reg.counter_by_name("stack.queries_issued"),
+                Some(report.issued),
+                "protocol mirror synced at shutdown"
+            );
+            assert!(
+                reg.counter_by_name("rt.epoll_wakeups").unwrap_or(0) > 0,
+                "traffic flowed, so the poller woke at least once"
+            );
+            assert!(!telem.trace.is_empty(), "causal spans were recorded");
+        }
     }
 }

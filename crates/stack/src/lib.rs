@@ -9,7 +9,7 @@
 //! * the real-time driver (`manet-rt`), where frames are UDP datagrams
 //!   and "now" is elapsed wall-clock microseconds.
 //!
-//! Four pieces:
+//! Seven pieces:
 //!
 //! * [`payload`] — [`AppMsg`], the union of overlay and content messages
 //!   the routing layer carries;
@@ -19,14 +19,31 @@
 //! * [`wire`] — the byte-exact frame codec turning a [`FrameUp`] into a
 //!   datagram and back;
 //! * [`machine`] — [`StackMachine`], the AODV + reconfigurator + query
-//!   engine composition, pure over `(now, verb)`.
+//!   engine composition, pure over `(now, verb)`;
+//! * [`trace`] — [`TraceLog`], the bounded causal/milestone event trace
+//!   both substrates record into;
+//! * [`obs`] — [`ObsSink`], the optional observability seam a hosting
+//!   substrate can arm on the machine (slab counters, causal spans, a
+//!   flight recorder);
+//! * [`telemetry`] — the length-prefixed frame that ships one node's
+//!   `ObsReport` + [`TraceLog`] across a process boundary, plus the
+//!   clock-offset estimator that stitches per-process traces into one
+//!   timeline.
 
 pub mod machine;
+pub mod obs;
 pub mod payload;
+pub mod telemetry;
+pub mod trace;
 pub mod verbs;
 pub mod wire;
 
 pub use machine::{StackMachine, StackOutput};
+pub use obs::{ObsSink, StackObs};
 pub use payload::AppMsg;
+pub use telemetry::{
+    decode_telemetry, encode_telemetry, from_hex, stitch_clocks, to_hex, Telemetry,
+};
+pub use trace::{node_id_base, TraceEvent, TraceLog};
 pub use verbs::{DeliverUp, FrameUp, OverlayDown, SendDown, TimerReq};
 pub use wire::{decode_frame, encode_frame};

@@ -19,12 +19,14 @@
 //! the clean-room composition the real-time substrate hosts, built from
 //! the *same* protocol crates and the same verbs.
 
-use manet_aodv::{Action, Aodv, AodvCfg, AodvStats};
+use manet_aodv::{Action, Aodv, AodvCfg, AodvStats, Msg};
 use manet_des::{NodeId, SimTime, TraceCtx};
-use p2p_content::{CSend, CompletedQuery, QueryEngine, QueryStats};
+use p2p_content::{CSend, CompletedQuery, ContentMsg, QueryEngine, QueryStats};
 use p2p_core::{BoxedAlgo, OvAction, Role};
 
+use crate::obs::ObsSink;
 use crate::payload::AppMsg;
+use crate::trace::TraceEvent;
 use crate::verbs::{DeliverUp, FrameUp, OverlayDown, SendDown, TimerReq};
 
 /// Everything one entry point caused to leave (or surface at) the node.
@@ -47,6 +49,8 @@ pub struct StackMachine {
     algo: BoxedAlgo,
     engine: QueryEngine,
     joined: bool,
+    /// The observability seam (off by default — see [`crate::obs`]).
+    obs: ObsSink,
 }
 
 impl StackMachine {
@@ -59,6 +63,35 @@ impl StackMachine {
             algo,
             engine,
             joined: false,
+            obs: ObsSink::Off,
+        }
+    }
+
+    /// Arm (or disarm) the observability seam. Arming changes nothing
+    /// about what the machine sends or delivers — only what it records.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
+    }
+
+    /// The observability sink (read side).
+    pub fn obs(&self) -> &ObsSink {
+        &self.obs
+    }
+
+    /// The observability sink, mutable — the hosting substrate records
+    /// its own counters/spans and drains reports through this.
+    pub fn obs_mut(&mut self) -> &mut ObsSink {
+        &mut self.obs
+    }
+
+    /// Mirror the protocol layers' running totals into the armed sink's
+    /// registry (no-op when off). Substrates call this before taking a
+    /// telemetry snapshot so mirrored counters are current.
+    pub fn sync_obs(&mut self) {
+        let q = *self.engine.stats();
+        let a = *self.aodv.stats();
+        if let Some(obs) = self.obs.on_mut() {
+            obs.mirror_stats(&q, &a);
         }
     }
 
@@ -110,16 +143,49 @@ impl StackMachine {
     pub fn join(&mut self, now: SimTime) -> StackOutput {
         let mut out = StackOutput::default();
         self.joined = true;
+        let id = self.id;
+        if let Some(obs) = self.obs.on_mut() {
+            obs.record(now, TraceEvent::Join { node: id });
+            obs.flight(
+                now,
+                manet_obs::Severity::Info,
+                "join",
+                format!("{id} joined the overlay"),
+            );
+        }
         let actions = self.algo.start(now);
         self.engine.start(now);
-        self.exec_overlay(now, actions, &mut out);
+        self.exec_overlay(now, actions, TraceCtx::NONE, &mut out);
         out
     }
 
     /// A frame arrived from the phy layer.
+    ///
+    /// If the frame carries an active causal context and the sink is
+    /// armed, a `Recv` span is recorded and stamped back onto the frame
+    /// — the same chaining the DES routing adapter does — so every AODV
+    /// effect (forwarding, RREPs, deliveries) links under this node's
+    /// reception.
     pub fn on_frame(&mut self, now: SimTime, frame: FrameUp) -> StackOutput {
         let mut out = StackOutput::default();
-        let actions = self.aodv.on_frame(now, frame.from, frame.msg);
+        let FrameUp { from, mut msg } = frame;
+        let id = self.id;
+        if let Some(obs) = self.obs.on_mut() {
+            if obs.trace.enabled() && msg.ctx().is_active() {
+                let recv = msg.ctx().child(obs.trace.alloc_span());
+                obs.record(
+                    now,
+                    TraceEvent::Recv {
+                        node: id,
+                        ctx: recv,
+                        from,
+                        frame: msg.kind(),
+                    },
+                );
+                msg.set_ctx(recv);
+            }
+        }
+        let actions = self.aodv.on_frame(now, from, msg);
         self.exec(now, actions, &mut out);
         out
     }
@@ -132,13 +198,65 @@ impl StackMachine {
         self.exec(now, actions, &mut out);
         if self.joined {
             let actions = self.algo.tick(now);
-            self.exec_overlay(now, actions, &mut out);
+            self.exec_overlay(now, actions, TraceCtx::NONE, &mut out);
             let neighbors = self.algo.neighbors();
             let (sends, completed) = self.engine.tick(now, &neighbors);
             out.completed.extend(completed);
-            self.exec_content(now, sends, &mut out);
+            self.exec_content(now, sends, TraceCtx::NONE, &mut out);
         }
         out
+    }
+
+    /// Mint a fresh trace root for a spontaneous origination batch
+    /// (same policy as the DES overlay adapter): only when the sink is
+    /// armed with tracing on, the batch is non-empty, and there is no
+    /// active upstream cause. One trace covers the whole batch.
+    fn mint(
+        &mut self,
+        now: SimTime,
+        cause: TraceCtx,
+        label: &'static str,
+        nonempty: bool,
+    ) -> TraceCtx {
+        let id = self.id;
+        let Some(obs) = self.obs.on_mut() else {
+            return cause;
+        };
+        if cause.is_active() || !nonempty || !obs.trace.enabled() {
+            return cause;
+        }
+        let root = TraceCtx::root(obs.trace.alloc_trace(), obs.trace.alloc_span());
+        obs.record(
+            now,
+            TraceEvent::Origin {
+                node: id,
+                ctx: root,
+                label,
+            },
+        );
+        root
+    }
+
+    /// Record a `Send` span for a departing frame and stamp it onto the
+    /// frame (no-op unless the sink is armed and the frame is traced).
+    fn trace_send(&mut self, now: SimTime, msg: &mut Msg<AppMsg>, to: Option<NodeId>) {
+        let id = self.id;
+        if let Some(obs) = self.obs.on_mut() {
+            if obs.trace.enabled() && msg.ctx().is_active() {
+                let send = msg.ctx().child(obs.trace.alloc_span());
+                obs.record(
+                    now,
+                    TraceEvent::Send {
+                        node: id,
+                        ctx: send,
+                        to,
+                        frame: msg.kind(),
+                        bytes: msg.wire_size(),
+                    },
+                );
+                msg.set_ctx(send);
+            }
+        }
     }
 
     /// Depth-first AODV action cascade: each action completes (including
@@ -147,8 +265,14 @@ impl StackMachine {
     fn exec(&mut self, now: SimTime, actions: Vec<Action<AppMsg>>, out: &mut StackOutput) {
         for action in actions {
             match action {
-                Action::Broadcast(msg) => out.frames.push(SendDown::Broadcast(msg)),
-                Action::Unicast { to, msg } => out.frames.push(SendDown::Unicast { to, msg }),
+                Action::Broadcast(mut msg) => {
+                    self.trace_send(now, &mut msg, None);
+                    out.frames.push(SendDown::Broadcast(msg))
+                }
+                Action::Unicast { to, mut msg } => {
+                    self.trace_send(now, &mut msg, Some(to));
+                    out.frames.push(SendDown::Unicast { to, msg })
+                }
                 Action::Deliver {
                     src,
                     hops,
@@ -181,11 +305,27 @@ impl StackMachine {
                     },
                     out,
                 ),
-                Action::Unreachable { dst, .. } => {
+                Action::Unreachable { dst, ctx, .. } => {
+                    let id = self.id;
+                    let mut cause = ctx;
+                    if let Some(obs) = self.obs.on_mut() {
+                        obs.on_unreachable();
+                        if obs.trace.enabled() && ctx.is_active() {
+                            cause = ctx.child(obs.trace.alloc_span());
+                            obs.record(
+                                now,
+                                TraceEvent::Unreachable {
+                                    node: id,
+                                    ctx: cause,
+                                    dst,
+                                },
+                            );
+                        }
+                    }
                     out.unreachable.push(dst);
                     if self.joined {
                         let actions = self.algo.on_unreachable(now, dst);
-                        self.exec_overlay(now, actions, out);
+                        self.exec_overlay(now, actions, cause, out);
                     }
                 }
             }
@@ -193,7 +333,8 @@ impl StackMachine {
     }
 
     /// A payload surfaced at this node: record it and hand it to the
-    /// overlay algorithm or the query engine.
+    /// overlay algorithm or the query engine. The delivery becomes the
+    /// causal parent of everything the overlay does in response.
     fn deliver(&mut self, now: SimTime, verb: DeliverUp, out: &mut StackOutput) {
         out.delivered.push(verb.clone());
         if !self.joined {
@@ -204,8 +345,28 @@ impl StackMachine {
             hops,
             flood,
             payload,
-            ..
+            ctx,
         } = verb;
+        let id = self.id;
+        let mut cause = TraceCtx::NONE;
+        if let Some(obs) = self.obs.on_mut() {
+            obs.on_delivered(hops);
+            if obs.trace.enabled() {
+                if ctx.is_active() {
+                    cause = ctx.child(obs.trace.alloc_span());
+                }
+                obs.record(
+                    now,
+                    TraceEvent::DeliverUp {
+                        node: id,
+                        from: src,
+                        kind: payload.kind(),
+                        hops,
+                        ctx: cause,
+                    },
+                );
+            }
+        }
         match payload {
             AppMsg::Overlay(msg) => {
                 let actions = if flood {
@@ -213,44 +374,62 @@ impl StackMachine {
                 } else {
                     self.algo.on_msg(now, src, hops, &msg)
                 };
-                self.exec_overlay(now, actions, out);
+                self.exec_overlay(now, actions, cause, out);
             }
             AppMsg::Content(msg) => {
                 let neighbors = self.algo.neighbors();
                 let sends = self.engine.on_msg(now, src, hops, &msg, &neighbors);
-                self.exec_content(now, sends, out);
+                self.exec_content(now, sends, cause, out);
             }
         }
     }
 
     /// Push overlay actions down into AODV as [`OverlayDown`] verbs.
-    fn exec_overlay(&mut self, now: SimTime, actions: Vec<OvAction>, out: &mut StackOutput) {
+    /// `cause` is the delivery (or unreachable report) that provoked the
+    /// batch; when inactive and the batch is non-empty, a fresh
+    /// "reconfig" trace is minted for it.
+    fn exec_overlay(
+        &mut self,
+        now: SimTime,
+        actions: Vec<OvAction>,
+        cause: TraceCtx,
+        out: &mut StackOutput,
+    ) {
+        let ctx = self.mint(now, cause, "reconfig", !actions.is_empty());
         for action in actions {
             let verb = match action {
-                OvAction::Flood { ttl, msg } => OverlayDown::Flood {
-                    ttl,
-                    msg,
-                    ctx: TraceCtx::NONE,
-                },
-                OvAction::Send { to, msg } => OverlayDown::Send {
-                    to,
-                    msg,
-                    ctx: TraceCtx::NONE,
-                },
+                OvAction::Flood { ttl, msg } => OverlayDown::Flood { ttl, msg, ctx },
+                OvAction::Send { to, msg } => OverlayDown::Send { to, msg, ctx },
             };
             self.overlay_down(now, verb, out);
         }
     }
 
-    /// Push content-layer sends down into AODV as [`OverlayDown`] verbs.
-    fn exec_content(&mut self, now: SimTime, sends: Vec<CSend>, out: &mut StackOutput) {
+    /// Push content-layer sends down into AODV as [`OverlayDown`] verbs,
+    /// minting a trace named after the batch's leading message when
+    /// there is no upstream cause (a locally originated query).
+    fn exec_content(
+        &mut self,
+        now: SimTime,
+        sends: Vec<CSend>,
+        cause: TraceCtx,
+        out: &mut StackOutput,
+    ) {
+        let label = match sends.first().map(|s| &s.msg) {
+            Some(ContentMsg::Query { .. }) => "query",
+            Some(ContentMsg::QueryHit { .. }) => "query_hit",
+            Some(ContentMsg::FetchRequest { .. }) => "fetch",
+            Some(ContentMsg::FileTransfer { .. }) => "transfer",
+            None => "content",
+        };
+        let ctx = self.mint(now, cause, label, !sends.is_empty());
         for send in sends {
             self.overlay_down(
                 now,
                 OverlayDown::Content {
                     to: send.to,
                     msg: send.msg,
-                    ctx: TraceCtx::NONE,
+                    ctx,
                 },
                 out,
             );

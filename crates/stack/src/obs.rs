@@ -1,0 +1,292 @@
+//! The observability seam a hosting substrate arms on the machine.
+//!
+//! The DES interleaves its own tracing and counters into its specialized
+//! adapters; [`StackMachine`](crate::machine::StackMachine) instead
+//! carries an optional [`ObsSink`]. When the sink is [`ObsSink::Off`]
+//! (the default) every instrumentation site is a single enum-tag branch
+//! and the machine behaves exactly as before — same frames, same RNG
+//! draws, same results. When a substrate arms [`ObsSink::On`], the
+//! machine records the *same* event vocabulary the DES adapters record:
+//!
+//! * slab-style registered counters and a delivery-hops histogram in a
+//!   [`manet_obs::Registry`];
+//! * causal spans ([`TraceEvent::Origin`]/[`Send`](TraceEvent::Send)/
+//!   [`Recv`](TraceEvent::Recv)/[`DeliverUp`](TraceEvent::DeliverUp)/
+//!   [`Unreachable`](TraceEvent::Unreachable)) into a [`TraceLog`],
+//!   minted from this node's disjoint id namespace
+//!   ([`node_id_base`]) so traces interlink
+//!   across process boundaries;
+//! * a [`manet_obs::FlightRecorder`] ring for crash forensics, dumped as
+//!   `failure_*.jsonl` by the hosting substrate when a run dies.
+//!
+//! The machine mirrors its protocol-layer totals
+//! ([`QueryStats`]/[`AodvStats`]) into the registry at
+//! [`StackMachine::sync_obs`](crate::machine::StackMachine::sync_obs)
+//! points, so a telemetry snapshot is always a consistent running total.
+//! Wall-clock span profiling stays in the substrate (the machine never
+//! reads a clock): `manet-rt` records stride-sampled spans directly on
+//! [`StackObs::report`]`.spans`.
+
+use manet_aodv::AodvStats;
+use manet_des::SimTime;
+use manet_obs::{CounterId, FlightRecorder, HistId, ObsConfig, ObsReport, Severity};
+use p2p_content::QueryStats;
+
+use crate::trace::{node_id_base, TraceEvent, TraceLog};
+
+/// One node's armed observability state.
+#[derive(Clone, Debug)]
+pub struct StackObs {
+    /// The per-node report (counters, histograms, series, spans, flight
+    /// recorder); `runs` is 1 so parent-side [`ObsReport::merge`] counts
+    /// contributing nodes.
+    pub report: ObsReport,
+    /// The causal/milestone trace, minting from this node's id namespace.
+    pub trace: TraceLog,
+    /// Sim-seconds between time-series samples (0 disables the series).
+    pub sample_period_secs: f64,
+    /// Next sample point, in sim-seconds.
+    pub next_sample_secs: f64,
+    // Machine-side hot counters, registered once at construction.
+    c_delivered: CounterId,
+    c_unreachable: CounterId,
+    h_delivery_hops: HistId,
+    // Mirrors of the protocol layers' own totals (set, not inc'd).
+    c_queries_issued: CounterId,
+    c_queries_forwarded: CounterId,
+    c_hits_served: CounterId,
+    c_dup_dropped: CounterId,
+    c_files_fetched: CounterId,
+    c_files_served: CounterId,
+    c_rreqs_originated: CounterId,
+    c_rreqs_forwarded: CounterId,
+    c_rreps_sent: CounterId,
+    c_rerrs_sent: CounterId,
+    c_data_forwarded: CounterId,
+    c_data_dropped: CounterId,
+    c_rreq_dup_dropped: CounterId,
+    c_hellos_sent: CounterId,
+}
+
+impl StackObs {
+    /// Armed observability for node `node`: a fresh single-run report
+    /// whose flight-recorder ring obeys `cfg`, and a trace log of
+    /// `trace_capacity` events minting ids from `node`'s namespace (the
+    /// reservoir seeded by `seed ^ node`, so each node samples
+    /// independently but reruns reproduce).
+    pub fn new(node: u32, cfg: &ObsConfig, trace_capacity: usize, seed: u64) -> StackObs {
+        let mut report = ObsReport {
+            runs: 1,
+            ..ObsReport::default()
+        };
+        report.recorder = FlightRecorder::new(cfg.recorder_capacity);
+        let reg = &mut report.registry;
+        let c_delivered = reg.counter("stack.delivered");
+        let c_unreachable = reg.counter("stack.unreachable");
+        let h_delivery_hops = reg.hist("stack.delivery_hops");
+        let c_queries_issued = reg.counter("stack.queries_issued");
+        let c_queries_forwarded = reg.counter("stack.queries_forwarded");
+        let c_hits_served = reg.counter("stack.hits_served");
+        let c_dup_dropped = reg.counter("stack.duplicates_dropped");
+        let c_files_fetched = reg.counter("stack.files_fetched");
+        let c_files_served = reg.counter("stack.files_served");
+        let c_rreqs_originated = reg.counter("aodv.rreqs_originated");
+        let c_rreqs_forwarded = reg.counter("aodv.rreqs_forwarded");
+        let c_rreps_sent = reg.counter("aodv.rreps_sent");
+        let c_rerrs_sent = reg.counter("aodv.rerrs_sent");
+        let c_data_forwarded = reg.counter("aodv.data_forwarded");
+        let c_data_dropped = reg.counter("aodv.data_dropped");
+        let c_rreq_dup_dropped = reg.counter("aodv.rreq_dup_dropped");
+        let c_hellos_sent = reg.counter("aodv.hellos_sent");
+        StackObs {
+            report,
+            trace: TraceLog::with_id_base(trace_capacity, seed ^ node as u64, node_id_base(node)),
+            sample_period_secs: cfg.sample_period_secs,
+            next_sample_secs: cfg.sample_period_secs,
+            c_delivered,
+            c_unreachable,
+            h_delivery_hops,
+            c_queries_issued,
+            c_queries_forwarded,
+            c_hits_served,
+            c_dup_dropped,
+            c_files_fetched,
+            c_files_served,
+            c_rreqs_originated,
+            c_rreqs_forwarded,
+            c_rreps_sent,
+            c_rerrs_sent,
+            c_data_forwarded,
+            c_data_dropped,
+            c_rreq_dup_dropped,
+            c_hellos_sent,
+        }
+    }
+
+    /// Register (or look up) a substrate-side counter (e.g. `manet-rt`'s
+    /// `rt.dgram_rx`) in this node's registry.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        self.report.registry.counter(name)
+    }
+
+    /// Bump a substrate-side counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, n: u64) {
+        self.report.registry.inc(id, n);
+    }
+
+    /// A payload surfaced at this node's overlay.
+    pub(crate) fn on_delivered(&mut self, hops: u8) {
+        self.report.registry.inc(self.c_delivered, 1);
+        self.report
+            .registry
+            .observe(self.h_delivery_hops, hops as u64);
+    }
+
+    /// Route discovery gave up on a destination.
+    pub(crate) fn on_unreachable(&mut self) {
+        self.report.registry.inc(self.c_unreachable, 1);
+    }
+
+    /// Mirror the protocol layers' running totals into the registry, so
+    /// an imminent snapshot (sample, telemetry frame, shutdown) reads
+    /// consistent values. Set-semantics: idempotent per call.
+    pub(crate) fn mirror_stats(&mut self, q: &QueryStats, a: &AodvStats) {
+        let reg = &mut self.report.registry;
+        reg.set(self.c_queries_issued, q.issued);
+        reg.set(self.c_queries_forwarded, q.forwarded);
+        reg.set(self.c_hits_served, q.hits_served);
+        reg.set(self.c_dup_dropped, q.duplicates_dropped);
+        reg.set(self.c_files_fetched, q.files_fetched);
+        reg.set(self.c_files_served, q.files_served);
+        reg.set(self.c_rreqs_originated, a.rreqs_originated);
+        reg.set(self.c_rreqs_forwarded, a.rreqs_forwarded);
+        reg.set(self.c_rreps_sent, a.rreps_sent);
+        reg.set(self.c_rerrs_sent, a.rerrs_sent);
+        reg.set(self.c_data_forwarded, a.data_forwarded);
+        reg.set(self.c_data_dropped, a.data_dropped);
+        reg.set(self.c_rreq_dup_dropped, a.rreq_dup_dropped);
+        reg.set(self.c_hellos_sent, a.hellos_sent);
+    }
+
+    /// Take a time-series sample if the cadence says one is due at `now`
+    /// (catching up if the substrate slept past several points).
+    pub fn maybe_sample(&mut self, now: SimTime) {
+        if self.sample_period_secs <= 0.0 {
+            return;
+        }
+        let t = now.as_secs_f64();
+        while t >= self.next_sample_secs {
+            self.report.registry.sample(self.next_sample_secs);
+            self.next_sample_secs += self.sample_period_secs;
+        }
+    }
+
+    /// Append a flight-recorder record stamped with sim-time `now`.
+    pub fn flight(&mut self, now: SimTime, severity: Severity, tag: &'static str, msg: String) {
+        self.report
+            .recorder
+            .record(now.as_secs_f64(), severity, tag, msg);
+    }
+
+    /// Record a milestone/causal event into the trace log.
+    pub fn record(&mut self, now: SimTime, event: TraceEvent) {
+        self.trace.record(now, event);
+    }
+}
+
+/// The machine's observability switch.
+///
+/// `Off` is the default and the zero-cost path: every instrumentation
+/// site in the machine starts with `self.obs.on_mut()`, which is one
+/// enum-tag branch. `On` carries the boxed state so the machine stays
+/// small when unarmed.
+#[derive(Debug, Default)]
+pub enum ObsSink {
+    /// No observability: the machine records nothing.
+    #[default]
+    Off,
+    /// Armed: the machine records counters, spans and flight records.
+    On(Box<StackObs>),
+}
+
+impl ObsSink {
+    /// Arm a sink for node `node` (see [`StackObs::new`]).
+    pub fn armed(node: u32, cfg: &ObsConfig, trace_capacity: usize, seed: u64) -> ObsSink {
+        ObsSink::On(Box::new(StackObs::new(node, cfg, trace_capacity, seed)))
+    }
+
+    /// The armed state, if any — the one branch every instrumentation
+    /// site pays when the sink is off.
+    #[inline]
+    pub fn on_mut(&mut self) -> Option<&mut StackObs> {
+        match self {
+            ObsSink::Off => None,
+            ObsSink::On(obs) => Some(obs),
+        }
+    }
+
+    /// Read-only view of the armed state.
+    pub fn on(&self) -> Option<&StackObs> {
+        match self {
+            ObsSink::Off => None,
+            ObsSink::On(obs) => Some(obs),
+        }
+    }
+
+    /// Whether the sink is armed.
+    pub fn is_on(&self) -> bool {
+        matches!(self, ObsSink::On(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_sink_namespaces_its_trace_ids() {
+        let mut sink = ObsSink::armed(3, &ObsConfig::default(), 64, 42);
+        let obs = sink.on_mut().expect("armed");
+        assert_eq!(obs.trace.id_base(), node_id_base(3));
+        assert!(obs.trace.alloc_trace() > node_id_base(3));
+        assert_eq!(obs.report.runs, 1);
+        assert!(obs.report.recorder.enabled());
+    }
+
+    #[test]
+    fn off_sink_is_none() {
+        let mut sink = ObsSink::default();
+        assert!(!sink.is_on());
+        assert!(sink.on_mut().is_none());
+    }
+
+    #[test]
+    fn sampling_catches_up_past_skipped_points() {
+        let mut obs = StackObs::new(0, &ObsConfig::default(), 0, 0);
+        obs.sample_period_secs = 1.0;
+        obs.next_sample_secs = 1.0;
+        obs.maybe_sample(SimTime::from_secs(3));
+        assert_eq!(obs.report.registry.n_samples(), 3, "1s, 2s and 3s taken");
+        obs.maybe_sample(SimTime::from_secs(3));
+        assert_eq!(obs.report.registry.n_samples(), 3, "no double sample");
+    }
+
+    #[test]
+    fn mirrors_are_idempotent_set_semantics() {
+        let mut obs = StackObs::new(0, &ObsConfig::default(), 0, 0);
+        let q = QueryStats {
+            issued: 7,
+            ..QueryStats::default()
+        };
+        let a = AodvStats {
+            rreq_dup_dropped: 3,
+            ..AodvStats::default()
+        };
+        obs.mirror_stats(&q, &a);
+        obs.mirror_stats(&q, &a);
+        let reg = &obs.report.registry;
+        assert_eq!(reg.counter_by_name("stack.queries_issued"), Some(7));
+        assert_eq!(reg.counter_by_name("aodv.rreq_dup_dropped"), Some(3));
+    }
+}
